@@ -1,0 +1,102 @@
+//! Minimal `--key value` command-line parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse from `std::env::args` (skipping the program name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (used by tests).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(name) = arg.strip_prefix("--") else {
+                continue;
+            };
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    values.insert(name.to_string(), iter.next().unwrap());
+                }
+                _ => flags.push(name.to_string()),
+            }
+        }
+        Args { values, flags }
+    }
+
+    /// Whether a bare flag (e.g. `--quick`) was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// String value of `--name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// `u64` value of `--name`, or `default`.
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// `usize` value of `--name`, or `default`.
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// `f64` value of `--name`, or `default`.
+    pub fn get_f64(&self, name: &str, default: f64) -> f64 {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Common scale factor: `--quick` shrinks experiments for smoke runs.
+    pub fn quick(&self) -> bool {
+        self.flag("quick")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn values_flags_and_defaults() {
+        let a = parse("--threads 8 --theta 0.99 --quick --keys 100000");
+        assert_eq!(a.get_u64("threads", 1), 8);
+        assert_eq!(a.get_usize("threads", 1), 8);
+        assert!((a.get_f64("theta", 0.0) - 0.99).abs() < 1e-9);
+        assert_eq!(a.get_u64("keys", 0), 100_000);
+        assert!(a.flag("quick"));
+        assert!(a.quick());
+        assert_eq!(a.get_u64("missing", 7), 7);
+        assert!(!a.flag("verbose"));
+    }
+
+    #[test]
+    fn malformed_input_is_ignored() {
+        let a = parse("stray --flag --x 3");
+        assert!(a.flag("flag"));
+        assert_eq!(a.get_u64("x", 0), 3);
+        assert_eq!(a.get("stray"), None);
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 14 — in-depth analysis with internal metrics under the
+//! write-intensive, skewed (0.99) workload:
+//!
+//! * (a) retry counts of read operations,
+//! * (b) CDF of round trips per write operation,
+//! * (c) bytes written per write operation.
+//!
+//! ```text
+//! cargo run --release -p sherman-bench --bin fig14_internal [-- --quick]
+//! ```
+
+use sherman::TreeOptions;
+use sherman_bench::{print_table, run_tree_experiment, Args, ExperimentResult, TreeExperiment};
+use sherman_workload::{KeyDistribution, Mix};
+
+fn run(args: &Args, name: &str, options: TreeOptions) -> ExperimentResult {
+    let mut exp = TreeExperiment::default_scaled(name, options);
+    exp.mix = Mix::WRITE_INTENSIVE;
+    exp.distribution = KeyDistribution::ScrambledZipfian { theta: 0.99 };
+    exp.threads = args.get_usize("threads", exp.threads);
+    exp.key_space = args.get_u64("keys", exp.key_space);
+    exp.ops_per_thread = args.get_usize("ops", exp.ops_per_thread);
+    if args.quick() {
+        exp = exp.quick();
+    }
+    run_tree_experiment(&exp)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let fg = run(&args, "FG+", TreeOptions::fg_plus());
+    let sherman = run(&args, "Sherman", TreeOptions::sherman());
+
+    println!("Figure 14(a): retry counts of read operations (fraction of reads)");
+    let mut rows = Vec::new();
+    for retries in 0..=4u64 {
+        rows.push(vec![
+            retries.to_string(),
+            format!("{:.4}%", fg.read_retries.fraction(retries) * 100.0),
+            format!("{:.4}%", sherman.read_retries.fraction(retries) * 100.0),
+        ]);
+    }
+    print_table(&["retries", "FG+", "Sherman"], &rows);
+
+    println!("\nFigure 14(b): round trips of write operations (CDF)");
+    let mut rows = Vec::new();
+    for rts in 1..=6u64 {
+        rows.push(vec![
+            rts.to_string(),
+            format!("{:.1}%", fg.write_round_trips.cdf(rts) * 100.0),
+            format!("{:.1}%", sherman.write_round_trips.cdf(rts) * 100.0),
+        ]);
+    }
+    rows.push(vec![
+        "p99".to_string(),
+        fg.write_round_trips.quantile(0.99).to_string(),
+        sherman.write_round_trips.quantile(0.99).to_string(),
+    ]);
+    print_table(&["round trips", "FG+ (<=)", "Sherman (<=)"], &rows);
+
+    println!("\nFigure 14(c): write size of write operations");
+    let rows = vec![
+        vec![
+            "mean bytes".to_string(),
+            format!("{:.0}", fg.write_sizes.mean()),
+            format!("{:.0}", sherman.write_sizes.mean()),
+        ],
+        vec![
+            "<= 64 B".to_string(),
+            format!("{:.1}%", fg.write_sizes.fraction_at_most(64) * 100.0),
+            format!("{:.1}%", sherman.write_sizes.fraction_at_most(64) * 100.0),
+        ],
+        vec![
+            ">= 1 KiB".to_string(),
+            format!("{:.1}%", fg.write_sizes.fraction_at_least(1024) * 100.0),
+            format!("{:.1}%", sherman.write_sizes.fraction_at_least(1024) * 100.0),
+        ],
+    ];
+    print_table(&["metric", "FG+", "Sherman"], &rows);
+}

@@ -1,0 +1,90 @@
+//! Figure 15 — sensitivity analysis:
+//!
+//! * (a) key size from 16 B to 1 KB under uniform write-intensive load
+//!   (the number of entries per leaf is fixed at 32 by growing the node),
+//! * (b) the same under skewed load,
+//! * (c) index-cache capacity versus throughput and hit ratio.
+//!
+//! ```text
+//! cargo run --release -p sherman-bench --bin fig15_sensitivity [-- --quick]
+//! ```
+
+use sherman::{TreeConfig, TreeOptions};
+use sherman_bench::{fmt_mops, print_table, run_tree_experiment, Args, TreeExperiment};
+use sherman_workload::{KeyDistribution, Mix};
+
+/// Node size that keeps 32 entries per leaf for a given key size (the paper
+/// fixes the entry count and grows the node).
+fn node_size_for(key_size: usize, value_size: usize) -> usize {
+    let entry = key_size + value_size + 3;
+    let raw = 48 + 8 + 32 * entry;
+    raw.next_multiple_of(64)
+}
+
+fn key_size_sweep(args: &Args, distribution: KeyDistribution, title: &str) {
+    println!("{title}");
+    let key_sizes = [16usize, 32, 64, 128, 256, 512, 1024];
+    let mut rows = Vec::new();
+    for key_size in key_sizes {
+        let mut row = vec![key_size.to_string()];
+        for (name, options) in [("FG+", TreeOptions::fg_plus()), ("Sherman", TreeOptions::sherman())] {
+            let mut exp = TreeExperiment::default_scaled(format!("{name}/{key_size}"), options);
+            exp.mix = Mix::WRITE_INTENSIVE;
+            exp.distribution = distribution;
+            exp.key_space = args.get_u64("keys", 1 << 16);
+            exp.threads = args.get_usize("threads", 8);
+            exp.ops_per_thread = args.get_usize("ops", if args.quick() { 60 } else { 200 });
+            exp.tree = TreeConfig {
+                node_size: node_size_for(key_size, 8),
+                key_size,
+                chunk_bytes: 4 << 20,
+                ..TreeConfig::default()
+            };
+            if args.quick() {
+                exp.threads = exp.threads.min(4);
+            }
+            let r = run_tree_experiment(&exp);
+            row.push(fmt_mops(r.summary.throughput_ops));
+        }
+        rows.push(row);
+    }
+    print_table(&["key size (B)", "FG+ (Mops)", "Sherman (Mops)"], &rows);
+}
+
+fn cache_sweep(args: &Args) {
+    println!("\nFigure 15(c): impact of index cache size (uniform, write-intensive)");
+    let sizes_kb = [64usize, 128, 256, 512, 1024, 4096];
+    let mut rows = Vec::new();
+    for kb in sizes_kb {
+        let mut exp = TreeExperiment::default_scaled(format!("cache-{kb}KB"), TreeOptions::sherman());
+        exp.mix = Mix::WRITE_INTENSIVE;
+        exp.distribution = KeyDistribution::Uniform;
+        exp.key_space = args.get_u64("keys", if args.quick() { 1 << 17 } else { 1 << 19 });
+        exp.threads = args.get_usize("threads", if args.quick() { 4 } else { 8 });
+        exp.ops_per_thread = args.get_usize("ops", if args.quick() { 60 } else { 200 });
+        exp.tree.cache_bytes = kb << 10;
+        let r = run_tree_experiment(&exp);
+        rows.push(vec![
+            kb.to_string(),
+            fmt_mops(r.summary.throughput_ops),
+            format!("{:.1}%", r.cache_hit_ratio * 100.0),
+        ]);
+    }
+    print_table(&["cache size (KB)", "throughput (Mops)", "hit ratio"], &rows);
+}
+
+fn main() {
+    let args = Args::from_env();
+    key_size_sweep(
+        &args,
+        KeyDistribution::Uniform,
+        "Figure 15(a): impact of key size (uniform, 32 entries per leaf)",
+    );
+    println!();
+    key_size_sweep(
+        &args,
+        KeyDistribution::ScrambledZipfian { theta: 0.99 },
+        "Figure 15(b): impact of key size (skewed, 32 entries per leaf)",
+    );
+    cache_sweep(&args);
+}

@@ -1,0 +1,42 @@
+//! Run every figure/table binary in quick mode — a one-command regeneration of
+//! the whole evaluation at smoke-test scale.
+//!
+//! ```text
+//! cargo run --release -p sherman-bench --bin run_all [-- --full]
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let binaries = [
+        "table1",
+        "fig2_lock_collapse",
+        "fig3_write_size",
+        "fig10_ablation_skew",
+        "fig11_ablation_uniform",
+        "fig12_range",
+        "fig13_scalability",
+        "fig14_internal",
+        "fig15_sensitivity",
+        "fig16_hocl",
+    ];
+    for bin in binaries {
+        println!("\n================ {bin} ================");
+        let path = exe_dir.join(bin);
+        let mut cmd = Command::new(&path);
+        if !full {
+            cmd.arg("--quick");
+        }
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => eprintln!("{bin} exited with {status}"),
+            Err(e) => eprintln!("failed to launch {}: {e}", path.display()),
+        }
+    }
+}

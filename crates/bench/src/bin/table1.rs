@@ -1,0 +1,62 @@
+//! Table 1 — performance of the one-sided approach (FG-style index) under
+//! read-intensive / write-intensive mixes with uniform / skewed popularity.
+//!
+//! The paper's headline observation: the one-sided baseline collapses under
+//! the write-intensive + skewed combination (0.34 Mops, ~20 ms p99).
+//!
+//! ```text
+//! cargo run --release -p sherman-bench --bin table1 [-- --quick --threads N --keys N]
+//! ```
+
+use sherman::TreeOptions;
+use sherman_bench::{fmt_mops, fmt_us, print_table, run_tree_experiment, Args, TreeExperiment};
+use sherman_workload::{KeyDistribution, Mix};
+
+fn main() {
+    let args = Args::from_env();
+    let cells = [
+        ("read-intensive", "uniform", Mix::READ_INTENSIVE, KeyDistribution::Uniform),
+        (
+            "read-intensive",
+            "skew",
+            Mix::READ_INTENSIVE,
+            KeyDistribution::ScrambledZipfian { theta: 0.99 },
+        ),
+        ("write-intensive", "uniform", Mix::WRITE_INTENSIVE, KeyDistribution::Uniform),
+        (
+            "write-intensive",
+            "skew",
+            Mix::WRITE_INTENSIVE,
+            KeyDistribution::ScrambledZipfian { theta: 0.99 },
+        ),
+    ];
+
+    println!("Table 1: index performance in the one-sided approach (FG+)");
+    let mut rows = Vec::new();
+    for (mix_name, dist_name, mix, distribution) in cells {
+        let mut exp = TreeExperiment::default_scaled(
+            format!("{mix_name}/{dist_name}"),
+            TreeOptions::fg_plus(),
+        );
+        exp.mix = mix;
+        exp.distribution = distribution;
+        exp.threads = args.get_usize("threads", exp.threads);
+        exp.key_space = args.get_u64("keys", exp.key_space);
+        exp.ops_per_thread = args.get_usize("ops", exp.ops_per_thread);
+        if args.quick() {
+            exp = exp.quick();
+        }
+        let r = run_tree_experiment(&exp);
+        rows.push(vec![
+            r.name.clone(),
+            fmt_mops(r.summary.throughput_ops),
+            fmt_us(r.summary.p50_ns),
+            fmt_us(r.summary.p90_ns),
+            fmt_us(r.summary.p99_ns),
+        ]);
+    }
+    print_table(
+        &["workload", "throughput (Mops)", "p50 (us)", "p90 (us)", "p99 (us)"],
+        &rows,
+    );
+}

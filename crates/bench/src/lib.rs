@@ -1,0 +1,34 @@
+//! # sherman-bench — the experiment harness
+//!
+//! One binary per table/figure of the Sherman paper (see `src/bin/`), all built
+//! on the shared runners in this library:
+//!
+//! * [`runner`] — end-to-end tree experiments: bulkload a cluster, drive it
+//!   with a YCSB-style workload from many client threads, and report
+//!   throughput, latency percentiles and the internal distributions used by
+//!   Figure 14,
+//! * [`lockbench`] — the lock-service microbenchmarks behind Figure 2 and
+//!   Figure 16 (no tree involved),
+//! * [`fabricbench`] — raw `RDMA_WRITE` throughput versus IO size (Figure 3),
+//! * [`report`] — plain-text table formatting,
+//! * [`args`] — the tiny `--key value` command-line parser shared by the
+//!   binaries (every experiment parameter can be overridden).
+//!
+//! All numbers are measured in the fabric simulator's virtual time; see
+//! DESIGN.md for the calibration and EXPERIMENTS.md for paper-vs-measured
+//! comparisons.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod args;
+pub mod fabricbench;
+pub mod lockbench;
+pub mod report;
+pub mod runner;
+
+pub use args::Args;
+pub use fabricbench::{run_write_size_sweep, WriteSizePoint};
+pub use lockbench::{run_lock_experiment, LockExperiment, LockVariant};
+pub use report::{fmt_mops, fmt_us, print_table};
+pub use runner::{run_tree_experiment, ExperimentResult, TreeExperiment};

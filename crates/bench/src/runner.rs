@@ -1,0 +1,305 @@
+//! End-to-end tree experiments: bulkload, multi-threaded workload drive,
+//! aggregation.
+
+use sherman::{Cluster, ClusterConfig, OpStats, TreeConfig, TreeOptions};
+use sherman_metrics::{
+    CountHistogram, LatencyHistogram, RunSummary, SizeHistogram, ThreadReport,
+    ThroughputAggregator,
+};
+use sherman_sim::metrics::MetricsSnapshot;
+use sherman_sim::FabricConfig;
+use sherman_workload::{KeyDistribution, Mix, Op, WorkloadSpec};
+use std::sync::Arc;
+use std::thread;
+
+/// A fully-specified tree experiment.
+#[derive(Debug, Clone)]
+pub struct TreeExperiment {
+    /// Human-readable label printed in result rows.
+    pub name: String,
+    /// Number of memory servers.
+    pub memory_servers: usize,
+    /// Number of compute servers.
+    pub compute_servers: usize,
+    /// Number of client threads (spread round-robin over compute servers).
+    pub threads: usize,
+    /// Key-space size.
+    pub key_space: u64,
+    /// Fraction of the key space bulkloaded before the measured phase.
+    pub bulkload_fraction: f64,
+    /// Operations issued by each client thread during the measured phase.
+    pub ops_per_thread: usize,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Key popularity.
+    pub distribution: KeyDistribution,
+    /// Entries returned per range query.
+    pub range_size: u64,
+    /// Technique selection (the ablation axis).
+    pub options: TreeOptions,
+    /// Tree geometry.
+    pub tree: TreeConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TreeExperiment {
+    /// A write-intensive, skewed experiment at the harness's default scale.
+    pub fn default_scaled(name: impl Into<String>, options: TreeOptions) -> Self {
+        TreeExperiment {
+            name: name.into(),
+            memory_servers: 4,
+            compute_servers: 2,
+            threads: 8,
+            key_space: 1 << 18,
+            bulkload_fraction: 0.8,
+            ops_per_thread: 400,
+            mix: Mix::WRITE_INTENSIVE,
+            distribution: KeyDistribution::ScrambledZipfian { theta: 0.99 },
+            range_size: 100,
+            options,
+            tree: TreeConfig::default(),
+            seed: 0x5EED,
+        }
+    }
+
+    /// Shrink the experiment for smoke runs (`--quick`).
+    pub fn quick(mut self) -> Self {
+        self.threads = self.threads.min(4);
+        self.key_space = self.key_space.min(1 << 15);
+        self.ops_per_thread = self.ops_per_thread.min(100);
+        self
+    }
+
+    /// The workload specification this experiment drives.
+    pub fn workload(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            key_space: self.key_space,
+            bulkload_keys: (self.key_space as f64 * self.bulkload_fraction) as u64,
+            mix: self.mix,
+            distribution: self.distribution,
+            range_size: self.range_size,
+            seed: self.seed,
+            update_fraction: 2.0 / 3.0,
+        }
+    }
+}
+
+/// What one tree experiment produced.
+#[derive(Debug)]
+pub struct ExperimentResult {
+    /// Experiment label.
+    pub name: String,
+    /// Throughput / latency summary.
+    pub summary: RunSummary,
+    /// Round trips per *write* operation (Figure 14(b)).
+    pub write_round_trips: CountHistogram,
+    /// Consistency-check retries per *read* operation (Figure 14(a)).
+    pub read_retries: CountHistogram,
+    /// Bytes written per *write* operation (Figure 14(c)).
+    pub write_sizes: SizeHistogram,
+    /// Fraction of operations whose leaf address came from the index cache.
+    pub cache_hit_ratio: f64,
+    /// Fraction of write operations whose lock was obtained via handover.
+    pub handover_fraction: f64,
+    /// Fabric-wide verb counters accumulated during the measured phase.
+    pub fabric: MetricsSnapshot,
+}
+
+#[derive(Default)]
+struct ThreadOutcome {
+    ops: u64,
+    latency: LatencyHistogram,
+    write_round_trips: CountHistogram,
+    read_retries: CountHistogram,
+    write_sizes: SizeHistogram,
+    cache_hits: u64,
+    cache_lookups: u64,
+    handovers: u64,
+    writes: u64,
+}
+
+impl ThreadOutcome {
+    fn record(&mut self, op: &Op, stats: &OpStats) {
+        self.ops += 1;
+        self.latency.record(stats.latency_ns);
+        self.cache_lookups += 1;
+        if stats.cache_hit {
+            self.cache_hits += 1;
+        }
+        if op.is_write() {
+            self.writes += 1;
+            self.write_round_trips.record(stats.round_trips);
+            self.write_sizes.record(stats.bytes_written);
+            if stats.handed_over {
+                self.handovers += 1;
+            }
+        } else {
+            self.read_retries.record(stats.read_retries);
+        }
+    }
+}
+
+/// Run one tree experiment to completion and aggregate the results.
+pub fn run_tree_experiment(exp: &TreeExperiment) -> ExperimentResult {
+    let spec = exp.workload();
+    spec.validate().expect("invalid workload");
+
+    let cluster_config = ClusterConfig {
+        fabric: FabricConfig {
+            memory_servers: exp.memory_servers,
+            compute_servers: exp.compute_servers,
+            ..FabricConfig::default()
+        },
+        tree: exp.tree.clone(),
+    };
+    let cluster = Cluster::new(cluster_config, exp.options);
+    cluster
+        .bulkload(spec.bulkload_iter().map(|k| (k, k.wrapping_mul(3) + 1)))
+        .expect("bulkload");
+
+    let baseline_metrics = cluster.fabric().metrics().snapshot();
+    let start_time = cluster.fabric().now();
+
+    // Workers must all register with the virtual clock before the measured
+    // phase begins, so that their operations genuinely overlap.
+    let barrier = Arc::new(std::sync::Barrier::new(exp.threads));
+    let mut handles = Vec::new();
+    for t in 0..exp.threads {
+        let cluster = Arc::clone(&cluster);
+        let spec = spec.clone();
+        let barrier = Arc::clone(&barrier);
+        let cs = (t % exp.compute_servers) as u16;
+        let ops_per_thread = exp.ops_per_thread;
+        handles.push(thread::spawn(move || {
+            let mut client = cluster.client(cs);
+            barrier.wait();
+            let mut gen = spec.generator(t as u64);
+            let mut outcome = ThreadOutcome::default();
+            for _ in 0..ops_per_thread {
+                let op = gen.next_op();
+                let stats = match op {
+                    Op::Lookup { key } => client.lookup(key).map(|(_, s)| s),
+                    Op::Insert { key, value } => client.insert(key, value),
+                    Op::Delete { key } => client.delete(key).map(|(_, s)| s),
+                    Op::Range { start_key, count } => {
+                        client.range(start_key, count as usize).map(|(_, s)| s)
+                    }
+                };
+                match stats {
+                    Ok(stats) => outcome.record(&op, &stats),
+                    Err(e) => panic!("operation failed: {e}"),
+                }
+            }
+            outcome
+        }));
+    }
+
+    let outcomes: Vec<ThreadOutcome> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread panicked"))
+        .collect();
+    let elapsed = cluster.fabric().now().saturating_sub(start_time).max(1);
+    let fabric = cluster
+        .fabric()
+        .metrics()
+        .snapshot()
+        .delta_since(&baseline_metrics);
+
+    let mut agg = ThroughputAggregator::new();
+    let mut write_round_trips = CountHistogram::new();
+    let mut read_retries = CountHistogram::new();
+    let mut write_sizes = SizeHistogram::new();
+    let mut cache_hits = 0u64;
+    let mut cache_lookups = 0u64;
+    let mut handovers = 0u64;
+    let mut writes = 0u64;
+    for o in &outcomes {
+        agg.add(&ThreadReport {
+            ops: o.ops,
+            latency: o.latency.clone(),
+        });
+        write_round_trips.merge(&o.write_round_trips);
+        read_retries.merge(&o.read_retries);
+        write_sizes.merge(&o.write_sizes);
+        cache_hits += o.cache_hits;
+        cache_lookups += o.cache_lookups;
+        handovers += o.handovers;
+        writes += o.writes;
+    }
+
+    ExperimentResult {
+        name: exp.name.clone(),
+        summary: agg.finish(elapsed),
+        write_round_trips,
+        read_retries,
+        write_sizes,
+        cache_hit_ratio: if cache_lookups == 0 {
+            0.0
+        } else {
+            cache_hits as f64 / cache_lookups as f64
+        },
+        handover_fraction: if writes == 0 {
+            0.0
+        } else {
+            handovers as f64 / writes as f64
+        },
+        fabric,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(options: TreeOptions) -> TreeExperiment {
+        TreeExperiment {
+            memory_servers: 2,
+            compute_servers: 2,
+            threads: 2,
+            key_space: 1 << 12,
+            ops_per_thread: 40,
+            tree: TreeConfig {
+                cache_bytes: 1 << 20,
+                chunk_bytes: 256 << 10,
+                ..TreeConfig::default()
+            },
+            ..TreeExperiment::default_scaled("tiny", options)
+        }
+    }
+
+    #[test]
+    fn sherman_experiment_produces_sane_numbers() {
+        let result = run_tree_experiment(&tiny(TreeOptions::sherman()));
+        assert_eq!(result.summary.ops, 80);
+        assert!(result.summary.throughput_ops > 0.0);
+        assert!(result.summary.p99_ns >= result.summary.p50_ns);
+        assert!(result.cache_hit_ratio > 0.5, "bulkload warms the cache");
+        // Write ops exist in a write-intensive mix and their sizes are
+        // entry-granular for Sherman.
+        assert!(result.write_sizes.total() > 0);
+        assert!(result.write_sizes.mean() < 200.0);
+    }
+
+    #[test]
+    fn baseline_writes_whole_nodes() {
+        let result = run_tree_experiment(&tiny(TreeOptions::fg_plus()));
+        assert!(result.write_sizes.mean() >= 1024.0);
+        // FG+ needs at least one more round trip per write than Sherman.
+        let sherman = run_tree_experiment(&tiny(TreeOptions::sherman()));
+        assert!(
+            result.write_round_trips.mean() > sherman.write_round_trips.mean(),
+            "FG+ {} vs Sherman {}",
+            result.write_round_trips.mean(),
+            sherman.write_round_trips.mean()
+        );
+    }
+
+    #[test]
+    fn quick_shrinks_the_experiment() {
+        let exp = TreeExperiment::default_scaled("x", TreeOptions::sherman()).quick();
+        assert!(exp.threads <= 4);
+        assert!(exp.ops_per_thread <= 100);
+        exp.workload().validate().unwrap();
+    }
+}

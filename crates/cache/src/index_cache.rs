@@ -1,0 +1,435 @@
+//! The index cache proper.
+
+use crate::stats::CacheStats;
+use parking_lot::RwLock;
+use rand::Rng;
+use sherman_sim::GlobalAddress;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One child pointer inside a cached internal node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChildRef {
+    /// Smallest key routed to this child (separator key).
+    pub separator: u64,
+    /// The child node's address.
+    pub child: GlobalAddress,
+}
+
+/// A compute-server-side copy of an internal tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedInternal {
+    /// Remote address of the internal node this copy was made from.
+    pub addr: GlobalAddress,
+    /// Lower fence key (inclusive).
+    pub fence_low: u64,
+    /// Upper fence key (exclusive; `u64::MAX` means +∞).
+    pub fence_high: u64,
+    /// Level of the node (leaves are level 0, so type-❶ entries are level 1).
+    pub level: u8,
+    /// Child routed to for keys below the first separator.
+    pub leftmost: GlobalAddress,
+    /// Separator keys with their children, sorted by separator.
+    pub children: Vec<ChildRef>,
+}
+
+impl CachedInternal {
+    /// Whether `key` falls inside this node's fence interval.
+    pub fn covers(&self, key: u64) -> bool {
+        key >= self.fence_low && (self.fence_high == u64::MAX || key < self.fence_high)
+    }
+
+    /// The child a traversal for `key` descends into.
+    pub fn child_for(&self, key: u64) -> GlobalAddress {
+        debug_assert!(self.covers(key));
+        match self.children.partition_point(|c| c.separator <= key) {
+            0 => self.leftmost,
+            n => self.children[n - 1].child,
+        }
+    }
+
+    /// Children whose key ranges may intersect `[start, end]` (inclusive),
+    /// in key order.  Used by range queries to read several leaves in one
+    /// parallel batch.
+    pub fn children_in_range(&self, start: u64, end: u64) -> Vec<GlobalAddress> {
+        let mut out = Vec::new();
+        let first = self.children.partition_point(|c| c.separator <= start);
+        if first == 0 {
+            out.push(self.leftmost);
+        } else {
+            out.push(self.children[first - 1].child);
+        }
+        for c in &self.children[first..] {
+            if c.separator > end {
+                break;
+            }
+            out.push(c.child);
+        }
+        out
+    }
+}
+
+/// Capacity configuration of the index cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexCacheConfig {
+    /// Total budget for type-❶ entries, in bytes.
+    pub capacity_bytes: usize,
+    /// Approximate cost of one cached internal node (typically the tree's node
+    /// size); used for capacity accounting.
+    pub entry_bytes: usize,
+}
+
+impl IndexCacheConfig {
+    /// A cache holding roughly `capacity_bytes / entry_bytes` nodes.
+    pub fn new(capacity_bytes: usize, entry_bytes: usize) -> Self {
+        assert!(entry_bytes > 0);
+        IndexCacheConfig {
+            capacity_bytes,
+            entry_bytes,
+        }
+    }
+
+    /// Maximum number of type-❶ entries.
+    pub fn max_entries(&self) -> usize {
+        (self.capacity_bytes / self.entry_bytes).max(1)
+    }
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    node: CachedInternal,
+    last_used: AtomicU64,
+}
+
+/// The per-compute-server index cache.
+#[derive(Debug)]
+pub struct IndexCache {
+    config: IndexCacheConfig,
+    /// Type-❶ entries keyed by their lower fence key.
+    entries: RwLock<BTreeMap<u64, Arc<CacheEntry>>>,
+    /// Type-❷ entries: the highest levels of the tree, always cached.
+    top: RwLock<Vec<CachedInternal>>,
+    clock: AtomicU64,
+    count: AtomicUsize,
+    stats: CacheStats,
+}
+
+impl IndexCache {
+    /// Create an empty cache.
+    pub fn new(config: IndexCacheConfig) -> Self {
+        IndexCache {
+            config,
+            entries: RwLock::new(BTreeMap::new()),
+            top: RwLock::new(Vec::new()),
+            clock: AtomicU64::new(0),
+            count: AtomicUsize::new(0),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was created with.
+    pub fn config(&self) -> IndexCacheConfig {
+        self.config
+    }
+
+    /// Hit/miss/eviction counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Number of type-❶ entries currently cached.
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Whether the type-❶ cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    // ------------------------------------------------------------------
+    // Type-❶: level-1 nodes
+    // ------------------------------------------------------------------
+
+    /// Look up the cached level-1 node covering `key` and return the leaf
+    /// address a traversal for `key` would descend into, together with the
+    /// cached node's remote address (needed for invalidation).
+    pub fn lookup_leaf(&self, key: u64) -> Option<(GlobalAddress, GlobalAddress)> {
+        self.lookup_covering(key)
+            .map(|node| (node.child_for(key), node.addr))
+    }
+
+    /// Look up and clone the cached level-1 node covering `key`.
+    pub fn lookup_covering(&self, key: u64) -> Option<CachedInternal> {
+        let entries = self.entries.read();
+        let candidate = entries.range(..=key).next_back().map(|(_, e)| Arc::clone(e));
+        drop(entries);
+        match candidate {
+            Some(entry) if entry.node.covers(key) => {
+                entry.last_used.store(self.tick(), Ordering::Relaxed);
+                self.stats.record_hit();
+                Some(entry.node.clone())
+            }
+            _ => {
+                self.stats.record_miss();
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a level-1 node copy, evicting with the
+    /// power-of-two-choices rule if the capacity budget is exceeded.
+    pub fn insert_level1(&self, node: CachedInternal) {
+        debug_assert_eq!(node.level, 1, "type-1 cache stores level-1 nodes");
+        let entry = Arc::new(CacheEntry {
+            last_used: AtomicU64::new(self.tick()),
+            node,
+        });
+        {
+            let mut entries = self.entries.write();
+            let prev = entries.insert(entry.node.fence_low, entry);
+            if prev.is_none() {
+                self.count.fetch_add(1, Ordering::Relaxed);
+                self.stats.record_insert();
+            }
+        }
+        self.maybe_evict();
+    }
+
+    fn maybe_evict(&self) {
+        let max = self.config.max_entries();
+        while self.count.load(Ordering::Relaxed) > max {
+            let victim = {
+                let entries = self.entries.read();
+                if entries.len() <= max {
+                    break;
+                }
+                let mut rng = rand::thread_rng();
+                let pick = |rng: &mut rand::rngs::ThreadRng| -> Option<(u64, u64)> {
+                    let idx = rng.gen_range(0..entries.len());
+                    entries
+                        .iter()
+                        .nth(idx)
+                        .map(|(k, e)| (*k, e.last_used.load(Ordering::Relaxed)))
+                };
+                // Power of two choices: evict the least recently used of two
+                // random candidates (§4.2.3).
+                match (pick(&mut rng), pick(&mut rng)) {
+                    (Some(a), Some(b)) => Some(if a.1 <= b.1 { a.0 } else { b.0 }),
+                    (Some(a), None) => Some(a.0),
+                    _ => None,
+                }
+            };
+            let Some(key) = victim else { break };
+            let mut entries = self.entries.write();
+            if entries.remove(&key).is_some() {
+                self.count.fetch_sub(1, Ordering::Relaxed);
+                self.stats.record_eviction();
+            }
+        }
+    }
+
+    /// Remove the cached level-1 node whose lower fence key is `fence_low`
+    /// (called when a fetched leaf's fence keys or level disagree with the
+    /// cached pointer that led to it).
+    pub fn invalidate(&self, fence_low: u64) {
+        let mut entries = self.entries.write();
+        if entries.remove(&fence_low).is_some() {
+            self.count.fetch_sub(1, Ordering::Relaxed);
+            self.stats.record_invalidation();
+        }
+    }
+
+    /// Remove every cached level-1 node that references `addr` as a child or
+    /// is a copy of `addr` itself (used after node frees).
+    pub fn invalidate_addr(&self, addr: GlobalAddress) {
+        let mut entries = self.entries.write();
+        let stale: Vec<u64> = entries
+            .iter()
+            .filter(|(_, e)| {
+                e.node.addr == addr
+                    || e.node.leftmost == addr
+                    || e.node.children.iter().any(|c| c.child == addr)
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        for k in stale {
+            if entries.remove(&k).is_some() {
+                self.count.fetch_sub(1, Ordering::Relaxed);
+                self.stats.record_invalidation();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Type-❷: the highest levels
+    // ------------------------------------------------------------------
+
+    /// Replace the always-cached copy of the tree's top levels.
+    pub fn set_top_levels(&self, nodes: Vec<CachedInternal>) {
+        *self.top.write() = nodes;
+    }
+
+    /// Search the top-level copies for the deepest node covering `key`;
+    /// returns the child to continue the traversal from and that child's
+    /// level (the cached node's level minus one).
+    pub fn search_top(&self, key: u64) -> Option<(GlobalAddress, u8)> {
+        let top = self.top.read();
+        top.iter()
+            .filter(|n| n.covers(key))
+            .min_by_key(|n| n.level)
+            .map(|n| (n.child_for(key), n.level - 1))
+    }
+
+    /// Number of cached top-level nodes.
+    pub fn top_len(&self) -> usize {
+        self.top.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u64) -> GlobalAddress {
+        GlobalAddress::host(0, 1024 * n)
+    }
+
+    fn level1(fence_low: u64, fence_high: u64, children: &[(u64, u64)]) -> CachedInternal {
+        CachedInternal {
+            addr: addr(fence_low + 1_000_000),
+            fence_low,
+            fence_high,
+            level: 1,
+            leftmost: addr(fence_low),
+            children: children
+                .iter()
+                .map(|&(sep, a)| ChildRef {
+                    separator: sep,
+                    child: addr(a),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn child_routing_follows_separators() {
+        let node = level1(100, 200, &[(120, 1), (150, 2), (180, 3)]);
+        assert!(node.covers(100) && node.covers(199) && !node.covers(200) && !node.covers(99));
+        assert_eq!(node.child_for(100), addr(100)); // leftmost
+        assert_eq!(node.child_for(119), addr(100));
+        assert_eq!(node.child_for(120), addr(1));
+        assert_eq!(node.child_for(179), addr(2));
+        assert_eq!(node.child_for(199), addr(3));
+    }
+
+    #[test]
+    fn children_in_range_returns_key_ordered_cover() {
+        let node = level1(0, u64::MAX, &[(10, 1), (20, 2), (30, 3)]);
+        assert_eq!(node.children_in_range(12, 25), vec![addr(1), addr(2)]);
+        assert_eq!(node.children_in_range(0, 5), vec![addr(0)]);
+        assert_eq!(
+            node.children_in_range(0, 100),
+            vec![addr(0), addr(1), addr(2), addr(3)]
+        );
+    }
+
+    #[test]
+    fn lookup_hits_and_misses_are_counted() {
+        let cache = IndexCache::new(IndexCacheConfig::new(1 << 20, 1024));
+        cache.insert_level1(level1(0, 100, &[(50, 1)]));
+        cache.insert_level1(level1(100, 200, &[(150, 2)]));
+
+        let (leaf, from) = cache.lookup_leaf(60).unwrap();
+        assert_eq!(leaf, addr(1));
+        assert_eq!(from, addr(1_000_000));
+        assert!(cache.lookup_leaf(120).is_some());
+        // A key outside every cached interval misses.
+        assert!(cache.lookup_leaf(500).is_none());
+        assert_eq!(cache.stats().hits(), 2);
+        assert_eq!(cache.stats().misses(), 1);
+        assert!((cache.stats().hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalidation_removes_stale_entries() {
+        let cache = IndexCache::new(IndexCacheConfig::new(1 << 20, 1024));
+        cache.insert_level1(level1(0, 100, &[(50, 1)]));
+        assert!(cache.lookup_leaf(10).is_some());
+        cache.invalidate(0);
+        assert!(cache.lookup_leaf(10).is_none());
+        assert_eq!(cache.stats().invalidations(), 1);
+
+        cache.insert_level1(level1(200, 300, &[(250, 7)]));
+        cache.invalidate_addr(addr(7));
+        assert!(cache.lookup_leaf(260).is_none());
+    }
+
+    #[test]
+    fn capacity_is_enforced_with_two_choice_eviction() {
+        // Room for 8 entries.
+        let cache = IndexCache::new(IndexCacheConfig::new(8 * 1024, 1024));
+        for i in 0..64u64 {
+            cache.insert_level1(level1(i * 100, (i + 1) * 100, &[(i * 100 + 50, i)]));
+        }
+        assert!(cache.len() <= 8, "cache holds {} entries", cache.len());
+        assert!(cache.stats().evictions() >= 56);
+        // Recently inserted (and therefore recently used) entries are more
+        // likely to survive; at least some lookups still hit.
+        let hits_before = cache.stats().hits();
+        for i in 56..64u64 {
+            let _ = cache.lookup_leaf(i * 100 + 10);
+        }
+        assert!(cache.stats().hits() > hits_before);
+    }
+
+    #[test]
+    fn top_levels_route_partial_traversals() {
+        let cache = IndexCache::new(IndexCacheConfig::new(1 << 20, 1024));
+        assert!(cache.search_top(42).is_none());
+        // A two-level top: the root (level 3) and one level-2 node.
+        let root = CachedInternal {
+            addr: addr(999),
+            fence_low: 0,
+            fence_high: u64::MAX,
+            level: 3,
+            leftmost: addr(100),
+            children: vec![ChildRef {
+                separator: 1_000,
+                child: addr(200),
+            }],
+        };
+        let mid = CachedInternal {
+            addr: addr(100),
+            fence_low: 0,
+            fence_high: 1_000,
+            level: 2,
+            leftmost: addr(10),
+            children: vec![ChildRef {
+                separator: 500,
+                child: addr(20),
+            }],
+        };
+        cache.set_top_levels(vec![root, mid]);
+        assert_eq!(cache.top_len(), 2);
+        // The deepest covering node (level 2) routes the traversal.
+        assert_eq!(cache.search_top(600), Some((addr(20), 1)));
+        assert_eq!(cache.search_top(100), Some((addr(10), 1)));
+        // Keys beyond the level-2 node fall back to the root.
+        assert_eq!(cache.search_top(5_000), Some((addr(200), 2)));
+    }
+
+    #[test]
+    fn reinserting_same_fence_updates_in_place() {
+        let cache = IndexCache::new(IndexCacheConfig::new(1 << 20, 1024));
+        cache.insert_level1(level1(0, 100, &[(50, 1)]));
+        cache.insert_level1(level1(0, 100, &[(50, 2)]));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup_leaf(60).unwrap().0, addr(2));
+    }
+}

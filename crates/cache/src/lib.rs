@@ -1,0 +1,27 @@
+//! # sherman-cache — the compute-server index cache
+//!
+//! Tree traversal from the root to a leaf would cost one `RDMA_READ` per
+//! level.  Sherman avoids that with a compute-server-side *index cache*
+//! (§4.2.3) that stores copies of two kinds of internal nodes:
+//!
+//! * **type ❶** — internal nodes one level above the leaves (level 1), each of
+//!   which maps a key range directly to a leaf address.  This set is large, so
+//!   it is capacity-bounded and evicted with the power-of-two-choices rule:
+//!   pick two cached entries at random, evict the least recently used one.
+//! * **type ❷** — the highest two levels of the tree (including the root),
+//!   which are tiny and always cached.
+//!
+//! A hit in the type-❶ cache turns an index operation into a single
+//! leaf-node `RDMA_READ`.  The cache never needs a coherence protocol: every
+//! node carries fence keys and its level, so a client that fetches a node
+//! through a stale cached pointer detects the mismatch, invalidates the entry
+//! and falls back to a traversal (§4.2.3).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod index_cache;
+pub mod stats;
+
+pub use index_cache::{CachedInternal, ChildRef, IndexCache, IndexCacheConfig};
+pub use stats::CacheStats;

@@ -1,0 +1,99 @@
+//! Cache hit/miss/invalidation counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing index-cache effectiveness (Figure 15(c) plots the hit
+/// ratio as the cache capacity grows).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    evictions: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl CacheStats {
+    /// Record a lookup that was served from the cache.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a lookup that missed the cache.
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an entry invalidated because fence keys or level did not match.
+    pub fn record_invalidation(&self) {
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a capacity eviction.
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an insertion of a fresh entry.
+    pub fn record_insert(&self) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries invalidated after a fence/level mismatch.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Capacity evictions performed.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Entries inserted.
+    pub fn inserts(&self) -> u64 {
+        self.inserts.load(Ordering::Relaxed)
+    }
+
+    /// Hit ratio in `[0, 1]` (0 when no lookups were recorded).
+    pub fn hit_ratio(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_is_computed_safely() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        s.record_hit();
+        s.record_hit();
+        s.record_hit();
+        s.record_miss();
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-9);
+        s.record_invalidation();
+        s.record_eviction();
+        s.record_insert();
+        assert_eq!(s.invalidations(), 1);
+        assert_eq!(s.evictions(), 1);
+        assert_eq!(s.inserts(), 1);
+    }
+}

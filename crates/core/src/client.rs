@@ -1,0 +1,1022 @@
+//! The per-thread tree client: lookup, insert, delete and range query.
+//!
+//! Each simulated client thread owns a [`TreeClient`].  The client performs
+//! every index operation with one-sided verbs against the memory servers, as
+//! described in §4 of the paper:
+//!
+//! * **lookup / range** — lock-free: read the leaf with `RDMA_READ`, validate
+//!   node-level (and, for Sherman's unsorted leaves, entry-level) versions and
+//!   retry on a torn image,
+//! * **insert / delete** — acquire the node's exclusive lock, read the leaf,
+//!   modify it locally, then write back either the single affected entry
+//!   (two-level versions) or the whole node (baselines), combining the
+//!   write-back with the lock release into one doorbell batch when command
+//!   combination is enabled,
+//! * **split** — sort the leaf, move the upper half to a freshly allocated
+//!   sibling, link it B-link style, and insert the separator into the parent
+//!   (growing a new root when the split reaches the top).
+
+use crate::cluster::Cluster;
+use crate::config::LeafFormat;
+use crate::error::TreeError;
+use crate::layout::NodeLayout;
+use crate::node::{InternalNode, LeafNode};
+use crate::stats::OpStats;
+use crate::TreeResult;
+use sherman_cache::{CachedInternal, ChildRef};
+use sherman_memserver::{ClientAllocator, ServerLayout};
+use sherman_sim::{ClientCtx, ClientStats, GlobalAddress, WriteCmd};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Where a leaf address came from (used for cache invalidation decisions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LeafSource {
+    /// Served by the type-❶ index cache; holds the cached node's lower fence
+    /// key so the entry can be invalidated on a mismatch.
+    Cache { fence_low: u64 },
+    /// Found by traversing internal nodes.
+    Traversal,
+    /// Reached by following a sibling pointer.
+    Sibling,
+}
+
+/// Book-keeping accumulated while executing one operation.
+#[derive(Debug, Default)]
+struct OpMeta {
+    read_retries: u64,
+    lock_retries: u64,
+    handed_over: bool,
+    cache_hit: bool,
+}
+
+/// A per-thread handle to the tree.
+///
+/// Create one with [`Cluster::client`] *on the thread that will use it*: the
+/// handle registers the calling thread with the simulation's virtual clock.
+pub struct TreeClient {
+    cluster: Arc<Cluster>,
+    ctx: ClientCtx,
+    allocator: ClientAllocator,
+    cs_id: u16,
+}
+
+impl std::fmt::Debug for TreeClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TreeClient")
+            .field("cs_id", &self.cs_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TreeClient {
+    pub(crate) fn new(cluster: Arc<Cluster>, cs_id: u16) -> Self {
+        let ctx = cluster.fabric().client(cs_id);
+        let allocator = ClientAllocator::new(
+            Arc::clone(cluster.pool()),
+            cluster.config().node_size as u64,
+            cs_id,
+        );
+        TreeClient {
+            cluster,
+            ctx,
+            allocator,
+            cs_id,
+        }
+    }
+
+    /// The cluster this client operates on.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// Compute-server id of this client.
+    pub fn cs_id(&self) -> u16 {
+        self.cs_id
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.ctx.now()
+    }
+
+    /// Raw fabric counters of this client (cumulative).
+    pub fn fabric_stats(&self) -> ClientStats {
+        self.ctx.stats()
+    }
+
+    fn layout(&self) -> &NodeLayout {
+        self.cluster.layout()
+    }
+
+    fn leaf_format(&self) -> LeafFormat {
+        self.cluster.options().leaf_format
+    }
+
+    fn combine(&self) -> bool {
+        self.cluster.options().combine_commands
+    }
+
+    /// Acquire the exclusive lock on `addr`, folding the outcome into `meta`.
+    fn acquire_lock(&mut self, addr: GlobalAddress, meta: &mut OpMeta) -> TreeResult<()> {
+        let mgr = Arc::clone(self.cluster.lock_manager());
+        let acq = mgr.acquire(&mut self.ctx, addr)?;
+        meta.lock_retries += acq.remote_retries;
+        meta.handed_over |= acq.handed_over;
+        Ok(())
+    }
+
+    /// Release the exclusive lock on `addr`, flushing `writes` according to
+    /// the command-combination setting.
+    fn release_lock(&mut self, addr: GlobalAddress, writes: Vec<WriteCmd>) -> TreeResult<()> {
+        let combine = self.combine();
+        let mgr = Arc::clone(self.cluster.lock_manager());
+        mgr.release(&mut self.ctx, addr, writes, combine)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Root management
+    // ------------------------------------------------------------------
+
+    /// Current root address and level, from the local hint or the remote
+    /// superblock.
+    fn root(&mut self) -> TreeResult<(GlobalAddress, u8)> {
+        if let Some(hint) = self.cluster.root_hint() {
+            return Ok((hint.addr, hint.level));
+        }
+        let packed = self.ctx.read_u64(self.cluster.root_ptr_addr())?;
+        if packed == 0 {
+            return Err(TreeError::NotInitialized);
+        }
+        let level = self.ctx.read_u64(ServerLayout::level_hint_addr())? as u8;
+        let addr = GlobalAddress::unpack(packed);
+        self.cluster.set_root_hint(addr, level);
+        Ok((addr, level))
+    }
+
+    // ------------------------------------------------------------------
+    // Node reads
+    // ------------------------------------------------------------------
+
+    fn node_image_consistent(&self, buf: &[u8]) -> bool {
+        match self.leaf_format() {
+            LeafFormat::SortedChecksum => self.layout().checksum_matches(buf),
+            _ => self.layout().node_versions_match(buf),
+        }
+    }
+
+    /// Read a node image with the lock-free consistency loop (node-level
+    /// check only; entry-level checks are done by the caller where relevant).
+    fn read_node_consistent(&mut self, addr: GlobalAddress, meta: &mut OpMeta) -> TreeResult<Vec<u8>> {
+        let node_size = self.layout().node_size();
+        let mut buf = vec![0u8; node_size];
+        for _ in 0..self.cluster.config().max_read_retries {
+            self.ctx.read(addr, &mut buf)?;
+            if self.node_image_consistent(&buf) {
+                self.ctx.charge_scan(node_size);
+                return Ok(buf);
+            }
+            meta.read_retries += 1;
+            self.ctx.note_retries(1);
+        }
+        Err(TreeError::RetriesExhausted {
+            context: "node-level consistency check",
+            attempts: self.cluster.config().max_read_retries,
+        })
+    }
+
+    /// Read a node image while holding its exclusive lock (no retry loop
+    /// needed: writers are excluded, readers never modify).
+    fn read_node_locked(&mut self, addr: GlobalAddress) -> TreeResult<Vec<u8>> {
+        let node_size = self.layout().node_size();
+        let mut buf = vec![0u8; node_size];
+        self.ctx.read(addr, &mut buf)?;
+        self.ctx.charge_scan(node_size);
+        Ok(buf)
+    }
+
+    fn cached_from_internal(addr: GlobalAddress, node: &InternalNode) -> CachedInternal {
+        CachedInternal {
+            addr,
+            fence_low: node.header.fence_low,
+            fence_high: node.header.fence_high,
+            level: node.header.level,
+            leftmost: node.header.leftmost.unwrap_or_else(GlobalAddress::null),
+            children: node
+                .entries
+                .iter()
+                .map(|e| ChildRef {
+                    separator: e.key,
+                    child: e.child,
+                })
+                .collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Traversal
+    // ------------------------------------------------------------------
+
+    /// Walk down from the root (or the cached top levels) to the node at
+    /// `target_level` whose key interval contains `key`.
+    fn traverse_to_level(
+        &mut self,
+        key: u64,
+        target_level: u8,
+        meta: &mut OpMeta,
+    ) -> TreeResult<GlobalAddress> {
+        let restarts = self.cluster.config().max_restarts;
+        'restart: for _ in 0..restarts {
+            let (root_addr, root_level) = self.root()?;
+            let (mut addr, mut expect_level) = match self.cluster.cache(self.cs_id).search_top(key)
+            {
+                Some((child, child_level)) if child_level >= target_level => (child, child_level),
+                _ => (root_addr, root_level),
+            };
+            if expect_level < target_level {
+                // The tree is shallower than the requested level; the caller
+                // handles root growth.
+                return Ok(root_addr);
+            }
+            loop {
+                if expect_level == target_level {
+                    return Ok(addr);
+                }
+                let buf = self.read_node_consistent(addr, meta)?;
+                let node = self.layout().decode_internal(&buf);
+                if node.header.free || node.header.is_leaf {
+                    continue 'restart;
+                }
+                if !node.header.covers(key) {
+                    if key >= node.header.fence_high {
+                        if let Some(sib) = node.header.sibling {
+                            addr = sib;
+                            continue;
+                        }
+                    }
+                    continue 'restart;
+                }
+                expect_level = node.header.level;
+                if expect_level == target_level {
+                    return Ok(addr);
+                }
+                if node.header.level == 1 {
+                    self.cluster
+                        .cache(self.cs_id)
+                        .insert_level1(Self::cached_from_internal(addr, &node));
+                }
+                addr = node.child_for(key);
+                expect_level = node.header.level - 1;
+            }
+        }
+        Err(TreeError::RetriesExhausted {
+            context: "tree traversal",
+            attempts: restarts,
+        })
+    }
+
+    /// Find the leaf that should hold `key`, preferring the index cache.
+    fn locate_leaf(&mut self, key: u64, meta: &mut OpMeta) -> TreeResult<(GlobalAddress, LeafSource)> {
+        if let Some(cached) = self.cluster.cache(self.cs_id).lookup_covering(key) {
+            meta.cache_hit = true;
+            return Ok((
+                cached.child_for(key),
+                LeafSource::Cache {
+                    fence_low: cached.fence_low,
+                },
+            ));
+        }
+        let addr = self.traverse_to_level(key, 0, meta)?;
+        Ok((addr, LeafSource::Traversal))
+    }
+
+    /// Handle a leaf that turned out not to cover `key`: invalidate the stale
+    /// cache entry and either follow the sibling pointer or ask for a fresh
+    /// traversal.  Returns the next address to try, or `None` to re-locate.
+    fn next_after_mismatch(
+        &mut self,
+        key: u64,
+        leaf: &LeafNode,
+        source: LeafSource,
+    ) -> Option<GlobalAddress> {
+        if let LeafSource::Cache { fence_low } = source {
+            self.cluster.cache(self.cs_id).invalidate(fence_low);
+        }
+        if !leaf.header.free && key >= leaf.header.fence_high {
+            if let Some(sib) = leaf.header.sibling {
+                return Some(sib);
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    /// Look up `key`, returning its value if present.
+    pub fn lookup(&mut self, key: u64) -> TreeResult<(Option<u64>, OpStats)> {
+        let before = self.ctx.stats();
+        let t0 = self.ctx.now();
+        let mut meta = OpMeta::default();
+
+        let value = self.lookup_inner(key, &mut meta)?;
+        Ok((value, self.finish(before, t0, meta)))
+    }
+
+    fn lookup_inner(&mut self, key: u64, meta: &mut OpMeta) -> TreeResult<Option<u64>> {
+        let restarts = self.cluster.config().max_restarts;
+        let mut pending: Option<(GlobalAddress, LeafSource)> = None;
+        for _ in 0..restarts {
+            let (addr, source) = match pending.take() {
+                Some(next) => next,
+                None => self.locate_leaf(key, meta)?,
+            };
+            let max_reads = self.cluster.config().max_read_retries;
+            let mut entry_ok = None;
+            for _ in 0..max_reads {
+                let buf = self.read_node_consistent(addr, meta)?;
+                let leaf = self.layout().decode_leaf(&buf);
+                if leaf.header.free || !leaf.header.is_leaf || !leaf.header.covers(key) {
+                    pending = self
+                        .next_after_mismatch(key, &leaf, source)
+                        .map(|a| (a, LeafSource::Sibling));
+                    entry_ok = None;
+                    break;
+                }
+                // Entry-level validation (two-level versions only).
+                let found = leaf
+                    .entries
+                    .iter()
+                    .find(|e| e.present && e.key == key)
+                    .copied();
+                match (self.leaf_format(), found) {
+                    (LeafFormat::UnsortedTwoLevel, Some(e)) if !e.versions_match() => {
+                        meta.read_retries += 1;
+                        self.ctx.note_retries(1);
+                        continue;
+                    }
+                    (_, found) => {
+                        entry_ok = Some(found.map(|e| e.value));
+                        break;
+                    }
+                }
+            }
+            match entry_ok {
+                Some(value) => return Ok(value),
+                None if pending.is_some() => continue,
+                None => continue,
+            }
+        }
+        Err(TreeError::RetriesExhausted {
+            context: "lookup",
+            attempts: restarts,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Insert / update
+    // ------------------------------------------------------------------
+
+    /// Insert `key → value`, overwriting any existing value.
+    pub fn insert(&mut self, key: u64, value: u64) -> TreeResult<OpStats> {
+        let before = self.ctx.stats();
+        let t0 = self.ctx.now();
+        let mut meta = OpMeta::default();
+        self.insert_inner(key, value, &mut meta)?;
+        Ok(self.finish(before, t0, meta))
+    }
+
+    fn insert_inner(&mut self, key: u64, value: u64, meta: &mut OpMeta) -> TreeResult<()> {
+        let restarts = self.cluster.config().max_restarts;
+        let mut pending: Option<(GlobalAddress, LeafSource)> = None;
+        for _ in 0..restarts {
+            let (addr, source) = match pending.take() {
+                Some(next) => next,
+                None => self.locate_leaf(key, meta)?,
+            };
+            self.acquire_lock(addr, meta)?;
+
+            let buf = self.read_node_locked(addr)?;
+            let mut leaf = self.layout().decode_leaf(&buf);
+            if leaf.header.free || !leaf.header.is_leaf || !leaf.header.covers(key) {
+                self.release_lock(addr, Vec::new())?;
+                pending = self
+                    .next_after_mismatch(key, &leaf, source)
+                    .map(|a| (a, LeafSource::Sibling));
+                continue;
+            }
+
+            // Update in place or take a vacant slot.
+            let slot = leaf.slot_of(key).or_else(|| leaf.vacant_slot());
+            if let Some(slot) = slot {
+                leaf.entries[slot].install(key, value);
+                let writes = self.leaf_writeback(addr, &mut leaf, slot);
+                self.release_lock(addr, writes)?;
+                return Ok(());
+            }
+
+            // Leaf full: split.
+            self.split_leaf(addr, leaf, key, value, meta)?;
+            return Ok(());
+        }
+        Err(TreeError::RetriesExhausted {
+            context: "insert",
+            attempts: restarts,
+        })
+    }
+
+    /// Build the write-back command(s) for a point modification of `slot`.
+    fn leaf_writeback(
+        &mut self,
+        addr: GlobalAddress,
+        leaf: &mut LeafNode,
+        slot: usize,
+    ) -> Vec<WriteCmd> {
+        match self.leaf_format() {
+            LeafFormat::UnsortedTwoLevel => {
+                // Entry-granular write-back: only the touched entry travels.
+                let entry_bytes = self.layout().encode_leaf_entry(&leaf.entries[slot]);
+                let entry_addr = addr.add(self.layout().leaf_entry_offset(slot) as u64);
+                vec![WriteCmd::new(entry_addr, entry_bytes)]
+            }
+            LeafFormat::SortedNodeVersion | LeafFormat::SortedChecksum => {
+                // Sorted layouts shift entries and write the whole node back.
+                let pairs = leaf.sorted_pairs();
+                leaf.repack_sorted(&pairs);
+                leaf.header.bump_versions();
+                self.ctx.charge_scan(self.layout().node_size());
+                let mut bytes = self.layout().encode_leaf(leaf);
+                if self.leaf_format() == LeafFormat::SortedChecksum {
+                    self.layout().stamp_checksum(&mut bytes);
+                }
+                vec![WriteCmd::new(addr, bytes)]
+            }
+        }
+    }
+
+    fn encode_leaf_for_write(&self, leaf: &LeafNode) -> Vec<u8> {
+        let mut bytes = self.layout().encode_leaf(leaf);
+        if self.leaf_format() == LeafFormat::SortedChecksum {
+            self.layout().stamp_checksum(&mut bytes);
+        }
+        bytes
+    }
+
+    fn encode_internal_for_write(&self, node: &InternalNode) -> Vec<u8> {
+        let mut bytes = self.layout().encode_internal(node);
+        if self.leaf_format() == LeafFormat::SortedChecksum {
+            self.layout().stamp_checksum(&mut bytes);
+        }
+        bytes
+    }
+
+    fn split_leaf(
+        &mut self,
+        addr: GlobalAddress,
+        mut leaf: LeafNode,
+        key: u64,
+        value: u64,
+        meta: &mut OpMeta,
+    ) -> TreeResult<()> {
+        let layout = *self.layout();
+        // Sorting the (possibly unsorted) leaf before the split costs local
+        // CPU time (Figure 7, line 21).
+        self.ctx.charge_scan(layout.node_size());
+        let (split_key, mut right) = leaf.split(&layout);
+
+        // Place the new key into the correct half.
+        let target = if key >= split_key { &mut right } else { &mut leaf };
+        let slot = target
+            .vacant_slot()
+            .expect("post-split halves have vacant slots");
+        target.entries[slot].install(key, value);
+        if self.leaf_format().is_sorted() {
+            let pairs = target.sorted_pairs();
+            target.repack_sorted(&pairs);
+        }
+
+        let sibling_addr = match self.allocator.alloc_node(&mut self.ctx) {
+            Ok(a) => a,
+            Err(e) => {
+                // Do not leak the node lock when the cluster is out of memory.
+                self.release_lock(addr, Vec::new())?;
+                return Err(e.into());
+            }
+        };
+        leaf.header.sibling = Some(sibling_addr);
+
+        let right_bytes = self.encode_leaf_for_write(&right);
+        let left_bytes = self.encode_leaf_for_write(&leaf);
+
+        let mut writes = Vec::new();
+        if sibling_addr.ms == addr.ms {
+            // Same memory server: the sibling write-back joins the combined
+            // batch (write sibling, write node, release lock — one round trip).
+            writes.push(WriteCmd::new(sibling_addr, right_bytes));
+        } else {
+            self.ctx.write(sibling_addr, &right_bytes)?;
+        }
+        writes.push(WriteCmd::new(addr, left_bytes));
+        self.release_lock(addr, writes)?;
+
+        // Propagate the separator into the parent level.
+        self.insert_separator_at(split_key, sibling_addr, 1, meta)
+    }
+
+    // ------------------------------------------------------------------
+    // Internal-node insertion / root growth
+    // ------------------------------------------------------------------
+
+    fn insert_separator_at(
+        &mut self,
+        sep_key: u64,
+        child: GlobalAddress,
+        parent_level: u8,
+        meta: &mut OpMeta,
+    ) -> TreeResult<()> {
+        let restarts = self.cluster.config().max_restarts;
+        let mut pending: Option<GlobalAddress> = None;
+        for _ in 0..restarts {
+            let (_, root_level) = self.root()?;
+            if root_level < parent_level {
+                if self.try_grow_root(sep_key, child, parent_level)? {
+                    return Ok(());
+                }
+                continue;
+            }
+            let addr = match pending.take() {
+                Some(a) => a,
+                None => self.traverse_to_level(sep_key, parent_level, meta)?,
+            };
+            self.acquire_lock(addr, meta)?;
+
+            let buf = self.read_node_locked(addr)?;
+            let mut node = self.layout().decode_internal(&buf);
+            let usable = !node.header.free
+                && !node.header.is_leaf
+                && node.header.level == parent_level
+                && node.header.covers(sep_key);
+            if !usable {
+                self.release_lock(addr, Vec::new())?;
+                if !node.header.free
+                    && node.header.level == parent_level
+                    && sep_key >= node.header.fence_high
+                {
+                    pending = node.header.sibling;
+                }
+                continue;
+            }
+
+            if !node.is_full(self.layout()) {
+                node.insert_separator(sep_key, child);
+                node.header.bump_versions();
+                let bytes = self.encode_internal_for_write(&node);
+                self.release_lock(addr, vec![WriteCmd::new(addr, bytes)])?;
+                if parent_level == 1 {
+                    self.cluster
+                        .cache(self.cs_id)
+                        .insert_level1(Self::cached_from_internal(addr, &node));
+                }
+                return Ok(());
+            }
+
+            // Split the internal node and propagate upward.
+            let (promoted, mut right) = node.split();
+            if sep_key >= promoted {
+                right.insert_separator(sep_key, child);
+            } else {
+                node.insert_separator(sep_key, child);
+            }
+            let right_addr = match self.allocator.alloc_node(&mut self.ctx) {
+                Ok(a) => a,
+                Err(e) => {
+                    self.release_lock(addr, Vec::new())?;
+                    return Err(e.into());
+                }
+            };
+            node.header.sibling = Some(right_addr);
+
+            let right_bytes = self.encode_internal_for_write(&right);
+            let left_bytes = self.encode_internal_for_write(&node);
+            let mut writes = Vec::new();
+            if right_addr.ms == addr.ms {
+                writes.push(WriteCmd::new(right_addr, right_bytes));
+            } else {
+                self.ctx.write(right_addr, &right_bytes)?;
+            }
+            writes.push(WriteCmd::new(addr, left_bytes));
+            self.release_lock(addr, writes)?;
+
+            if parent_level == 1 {
+                let cache = self.cluster.cache(self.cs_id);
+                cache.insert_level1(Self::cached_from_internal(addr, &node));
+                cache.insert_level1(Self::cached_from_internal(right_addr, &right));
+            }
+            return self.insert_separator_at(promoted, right_addr, parent_level + 1, meta);
+        }
+        Err(TreeError::RetriesExhausted {
+            context: "separator insertion",
+            attempts: restarts,
+        })
+    }
+
+    /// Attempt to install a new root above the current one.  Returns `false`
+    /// if another client won the race (the caller then retries the normal
+    /// separator insertion).
+    fn try_grow_root(
+        &mut self,
+        sep_key: u64,
+        right_child: GlobalAddress,
+        new_level: u8,
+    ) -> TreeResult<bool> {
+        let root_ptr = self.cluster.root_ptr_addr();
+        let packed = self.ctx.read_u64(root_ptr)?;
+        if packed == 0 {
+            return Err(TreeError::NotInitialized);
+        }
+        let old_root = GlobalAddress::unpack(packed);
+        // Verify the old root really is one level below the root we intend to
+        // create; otherwise someone else already grew the tree.
+        let mut meta = OpMeta::default();
+        let buf = self.read_node_consistent(old_root, &mut meta)?;
+        let header = self.layout().decode_header(&buf);
+        if header.free || header.level + 1 != new_level {
+            return Ok(false);
+        }
+
+        let new_root_addr = self.allocator.alloc_node(&mut self.ctx)?;
+        let mut new_root = InternalNode::new(new_level, 0, u64::MAX, old_root);
+        new_root.insert_separator(sep_key, right_child);
+        new_root.header.bump_versions();
+        let bytes = self.encode_internal_for_write(&new_root);
+        // The new root is not reachable yet, so no lock is needed for this
+        // write; the root-pointer CAS is the linearization point.
+        self.ctx.write(new_root_addr, &bytes)?;
+
+        let cas = self
+            .ctx
+            .cas(root_ptr, packed, new_root_addr.pack())?;
+        if cas.succeeded {
+            self.ctx
+                .write_u64(ServerLayout::level_hint_addr(), new_level as u64)?;
+            self.cluster.set_root_hint(new_root_addr, new_level);
+            return Ok(true);
+        }
+        // Lost the race: mark our orphan node free so later readers that
+        // stumble on it via stale pointers reject it.
+        let mut free_flag = [0u8; 1];
+        free_flag[0] = crate::layout::FLAG_FREE;
+        self.ctx.write(new_root_addr.add(1), &free_flag)?;
+        Ok(false)
+    }
+
+    // ------------------------------------------------------------------
+    // Delete
+    // ------------------------------------------------------------------
+
+    /// Delete `key`.  Returns whether the key was present.
+    pub fn delete(&mut self, key: u64) -> TreeResult<(bool, OpStats)> {
+        let before = self.ctx.stats();
+        let t0 = self.ctx.now();
+        let mut meta = OpMeta::default();
+        let deleted = self.delete_inner(key, &mut meta)?;
+        Ok((deleted, self.finish(before, t0, meta)))
+    }
+
+    fn delete_inner(&mut self, key: u64, meta: &mut OpMeta) -> TreeResult<bool> {
+        let restarts = self.cluster.config().max_restarts;
+        let mut pending: Option<(GlobalAddress, LeafSource)> = None;
+        for _ in 0..restarts {
+            let (addr, source) = match pending.take() {
+                Some(next) => next,
+                None => self.locate_leaf(key, meta)?,
+            };
+            self.acquire_lock(addr, meta)?;
+
+            let buf = self.read_node_locked(addr)?;
+            let mut leaf = self.layout().decode_leaf(&buf);
+            if leaf.header.free || !leaf.header.is_leaf || !leaf.header.covers(key) {
+                self.release_lock(addr, Vec::new())?;
+                pending = self
+                    .next_after_mismatch(key, &leaf, source)
+                    .map(|a| (a, LeafSource::Sibling));
+                continue;
+            }
+
+            let Some(slot) = leaf.slot_of(key) else {
+                self.release_lock(addr, Vec::new())?;
+                return Ok(false);
+            };
+            leaf.entries[slot].clear();
+            let writes = match self.leaf_format() {
+                LeafFormat::UnsortedTwoLevel => {
+                    let entry_bytes = self.layout().encode_leaf_entry(&leaf.entries[slot]);
+                    let entry_addr = addr.add(self.layout().leaf_entry_offset(slot) as u64);
+                    vec![WriteCmd::new(entry_addr, entry_bytes)]
+                }
+                _ => {
+                    let pairs = leaf.sorted_pairs();
+                    leaf.repack_sorted(&pairs);
+                    leaf.header.bump_versions();
+                    vec![WriteCmd::new(addr, self.encode_leaf_for_write(&leaf))]
+                }
+            };
+            self.release_lock(addr, writes)?;
+            return Ok(true);
+        }
+        Err(TreeError::RetriesExhausted {
+            context: "delete",
+            attempts: restarts,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Range query
+    // ------------------------------------------------------------------
+
+    /// Scan `count` entries starting from the smallest key `>= start_key`.
+    ///
+    /// Like the paper (and FG), the scan is not atomic with respect to
+    /// concurrent writers; each leaf is individually validated.
+    pub fn range(&mut self, start_key: u64, count: usize) -> TreeResult<(Vec<(u64, u64)>, OpStats)> {
+        let before = self.ctx.stats();
+        let t0 = self.ctx.now();
+        let mut meta = OpMeta::default();
+        let results = self.range_inner(start_key, count, &mut meta)?;
+        Ok((results, self.finish(before, t0, meta)))
+    }
+
+    fn range_inner(
+        &mut self,
+        start_key: u64,
+        count: usize,
+        meta: &mut OpMeta,
+    ) -> TreeResult<Vec<(u64, u64)>> {
+        let layout = *self.layout();
+        let mut results: Vec<(u64, u64)> = Vec::with_capacity(count);
+        let mut visited: HashSet<u64> = HashSet::new();
+        let mut last_leaf: Option<LeafNode> = None;
+
+        // Phase 1: use the cached level-1 node to read several target leaves
+        // with one parallel batch (§4.4: "the client thread issues multiple
+        // RDMA_READ in parallel to fetch targeted leaf nodes").
+        let per_leaf = (layout.leaf_capacity() as f64 * self.cluster.config().leaf_fill) as usize;
+        let wanted_leaves = count / per_leaf.max(1) + 1;
+        if let Some(cached) = self.cluster.cache(self.cs_id).lookup_covering(start_key) {
+            meta.cache_hit = true;
+            let addrs: Vec<GlobalAddress> = cached
+                .children_in_range(start_key, u64::MAX)
+                .into_iter()
+                .take(wanted_leaves)
+                .collect();
+            if !addrs.is_empty() {
+                let mut bufs = vec![vec![0u8; layout.node_size()]; addrs.len()];
+                {
+                    let mut reqs: Vec<(GlobalAddress, &mut [u8])> = addrs
+                        .iter()
+                        .copied()
+                        .zip(bufs.iter_mut().map(|b| b.as_mut_slice()))
+                        .collect();
+                    self.ctx.read_batch(&mut reqs)?;
+                }
+                for (addr, buf) in addrs.iter().zip(bufs.iter()) {
+                    if !self.node_image_consistent(buf) {
+                        // Torn image: re-read this leaf individually.
+                        let fresh = self.read_node_consistent(*addr, meta)?;
+                        let leaf = layout.decode_leaf(&fresh);
+                        Self::collect_leaf(&leaf, start_key, &mut results);
+                        visited.insert(addr.pack());
+                        last_leaf = Some(leaf);
+                        continue;
+                    }
+                    let leaf = layout.decode_leaf(buf);
+                    if leaf.header.free || !leaf.header.is_leaf {
+                        continue;
+                    }
+                    self.ctx.charge_scan(layout.node_size());
+                    Self::collect_leaf(&leaf, start_key, &mut results);
+                    visited.insert(addr.pack());
+                    last_leaf = Some(leaf);
+                }
+            }
+        }
+
+        // Phase 2: continue along sibling pointers until enough entries were
+        // gathered (also the fallback when the cache had nothing).
+        let mut next = match &last_leaf {
+            Some(leaf) if results.len() < count => leaf.header.sibling,
+            Some(_) => None,
+            None => {
+                let (addr, _) = self.locate_leaf(start_key, meta)?;
+                Some(addr)
+            }
+        };
+        let mut hops = 0u32;
+        while let Some(addr) = next {
+            if results.len() >= count || hops > self.cluster.config().max_restarts {
+                break;
+            }
+            hops += 1;
+            if !visited.insert(addr.pack()) {
+                break;
+            }
+            let buf = self.read_node_consistent(addr, meta)?;
+            let leaf = layout.decode_leaf(&buf);
+            if leaf.header.free || !leaf.header.is_leaf {
+                break;
+            }
+            Self::collect_leaf(&leaf, start_key, &mut results);
+            next = leaf.header.sibling;
+        }
+
+        results.sort_unstable_by_key(|&(k, _)| k);
+        results.dedup_by_key(|&mut (k, _)| k);
+        results.truncate(count);
+        Ok(results)
+    }
+
+    fn collect_leaf(leaf: &LeafNode, start_key: u64, out: &mut Vec<(u64, u64)>) {
+        for e in &leaf.entries {
+            if e.present && e.key >= start_key && e.versions_match() {
+                out.push((e.key, e.value));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stats plumbing
+    // ------------------------------------------------------------------
+
+    fn finish(&self, before: ClientStats, t0: u64, meta: OpMeta) -> OpStats {
+        let after = self.ctx.stats();
+        let mut stats = OpStats::from_delta(&before, &after, self.ctx.now() - t0);
+        stats.lock_retries = meta.lock_retries;
+        stats.read_retries = meta.read_retries;
+        stats.handed_over = meta.handed_over;
+        stats.cache_hit = meta.cache_hit;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::config::TreeOptions;
+
+    fn small_cluster(options: TreeOptions) -> Arc<Cluster> {
+        Cluster::new(ClusterConfig::small(), options)
+    }
+
+    #[test]
+    fn insert_lookup_delete_roundtrip() {
+        let cluster = small_cluster(TreeOptions::sherman());
+        cluster.bulkload((0..500u64).map(|k| (k, k * 2))).unwrap();
+        let mut client = cluster.client(0);
+
+        assert_eq!(client.lookup(250).unwrap().0, Some(500));
+        assert_eq!(client.lookup(10_000).unwrap().0, None);
+
+        client.insert(10_000, 7).unwrap();
+        assert_eq!(client.lookup(10_000).unwrap().0, Some(7));
+
+        // Update overwrites.
+        client.insert(250, 99).unwrap();
+        assert_eq!(client.lookup(250).unwrap().0, Some(99));
+
+        let (deleted, _) = client.delete(250).unwrap();
+        assert!(deleted);
+        assert_eq!(client.lookup(250).unwrap().0, None);
+        let (deleted, _) = client.delete(250).unwrap();
+        assert!(!deleted);
+    }
+
+    #[test]
+    fn inserts_force_splits_and_root_growth() {
+        let cluster = small_cluster(TreeOptions::sherman());
+        cluster.bulkload(std::iter::empty()).unwrap();
+        let mut client = cluster.client(0);
+        let n = 3_000u64;
+        for k in 0..n {
+            // Scrambled order to exercise both halves of splits.
+            let key = (k * 7919) % n;
+            client.insert(key, key + 1).unwrap();
+        }
+        let hint = cluster.root_hint().unwrap();
+        assert!(hint.level >= 2, "expected multi-level tree, got {}", hint.level);
+        for k in (0..n).step_by(97) {
+            assert_eq!(client.lookup(k).unwrap().0, Some(k + 1), "key {k}");
+        }
+    }
+
+    #[test]
+    fn range_returns_sorted_prefix() {
+        let cluster = small_cluster(TreeOptions::sherman());
+        cluster.bulkload((0..1_000u64).map(|k| (k * 2, k))).unwrap();
+        let mut client = cluster.client(0);
+        let (scan, stats) = client.range(100, 20).unwrap();
+        assert_eq!(scan.len(), 20);
+        assert!(scan.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(scan[0].0, 100);
+        assert_eq!(scan[19].0, 138);
+        assert!(stats.reads > 0);
+
+        // Range starting beyond every key is empty.
+        let (empty, _) = client.range(10_000, 5).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn every_ablation_configuration_is_correct() {
+        for (name, options) in TreeOptions::ablation_ladder() {
+            let cluster = small_cluster(options);
+            cluster.bulkload((0..400u64).map(|k| (k, k))).unwrap();
+            let mut client = cluster.client(0);
+            for k in 400..800u64 {
+                client.insert(k, k * 3).unwrap();
+            }
+            for k in (0..800).step_by(37) {
+                let expected = if k < 400 { k } else { k * 3 };
+                assert_eq!(
+                    client.lookup(k).unwrap().0,
+                    Some(expected),
+                    "{name}: key {k}"
+                );
+            }
+            let (scan, _) = client.range(0, 50).unwrap();
+            assert_eq!(scan.len(), 50, "{name}");
+        }
+    }
+
+    #[test]
+    fn two_level_versions_write_entry_sized_payloads() {
+        let cluster = small_cluster(TreeOptions::sherman());
+        cluster.bulkload((0..200u64).map(|k| (k, k))).unwrap();
+        let mut client = cluster.client(0);
+        // In-place update of an existing key: only the 19-byte entry travels.
+        let stats = client.insert(100, 42).unwrap();
+        assert!(
+            stats.bytes_written < 64,
+            "expected entry-granular write-back, wrote {} bytes",
+            stats.bytes_written
+        );
+
+        // The FG+ baseline writes the whole node back.
+        let baseline = small_cluster(TreeOptions::fg_plus());
+        baseline.bulkload((0..200u64).map(|k| (k, k))).unwrap();
+        let mut bclient = baseline.client(0);
+        let bstats = bclient.insert(100, 42).unwrap();
+        assert!(
+            bstats.bytes_written >= baseline.config().node_size as u64,
+            "baseline should write back the node, wrote {} bytes",
+            bstats.bytes_written
+        );
+    }
+
+    #[test]
+    fn command_combination_saves_a_round_trip() {
+        let combined = small_cluster(TreeOptions::sherman());
+        combined.bulkload((0..200u64).map(|k| (k, k))).unwrap();
+        let mut c = combined.client(0);
+        let with = c.insert(50, 1).unwrap();
+
+        let separate = small_cluster(TreeOptions {
+            combine_commands: false,
+            ..TreeOptions::sherman()
+        });
+        separate.bulkload((0..200u64).map(|k| (k, k))).unwrap();
+        let mut s = separate.client(0);
+        let without = s.insert(50, 1).unwrap();
+
+        assert!(
+            with.round_trips < without.round_trips,
+            "combined {} vs separate {}",
+            with.round_trips,
+            without.round_trips
+        );
+    }
+
+    #[test]
+    fn lookup_stats_report_cache_hits() {
+        let cluster = small_cluster(TreeOptions::sherman());
+        cluster.bulkload((0..2_000u64).map(|k| (k, k))).unwrap();
+        let mut client = cluster.client(0);
+        let (_, stats) = client.lookup(1_234).unwrap();
+        assert!(stats.cache_hit, "bulkload warms the index cache");
+        // A cache hit costs a single leaf read: one round trip.
+        assert_eq!(stats.round_trips, 1);
+        assert_eq!(stats.reads, 1);
+    }
+
+    #[test]
+    fn operations_on_uninitialized_tree_fail_cleanly() {
+        let cluster = small_cluster(TreeOptions::sherman());
+        let mut client = cluster.client(0);
+        assert!(matches!(
+            client.lookup(1),
+            Err(TreeError::NotInitialized)
+        ));
+    }
+}

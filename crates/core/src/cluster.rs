@@ -1,0 +1,475 @@
+//! Cluster bootstrap: fabric, memory pool, lock service, caches, bulkload.
+
+use crate::client::TreeClient;
+use crate::config::{LockStrategy, TreeConfig, TreeOptions};
+use crate::error::TreeError;
+use crate::layout::NodeLayout;
+use crate::node::{InternalNode, LeafEntry, LeafNode, NodeHeader};
+use crate::TreeResult;
+use parking_lot::RwLock;
+use sherman_cache::{CachedInternal, ChildRef, IndexCache, IndexCacheConfig};
+use sherman_locks::{
+    GlobalLockKind, GlobalLockTable, HoclManager, NodeLockManager, RemoteLockManager,
+};
+use sherman_memserver::{MemoryPool, ServerLayout};
+use sherman_sim::{Fabric, FabricConfig, GlobalAddress};
+use std::sync::Arc;
+
+/// Everything needed to stand up a simulated Sherman deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Shape and timing of the simulated fabric.
+    pub fabric: FabricConfig,
+    /// Tree geometry.
+    pub tree: TreeConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            fabric: FabricConfig::default(),
+            tree: TreeConfig::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A tiny cluster for unit tests and doc examples.
+    pub fn small() -> Self {
+        ClusterConfig {
+            fabric: FabricConfig::small_test(),
+            tree: TreeConfig::small_test(),
+        }
+    }
+
+    /// A cluster shaped like the paper's testbed, scaled to simulation size:
+    /// every server is both a memory server and a compute server.
+    pub fn paper_scaled(memory_servers: usize, compute_servers: usize) -> Self {
+        ClusterConfig {
+            fabric: FabricConfig {
+                memory_servers,
+                compute_servers,
+                ..FabricConfig::default()
+            },
+            tree: TreeConfig::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RootHint {
+    pub addr: GlobalAddress,
+    pub level: u8,
+}
+
+/// A running (simulated) Sherman deployment.
+///
+/// The `Cluster` owns the shared state — fabric, memory pool, lock service and
+/// per-compute-server index caches — and hands out [`TreeClient`] handles, one
+/// per client thread.
+pub struct Cluster {
+    fabric: Arc<Fabric>,
+    pool: Arc<MemoryPool>,
+    lock_mgr: Arc<dyn NodeLockManager>,
+    config: TreeConfig,
+    options: TreeOptions,
+    layout: NodeLayout,
+    caches: Vec<Arc<IndexCache>>,
+    root_hint: RwLock<Option<RootHint>>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("memory_servers", &self.fabric.memory_servers())
+            .field("compute_servers", &self.fabric.compute_servers())
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cluster {
+    /// Build a cluster with the given configuration and technique selection.
+    ///
+    /// # Panics
+    /// Panics on invalid configuration (the same fail-fast policy as
+    /// [`Fabric::new`]).
+    pub fn new(config: ClusterConfig, options: TreeOptions) -> Arc<Self> {
+        config.tree.validate().expect("invalid tree configuration");
+        let fabric = Fabric::new(config.fabric.clone());
+        let pool = MemoryPool::new(Arc::clone(&fabric), config.tree.chunk_bytes);
+        let lock_mgr = Self::build_lock_manager(&pool, &config.fabric, &options);
+        let layout = NodeLayout::new(&config.tree);
+        let cache_cfg = IndexCacheConfig::new(config.tree.cache_bytes, config.tree.node_size);
+        let caches = (0..config.fabric.compute_servers)
+            .map(|_| Arc::new(IndexCache::new(cache_cfg)))
+            .collect();
+        Arc::new(Cluster {
+            fabric,
+            pool,
+            lock_mgr,
+            config: config.tree,
+            options,
+            layout,
+            caches,
+            root_hint: RwLock::new(None),
+        })
+    }
+
+    fn build_lock_manager(
+        pool: &Arc<MemoryPool>,
+        fabric_cfg: &FabricConfig,
+        options: &TreeOptions,
+    ) -> Arc<dyn NodeLockManager> {
+        match options.lock_strategy {
+            LockStrategy::HostCasFaa => Arc::new(RemoteLockManager::new(GlobalLockTable::new_host(
+                pool,
+                GlobalLockKind::HostCasFaa,
+            ))),
+            LockStrategy::HostCasWrite => Arc::new(RemoteLockManager::new(
+                GlobalLockTable::new_host(pool, GlobalLockKind::HostCasWrite),
+            )),
+            LockStrategy::OnChip => Arc::new(RemoteLockManager::new(GlobalLockTable::new_on_chip(
+                pool,
+            ))),
+            LockStrategy::Hocl { .. } => Arc::new(HoclManager::new(
+                GlobalLockTable::new_on_chip(pool),
+                fabric_cfg.compute_servers,
+                options.lock_strategy.hocl_options(),
+            )),
+        }
+    }
+
+    /// The simulated fabric.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// The cluster-wide memory pool.
+    pub fn pool(&self) -> &Arc<MemoryPool> {
+        &self.pool
+    }
+
+    /// The exclusive-lock service.
+    pub fn lock_manager(&self) -> &Arc<dyn NodeLockManager> {
+        &self.lock_mgr
+    }
+
+    /// Tree geometry.
+    pub fn config(&self) -> &TreeConfig {
+        &self.config
+    }
+
+    /// Enabled techniques.
+    pub fn options(&self) -> &TreeOptions {
+        &self.options
+    }
+
+    /// Node layout helper.
+    pub fn layout(&self) -> &NodeLayout {
+        &self.layout
+    }
+
+    /// The index cache of compute server `cs`.
+    pub fn cache(&self, cs: u16) -> &Arc<IndexCache> {
+        &self.caches[cs as usize % self.caches.len()]
+    }
+
+    /// Current locally-cached root hint, if the tree has been initialized.
+    pub(crate) fn root_hint(&self) -> Option<RootHint> {
+        *self.root_hint.read()
+    }
+
+    /// Update the locally-cached root hint.
+    pub(crate) fn set_root_hint(&self, addr: GlobalAddress, level: u8) {
+        *self.root_hint.write() = Some(RootHint { addr, level });
+    }
+
+    /// Address of the remote root-pointer slot.
+    pub(crate) fn root_ptr_addr(&self) -> GlobalAddress {
+        ServerLayout::root_ptr_addr()
+    }
+
+    /// Create a client handle for a thread running on compute server `cs`.
+    pub fn client(self: &Arc<Self>, cs: u16) -> TreeClient {
+        TreeClient::new(Arc::clone(self), cs)
+    }
+
+    // ------------------------------------------------------------------
+    // Bulkload
+    // ------------------------------------------------------------------
+
+    /// Bulk-load the tree with `pairs` (they are sorted and de-duplicated
+    /// internally), writing nodes directly into the memory servers without
+    /// charging simulated time, then warm the compute-server caches.
+    ///
+    /// This mirrors the paper's setup phase: "we bulkload the tree with
+    /// 1 billion entries 80 % full, then perform specified workloads".
+    pub fn bulkload(&self, pairs: impl IntoIterator<Item = (u64, u64)>) -> TreeResult<()> {
+        let mut pairs: Vec<(u64, u64)> = pairs.into_iter().collect();
+        pairs.sort_unstable_by_key(|&(k, _)| k);
+        pairs.dedup_by_key(|&mut (k, _)| k);
+
+        let mut alloc = BulkAllocator::new(&self.pool, self.config.node_size as u64);
+
+        // ---- Level 0: leaves ----
+        let leaf_cap = self.layout.leaf_capacity();
+        let per_leaf = ((leaf_cap as f64 * self.config.leaf_fill).floor() as usize)
+            .clamp(1, leaf_cap);
+        let groups: Vec<&[(u64, u64)]> = if pairs.is_empty() {
+            Vec::new()
+        } else {
+            pairs.chunks(per_leaf).collect()
+        };
+        let leaf_count = groups.len().max(1);
+        let leaf_addrs: Vec<GlobalAddress> = (0..leaf_count)
+            .map(|_| alloc.alloc())
+            .collect::<Result<_, _>>()?;
+
+        let mut level_nodes: Vec<BuiltNode> = Vec::with_capacity(leaf_count);
+        for (i, addr) in leaf_addrs.iter().enumerate() {
+            let fence_low = if i == 0 {
+                0
+            } else {
+                groups[i][0].0
+            };
+            let fence_high = if i + 1 < leaf_count {
+                groups[i + 1][0].0
+            } else {
+                u64::MAX
+            };
+            let mut header = NodeHeader::new(true, 0, fence_low, fence_high);
+            header.sibling = leaf_addrs.get(i + 1).copied();
+            let mut leaf = LeafNode::empty(&self.layout, header);
+            if let Some(group) = groups.get(i) {
+                for (slot, &(k, v)) in group.iter().enumerate() {
+                    leaf.entries[slot] = {
+                        let mut e = LeafEntry::empty();
+                        e.install(k, v);
+                        e
+                    };
+                }
+                leaf.header.count = group.len();
+            }
+            let mut bytes = self.layout.encode_leaf(&leaf);
+            if self.options.leaf_format == crate::config::LeafFormat::SortedChecksum {
+                self.layout.stamp_checksum(&mut bytes);
+            }
+            self.fabric.god_write(*addr, &bytes)?;
+            level_nodes.push(BuiltNode {
+                addr: *addr,
+                fence_low,
+                fence_high,
+                level: 0,
+                separators: Vec::new(),
+                leftmost: None,
+            });
+        }
+
+        // ---- Internal levels ----
+        let internal_cap = self.layout.internal_capacity();
+        let per_internal = ((internal_cap as f64 * self.config.leaf_fill).floor() as usize)
+            .clamp(2, internal_cap);
+        let mut all_internals: Vec<BuiltNode> = Vec::new();
+        let mut level: u8 = 0;
+        while level_nodes.len() > 1 {
+            level += 1;
+            let child_groups: Vec<&[BuiltNode]> =
+                level_nodes.chunks(per_internal.max(2)).collect();
+            let addrs: Vec<GlobalAddress> = (0..child_groups.len())
+                .map(|_| alloc.alloc())
+                .collect::<Result<_, _>>()?;
+            let mut next_level = Vec::with_capacity(child_groups.len());
+            for (i, group) in child_groups.iter().enumerate() {
+                let fence_low = group[0].fence_low;
+                let fence_high = group.last().unwrap().fence_high;
+                let mut node = InternalNode::new(level, fence_low, fence_high, group[0].addr);
+                for child in &group[1..] {
+                    node.insert_separator(child.fence_low, child.addr);
+                }
+                node.header.sibling = addrs.get(i + 1).copied();
+                let mut bytes = self.layout.encode_internal(&node);
+                if self.options.leaf_format == crate::config::LeafFormat::SortedChecksum {
+                    self.layout.stamp_checksum(&mut bytes);
+                }
+                self.fabric.god_write(addrs[i], &bytes)?;
+                let built = BuiltNode {
+                    addr: addrs[i],
+                    fence_low,
+                    fence_high,
+                    level,
+                    separators: group[1..]
+                        .iter()
+                        .map(|c| (c.fence_low, c.addr))
+                        .collect(),
+                    leftmost: Some(group[0].addr),
+                };
+                all_internals.push(built.clone());
+                next_level.push(built);
+            }
+            level_nodes = next_level;
+        }
+
+        let root = level_nodes[0].clone();
+        self.fabric
+            .god_write_u64(self.root_ptr_addr(), root.addr.pack())?;
+        self.fabric
+            .god_write_u64(ServerLayout::level_hint_addr(), root.level as u64)?;
+        self.set_root_hint(root.addr, root.level);
+
+        self.warm_caches(&all_internals, &root);
+        Ok(())
+    }
+
+    /// Populate every compute server's index cache from the bulkloaded
+    /// internal nodes: level-1 nodes into the capacity-bounded type-❶ cache,
+    /// the top two levels into the always-cached type-❷ set.
+    fn warm_caches(&self, internals: &[BuiltNode], root: &BuiltNode) {
+        let to_cached = |n: &BuiltNode| CachedInternal {
+            addr: n.addr,
+            fence_low: n.fence_low,
+            fence_high: n.fence_high,
+            level: n.level,
+            leftmost: n.leftmost.unwrap_or_else(GlobalAddress::null),
+            children: n
+                .separators
+                .iter()
+                .map(|&(k, a)| ChildRef {
+                    separator: k,
+                    child: a,
+                })
+                .collect(),
+        };
+        let top: Vec<CachedInternal> = internals
+            .iter()
+            .filter(|n| n.level + 1 >= root.level.max(1))
+            .map(to_cached)
+            .collect();
+        let level1: Vec<CachedInternal> = internals
+            .iter()
+            .filter(|n| n.level == 1)
+            .map(to_cached)
+            .collect();
+        for cache in &self.caches {
+            cache.set_top_levels(top.clone());
+            let budget = cache.config().max_entries();
+            for node in level1.iter().take(budget) {
+                cache.insert_level1(node.clone());
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BuiltNode {
+    addr: GlobalAddress,
+    fence_low: u64,
+    fence_high: u64,
+    level: u8,
+    separators: Vec<(u64, GlobalAddress)>,
+    leftmost: Option<GlobalAddress>,
+}
+
+/// Minimal bump allocator over untimed pool chunks, used only by bulkload.
+struct BulkAllocator<'a> {
+    pool: &'a Arc<MemoryPool>,
+    node_bytes: u64,
+    next_ms: u16,
+    current: Option<(GlobalAddress, u64)>,
+}
+
+impl<'a> BulkAllocator<'a> {
+    fn new(pool: &'a Arc<MemoryPool>, node_bytes: u64) -> Self {
+        BulkAllocator {
+            pool,
+            node_bytes,
+            next_ms: 0,
+            current: None,
+        }
+    }
+
+    fn alloc(&mut self) -> Result<GlobalAddress, TreeError> {
+        if let Some((base, used)) = &mut self.current {
+            if *used + self.node_bytes <= self.pool.chunk_bytes() {
+                let addr = base.add(*used);
+                *used += self.node_bytes;
+                return Ok(addr);
+            }
+        }
+        let servers = self.pool.servers() as u16;
+        let mut last_err: Option<TreeError> = None;
+        for _ in 0..servers {
+            let ms = self.next_ms;
+            self.next_ms = (self.next_ms + 1) % servers;
+            match self.pool.alloc_chunk_untimed(ms) {
+                Ok(base) => {
+                    self.current = Some((base, self.node_bytes));
+                    return Ok(base);
+                }
+                Err(e) => last_err = Some(e.into()),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| TreeError::Allocation("no memory servers".into())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_bootstrap_and_empty_bulkload() {
+        let cluster = Cluster::new(ClusterConfig::small(), TreeOptions::sherman());
+        assert!(cluster.root_hint().is_none());
+        cluster.bulkload(std::iter::empty()).unwrap();
+        let hint = cluster.root_hint().unwrap();
+        assert_eq!(hint.level, 0, "empty tree's root is a single leaf");
+        // The remote root pointer matches the hint.
+        let packed = cluster
+            .fabric()
+            .god_read_u64(cluster.root_ptr_addr())
+            .unwrap();
+        assert_eq!(GlobalAddress::unpack(packed), hint.addr);
+    }
+
+    #[test]
+    fn bulkload_builds_multiple_levels_and_warms_caches() {
+        let cluster = Cluster::new(ClusterConfig::small(), TreeOptions::sherman());
+        cluster.bulkload((0..2_000u64).map(|k| (k, k + 1))).unwrap();
+        let hint = cluster.root_hint().unwrap();
+        assert!(hint.level >= 2, "2000 keys in 256-byte nodes need >= 3 levels");
+        // Caches are warm: the type-2 set is non-empty and type-1 lookups hit.
+        let cache = cluster.cache(0);
+        assert!(cache.top_len() > 0);
+        assert!(cache.lookup_leaf(1_000).is_some());
+    }
+
+    #[test]
+    fn bulkload_spreads_nodes_across_memory_servers() {
+        let cluster = Cluster::new(ClusterConfig::small(), TreeOptions::sherman());
+        cluster.bulkload((0..5_000u64).map(|k| (k, k))).unwrap();
+        let remaining = cluster.pool().remaining_chunks();
+        // Both memory servers contributed chunks.
+        let total: Vec<u64> = remaining.clone();
+        assert_eq!(total.len(), 2);
+        let cfg = cluster.fabric().config();
+        let full = (cfg.host_bytes_per_ms as u64 - 4096) / cluster.config().chunk_bytes;
+        assert!(remaining.iter().all(|&r| r < full));
+    }
+
+    #[test]
+    fn lock_strategies_construct() {
+        for options in [
+            TreeOptions::fg(),
+            TreeOptions::fg_plus(),
+            TreeOptions::plus_combine(),
+            TreeOptions::plus_onchip(),
+            TreeOptions::plus_hierarchical(),
+            TreeOptions::sherman(),
+        ] {
+            let cluster = Cluster::new(ClusterConfig::small(), options);
+            cluster.bulkload((0..100u64).map(|k| (k, k))).unwrap();
+            assert!(cluster.root_hint().is_some());
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Tree geometry ([`TreeConfig`]) and technique selection ([`TreeOptions`]).
+
+use serde::{Deserialize, Serialize};
+use sherman_locks::HoclOptions;
+
+/// Geometry and sizing of the tree, independent of which techniques are
+/// enabled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Size of every tree node in bytes (the paper uses 1 KB).
+    pub node_size: usize,
+    /// Bytes occupied by a key inside a node.  Keys are logically 64-bit; the
+    /// extra bytes are padding so that the sensitivity experiment of
+    /// Figure 15(a–b) (key size 16 B – 1 KB) can be reproduced.
+    pub key_size: usize,
+    /// Bytes occupied by a value inside a leaf entry.
+    pub value_size: usize,
+    /// Target fill factor used by bulkload (the paper bulkloads 80 % full).
+    pub leaf_fill: f64,
+    /// Capacity of each compute server's index cache in bytes.
+    pub cache_bytes: usize,
+    /// Chunk size used by the two-stage allocator (8 MB in the paper; tests
+    /// use something smaller).
+    pub chunk_bytes: u64,
+    /// Upper bound on consistency-check retries of a single read before the
+    /// operation is reported as failed (guards against livelock bugs; the
+    /// paper's wraparound guard serves the same purpose).
+    pub max_read_retries: u32,
+    /// Upper bound on traversal restarts per operation.
+    pub max_restarts: u32,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            node_size: 1024,
+            key_size: 8,
+            value_size: 8,
+            leaf_fill: 0.8,
+            cache_bytes: 16 << 20,
+            chunk_bytes: 1 << 20,
+            max_read_retries: 1_000,
+            max_restarts: 10_000,
+        }
+    }
+}
+
+impl TreeConfig {
+    /// A configuration with small nodes and caches for unit tests.
+    pub fn small_test() -> Self {
+        TreeConfig {
+            node_size: 256,
+            cache_bytes: 1 << 20,
+            chunk_bytes: 64 << 10,
+            ..TreeConfig::default()
+        }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.node_size < 128 {
+            return Err("node_size must be at least 128 bytes".into());
+        }
+        if self.key_size < 8 || self.value_size < 8 {
+            return Err("key_size and value_size must be at least 8 bytes".into());
+        }
+        if !(0.1..=1.0).contains(&self.leaf_fill) {
+            return Err("leaf_fill must be within [0.1, 1.0]".into());
+        }
+        if self.chunk_bytes < self.node_size as u64 {
+            return Err("chunk_bytes must be at least node_size".into());
+        }
+        let layout = crate::layout::NodeLayout::new(self);
+        if layout.leaf_capacity() < 4 {
+            return Err("node_size too small for at least 4 leaf entries".into());
+        }
+        if layout.internal_capacity() < 4 {
+            return Err("node_size too small for at least 4 internal entries".into());
+        }
+        Ok(())
+    }
+}
+
+/// How leaf nodes are laid out and how lock-free readers validate them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeafFormat {
+    /// Sorted leaves, whole-node write-back, node-level version pair
+    /// (the FG+ baseline).
+    SortedNodeVersion,
+    /// Sorted leaves, whole-node write-back, node-level checksum
+    /// (the original FG design).
+    SortedChecksum,
+    /// Unsorted leaves with per-entry version pairs in addition to the
+    /// node-level pair: entry-granular write-back (Sherman's two-level
+    /// versions, §4.4).
+    UnsortedTwoLevel,
+}
+
+impl LeafFormat {
+    /// Whether leaves keep their entries sorted (and therefore shift entries
+    /// on insert/delete and write back whole nodes).
+    pub fn is_sorted(&self) -> bool {
+        !matches!(self, LeafFormat::UnsortedTwoLevel)
+    }
+}
+
+/// Which exclusive-lock design protects node modifications.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LockStrategy {
+    /// Host-memory lock words, CAS acquire, FAA release (original FG).
+    HostCasFaa,
+    /// Host-memory lock words, CAS acquire, WRITE release (FG+).
+    HostCasWrite,
+    /// On-chip 16-bit lock words, every thread goes remote (the "+On-Chip"
+    /// ablation step).
+    OnChip,
+    /// Full HOCL: on-chip global lock tables plus per-compute-server local
+    /// lock tables (wait queues and handover configurable).
+    Hocl {
+        /// Whether waiters queue FIFO locally.
+        wait_queue: bool,
+        /// Whether the lock is handed over to local waiters on release.
+        handover: bool,
+    },
+}
+
+impl LockStrategy {
+    /// Convert to the lock-crate options (only meaningful for
+    /// [`LockStrategy::Hocl`]).
+    pub fn hocl_options(&self) -> HoclOptions {
+        match self {
+            LockStrategy::Hocl {
+                wait_queue,
+                handover,
+            } => HoclOptions {
+                use_wait_queue: *wait_queue,
+                use_handover: *handover,
+                ..HoclOptions::default()
+            },
+            _ => HoclOptions::default(),
+        }
+    }
+}
+
+/// Which of Sherman's techniques are enabled — the axis of the paper's
+/// ablation study (Figures 10 and 11).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeOptions {
+    /// Combine dependent `RDMA_WRITE`s (write-back + lock release, plus the
+    /// sibling write-back on co-located splits) into one doorbell batch.
+    pub combine_commands: bool,
+    /// Exclusive-lock design.
+    pub lock_strategy: LockStrategy,
+    /// Leaf layout / consistency-check design.
+    pub leaf_format: LeafFormat,
+}
+
+impl TreeOptions {
+    /// Original FG: checksummed sorted leaves, host-memory CAS/FAA locks, no
+    /// command combination, (the index cache is always present in this
+    /// implementation, as in FG+).
+    pub fn fg() -> Self {
+        TreeOptions {
+            combine_commands: false,
+            lock_strategy: LockStrategy::HostCasFaa,
+            leaf_format: LeafFormat::SortedChecksum,
+        }
+    }
+
+    /// FG+ — the paper's strengthened baseline: index cache and WRITE-based
+    /// lock release (§5.1.2).
+    pub fn fg_plus() -> Self {
+        TreeOptions {
+            combine_commands: false,
+            lock_strategy: LockStrategy::HostCasWrite,
+            leaf_format: LeafFormat::SortedNodeVersion,
+        }
+    }
+
+    /// FG+ plus command combination ("+Combine").
+    pub fn plus_combine() -> Self {
+        TreeOptions {
+            combine_commands: true,
+            ..TreeOptions::fg_plus()
+        }
+    }
+
+    /// "+On-Chip": locks move into NIC device memory.
+    pub fn plus_onchip() -> Self {
+        TreeOptions {
+            lock_strategy: LockStrategy::OnChip,
+            ..TreeOptions::plus_combine()
+        }
+    }
+
+    /// "+Hierarchical": full HOCL (local lock tables, wait queues, handover).
+    pub fn plus_hierarchical() -> Self {
+        TreeOptions {
+            lock_strategy: LockStrategy::Hocl {
+                wait_queue: true,
+                handover: true,
+            },
+            ..TreeOptions::plus_onchip()
+        }
+    }
+
+    /// Full Sherman: "+2-Level Ver" on top of everything else.
+    pub fn sherman() -> Self {
+        TreeOptions {
+            leaf_format: LeafFormat::UnsortedTwoLevel,
+            ..TreeOptions::plus_hierarchical()
+        }
+    }
+
+    /// The ablation ladder in presentation order, with the paper's labels.
+    pub fn ablation_ladder() -> [(&'static str, TreeOptions); 5] {
+        [
+            ("FG+", TreeOptions::fg_plus()),
+            ("+Combine", TreeOptions::plus_combine()),
+            ("+On-Chip", TreeOptions::plus_onchip()),
+            ("+Hierarchical", TreeOptions::plus_hierarchical()),
+            ("+2-Level Ver", TreeOptions::sherman()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_and_test_configs_validate() {
+        TreeConfig::default().validate().unwrap();
+        TreeConfig::small_test().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = TreeConfig::default();
+        c.node_size = 64;
+        assert!(c.validate().is_err());
+
+        let mut c = TreeConfig::default();
+        c.key_size = 4;
+        assert!(c.validate().is_err());
+
+        let mut c = TreeConfig::default();
+        c.leaf_fill = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = TreeConfig::default();
+        c.chunk_bytes = 512;
+        assert!(c.validate().is_err());
+
+        // A huge key leaves no room for even 4 entries in a 1 KB node.
+        let mut c = TreeConfig::default();
+        c.key_size = 512;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ablation_ladder_matches_paper_order() {
+        let ladder = TreeOptions::ablation_ladder();
+        assert_eq!(ladder[0].0, "FG+");
+        assert!(!ladder[0].1.combine_commands);
+        assert!(ladder[1].1.combine_commands);
+        assert_eq!(ladder[2].1.lock_strategy, LockStrategy::OnChip);
+        assert!(matches!(
+            ladder[3].1.lock_strategy,
+            LockStrategy::Hocl { .. }
+        ));
+        assert_eq!(ladder[4].1.leaf_format, LeafFormat::UnsortedTwoLevel);
+        // The last rung is full Sherman.
+        assert_eq!(ladder[4].1, TreeOptions::sherman());
+    }
+
+    #[test]
+    fn leaf_format_sortedness() {
+        assert!(LeafFormat::SortedNodeVersion.is_sorted());
+        assert!(LeafFormat::SortedChecksum.is_sorted());
+        assert!(!LeafFormat::UnsortedTwoLevel.is_sorted());
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for tree operations.
+
+use sherman_memserver::PoolError;
+use sherman_sim::SimError;
+
+/// Errors surfaced by the index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeError {
+    /// The underlying fabric reported an error (out-of-bounds access,
+    /// misaligned atomic, unknown server) — always a bug in the index layer.
+    Fabric(SimError),
+    /// Memory allocation failed (a memory server ran out of chunks).
+    Allocation(String),
+    /// The tree has not been initialized (no root); call
+    /// [`crate::Cluster::bulkload`] or insert through a client first.
+    NotInitialized,
+    /// An operation exceeded the retry budget, which indicates either a
+    /// pathological configuration or a livelock bug.
+    RetriesExhausted {
+        /// What was being retried.
+        context: &'static str,
+        /// The retry budget that was exhausted.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TreeError::Fabric(e) => write!(f, "fabric error: {e}"),
+            TreeError::Allocation(msg) => write!(f, "allocation failure: {msg}"),
+            TreeError::NotInitialized => write!(f, "tree has no root; bulkload or insert first"),
+            TreeError::RetriesExhausted { context, attempts } => {
+                write!(f, "{context}: gave up after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+impl From<SimError> for TreeError {
+    fn from(e: SimError) -> Self {
+        TreeError::Fabric(e)
+    }
+}
+
+impl From<PoolError> for TreeError {
+    fn from(e: PoolError) -> Self {
+        match e {
+            PoolError::Fabric(f) => TreeError::Fabric(f),
+            other => TreeError::Allocation(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: TreeError = SimError::EmptyBatch.into();
+        assert!(matches!(e, TreeError::Fabric(_)));
+        assert!(e.to_string().contains("fabric error"));
+
+        let e: TreeError = PoolError::OutOfMemory { ms: 3 }.into();
+        assert!(matches!(e, TreeError::Allocation(_)));
+        assert!(e.to_string().contains("out of chunks"));
+
+        let e = TreeError::RetriesExhausted {
+            context: "root CAS",
+            attempts: 64,
+        };
+        assert!(e.to_string().contains("root CAS"));
+    }
+}

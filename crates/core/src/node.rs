@@ -1,0 +1,445 @@
+//! In-memory node representations and the pure (network-free) node logic:
+//! entry search, sorted/unsorted insertion, splits.
+//!
+//! Keeping this logic free of fabric calls makes it directly unit- and
+//! property-testable; the client in [`crate::client`] glues it to RDMA verbs,
+//! locks and the cache.
+
+use crate::layout::NodeLayout;
+use sherman_sim::GlobalAddress;
+
+/// Decoded node header (common to leaves and internal nodes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeHeader {
+    /// Front node-level version (first byte of the node).
+    pub front_version: u8,
+    /// Rear node-level version (in the node's tail word).
+    pub rear_version: u8,
+    /// Whether this node is a leaf.
+    pub is_leaf: bool,
+    /// Whether this node has been freed (§4.2.4: deallocation clears a free
+    /// bit instead of running a GC protocol).
+    pub free: bool,
+    /// Level in the tree; leaves are level 0.
+    pub level: u8,
+    /// Number of valid entries (authoritative for sorted layouts).
+    pub count: usize,
+    /// Inclusive lower bound of keys that may appear in this node.
+    pub fence_low: u64,
+    /// Exclusive upper bound (`u64::MAX` = +∞).
+    pub fence_high: u64,
+    /// Right sibling (B-link pointer).
+    pub sibling: Option<GlobalAddress>,
+    /// Leftmost child (internal nodes only).
+    pub leftmost: Option<GlobalAddress>,
+    /// Whole-node checksum (only used by the FG checksum format).
+    pub checksum: u32,
+}
+
+impl NodeHeader {
+    /// A fresh header covering `[fence_low, fence_high)` at `level`.
+    pub fn new(is_leaf: bool, level: u8, fence_low: u64, fence_high: u64) -> Self {
+        NodeHeader {
+            front_version: 0,
+            rear_version: 0,
+            is_leaf,
+            free: false,
+            level,
+            count: 0,
+            fence_low,
+            fence_high,
+            sibling: None,
+            leftmost: None,
+            checksum: 0,
+        }
+    }
+
+    /// Whether `key` belongs to this node's key interval.
+    pub fn covers(&self, key: u64) -> bool {
+        key >= self.fence_low && (self.fence_high == u64::MAX || key < self.fence_high)
+    }
+
+    /// Whether the node-level version pair is consistent.
+    pub fn versions_match(&self) -> bool {
+        self.front_version == self.rear_version
+    }
+
+    /// Bump both node-level versions (done while holding the node lock, before
+    /// a whole-node write-back).
+    pub fn bump_versions(&mut self) {
+        self.front_version = self.front_version.wrapping_add(1);
+        self.rear_version = self.front_version;
+    }
+}
+
+/// One leaf entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeafEntry {
+    /// Front entry-level version.
+    pub front_version: u8,
+    /// Rear entry-level version.
+    pub rear_version: u8,
+    /// Whether the slot holds a live record.
+    pub present: bool,
+    /// The key.
+    pub key: u64,
+    /// The value.
+    pub value: u64,
+}
+
+impl LeafEntry {
+    /// An empty slot.
+    pub fn empty() -> Self {
+        LeafEntry {
+            front_version: 0,
+            rear_version: 0,
+            present: false,
+            key: 0,
+            value: 0,
+        }
+    }
+
+    /// Whether the entry-level version pair is consistent.
+    pub fn versions_match(&self) -> bool {
+        self.front_version == self.rear_version
+    }
+
+    /// Install `key → value` into this slot, bumping the entry versions
+    /// (two-level version write path).
+    pub fn install(&mut self, key: u64, value: u64) {
+        self.key = key;
+        self.value = value;
+        self.present = true;
+        self.front_version = self.front_version.wrapping_add(1);
+        self.rear_version = self.front_version;
+    }
+
+    /// Clear this slot (delete), bumping the entry versions.
+    pub fn clear(&mut self) {
+        self.present = false;
+        self.front_version = self.front_version.wrapping_add(1);
+        self.rear_version = self.front_version;
+    }
+}
+
+/// A decoded leaf node: a fixed array of slots (dense for sorted layouts,
+/// sparse for the unsorted two-level-version layout).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafNode {
+    /// Node header.
+    pub header: NodeHeader,
+    /// All slots, `layout.leaf_capacity()` of them.
+    pub entries: Vec<LeafEntry>,
+}
+
+impl LeafNode {
+    /// An empty leaf with every slot vacant.
+    pub fn empty(layout: &NodeLayout, header: NodeHeader) -> Self {
+        LeafNode {
+            header,
+            entries: vec![LeafEntry::empty(); layout.leaf_capacity()],
+        }
+    }
+
+    /// Number of live entries.
+    pub fn live_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.present).count()
+    }
+
+    /// Find the slot holding `key`, if any.
+    pub fn slot_of(&self, key: u64) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.present && e.key == key)
+    }
+
+    /// Find a vacant slot, if any.
+    pub fn vacant_slot(&self) -> Option<usize> {
+        self.entries.iter().position(|e| !e.present)
+    }
+
+    /// Look up `key` (scanning every slot, as unsorted leaves require).
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.present && e.key == key)
+            .map(|e| e.value)
+    }
+
+    /// All live `(key, value)` pairs in ascending key order.
+    pub fn sorted_pairs(&self) -> Vec<(u64, u64)> {
+        let mut pairs: Vec<(u64, u64)> = self
+            .entries
+            .iter()
+            .filter(|e| e.present)
+            .map(|e| (e.key, e.value))
+            .collect();
+        pairs.sort_unstable_by_key(|&(k, _)| k);
+        pairs
+    }
+
+    /// Re-pack the node with `pairs` stored densely in sorted order (used by
+    /// the sorted leaf formats and after splits).  Versions of rewritten slots
+    /// are bumped; surplus slots are cleared.
+    pub fn repack_sorted(&mut self, pairs: &[(u64, u64)]) {
+        assert!(pairs.len() <= self.entries.len());
+        for (i, slot) in self.entries.iter_mut().enumerate() {
+            match pairs.get(i) {
+                Some(&(k, v)) => slot.install(k, v),
+                None => {
+                    if slot.present {
+                        slot.clear();
+                    }
+                }
+            }
+        }
+        self.header.count = pairs.len();
+    }
+
+    /// Split this (full) leaf: the upper half of its keys move to a new leaf
+    /// covering `[split_key, old_fence_high)`.  Returns the new sibling's
+    /// contents; the caller allocates its address and links
+    /// `self.header.sibling` to it.
+    ///
+    /// Both nodes end up sorted and densely packed — the paper sorts unsorted
+    /// leaves before splitting (Figure 7, line 21).
+    pub fn split(&mut self, layout: &NodeLayout) -> (u64, LeafNode) {
+        let pairs = self.sorted_pairs();
+        assert!(pairs.len() >= 2, "cannot split a leaf with fewer than 2 keys");
+        let mid = pairs.len() / 2;
+        let split_key = pairs[mid].0;
+
+        let mut right_header = NodeHeader::new(true, 0, split_key, self.header.fence_high);
+        right_header.sibling = self.header.sibling;
+        let mut right = LeafNode::empty(layout, right_header);
+        right.repack_sorted(&pairs[mid..]);
+        right.header.bump_versions();
+
+        self.repack_sorted(&pairs[..mid]);
+        self.header.fence_high = split_key;
+        self.header.bump_versions();
+        (split_key, right)
+    }
+}
+
+/// One separator entry of an internal node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InternalEntry {
+    /// Separator key: keys `>= key` (and below the next separator) are routed
+    /// to `child`.
+    pub key: u64,
+    /// Child node address.
+    pub child: GlobalAddress,
+}
+
+/// A decoded internal node (sorted separators plus the leftmost child in the
+/// header).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternalNode {
+    /// Node header (holds the leftmost child pointer).
+    pub header: NodeHeader,
+    /// Sorted separator entries.
+    pub entries: Vec<InternalEntry>,
+}
+
+impl InternalNode {
+    /// A fresh internal node at `level` with the given leftmost child.
+    pub fn new(level: u8, fence_low: u64, fence_high: u64, leftmost: GlobalAddress) -> Self {
+        let mut header = NodeHeader::new(false, level, fence_low, fence_high);
+        header.leftmost = Some(leftmost);
+        InternalNode {
+            header,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The child a traversal for `key` descends into.
+    pub fn child_for(&self, key: u64) -> GlobalAddress {
+        match self.entries.partition_point(|e| e.key <= key) {
+            0 => self.header.leftmost.expect("internal node has leftmost child"),
+            n => self.entries[n - 1].child,
+        }
+    }
+
+    /// Insert a separator (keeping entries sorted).  Returns `false` if the
+    /// separator already exists (idempotent re-insertion after a retried
+    /// split).
+    pub fn insert_separator(&mut self, key: u64, child: GlobalAddress) -> bool {
+        match self.entries.binary_search_by_key(&key, |e| e.key) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.entries.insert(pos, InternalEntry { key, child });
+                self.header.count = self.entries.len();
+                true
+            }
+        }
+    }
+
+    /// Whether another separator still fits.
+    pub fn is_full(&self, layout: &NodeLayout) -> bool {
+        self.entries.len() >= layout.internal_capacity()
+    }
+
+    /// Split this (full) internal node.  The median separator moves up; the
+    /// upper half becomes a new right sibling.  Returns `(promoted_key,
+    /// right_node)`.
+    pub fn split(&mut self) -> (u64, InternalNode) {
+        assert!(self.entries.len() >= 3, "internal split needs >= 3 separators");
+        let mid = self.entries.len() / 2;
+        let promoted = self.entries[mid];
+
+        let mut right = InternalNode::new(
+            self.header.level,
+            promoted.key,
+            self.header.fence_high,
+            promoted.child,
+        );
+        right.entries = self.entries.split_off(mid + 1);
+        right.header.count = right.entries.len();
+        right.header.sibling = self.header.sibling;
+        right.header.bump_versions();
+
+        self.entries.truncate(mid);
+        self.header.count = self.entries.len();
+        self.header.fence_high = promoted.key;
+        self.header.bump_versions();
+        (promoted.key, right)
+    }
+
+    /// All children of this node in key order (leftmost first).
+    pub fn children(&self) -> Vec<GlobalAddress> {
+        let mut out = Vec::with_capacity(self.entries.len() + 1);
+        if let Some(l) = self.header.leftmost {
+            out.push(l);
+        }
+        out.extend(self.entries.iter().map(|e| e.child));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TreeConfig;
+
+    fn layout() -> NodeLayout {
+        NodeLayout::new(&TreeConfig::default())
+    }
+
+    fn addr(n: u64) -> GlobalAddress {
+        GlobalAddress::host(0, 1024 * (n + 1))
+    }
+
+    #[test]
+    fn header_covers_and_versions() {
+        let mut h = NodeHeader::new(true, 0, 10, 20);
+        assert!(h.covers(10) && h.covers(19) && !h.covers(20) && !h.covers(9));
+        assert!(h.versions_match());
+        h.bump_versions();
+        assert_eq!(h.front_version, 1);
+        assert!(h.versions_match());
+
+        let inf = NodeHeader::new(true, 0, 0, u64::MAX);
+        assert!(inf.covers(u64::MAX - 1));
+    }
+
+    #[test]
+    fn leaf_insert_lookup_delete_via_slots() {
+        let l = layout();
+        let mut leaf = LeafNode::empty(&l, NodeHeader::new(true, 0, 0, u64::MAX));
+        assert_eq!(leaf.get(5), None);
+        let slot = leaf.vacant_slot().unwrap();
+        leaf.entries[slot].install(5, 50);
+        // Key 0 is storable and distinguishable from empty slots.
+        let slot0 = leaf.vacant_slot().unwrap();
+        leaf.entries[slot0].install(0, 99);
+        assert_eq!(leaf.get(5), Some(50));
+        assert_eq!(leaf.get(0), Some(99));
+        assert_eq!(leaf.live_count(), 2);
+        assert_eq!(leaf.slot_of(5), Some(slot));
+
+        leaf.entries[slot].clear();
+        assert_eq!(leaf.get(5), None);
+        assert_eq!(leaf.live_count(), 1);
+        // Entry versions were bumped by install and clear.
+        assert_eq!(leaf.entries[slot].front_version, 2);
+        assert!(leaf.entries[slot].versions_match());
+    }
+
+    #[test]
+    fn leaf_split_partitions_keys_and_fences() {
+        let l = layout();
+        let mut leaf = LeafNode::empty(&l, NodeHeader::new(true, 0, 0, u64::MAX));
+        // Insert keys in a scrambled order to exercise the pre-split sort.
+        for (i, k) in [50u64, 10, 90, 30, 70, 20, 80, 40, 60, 100].iter().enumerate() {
+            leaf.entries[i].install(*k, k * 2);
+        }
+        let (split_key, right) = leaf.split(&l);
+        assert_eq!(split_key, 60);
+        assert_eq!(leaf.header.fence_high, 60);
+        assert_eq!(right.header.fence_low, 60);
+        assert_eq!(right.header.fence_high, u64::MAX);
+        let left_keys: Vec<u64> = leaf.sorted_pairs().iter().map(|&(k, _)| k).collect();
+        let right_keys: Vec<u64> = right.sorted_pairs().iter().map(|&(k, _)| k).collect();
+        assert_eq!(left_keys, vec![10, 20, 30, 40, 50]);
+        assert_eq!(right_keys, vec![60, 70, 80, 90, 100]);
+        // Values follow their keys.
+        assert_eq!(right.get(70), Some(140));
+        // Node-level versions were bumped on both halves.
+        assert_eq!(leaf.header.front_version, 1);
+        assert_eq!(right.header.front_version, 1);
+    }
+
+    #[test]
+    fn internal_routing_and_insert() {
+        let mut node = InternalNode::new(1, 0, u64::MAX, addr(0));
+        assert!(node.insert_separator(100, addr(1)));
+        assert!(node.insert_separator(50, addr(2)));
+        assert!(node.insert_separator(200, addr(3)));
+        assert!(!node.insert_separator(100, addr(9)), "duplicate separator");
+        assert_eq!(node.entries.len(), 3);
+        assert!(node.entries.windows(2).all(|w| w[0].key < w[1].key));
+
+        assert_eq!(node.child_for(10), addr(0));
+        assert_eq!(node.child_for(50), addr(2));
+        assert_eq!(node.child_for(99), addr(2));
+        assert_eq!(node.child_for(100), addr(1));
+        assert_eq!(node.child_for(1_000), addr(3));
+        assert_eq!(node.children().len(), 4);
+    }
+
+    #[test]
+    fn internal_split_promotes_median() {
+        let mut node = InternalNode::new(1, 0, u64::MAX, addr(0));
+        for i in 1..=7u64 {
+            node.insert_separator(i * 10, addr(i));
+        }
+        let (promoted, right) = node.split();
+        assert_eq!(promoted, 40);
+        // Left keeps separators below the promoted key.
+        assert!(node.entries.iter().all(|e| e.key < 40));
+        assert_eq!(node.header.fence_high, 40);
+        // Right's leftmost child is the promoted entry's child and its
+        // separators are those above the promoted key.
+        assert_eq!(right.header.leftmost, Some(addr(4)));
+        assert!(right.entries.iter().all(|e| e.key > 40));
+        assert_eq!(right.header.fence_low, 40);
+        assert_eq!(right.header.fence_high, u64::MAX);
+        // Routing still works across the split pair.
+        assert_eq!(node.child_for(15), addr(1));
+        assert_eq!(right.child_for(45), addr(4));
+        assert_eq!(right.child_for(75), addr(7));
+    }
+
+    #[test]
+    fn is_full_matches_capacity() {
+        let l = layout();
+        let mut node = InternalNode::new(1, 0, u64::MAX, addr(0));
+        let cap = l.internal_capacity();
+        for i in 0..cap as u64 {
+            assert!(!node.is_full(&l));
+            node.insert_separator(i + 1, addr(i));
+        }
+        assert!(node.is_full(&l));
+    }
+}

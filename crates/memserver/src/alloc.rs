@@ -1,0 +1,125 @@
+//! Per-server fixed-size chunk allocator.
+//!
+//! The memory thread on each memory server divides host DRAM into fixed-length
+//! chunks (8 MB in the paper) and hands them to compute servers on request
+//! (§4.2.4).  Because every allocation is chunk-sized, the allocator is a bump
+//! pointer plus a free list; there is no fragmentation to manage.
+
+use crate::layout::ALLOC_START_OFFSET;
+
+/// Allocator state owned by one memory server's management thread.
+#[derive(Debug)]
+pub struct ChunkAllocator {
+    chunk_bytes: u64,
+    limit: u64,
+    next: u64,
+    free: Vec<u64>,
+    allocated: u64,
+}
+
+impl ChunkAllocator {
+    /// Create an allocator over `host_bytes` of server memory, carving
+    /// `chunk_bytes` chunks starting after the superblock.
+    pub fn new(host_bytes: u64, chunk_bytes: u64) -> Self {
+        assert!(chunk_bytes > 0, "chunk size must be positive");
+        ChunkAllocator {
+            chunk_bytes,
+            limit: host_bytes,
+            next: ALLOC_START_OFFSET,
+            free: Vec::new(),
+            allocated: 0,
+        }
+    }
+
+    /// Chunk size in bytes.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.chunk_bytes
+    }
+
+    /// Number of chunks currently handed out.
+    pub fn allocated_chunks(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Number of additional chunks that can still be handed out.
+    pub fn remaining_chunks(&self) -> u64 {
+        let fresh = (self.limit.saturating_sub(self.next)) / self.chunk_bytes;
+        fresh + self.free.len() as u64
+    }
+
+    /// Allocate one chunk, returning its starting offset, or `None` when the
+    /// server is out of memory.
+    pub fn alloc(&mut self) -> Option<u64> {
+        if let Some(offset) = self.free.pop() {
+            self.allocated += 1;
+            return Some(offset);
+        }
+        if self.next + self.chunk_bytes > self.limit {
+            return None;
+        }
+        let offset = self.next;
+        self.next += self.chunk_bytes;
+        self.allocated += 1;
+        Some(offset)
+    }
+
+    /// Return a chunk to the allocator.
+    ///
+    /// Only whole chunks previously returned by [`ChunkAllocator::alloc`] may
+    /// be freed; the offset is validated in debug builds.
+    pub fn free(&mut self, offset: u64) {
+        debug_assert!(offset >= ALLOC_START_OFFSET);
+        debug_assert_eq!((offset - ALLOC_START_OFFSET) % self.chunk_bytes, 0);
+        debug_assert!(offset + self.chunk_bytes <= self.limit);
+        self.allocated = self.allocated.saturating_sub(1);
+        self.free.push(offset);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_chunk_aligned_and_disjoint() {
+        let mut a = ChunkAllocator::new(1 << 20, 64 << 10);
+        let mut seen = Vec::new();
+        while let Some(off) = a.alloc() {
+            assert!(off >= ALLOC_START_OFFSET);
+            assert_eq!((off - ALLOC_START_OFFSET) % (64 << 10), 0);
+            assert!(!seen.contains(&off));
+            seen.push(off);
+        }
+        // 1 MiB minus the superblock yields 15 full 64 KiB chunks.
+        assert_eq!(seen.len(), 15);
+        assert_eq!(a.remaining_chunks(), 0);
+        assert_eq!(a.allocated_chunks(), 15);
+    }
+
+    #[test]
+    fn freed_chunks_are_reused() {
+        let mut a = ChunkAllocator::new(1 << 20, 256 << 10);
+        let first = a.alloc().unwrap();
+        let _second = a.alloc().unwrap();
+        a.free(first);
+        assert_eq!(a.alloc().unwrap(), first);
+    }
+
+    #[test]
+    fn exhaustion_returns_none_not_panic() {
+        let mut a = ChunkAllocator::new(8 << 10, 8 << 10);
+        // Chunk does not fit after the superblock.
+        assert!(a.alloc().is_none());
+        assert_eq!(a.remaining_chunks(), 0);
+    }
+
+    #[test]
+    fn remaining_counts_both_fresh_and_freed() {
+        let mut a = ChunkAllocator::new((64 << 10) * 4 + ALLOC_START_OFFSET, 64 << 10);
+        assert_eq!(a.remaining_chunks(), 4);
+        let x = a.alloc().unwrap();
+        assert_eq!(a.remaining_chunks(), 3);
+        a.free(x);
+        assert_eq!(a.remaining_chunks(), 4);
+    }
+}

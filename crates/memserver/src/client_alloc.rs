@@ -1,0 +1,187 @@
+//! Compute-side stage of the two-stage allocation scheme.
+//!
+//! Each client thread owns a [`ClientAllocator`]: it picks a memory server in
+//! round-robin order, obtains an 8 MB chunk from that server's memory thread
+//! via RPC, and then carves fixed-size tree nodes out of the chunk locally
+//! (§4.2.4).  Node deallocation does not return memory to the server — the
+//! node's free bit is cleared by the index layer and the space is reused only
+//! when the chunk is recycled — exactly as the paper describes ("we do not
+//! need complex garbage collection strategies").
+
+use crate::pool::{MemoryPool, PoolError};
+use sherman_sim::{ClientCtx, GlobalAddress};
+use std::sync::Arc;
+
+/// Per-client-thread node allocator.
+#[derive(Debug)]
+pub struct ClientAllocator {
+    pool: Arc<MemoryPool>,
+    node_bytes: u64,
+    next_ms: u16,
+    current: Option<Chunk>,
+    chunks_acquired: u64,
+}
+
+#[derive(Debug)]
+struct Chunk {
+    base: GlobalAddress,
+    used: u64,
+}
+
+impl ClientAllocator {
+    /// Create an allocator carving nodes of `node_bytes` from `pool`'s chunks.
+    /// `first_ms` staggers the round-robin start so that concurrent clients do
+    /// not all hit memory server 0 first.
+    pub fn new(pool: Arc<MemoryPool>, node_bytes: u64, first_ms: u16) -> Self {
+        assert!(node_bytes > 0);
+        assert!(
+            node_bytes <= pool.chunk_bytes(),
+            "node size {node_bytes} exceeds chunk size {}",
+            pool.chunk_bytes()
+        );
+        ClientAllocator {
+            next_ms: first_ms % pool.servers() as u16,
+            pool,
+            node_bytes,
+            current: None,
+            chunks_acquired: 0,
+        }
+    }
+
+    /// Node size in bytes.
+    pub fn node_bytes(&self) -> u64 {
+        self.node_bytes
+    }
+
+    /// Number of chunks this client has acquired so far.
+    pub fn chunks_acquired(&self) -> u64 {
+        self.chunks_acquired
+    }
+
+    fn refill(&mut self, client: &mut ClientCtx, timed: bool) -> Result<(), PoolError> {
+        let servers = self.pool.servers() as u16;
+        let mut last_err = None;
+        // Try every server once before giving up: a full server is skipped in
+        // round-robin order, matching the paper's "choose an MS in a
+        // round-robin manner".
+        for _ in 0..servers {
+            let ms = self.next_ms;
+            self.next_ms = (self.next_ms + 1) % servers;
+            let res = if timed {
+                self.pool.alloc_chunk(client, ms)
+            } else {
+                self.pool.alloc_chunk_untimed(ms)
+            };
+            match res {
+                Ok(base) => {
+                    self.current = Some(Chunk { base, used: 0 });
+                    self.chunks_acquired += 1;
+                    return Ok(());
+                }
+                Err(e @ PoolError::OutOfMemory { .. }) => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.unwrap_or(PoolError::OutOfMemory { ms: 0 }))
+    }
+
+    fn carve(&mut self) -> Option<GlobalAddress> {
+        let chunk = self.current.as_mut()?;
+        if chunk.used + self.node_bytes > self.pool.chunk_bytes() {
+            return None;
+        }
+        let addr = chunk.base.add(chunk.used);
+        chunk.used += self.node_bytes;
+        Some(addr)
+    }
+
+    /// Allocate one node, charging the allocation RPC when a new chunk is
+    /// needed.
+    pub fn alloc_node(&mut self, client: &mut ClientCtx) -> Result<GlobalAddress, PoolError> {
+        if let Some(addr) = self.carve() {
+            return Ok(addr);
+        }
+        self.refill(client, true)?;
+        Ok(self.carve().expect("fresh chunk must fit at least one node"))
+    }
+
+    /// Allocate one node without charging fabric time (bulkload / setup).
+    pub fn alloc_node_untimed(
+        &mut self,
+        client: &mut ClientCtx,
+    ) -> Result<GlobalAddress, PoolError> {
+        if let Some(addr) = self.carve() {
+            return Ok(addr);
+        }
+        self.refill(client, false)?;
+        Ok(self.carve().expect("fresh chunk must fit at least one node"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sherman_sim::{Fabric, FabricConfig};
+
+    fn setup() -> (Arc<MemoryPool>, ClientCtx) {
+        let fabric = Fabric::new(FabricConfig::small_test());
+        let pool = MemoryPool::new(Arc::clone(&fabric), 64 << 10);
+        let client = fabric.client(0);
+        (pool, client)
+    }
+
+    #[test]
+    fn nodes_come_from_local_chunk_without_rpcs() {
+        let (pool, mut client) = setup();
+        let mut alloc = ClientAllocator::new(pool, 1024, 0);
+        let first = alloc.alloc_node(&mut client).unwrap();
+        let rpcs_after_first = client.stats().rpcs;
+        // The rest of the chunk (64 KiB / 1 KiB = 64 nodes) is carved locally:
+        // no further RPCs.
+        for _ in 0..63 {
+            alloc.alloc_node(&mut client).unwrap();
+        }
+        assert_eq!(client.stats().rpcs, rpcs_after_first);
+        assert_eq!(alloc.chunks_acquired(), 1);
+        // The 65th node needs a new chunk.
+        let sixty_fifth = alloc.alloc_node(&mut client).unwrap();
+        assert_eq!(alloc.chunks_acquired(), 2);
+        assert_ne!(first, sixty_fifth);
+    }
+
+    #[test]
+    fn round_robin_spreads_chunks_over_servers() {
+        let (pool, mut client) = setup();
+        let mut alloc = ClientAllocator::new(Arc::clone(&pool), 32 << 10, 0);
+        // Each chunk holds 2 nodes; allocate 8 nodes = 4 chunks.
+        let mut servers_seen = Vec::new();
+        for _ in 0..8 {
+            let addr = alloc.alloc_node(&mut client).unwrap();
+            if !servers_seen.contains(&addr.ms) {
+                servers_seen.push(addr.ms);
+            }
+        }
+        assert_eq!(servers_seen.len(), pool.servers());
+    }
+
+    #[test]
+    fn allocations_are_node_aligned_and_disjoint() {
+        let (pool, mut client) = setup();
+        let mut alloc = ClientAllocator::new(pool, 512, 1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            let addr = alloc.alloc_node_untimed(&mut client).unwrap();
+            assert_eq!(addr.offset % 512, 0);
+            assert!(seen.insert(addr.pack()), "duplicate address {addr}");
+        }
+    }
+
+    #[test]
+    fn oversized_node_is_rejected_at_construction() {
+        let (pool, _client) = setup();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ClientAllocator::new(pool, 128 << 10, 0)
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! On-server memory layout and global-lock-table geometry.
+
+use sherman_sim::GlobalAddress;
+
+/// Magic value stored at offset 0 of memory server 0's host memory, written by
+/// cluster bootstrap so that examples and tests can detect an initialized
+/// cluster.
+pub const SUPERBLOCK_MAGIC: u64 = 0x5348_4552_4D41_4E21; // "SHERMAN!"
+
+/// Offset of the 8-byte root-pointer slot (on memory server 0).  The root
+/// pointer is read with `RDMA_READ` and swung with `RDMA_CAS` when the tree
+/// grows a new root.
+pub const ROOT_PTR_OFFSET: u64 = 8;
+
+/// Offset of the 8-byte tree-level hint slot (on memory server 0).  Purely an
+/// optimization for cold-started clients; the authoritative level is stored in
+/// each node header.
+pub const TREE_LEVEL_HINT_OFFSET: u64 = 16;
+
+/// First offset available to the chunk allocator.  Everything below is the
+/// superblock.
+pub const ALLOC_START_OFFSET: u64 = 4096;
+
+/// Size of each 16-bit lock word in the on-chip global lock table.
+pub const GLT_LOCK_BITS: u64 = 16;
+
+/// Describes the usable layout of one memory server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerLayout {
+    /// Memory-server id.
+    pub ms: u16,
+    /// Host DRAM bytes.
+    pub host_bytes: u64,
+    /// On-chip memory bytes.
+    pub onchip_bytes: u64,
+    /// Chunk size used by the allocator.
+    pub chunk_bytes: u64,
+}
+
+impl ServerLayout {
+    /// The global address of the superblock magic word (server 0 only).
+    pub fn magic_addr() -> GlobalAddress {
+        GlobalAddress::host(0, 0)
+    }
+
+    /// The global address of the root pointer slot (server 0 only).
+    pub fn root_ptr_addr() -> GlobalAddress {
+        GlobalAddress::host(0, ROOT_PTR_OFFSET)
+    }
+
+    /// The global address of the tree-level hint slot (server 0 only).
+    pub fn level_hint_addr() -> GlobalAddress {
+        GlobalAddress::host(0, TREE_LEVEL_HINT_OFFSET)
+    }
+
+    /// Number of bytes available for chunk allocation.
+    pub fn allocatable_bytes(&self) -> u64 {
+        self.host_bytes.saturating_sub(ALLOC_START_OFFSET)
+    }
+
+    /// Number of whole chunks this server can hand out.
+    pub fn chunk_capacity(&self) -> u64 {
+        self.allocatable_bytes() / self.chunk_bytes
+    }
+
+    /// Number of 16-bit lock slots in this server's global lock table
+    /// (131,072 for the 256 KiB of a ConnectX-5, §4.3).
+    pub fn glt_slots(&self) -> u64 {
+        self.onchip_bytes * 8 / GLT_LOCK_BITS
+    }
+
+    /// Address of the 8-byte on-chip word containing GLT slot `slot`, together
+    /// with the bit shift of the 16-bit lock inside that word.
+    pub fn glt_slot_addr(&self, slot: u64) -> (GlobalAddress, u32) {
+        let slot = slot % self.glt_slots();
+        let word = slot / 4;
+        let shift = (slot % 4) as u32 * 16;
+        (GlobalAddress::on_chip(self.ms, word * 8), shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> ServerLayout {
+        ServerLayout {
+            ms: 2,
+            host_bytes: 64 << 20,
+            onchip_bytes: 256 << 10,
+            chunk_bytes: 8 << 20,
+        }
+    }
+
+    #[test]
+    fn glt_geometry_matches_paper() {
+        let l = layout();
+        // 256 KiB of on-chip memory holds 131072 16-bit locks (§4.3).
+        assert_eq!(l.glt_slots(), 131_072);
+        let (addr0, shift0) = l.glt_slot_addr(0);
+        assert_eq!(addr0.offset, 0);
+        assert_eq!(shift0, 0);
+        let (addr5, shift5) = l.glt_slot_addr(5);
+        assert_eq!(addr5.offset, 8);
+        assert_eq!(shift5, 16);
+        // Slots wrap around the table rather than walking off the region.
+        let (addr_wrap, _) = l.glt_slot_addr(131_072);
+        assert_eq!(addr_wrap.offset, 0);
+        // All slots stay within the on-chip region.
+        let (addr_last, shift_last) = l.glt_slot_addr(131_071);
+        assert!(addr_last.offset + 8 <= l.onchip_bytes);
+        assert_eq!(shift_last, 48);
+    }
+
+    #[test]
+    fn chunk_capacity_excludes_superblock() {
+        let l = layout();
+        assert_eq!(l.allocatable_bytes(), (64 << 20) - ALLOC_START_OFFSET);
+        // The superblock page costs us one chunk at most.
+        assert!(l.chunk_capacity() >= 7);
+        assert!(l.chunk_capacity() <= 8);
+    }
+
+    #[test]
+    fn well_known_addresses() {
+        assert_eq!(ServerLayout::magic_addr().pack(), 0);
+        assert_eq!(ServerLayout::root_ptr_addr().offset, 8);
+        assert_eq!(ServerLayout::level_hint_addr().offset, 16);
+        assert_eq!(ServerLayout::root_ptr_addr().ms, 0);
+    }
+}

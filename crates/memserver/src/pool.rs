@@ -1,0 +1,246 @@
+//! Cluster-wide memory pool: the compute-server view of all memory servers'
+//! allocation services.
+//!
+//! The pool owns one [`ChunkAllocator`] per memory server.  A compute-server
+//! thread requests a chunk with [`MemoryPool::alloc_chunk`], which charges the
+//! two-sided RPC round trip on the simulated fabric (the memory thread's work)
+//! and then performs the allocation.  This mirrors §4.2.4: allocation RPCs are
+//! rare (one per 8 MB of new tree nodes), so the wimpy MS cores stay off the
+//! data path.
+
+use crate::alloc::ChunkAllocator;
+use crate::layout::{ServerLayout, ROOT_PTR_OFFSET, SUPERBLOCK_MAGIC, TREE_LEVEL_HINT_OFFSET};
+use parking_lot::Mutex;
+use sherman_sim::{ClientCtx, Fabric, GlobalAddress};
+use std::sync::Arc;
+
+/// Errors from the allocation control plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// The targeted memory server has no free chunks left.
+    OutOfMemory {
+        /// Server that was asked.
+        ms: u16,
+    },
+    /// The targeted memory server does not exist.
+    NoSuchServer {
+        /// Offending id.
+        ms: u16,
+    },
+    /// The underlying fabric reported an error.
+    Fabric(sherman_sim::SimError),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::OutOfMemory { ms } => write!(f, "memory server {ms} is out of chunks"),
+            PoolError::NoSuchServer { ms } => write!(f, "memory server {ms} does not exist"),
+            PoolError::Fabric(e) => write!(f, "fabric error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+impl From<sherman_sim::SimError> for PoolError {
+    fn from(e: sherman_sim::SimError) -> Self {
+        PoolError::Fabric(e)
+    }
+}
+
+/// Size in bytes of the allocation RPC request and response messages.
+const ALLOC_RPC_REQ_BYTES: usize = 16;
+const ALLOC_RPC_RESP_BYTES: usize = 16;
+
+/// The cluster-wide allocation service.
+#[derive(Debug)]
+pub struct MemoryPool {
+    fabric: Arc<Fabric>,
+    chunk_bytes: u64,
+    allocators: Vec<Mutex<ChunkAllocator>>,
+    layouts: Vec<ServerLayout>,
+}
+
+impl MemoryPool {
+    /// Create the pool for `fabric`, using `chunk_bytes` chunks, and stamp the
+    /// superblock (magic, null root pointer) on memory server 0.
+    pub fn new(fabric: Arc<Fabric>, chunk_bytes: u64) -> Arc<Self> {
+        let cfg = fabric.config();
+        let mut allocators = Vec::new();
+        let mut layouts = Vec::new();
+        for ms in 0..cfg.memory_servers {
+            allocators.push(Mutex::new(ChunkAllocator::new(
+                cfg.host_bytes_per_ms as u64,
+                chunk_bytes,
+            )));
+            layouts.push(ServerLayout {
+                ms: ms as u16,
+                host_bytes: cfg.host_bytes_per_ms as u64,
+                onchip_bytes: cfg.onchip_bytes_per_ms as u64,
+                chunk_bytes,
+            });
+        }
+        fabric
+            .god_write_u64(ServerLayout::magic_addr(), SUPERBLOCK_MAGIC)
+            .expect("superblock must fit");
+        fabric
+            .god_write_u64(GlobalAddress::host(0, ROOT_PTR_OFFSET), 0)
+            .expect("superblock must fit");
+        fabric
+            .god_write_u64(GlobalAddress::host(0, TREE_LEVEL_HINT_OFFSET), 0)
+            .expect("superblock must fit");
+        Arc::new(MemoryPool {
+            fabric,
+            chunk_bytes,
+            allocators,
+            layouts,
+        })
+    }
+
+    /// The fabric the pool is bound to.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// Chunk size in bytes.
+    pub fn chunk_bytes(&self) -> u64 {
+        self.chunk_bytes
+    }
+
+    /// Number of memory servers in the pool.
+    pub fn servers(&self) -> usize {
+        self.allocators.len()
+    }
+
+    /// Layout description for memory server `ms`.
+    pub fn layout(&self, ms: u16) -> Result<ServerLayout, PoolError> {
+        self.layouts
+            .get(ms as usize)
+            .copied()
+            .ok_or(PoolError::NoSuchServer { ms })
+    }
+
+    /// Request a chunk from memory server `ms` over the (simulated) allocation
+    /// RPC, returning the chunk's starting address.
+    pub fn alloc_chunk(
+        &self,
+        client: &mut ClientCtx,
+        ms: u16,
+    ) -> Result<GlobalAddress, PoolError> {
+        let allocator = self
+            .allocators
+            .get(ms as usize)
+            .ok_or(PoolError::NoSuchServer { ms })?;
+        client.rpc_round_trip(ms, ALLOC_RPC_REQ_BYTES, ALLOC_RPC_RESP_BYTES)?;
+        let offset = allocator
+            .lock()
+            .alloc()
+            .ok_or(PoolError::OutOfMemory { ms })?;
+        Ok(GlobalAddress::host(ms, offset))
+    }
+
+    /// Allocate a chunk without charging fabric time (bulkload / test setup).
+    pub fn alloc_chunk_untimed(&self, ms: u16) -> Result<GlobalAddress, PoolError> {
+        let allocator = self
+            .allocators
+            .get(ms as usize)
+            .ok_or(PoolError::NoSuchServer { ms })?;
+        let offset = allocator
+            .lock()
+            .alloc()
+            .ok_or(PoolError::OutOfMemory { ms })?;
+        Ok(GlobalAddress::host(ms, offset))
+    }
+
+    /// Return a chunk to its memory server (no RPC is charged: deallocation is
+    /// a local free-bit clear in Sherman and chunk returns only happen on
+    /// shutdown paths).
+    pub fn free_chunk(&self, addr: GlobalAddress) -> Result<(), PoolError> {
+        let allocator = self
+            .allocators
+            .get(addr.ms as usize)
+            .ok_or(PoolError::NoSuchServer { ms: addr.ms })?;
+        allocator.lock().free(addr.offset);
+        Ok(())
+    }
+
+    /// Remaining chunks on each server (for observability and tests).
+    pub fn remaining_chunks(&self) -> Vec<u64> {
+        self.allocators
+            .iter()
+            .map(|a| a.lock().remaining_chunks())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sherman_sim::FabricConfig;
+
+    fn pool() -> Arc<MemoryPool> {
+        let fabric = Fabric::new(FabricConfig::small_test());
+        MemoryPool::new(fabric, 64 << 10)
+    }
+
+    #[test]
+    fn superblock_is_stamped() {
+        let p = pool();
+        assert_eq!(
+            p.fabric().god_read_u64(ServerLayout::magic_addr()).unwrap(),
+            SUPERBLOCK_MAGIC
+        );
+        assert_eq!(
+            p.fabric()
+                .god_read_u64(ServerLayout::root_ptr_addr())
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn alloc_chunk_charges_rpc_and_returns_distinct_chunks() {
+        let p = pool();
+        let mut client = p.fabric().client(0);
+        let a = p.alloc_chunk(&mut client, 0).unwrap();
+        let b = p.alloc_chunk(&mut client, 0).unwrap();
+        let c = p.alloc_chunk(&mut client, 1).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.ms, 0);
+        assert_eq!(c.ms, 1);
+        assert_eq!(client.stats().rpcs, 3);
+        assert!(client.now() > 0, "RPC must cost virtual time");
+    }
+
+    #[test]
+    fn exhaustion_and_free() {
+        let fabric = Fabric::new(FabricConfig::small_test());
+        // 4 MiB host, 1 MiB chunks => 3 chunks after the superblock page.
+        let p = MemoryPool::new(fabric, 1 << 20);
+        let mut client = p.fabric().client(0);
+        let mut got = Vec::new();
+        loop {
+            match p.alloc_chunk(&mut client, 0) {
+                Ok(addr) => got.push(addr),
+                Err(PoolError::OutOfMemory { ms: 0 }) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert_eq!(got.len(), 3);
+        p.free_chunk(got[0]).unwrap();
+        assert_eq!(p.alloc_chunk(&mut client, 0).unwrap(), got[0]);
+    }
+
+    #[test]
+    fn unknown_server_is_rejected() {
+        let p = pool();
+        let mut client = p.fabric().client(0);
+        assert_eq!(
+            p.alloc_chunk(&mut client, 7).unwrap_err(),
+            PoolError::NoSuchServer { ms: 7 }
+        );
+        assert!(p.layout(7).is_err());
+        assert_eq!(p.layout(1).unwrap().ms, 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! # sherman-metrics — measurement utilities for the Sherman reproduction
+//!
+//! The paper reports throughput (Mops), median / 99th-percentile latency, and
+//! several internal distributions (round trips per operation, write sizes,
+//! read retries).  This crate provides the small, dependency-free measurement
+//! toolkit used by the benchmark harness and the examples:
+//!
+//! * [`LatencyHistogram`] — a log-bucketed histogram with small relative
+//!   error, suitable for virtual-nanosecond latencies spanning `1 ns ..= ~1 h`,
+//! * [`CountHistogram`] — an exact histogram over small integer values
+//!   (round trips, retries),
+//! * [`SizeHistogram`] — an exact histogram over byte sizes with helpers for
+//!   CDF-style reporting,
+//! * [`ThroughputAggregator`] and [`RunSummary`] — combine per-thread
+//!   measurements into the rows the paper's tables print.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod counts;
+pub mod latency;
+pub mod summary;
+
+pub use counts::{CountHistogram, SizeHistogram};
+pub use latency::LatencyHistogram;
+pub use summary::{RunSummary, ThreadReport, ThroughputAggregator};

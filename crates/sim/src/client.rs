@@ -1,0 +1,610 @@
+//! Per-thread client context: the compute-server side of the fabric.
+//!
+//! A [`ClientCtx`] owns a virtual-clock participant and exposes the one-sided
+//! verb set Sherman relies on, plus the doorbell-batched command list used by
+//! the command-combination technique (§4.5) and a two-sided RPC used only for
+//! chunk allocation (§4.2.4).  Every call blocks the calling thread until the
+//! verb's virtual completion time and updates both the global fabric counters
+//! and the per-client [`ClientStats`].
+
+use crate::addr::{GlobalAddress, MemSpace};
+use crate::clock::Participant;
+use crate::fabric::Fabric;
+use crate::{SimError, SimResult};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A single write command inside a doorbell batch.
+#[derive(Debug, Clone)]
+pub struct WriteCmd {
+    /// Destination address.
+    pub addr: GlobalAddress,
+    /// Payload to write.
+    pub data: Vec<u8>,
+}
+
+impl WriteCmd {
+    /// Convenience constructor.
+    pub fn new(addr: GlobalAddress, data: Vec<u8>) -> Self {
+        WriteCmd { addr, data }
+    }
+}
+
+/// Per-client verb counters; snapshot/diff these around an index operation to
+/// obtain per-operation round trips, byte counts and retries (Figure 14).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// One-sided reads issued.
+    pub reads: u64,
+    /// One-sided writes issued (each entry of a batch counts).
+    pub writes: u64,
+    /// Atomic verbs issued.
+    pub atomics: u64,
+    /// Two-sided RPCs issued.
+    pub rpcs: u64,
+    /// Network round trips (a doorbell batch or parallel read batch counts once).
+    pub round_trips: u64,
+    /// Payload bytes written.
+    pub bytes_written: u64,
+    /// Payload bytes read.
+    pub bytes_read: u64,
+    /// Retries recorded by higher layers (failed CAS, version mismatch, …).
+    pub retries: u64,
+}
+
+impl ClientStats {
+    /// Difference between two snapshots (`self` taken after `earlier`).
+    pub fn delta_since(&self, earlier: &ClientStats) -> ClientStats {
+        ClientStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            atomics: self.atomics - earlier.atomics,
+            rpcs: self.rpcs - earlier.rpcs,
+            round_trips: self.round_trips - earlier.round_trips,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            retries: self.retries - earlier.retries,
+        }
+    }
+}
+
+/// Outcome of an atomic compare-and-swap verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CasResult {
+    /// Whether the swap took effect.
+    pub succeeded: bool,
+    /// The value observed at the destination before the operation.
+    pub previous: u64,
+}
+
+/// The compute-server-side handle used by one simulated client thread.
+#[derive(Debug)]
+pub struct ClientCtx {
+    fabric: Arc<Fabric>,
+    cs_id: u16,
+    participant: Arc<Participant>,
+    stats: ClientStats,
+}
+
+impl ClientCtx {
+    pub(crate) fn new(fabric: Arc<Fabric>, cs_id: u16) -> Self {
+        let participant = fabric.clock().register_for_thread();
+        ClientCtx {
+            fabric,
+            cs_id,
+            participant,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// The fabric this client belongs to.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// Compute-server id of this client.
+    pub fn cs_id(&self) -> u16 {
+        self.cs_id
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.participant.now()
+    }
+
+    /// Per-client verb counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Record `n` higher-level retries (failed lock acquisitions, version
+    /// mismatches) against this client.
+    pub fn note_retries(&mut self, n: u64) {
+        self.stats.retries += n;
+    }
+
+    /// Charge `ns` of client-side CPU time.
+    pub fn charge_cpu(&mut self, ns: u64) {
+        self.participant.advance(ns);
+    }
+
+    /// Charge CPU time proportional to scanning `bytes` of fetched data.
+    pub fn charge_scan(&mut self, bytes: usize) {
+        let ns = self.fabric.config().cpu_scan_ns(bytes);
+        if ns > 0 {
+            self.participant.advance(ns);
+        }
+    }
+
+    /// Block until virtual time `t`.
+    pub fn wait_until(&self, t: u64) {
+        self.participant.wait_until(t);
+    }
+
+    fn half_rtt(&self) -> u64 {
+        self.fabric.config().base_rtt_ns / 2
+    }
+
+    /// Issue one verb's worth of request-side timing and return the virtual
+    /// time at which the request arrives at the MS NIC, after the CS port.
+    fn request_path(&self, request_bytes: usize) -> u64 {
+        let cfg = self.fabric.config();
+        let t0 = self.participant.now() + cfg.cs_post_overhead_ns;
+        let cs_done = self
+            .fabric
+            .cs_port(self.cs_id)
+            .serve(t0, cfg.nic_service_ns(request_bytes));
+        cs_done + self.half_rtt()
+    }
+
+    // ------------------------------------------------------------------
+    // One-sided verbs
+    // ------------------------------------------------------------------
+
+    /// `RDMA_READ` of `buf.len()` bytes from `addr` into `buf`.
+    pub fn read(&mut self, addr: GlobalAddress, buf: &mut [u8]) -> SimResult<()> {
+        if buf.is_empty() {
+            return Err(SimError::EmptyBatch);
+        }
+        let server = Arc::clone(self.fabric.server(addr.ms)?);
+        let cfg = self.fabric.config().clone();
+        let arrival = self.request_path(0);
+        // Response payload serializes through the MS NIC port.
+        let ms_done = server.inbound.serve(arrival, cfg.nic_service_ns(buf.len()));
+        server
+            .region(addr.space)
+            .read_bytes(addr.offset, buf)
+            .map_err(|oob| SimError::OutOfBounds {
+                addr,
+                len: oob.len,
+                region_len: oob.region_len,
+            })?;
+        let completion = ms_done + self.half_rtt();
+        self.participant.wait_until(completion);
+
+        self.stats.reads += 1;
+        self.stats.round_trips += 1;
+        self.stats.bytes_read += buf.len() as u64;
+        let m = self.fabric.metrics();
+        m.reads.fetch_add(1, Ordering::Relaxed);
+        m.round_trips.fetch_add(1, Ordering::Relaxed);
+        m.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// `RDMA_WRITE` of `data` to `addr`.
+    pub fn write(&mut self, addr: GlobalAddress, data: &[u8]) -> SimResult<()> {
+        self.post_writes(&[WriteCmd::new(addr, data.to_vec())])
+    }
+
+    /// Post a doorbell batch of dependent `RDMA_WRITE` commands on one queue
+    /// pair (command combination, §4.5).
+    ///
+    /// All commands must target the same memory server — in Sherman a node and
+    /// the lock protecting it are co-located precisely so this is possible.
+    /// The writes are applied in post order (RC in-order delivery) and the
+    /// whole batch costs a single round trip; only the last command is
+    /// signalled.
+    pub fn post_writes(&mut self, cmds: &[WriteCmd]) -> SimResult<()> {
+        if cmds.is_empty() {
+            return Err(SimError::EmptyBatch);
+        }
+        let ms_id = cmds[0].addr.ms;
+        if cmds.iter().any(|c| c.addr.ms != ms_id) {
+            return Err(SimError::MixedBatch);
+        }
+        let server = Arc::clone(self.fabric.server(ms_id)?);
+        let cfg = self.fabric.config().clone();
+
+        // Request-side serialization of every command through the CS port.
+        let mut cs_t = self.participant.now() + cfg.cs_post_overhead_ns;
+        for cmd in cmds {
+            cs_t = self
+                .fabric
+                .cs_port(self.cs_id)
+                .serve(cs_t, cfg.nic_service_ns(cmd.data.len()));
+        }
+        // MS-side processing in post order.
+        let mut ms_t = cs_t + self.half_rtt();
+        let mut total_bytes = 0u64;
+        for cmd in cmds {
+            ms_t = server
+                .inbound
+                .serve(ms_t, cfg.nic_service_ns(cmd.data.len()));
+            server
+                .region(cmd.addr.space)
+                .write_bytes(cmd.addr.offset, &cmd.data)
+                .map_err(|oob| SimError::OutOfBounds {
+                    addr: cmd.addr,
+                    len: oob.len,
+                    region_len: oob.region_len,
+                })?;
+            total_bytes += cmd.data.len() as u64;
+        }
+        // Only the last command is signalled: one completion, one round trip.
+        let completion = ms_t + self.half_rtt();
+        self.participant.wait_until(completion);
+
+        self.stats.writes += cmds.len() as u64;
+        self.stats.round_trips += 1;
+        self.stats.bytes_written += total_bytes;
+        let m = self.fabric.metrics();
+        m.writes.fetch_add(cmds.len() as u64, Ordering::Relaxed);
+        m.round_trips.fetch_add(1, Ordering::Relaxed);
+        m.bytes_written.fetch_add(total_bytes, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Issue several independent `RDMA_READ`s in parallel (used by range
+    /// queries, §4.4) and wait for all of them; costs one round-trip of
+    /// latency plus the queueing of the individual responses.
+    pub fn read_batch(&mut self, reqs: &mut [(GlobalAddress, &mut [u8])]) -> SimResult<()> {
+        if reqs.is_empty() {
+            return Err(SimError::EmptyBatch);
+        }
+        let cfg = self.fabric.config().clone();
+        let mut cs_t = self.participant.now() + cfg.cs_post_overhead_ns;
+        let mut latest = 0u64;
+        let mut total_bytes = 0u64;
+        let count = reqs.len() as u64;
+        for (addr, buf) in reqs.iter_mut() {
+            let server = Arc::clone(self.fabric.server(addr.ms)?);
+            cs_t = self
+                .fabric
+                .cs_port(self.cs_id)
+                .serve(cs_t, cfg.nic_service_ns(0));
+            let arrival = cs_t + self.half_rtt();
+            let ms_done = server.inbound.serve(arrival, cfg.nic_service_ns(buf.len()));
+            server
+                .region(addr.space)
+                .read_bytes(addr.offset, buf)
+                .map_err(|oob| SimError::OutOfBounds {
+                    addr: *addr,
+                    len: oob.len,
+                    region_len: oob.region_len,
+                })?;
+            latest = latest.max(ms_done + self.half_rtt());
+            total_bytes += buf.len() as u64;
+        }
+        self.participant.wait_until(latest);
+
+        self.stats.reads += count;
+        self.stats.round_trips += 1;
+        self.stats.bytes_read += total_bytes;
+        let m = self.fabric.metrics();
+        m.reads.fetch_add(count, Ordering::Relaxed);
+        m.round_trips.fetch_add(1, Ordering::Relaxed);
+        m.bytes_read.fetch_add(total_bytes, Ordering::Relaxed);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Atomic verbs
+    // ------------------------------------------------------------------
+
+    fn atomic_exec_ns(&self, space: MemSpace) -> u64 {
+        let cfg = self.fabric.config();
+        match space {
+            MemSpace::Host => cfg.host_atomic_pcie_ns,
+            MemSpace::OnChip => cfg.onchip_atomic_ns,
+        }
+    }
+
+    fn bucket_key(addr: GlobalAddress) -> u64 {
+        // Host and on-chip offsets share the NIC's bucket array; keep them from
+        // aliasing by folding the space bit above the offset bits used below.
+        let space_bit = match addr.space {
+            MemSpace::Host => 0u64,
+            MemSpace::OnChip => 1u64 << 40,
+        };
+        addr.offset | space_bit
+    }
+
+    fn atomic_common<T>(
+        &mut self,
+        addr: GlobalAddress,
+        apply: impl FnOnce(&crate::region::Region) -> Result<T, crate::region::RegionAccessError>,
+    ) -> SimResult<T> {
+        let server = Arc::clone(self.fabric.server(addr.ms)?);
+        let cfg = self.fabric.config().clone();
+        let arrival = self.request_path(8);
+        let ms_done = server.inbound.serve(arrival, cfg.nic_service_ns(8));
+        let exec_ns = self.atomic_exec_ns(addr.space);
+        let region_len = server.region_len(addr);
+        let (exec_end, result) =
+            server
+                .atomic_buckets
+                .execute(Self::bucket_key(addr), ms_done, exec_ns, || {
+                    apply(server.region(addr.space))
+                });
+        let value = result.map_err(|e| e.into_sim_error(addr, region_len))?;
+        let completion = exec_end + self.half_rtt();
+        self.participant.wait_until(completion);
+
+        self.stats.atomics += 1;
+        self.stats.round_trips += 1;
+        let m = self.fabric.metrics();
+        m.atomics.fetch_add(1, Ordering::Relaxed);
+        m.round_trips.fetch_add(1, Ordering::Relaxed);
+        if addr.space == MemSpace::OnChip {
+            m.onchip_atomics.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(value)
+    }
+
+    /// `RDMA_CAS`: atomically swap the 8-byte word at `addr` from `expected`
+    /// to `new`.
+    pub fn cas(&mut self, addr: GlobalAddress, expected: u64, new: u64) -> SimResult<CasResult> {
+        let previous = self.atomic_common(addr, |r| r.cas_u64(addr.offset, expected, new))?;
+        Ok(CasResult {
+            succeeded: previous == expected,
+            previous,
+        })
+    }
+
+    /// `RDMA_FAA`: atomically add `add` to the 8-byte word at `addr`, returning
+    /// the previous value.
+    pub fn faa(&mut self, addr: GlobalAddress, add: u64) -> SimResult<u64> {
+        self.atomic_common(addr, |r| r.faa_u64(addr.offset, add))
+    }
+
+    /// Masked `RDMA_CAS` (Mellanox "enhanced atomics"): only the bits selected
+    /// by `mask` participate in the comparison and the swap.
+    pub fn masked_cas(
+        &mut self,
+        addr: GlobalAddress,
+        expected: u64,
+        new: u64,
+        mask: u64,
+    ) -> SimResult<CasResult> {
+        let (succeeded, previous) =
+            self.atomic_common(addr, |r| r.masked_cas_u64(addr.offset, expected, new, mask))?;
+        Ok(CasResult {
+            succeeded,
+            previous,
+        })
+    }
+
+    /// `RDMA_READ` of a single aligned 8-byte word.
+    pub fn read_u64(&mut self, addr: GlobalAddress) -> SimResult<u64> {
+        let mut buf = [0u8; 8];
+        self.read(addr, &mut buf)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// `RDMA_WRITE` of a single aligned 8-byte word.
+    pub fn write_u64(&mut self, addr: GlobalAddress, value: u64) -> SimResult<()> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    // ------------------------------------------------------------------
+    // Two-sided RPC (control path only)
+    // ------------------------------------------------------------------
+
+    /// Charge the fabric cost of a two-sided RPC to memory server `ms` and
+    /// return after the virtual round trip.  The actual request handling is
+    /// performed synchronously by the caller (see `sherman-memserver`), which
+    /// keeps the wimpy MS management core off the simulated data path.
+    pub fn rpc_round_trip(&mut self, ms: u16, request_bytes: usize, response_bytes: usize) -> SimResult<()> {
+        let server = Arc::clone(self.fabric.server(ms)?);
+        let cfg = self.fabric.config().clone();
+        let arrival = self.request_path(request_bytes);
+        let served = server.inbound.serve(
+            arrival,
+            cfg.nic_service_ns(request_bytes.max(response_bytes)) + cfg.rpc_service_ns,
+        );
+        let completion = served + self.half_rtt();
+        self.participant.wait_until(completion);
+
+        self.stats.rpcs += 1;
+        self.stats.round_trips += 1;
+        let m = self.fabric.metrics();
+        m.rpcs.fetch_add(1, Ordering::Relaxed);
+        m.round_trips.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FabricConfig;
+
+    fn test_fabric() -> Arc<Fabric> {
+        Fabric::new(FabricConfig::small_test())
+    }
+
+    #[test]
+    fn read_write_roundtrip_charges_time() {
+        let fabric = test_fabric();
+        let mut client = fabric.client(0);
+        let addr = GlobalAddress::host(0, 1024);
+        client.write(addr, &[7u8; 64]).unwrap();
+        let t_after_write = client.now();
+        assert!(t_after_write >= fabric.config().base_rtt_ns);
+
+        let mut buf = [0u8; 64];
+        client.read(addr, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 64]);
+        assert!(client.now() > t_after_write);
+
+        let s = client.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.round_trips, 2);
+        assert_eq!(s.bytes_written, 64);
+        assert_eq!(s.bytes_read, 64);
+    }
+
+    #[test]
+    fn doorbell_batch_costs_one_round_trip() {
+        let fabric = test_fabric();
+        let mut client = fabric.client(0);
+        let a = GlobalAddress::host(1, 0);
+        let b = GlobalAddress::host(1, 4096);
+        let before = client.now();
+        client
+            .post_writes(&[
+                WriteCmd::new(a, vec![1u8; 128]),
+                WriteCmd::new(b, vec![2u8; 8]),
+            ])
+            .unwrap();
+        let elapsed = client.now() - before;
+        // Both writes landed.
+        assert_eq!(fabric.god_read_u64(a).unwrap() as u8, 1);
+        assert_eq!(fabric.god_read_u64(b).unwrap() as u8, 2);
+        // One round trip only.
+        assert_eq!(client.stats().round_trips, 1);
+        assert_eq!(client.stats().writes, 2);
+        // The batch costs roughly one RTT, far less than two sequential writes.
+        assert!(elapsed < 2 * fabric.config().base_rtt_ns);
+    }
+
+    #[test]
+    fn mixed_server_batch_is_rejected() {
+        let fabric = test_fabric();
+        let mut client = fabric.client(0);
+        let err = client
+            .post_writes(&[
+                WriteCmd::new(GlobalAddress::host(0, 0), vec![0u8; 8]),
+                WriteCmd::new(GlobalAddress::host(1, 0), vec![0u8; 8]),
+            ])
+            .unwrap_err();
+        assert_eq!(err, SimError::MixedBatch);
+        assert!(matches!(
+            client.post_writes(&[]).unwrap_err(),
+            SimError::EmptyBatch
+        ));
+    }
+
+    #[test]
+    fn cas_and_faa_semantics() {
+        let fabric = test_fabric();
+        let mut client = fabric.client(1);
+        let addr = GlobalAddress::host(0, 2048);
+        let r = client.cas(addr, 0, 99).unwrap();
+        assert!(r.succeeded);
+        assert_eq!(r.previous, 0);
+        let r = client.cas(addr, 0, 5).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.previous, 99);
+        assert_eq!(client.faa(addr, 1).unwrap(), 99);
+        assert_eq!(fabric.god_read_u64(addr).unwrap(), 100);
+    }
+
+    #[test]
+    fn onchip_atomics_are_faster_than_host_atomics() {
+        let fabric = test_fabric();
+        let mut host_client = fabric.client(0);
+        let host_addr = GlobalAddress::host(0, 512);
+        let t0 = host_client.now();
+        for _ in 0..32 {
+            host_client.faa(host_addr, 1).unwrap();
+        }
+        let host_elapsed = host_client.now() - t0;
+        drop(host_client);
+
+        let mut chip_client = fabric.client(0);
+        let chip_addr = GlobalAddress::on_chip(0, 512);
+        let t0 = chip_client.now();
+        for _ in 0..32 {
+            chip_client.faa(chip_addr, 1).unwrap();
+        }
+        let chip_elapsed = chip_client.now() - t0;
+
+        assert!(
+            host_elapsed > chip_elapsed,
+            "host atomics ({host_elapsed} ns) should be slower than on-chip ({chip_elapsed} ns)"
+        );
+    }
+
+    #[test]
+    fn masked_cas_verb_swaps_sixteen_bit_lock() {
+        let fabric = test_fabric();
+        let mut client = fabric.client(0);
+        let addr = GlobalAddress::on_chip(0, 64);
+        let mask = 0xFFFFu64 << 16;
+        let r = client.masked_cas(addr, 0, 7 << 16, mask).unwrap();
+        assert!(r.succeeded);
+        let r = client.masked_cas(addr, 0, 9 << 16, mask).unwrap();
+        assert!(!r.succeeded, "lock already held");
+        assert_eq!(fabric.god_read_u64(addr).unwrap(), 7 << 16);
+    }
+
+    #[test]
+    fn read_batch_overlaps_round_trips() {
+        let fabric = test_fabric();
+        let mut client = fabric.client(0);
+        for i in 0..4u64 {
+            fabric
+                .god_write_u64(GlobalAddress::host(0, 8192 + i * 1024), i + 1)
+                .unwrap();
+        }
+        let mut bufs = vec![[0u8; 8]; 4];
+        let before = client.now();
+        {
+            let mut refs: Vec<(GlobalAddress, &mut [u8])> = bufs
+                .iter_mut()
+                .enumerate()
+                .map(|(i, b)| {
+                    (
+                        GlobalAddress::host(0, 8192 + i as u64 * 1024),
+                        b.as_mut_slice(),
+                    )
+                })
+                .collect();
+            client.read_batch(&mut refs).unwrap();
+        }
+        let elapsed = client.now() - before;
+        for (i, b) in bufs.iter().enumerate() {
+            assert_eq!(u64::from_le_bytes(*b), i as u64 + 1);
+        }
+        // Four reads in parallel cost far less than four sequential RTTs.
+        assert!(elapsed < 3 * fabric.config().base_rtt_ns);
+        assert_eq!(client.stats().round_trips, 1);
+        assert_eq!(client.stats().reads, 4);
+    }
+
+    #[test]
+    fn rpc_charges_more_than_a_one_sided_verb() {
+        let fabric = test_fabric();
+        let mut client = fabric.client(0);
+        let t0 = client.now();
+        client.rpc_round_trip(0, 64, 64).unwrap();
+        let rpc_elapsed = client.now() - t0;
+        assert!(rpc_elapsed >= fabric.config().base_rtt_ns + fabric.config().rpc_service_ns);
+        assert_eq!(client.stats().rpcs, 1);
+    }
+
+    #[test]
+    fn out_of_bounds_read_is_reported() {
+        let fabric = test_fabric();
+        let mut client = fabric.client(0);
+        let len = fabric.config().host_bytes_per_ms;
+        let mut buf = [0u8; 16];
+        let err = client
+            .read(GlobalAddress::host(0, len as u64 - 4), &mut buf)
+            .unwrap_err();
+        assert!(matches!(err, SimError::OutOfBounds { .. }));
+    }
+}

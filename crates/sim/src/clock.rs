@@ -1,0 +1,296 @@
+//! Conservative virtual clock shared by all simulated client threads.
+//!
+//! Every thread that takes part in the simulation registers a [`Participant`].
+//! Waiting for a network completion (or polling a local condition) is expressed
+//! as [`Participant::wait_until`]; the global clock only advances when *every*
+//! registered participant is blocked, and it advances exactly to the earliest
+//! requested wake-up time.  Consequences:
+//!
+//! * virtual time never runs ahead of any participant — when `wait_until(t)`
+//!   returns, `now() == t` (or `t` was already in the past),
+//! * the simulation produces the same virtual-time behaviour whether it runs on
+//!   one core or many,
+//! * a participant performing pure CPU work simply freezes virtual time until
+//!   it blocks again, which is the conservative (safe) behaviour.
+//!
+//! The one rule callers must follow: a participant must never block on an OS
+//! primitive waiting for another participant that can only make progress via
+//! the clock.  Long waits always go through `wait_until` (typically as a short
+//! polling loop).
+
+use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+
+/// Shared virtual clock.  Cheap to clone via `Arc`.
+#[derive(Debug)]
+pub struct VirtualClock {
+    state: Mutex<ClockState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct ClockState {
+    /// Current virtual time in nanoseconds.
+    now: u64,
+    /// Number of registered participants.
+    participants: usize,
+    /// Next participant id to hand out.
+    next_id: u64,
+    /// Wake-up targets of currently blocked participants.
+    waiting: HashMap<u64, u64>,
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VirtualClock {
+    /// Create a clock starting at virtual time zero.
+    pub fn new() -> Self {
+        VirtualClock {
+            state: Mutex::new(ClockState {
+                now: 0,
+                participants: 0,
+                next_id: 0,
+                waiting: HashMap::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.state.lock().now
+    }
+
+    /// Number of currently registered participants.
+    pub fn participants(&self) -> usize {
+        self.state.lock().participants
+    }
+
+    /// Return the calling thread's participant for this clock, registering one
+    /// if the thread has none yet.
+    ///
+    /// One OS thread can only be blocked in one `wait_until` at a time, so all
+    /// client contexts created on the same thread must share a single
+    /// participant — otherwise the idle participants would stall the clock for
+    /// everyone.  The participant deregisters itself when the last handle on
+    /// the thread is dropped.
+    pub fn register_for_thread(self: &Arc<Self>) -> Arc<Participant> {
+        thread_local! {
+            static PER_THREAD: RefCell<Vec<(usize, Weak<Participant>)>> =
+                const { RefCell::new(Vec::new()) };
+        }
+        let key = Arc::as_ptr(self) as usize;
+        PER_THREAD.with(|slot| {
+            let mut entries = slot.borrow_mut();
+            entries.retain(|(_, weak)| weak.strong_count() > 0);
+            if let Some((_, weak)) = entries.iter().find(|(k, _)| *k == key) {
+                if let Some(existing) = weak.upgrade() {
+                    return existing;
+                }
+            }
+            let fresh = Arc::new(self.register());
+            entries.push((key, Arc::downgrade(&fresh)));
+            fresh
+        })
+    }
+
+    /// Register a new participant.
+    ///
+    /// The returned handle deregisters itself on drop.  A thread that is not
+    /// registered must not call [`Participant::wait_until`]; conversely, a
+    /// registered thread that stops calling into the clock without dropping its
+    /// handle will stall virtual time for everyone else.  Most callers should
+    /// prefer [`VirtualClock::register_for_thread`].
+    pub fn register(self: &Arc<Self>) -> Participant {
+        let id = {
+            let mut s = self.state.lock();
+            s.participants += 1;
+            s.next_id += 1;
+            s.next_id
+        };
+        Participant {
+            clock: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// Advance the clock if every participant is blocked.
+    ///
+    /// Must be called with the state lock held; wakes all waiters when the
+    /// clock moved (or when the caller has just changed the participant set).
+    fn try_advance(&self, s: &mut ClockState) {
+        if s.participants == 0 || s.waiting.len() < s.participants {
+            return;
+        }
+        if let Some(&min_t) = s.waiting.values().min() {
+            if min_t > s.now {
+                s.now = min_t;
+            }
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// A registered simulation participant (one per simulated client thread).
+#[derive(Debug)]
+pub struct Participant {
+    clock: Arc<VirtualClock>,
+    id: u64,
+}
+
+impl Participant {
+    /// Current virtual time in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// The clock this participant is registered with.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// Block until virtual time reaches `t` nanoseconds.
+    ///
+    /// Returns immediately if `t` is not in the future.
+    pub fn wait_until(&self, t: u64) {
+        let mut s = self.clock.state.lock();
+        if t <= s.now {
+            return;
+        }
+        s.waiting.insert(self.id, t);
+        loop {
+            self.clock.try_advance(&mut s);
+            if s.now >= t {
+                s.waiting.remove(&self.id);
+                // Our removal may unblock another advance decision (e.g. if we
+                // were holding a stale minimum); other waiters re-evaluate when
+                // all participants block again, so no extra notification is
+                // required here.
+                return;
+            }
+            self.clock.cv.wait(&mut s);
+        }
+    }
+
+    /// Advance this participant's view of time by `dt` nanoseconds.
+    pub fn advance(&self, dt: u64) {
+        let target = self.now().saturating_add(dt);
+        self.wait_until(target);
+    }
+}
+
+impl Drop for Participant {
+    fn drop(&mut self) {
+        let mut s = self.clock.state.lock();
+        s.participants = s.participants.saturating_sub(1);
+        s.waiting.remove(&self.id);
+        // Remaining blocked participants may now be able to advance.
+        self.clock.try_advance(&mut s);
+        self.clock.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread;
+
+    #[test]
+    fn single_participant_advances_immediately() {
+        let clock = Arc::new(VirtualClock::new());
+        let p = clock.register();
+        assert_eq!(p.now(), 0);
+        p.wait_until(1_000);
+        assert_eq!(p.now(), 1_000);
+        p.advance(500);
+        assert_eq!(p.now(), 1_500);
+        // Waiting for the past is a no-op.
+        p.wait_until(10);
+        assert_eq!(p.now(), 1_500);
+    }
+
+    #[test]
+    fn clock_advances_to_minimum_target() {
+        let clock = Arc::new(VirtualClock::new());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for (name, target) in [("a", 300u64), ("b", 100u64), ("c", 200u64)] {
+            let clock = Arc::clone(&clock);
+            let order = Arc::clone(&order);
+            handles.push(thread::spawn(move || {
+                let p = clock.register();
+                // Give all threads a chance to register before blocking.
+                while clock.participants() < 3 {
+                    thread::yield_now();
+                }
+                p.wait_until(target);
+                order.lock().push((name, p.now()));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let order = order.lock();
+        // Each participant wakes exactly at its own target.
+        for (name, t) in order.iter() {
+            match *name {
+                "a" => assert_eq!(*t, 300),
+                "b" => assert_eq!(*t, 100),
+                "c" => assert_eq!(*t, 200),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn time_is_monotonic_across_many_waits() {
+        let clock = Arc::new(VirtualClock::new());
+        let max_seen = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for i in 0..4u64 {
+            let clock = Arc::clone(&clock);
+            let max_seen = Arc::clone(&max_seen);
+            handles.push(thread::spawn(move || {
+                let p = clock.register();
+                let mut last = 0;
+                for step in 0..200u64 {
+                    p.advance(1 + (i * 7 + step) % 13);
+                    let now = p.now();
+                    assert!(now >= last, "virtual time went backwards");
+                    last = now;
+                }
+                max_seen.fetch_max(last, Ordering::Relaxed);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(max_seen.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn deregistration_unblocks_remaining_waiters() {
+        let clock = Arc::new(VirtualClock::new());
+        let p1 = clock.register();
+        let clock2 = Arc::clone(&clock);
+        let h = thread::spawn(move || {
+            let p2 = clock2.register();
+            p2.wait_until(50);
+            p2.now()
+        });
+        // Let the spawned thread register and block.
+        while clock.participants() < 2 {
+            thread::yield_now();
+        }
+        // Dropping our participant lets the other one advance alone.
+        drop(p1);
+        assert_eq!(h.join().unwrap(), 50);
+    }
+}

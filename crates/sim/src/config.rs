@@ -1,0 +1,165 @@
+//! Latency / bandwidth model parameters for the simulated fabric.
+//!
+//! Defaults are calibrated against the numbers the Sherman paper reports for a
+//! 100 Gbps Mellanox ConnectX-5 deployment:
+//!
+//! * small one-sided verbs complete in roughly 2 µs round trip (§2.2),
+//! * small `RDMA_WRITE`s sustain > 50 Mops until the payload reaches about
+//!   256 bytes, after which wire bandwidth limits throughput (Figure 3),
+//! * `RDMA_CAS` against host memory pays two PCIe transactions and conflicting
+//!   atomics serialize inside the NIC (Figure 2, §3.2.2),
+//! * `RDMA_CAS` against the NIC's on-chip memory sustains roughly 110 Mops
+//!   (§4.3).
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of the fabric model.  All times are virtual nanoseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// Number of memory servers in the cluster.
+    pub memory_servers: usize,
+    /// Number of compute servers in the cluster.
+    pub compute_servers: usize,
+    /// Host DRAM bytes per memory server.
+    pub host_bytes_per_ms: usize,
+    /// NIC on-chip (device) memory bytes per memory server.  ConnectX-5 exposes
+    /// 256 KiB.
+    pub onchip_bytes_per_ms: usize,
+
+    /// Fixed round-trip propagation + NIC processing time of a verb, excluding
+    /// queueing and payload serialization.
+    pub base_rtt_ns: u64,
+    /// Wire time per payload byte, in picoseconds (100 Gbps ≈ 80 ps/B).
+    pub wire_ps_per_byte: u64,
+    /// Minimum per-operation service time at a NIC port (IOPS ceiling;
+    /// 9 ns ≈ 110 Mops).
+    pub nic_op_gap_ns: u64,
+    /// Extra serialized time for an atomic verb that targets host memory
+    /// (two PCIe transactions through the MS).
+    pub host_atomic_pcie_ns: u64,
+    /// Serialized execution time for an atomic verb that targets on-chip
+    /// memory.
+    pub onchip_atomic_ns: u64,
+    /// Number of internal NIC buckets used to order conflicting atomics
+    /// (§3.2.2 cites e.g. 4096 buckets indexed by low address bits).
+    pub atomic_buckets: usize,
+    /// Client-side software/PCIe overhead charged per posted verb.
+    pub cs_post_overhead_ns: u64,
+    /// Extra processing charged for a two-sided RPC served by a memory server's
+    /// wimpy management core (connection setup, chunk allocation).
+    pub rpc_service_ns: u64,
+    /// Virtual time charged for scanning one byte of a fetched node in client
+    /// CPU (used by the index layer to charge unsorted-leaf scans and sorts).
+    pub cpu_ps_per_byte: u64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            memory_servers: 4,
+            compute_servers: 4,
+            host_bytes_per_ms: 64 << 20,
+            onchip_bytes_per_ms: 256 << 10,
+            base_rtt_ns: 1_600,
+            wire_ps_per_byte: 80,
+            nic_op_gap_ns: 9,
+            host_atomic_pcie_ns: 450,
+            onchip_atomic_ns: 9,
+            atomic_buckets: 4096,
+            cs_post_overhead_ns: 80,
+            rpc_service_ns: 2_500,
+            cpu_ps_per_byte: 250,
+        }
+    }
+}
+
+impl FabricConfig {
+    /// A configuration sized for fast unit tests: tiny regions, two servers.
+    pub fn small_test() -> Self {
+        FabricConfig {
+            memory_servers: 2,
+            compute_servers: 2,
+            host_bytes_per_ms: 4 << 20,
+            onchip_bytes_per_ms: 64 << 10,
+            ..FabricConfig::default()
+        }
+    }
+
+    /// Wire serialization time for a payload of `bytes`.
+    pub fn wire_ns(&self, bytes: usize) -> u64 {
+        (bytes as u64 * self.wire_ps_per_byte) / 1000
+    }
+
+    /// Service time of one verb with `bytes` of payload at a NIC port: the
+    /// larger of the per-op floor and the payload serialization time.
+    pub fn nic_service_ns(&self, bytes: usize) -> u64 {
+        self.nic_op_gap_ns.max(self.wire_ns(bytes))
+    }
+
+    /// Client CPU time to scan / process `bytes` of fetched data.
+    pub fn cpu_scan_ns(&self, bytes: usize) -> u64 {
+        (bytes as u64 * self.cpu_ps_per_byte) / 1000
+    }
+
+    /// Validate internal consistency; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.memory_servers == 0 {
+            return Err("memory_servers must be > 0".into());
+        }
+        if self.compute_servers == 0 {
+            return Err("compute_servers must be > 0".into());
+        }
+        if self.memory_servers > u16::MAX as usize {
+            return Err("memory_servers must fit in 16 bits".into());
+        }
+        if self.host_bytes_per_ms < 4096 {
+            return Err("host_bytes_per_ms too small".into());
+        }
+        if self.onchip_bytes_per_ms < 64 {
+            return Err("onchip_bytes_per_ms too small".into());
+        }
+        if !self.atomic_buckets.is_power_of_two() {
+            return Err("atomic_buckets must be a power of two".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        FabricConfig::default().validate().unwrap();
+        FabricConfig::small_test().validate().unwrap();
+    }
+
+    #[test]
+    fn wire_time_matches_100gbps() {
+        let cfg = FabricConfig::default();
+        // 1 KiB at 100 Gbps is ~82 ns.
+        let t = cfg.wire_ns(1024);
+        assert!((75..=95).contains(&t), "unexpected wire time {t}");
+        // Small payloads are dominated by the per-op floor.
+        assert_eq!(cfg.nic_service_ns(16), cfg.nic_op_gap_ns);
+        // Large payloads are dominated by bandwidth.
+        assert!(cfg.nic_service_ns(4096) > cfg.nic_op_gap_ns * 10);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = FabricConfig::default();
+        cfg.memory_servers = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = FabricConfig::default();
+        cfg.atomic_buckets = 1000;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = FabricConfig::default();
+        cfg.host_bytes_per_ms = 16;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! The fabric ties together memory servers, compute-server NIC ports, the
+//! virtual clock and global metrics, and hands out per-thread client contexts.
+
+use crate::addr::GlobalAddress;
+use crate::client::ClientCtx;
+use crate::config::FabricConfig;
+use crate::metrics::FabricMetrics;
+use crate::nic::NicPort;
+use crate::server::MemServerSim;
+use crate::{SimError, SimResult};
+use std::sync::Arc;
+
+use crate::clock::VirtualClock;
+
+/// A simulated disaggregated-memory cluster.
+#[derive(Debug)]
+pub struct Fabric {
+    config: FabricConfig,
+    clock: Arc<VirtualClock>,
+    servers: Vec<Arc<MemServerSim>>,
+    cs_ports: Vec<Arc<NicPort>>,
+    metrics: FabricMetrics,
+}
+
+impl Fabric {
+    /// Build a fabric from a configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`FabricConfig::validate`]; a fabric
+    /// with an invalid shape would silently mis-simulate, which is worse than
+    /// failing fast at construction.
+    pub fn new(config: FabricConfig) -> Arc<Self> {
+        if let Err(msg) = config.validate() {
+            panic!("invalid fabric configuration: {msg}");
+        }
+        let servers = (0..config.memory_servers)
+            .map(|id| Arc::new(MemServerSim::new(id as u16, &config)))
+            .collect();
+        let cs_ports = (0..config.compute_servers)
+            .map(|_| Arc::new(NicPort::new()))
+            .collect();
+        Arc::new(Fabric {
+            config,
+            clock: Arc::new(VirtualClock::new()),
+            servers,
+            cs_ports,
+            metrics: FabricMetrics::default(),
+        })
+    }
+
+    /// The fabric configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// Global fabric metrics.
+    pub fn metrics(&self) -> &FabricMetrics {
+        &self.metrics
+    }
+
+    /// Number of memory servers.
+    pub fn memory_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Number of compute servers.
+    pub fn compute_servers(&self) -> usize {
+        self.cs_ports.len()
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Look up a memory server.
+    pub fn server(&self, ms: u16) -> SimResult<&Arc<MemServerSim>> {
+        self.servers
+            .get(ms as usize)
+            .ok_or(SimError::NoSuchServer { ms })
+    }
+
+    /// Outbound NIC port of compute server `cs` (wraps around if `cs` exceeds
+    /// the configured count, so callers can use logical thread ids directly).
+    pub fn cs_port(&self, cs: u16) -> &Arc<NicPort> {
+        &self.cs_ports[cs as usize % self.cs_ports.len()]
+    }
+
+    /// Create a client context for a thread running on compute server `cs`.
+    ///
+    /// The context registers a participant on the virtual clock; the calling
+    /// thread must keep driving the context (or drop it) so that virtual time
+    /// can progress for everyone else.
+    pub fn client(self: &Arc<Self>, cs: u16) -> ClientCtx {
+        ClientCtx::new(Arc::clone(self), cs)
+    }
+
+    // ----- zero-time ("god mode") accessors used for bulkload and test setup -----
+
+    /// Write directly into a memory server without charging virtual time.
+    pub fn god_write(&self, addr: GlobalAddress, data: &[u8]) -> SimResult<()> {
+        let server = self.server(addr.ms)?;
+        server
+            .region(addr.space)
+            .write_bytes(addr.offset, data)
+            .map_err(|oob| SimError::OutOfBounds {
+                addr,
+                len: oob.len,
+                region_len: oob.region_len,
+            })
+    }
+
+    /// Read directly from a memory server without charging virtual time.
+    pub fn god_read(&self, addr: GlobalAddress, buf: &mut [u8]) -> SimResult<()> {
+        let server = self.server(addr.ms)?;
+        server
+            .region(addr.space)
+            .read_bytes(addr.offset, buf)
+            .map_err(|oob| SimError::OutOfBounds {
+                addr,
+                len: oob.len,
+                region_len: oob.region_len,
+            })
+    }
+
+    /// Read an aligned 64-bit word without charging virtual time.
+    pub fn god_read_u64(&self, addr: GlobalAddress) -> SimResult<u64> {
+        let server = self.server(addr.ms)?;
+        server
+            .region(addr.space)
+            .read_u64(addr.offset)
+            .map_err(|e| e.into_sim_error(addr, server.region_len(addr)))
+    }
+
+    /// Write an aligned 64-bit word without charging virtual time.
+    pub fn god_write_u64(&self, addr: GlobalAddress, value: u64) -> SimResult<()> {
+        let server = self.server(addr.ms)?;
+        server
+            .region(addr.space)
+            .write_u64(addr.offset, value)
+            .map_err(|e| e.into_sim_error(addr, server.region_len(addr)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::MemSpace;
+
+    #[test]
+    fn fabric_construction_and_god_access() {
+        let fabric = Fabric::new(FabricConfig::small_test());
+        assert_eq!(fabric.memory_servers(), 2);
+        assert_eq!(fabric.compute_servers(), 2);
+        assert_eq!(fabric.now(), 0);
+
+        let addr = GlobalAddress::host(1, 4096);
+        fabric.god_write(addr, &[1, 2, 3, 4]).unwrap();
+        let mut buf = [0u8; 4];
+        fabric.god_read(addr, &mut buf).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+        // God access does not advance the clock or touch metrics.
+        assert_eq!(fabric.now(), 0);
+        assert_eq!(fabric.metrics().snapshot().total_verbs(), 0);
+    }
+
+    #[test]
+    fn unknown_server_is_an_error() {
+        let fabric = Fabric::new(FabricConfig::small_test());
+        let addr = GlobalAddress::host(9, 0);
+        assert_eq!(
+            fabric.god_write(addr, &[0u8; 8]).unwrap_err(),
+            SimError::NoSuchServer { ms: 9 }
+        );
+    }
+
+    #[test]
+    fn god_word_access_round_trips() {
+        let fabric = Fabric::new(FabricConfig::small_test());
+        let addr = GlobalAddress::on_chip(0, 128);
+        fabric.god_write_u64(addr, 0xDEADBEEF).unwrap();
+        assert_eq!(fabric.god_read_u64(addr).unwrap(), 0xDEADBEEF);
+        assert_eq!(
+            fabric
+                .server(0)
+                .unwrap()
+                .region(MemSpace::OnChip)
+                .read_u64(128)
+                .unwrap(),
+            0xDEADBEEF
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fabric configuration")]
+    fn invalid_config_panics() {
+        let mut cfg = FabricConfig::small_test();
+        cfg.memory_servers = 0;
+        let _ = Fabric::new(cfg);
+    }
+}

@@ -1,0 +1,87 @@
+//! A simulated memory server: host DRAM, NIC on-chip memory, inbound NIC port
+//! and atomic buckets.
+//!
+//! Memory servers in the disaggregated architecture have near-zero compute
+//! (§2.1), so this type exposes no server-side logic beyond the memory itself;
+//! all index work happens in the compute-server client code (`crates/core`).
+//! The lightweight management tasks the paper assigns to the wimpy MS cores
+//! (chunk allocation over RPC) live in `sherman-memserver` on top of this type.
+
+use crate::addr::{GlobalAddress, MemSpace};
+use crate::config::FabricConfig;
+use crate::nic::{AtomicBuckets, NicPort};
+use crate::region::Region;
+
+/// One simulated memory server.
+#[derive(Debug)]
+pub struct MemServerSim {
+    /// Server identifier (the 16-bit id embedded in global addresses).
+    pub id: u16,
+    host: Region,
+    onchip: Region,
+    /// Inbound NIC port (all verbs targeting this server serialize here).
+    pub inbound: NicPort,
+    /// NIC-internal atomic buckets.
+    pub atomic_buckets: AtomicBuckets,
+}
+
+impl MemServerSim {
+    /// Build a memory server from the fabric configuration.
+    pub fn new(id: u16, config: &FabricConfig) -> Self {
+        MemServerSim {
+            id,
+            host: Region::new(config.host_bytes_per_ms),
+            onchip: Region::new(config.onchip_bytes_per_ms),
+            inbound: NicPort::new(),
+            atomic_buckets: AtomicBuckets::new(config.atomic_buckets),
+        }
+    }
+
+    /// The region addressed by `space`.
+    pub fn region(&self, space: MemSpace) -> &Region {
+        match space {
+            MemSpace::Host => &self.host,
+            MemSpace::OnChip => &self.onchip,
+        }
+    }
+
+    /// Host DRAM size in bytes.
+    pub fn host_len(&self) -> usize {
+        self.host.len()
+    }
+
+    /// On-chip memory size in bytes.
+    pub fn onchip_len(&self) -> usize {
+        self.onchip.len()
+    }
+
+    /// Size of the region addressed by `addr`.
+    pub fn region_len(&self, addr: GlobalAddress) -> usize {
+        self.region(addr.space).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_sized_from_config() {
+        let cfg = FabricConfig::small_test();
+        let ms = MemServerSim::new(3, &cfg);
+        assert_eq!(ms.id, 3);
+        assert_eq!(ms.host_len(), cfg.host_bytes_per_ms);
+        assert_eq!(ms.onchip_len(), cfg.onchip_bytes_per_ms);
+        assert_eq!(ms.atomic_buckets.len(), cfg.atomic_buckets);
+    }
+
+    #[test]
+    fn host_and_onchip_are_distinct_memories() {
+        let cfg = FabricConfig::small_test();
+        let ms = MemServerSim::new(0, &cfg);
+        ms.region(MemSpace::Host).write_u64(0, 7).unwrap();
+        ms.region(MemSpace::OnChip).write_u64(0, 9).unwrap();
+        assert_eq!(ms.region(MemSpace::Host).read_u64(0).unwrap(), 7);
+        assert_eq!(ms.region(MemSpace::OnChip).read_u64(0).unwrap(), 9);
+    }
+}

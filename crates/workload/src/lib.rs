@@ -1,0 +1,25 @@
+//! # sherman-workload — YCSB-style workload generation
+//!
+//! The Sherman evaluation drives the index with YCSB workloads (§5.1.3):
+//! five read/write mixes (Table 3), uniform or Zipfian key popularity
+//! (skewness 0.99 by default), an 8-byte key / 8-byte value record format and
+//! a bulkloaded key space.  This crate reproduces that driver:
+//!
+//! * [`ZipfianGenerator`] — the Gray et al. bounded Zipfian generator YCSB
+//!   uses, including the scrambled variant that decouples popularity from key
+//!   order,
+//! * [`KeyDistribution`] — uniform / Zipfian / scrambled-Zipfian selection,
+//! * [`Mix`] and [`OpKind`] — the paper's five operation mixes,
+//! * [`WorkloadSpec`] and [`WorkloadGenerator`] — per-thread deterministic
+//!   operation streams.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod mix;
+pub mod spec;
+pub mod zipf;
+
+pub use mix::{Mix, OpKind};
+pub use spec::{KeyDistribution, Op, WorkloadGenerator, WorkloadSpec};
+pub use zipf::ZipfianGenerator;

@@ -1,0 +1,93 @@
+//! A miniature version of the paper's ablation study (Figure 10): run the same
+//! write-intensive, skewed workload against every rung of the technique ladder
+//! (FG+ → +Combine → +On-Chip → +Hierarchical → +2-Level Ver) and print how
+//! throughput and tail latency improve.
+//!
+//! ```text
+//! cargo run --release --example ablation
+//! ```
+
+use sherman_repro::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+const THREADS: usize = 6;
+const OPS_PER_THREAD: usize = 250;
+
+fn run(options: TreeOptions) -> RunSummary {
+    let cluster = Cluster::new(ClusterConfig::paper_scaled(4, 3), options);
+    let spec = WorkloadSpec {
+        key_space: 1 << 15,
+        bulkload_keys: (1 << 15) / 5 * 4,
+        mix: Mix::WRITE_INTENSIVE,
+        distribution: KeyDistribution::ScrambledZipfian { theta: 0.99 },
+        range_size: 100,
+        seed: 99,
+        update_fraction: 2.0 / 3.0,
+    };
+    cluster
+        .bulkload(spec.bulkload_iter().map(|k| (k, k)))
+        .unwrap();
+    let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let cluster = Arc::clone(&cluster);
+        let spec = spec.clone();
+        let barrier = Arc::clone(&barrier);
+        handles.push(thread::spawn(move || {
+            let mut client = cluster.client((t % 3) as u16);
+            barrier.wait();
+            let mut gen = spec.generator(t as u64);
+            let mut latency = LatencyHistogram::new();
+            for _ in 0..OPS_PER_THREAD {
+                let stats = match gen.next_op() {
+                    Op::Insert { key, value } => client.insert(key, value).unwrap(),
+                    Op::Lookup { key } => client.lookup(key).unwrap().1,
+                    Op::Delete { key } => client.delete(key).unwrap().1,
+                    Op::Range { start_key, count } => {
+                        client.range(start_key, count as usize).unwrap().1
+                    }
+                };
+                latency.record(stats.latency_ns);
+            }
+            ThreadReport {
+                ops: OPS_PER_THREAD as u64,
+                latency,
+            }
+        }));
+    }
+    let mut agg = ThroughputAggregator::new();
+    for h in handles {
+        agg.add(&h.join().unwrap());
+    }
+    agg.finish(cluster.fabric().now())
+}
+
+fn main() {
+    println!("Ablation (write-intensive, Zipfian 0.99, {THREADS} threads)\n");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12}",
+        "configuration", "Mops", "p50 (us)", "p99 (us)"
+    );
+    let mut first: Option<RunSummary> = None;
+    for (label, options) in TreeOptions::ablation_ladder() {
+        let s = run(options);
+        println!(
+            "{:<16} {:>12.3} {:>12.1} {:>12.1}",
+            label,
+            s.throughput_ops / 1e6,
+            s.p50_ns as f64 / 1e3,
+            s.p99_ns as f64 / 1e3
+        );
+        if first.is_none() {
+            first = Some(s);
+        } else if label == "+2-Level Ver" {
+            let base = first.as_ref().unwrap();
+            println!(
+                "\nSherman vs FG+: {:.1}x throughput, {:.1}x lower p99 latency",
+                s.throughput_ops / base.throughput_ops.max(1.0),
+                base.p99_ns as f64 / s.p99_ns.max(1) as f64
+            );
+        }
+    }
+}

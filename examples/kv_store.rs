@@ -1,0 +1,90 @@
+//! A multi-threaded key-value service built on the Sherman index — the kind of
+//! write-intensive workload (parameter servers, data warehousing ingest) that
+//! motivates the paper's introduction.
+//!
+//! Several client threads spread over the compute servers run a YCSB-style
+//! write-intensive mix with Zipfian popularity, and the example reports
+//! aggregate throughput and tail latency for Sherman and for the FG+ baseline.
+//!
+//! ```text
+//! cargo run --release --example kv_store
+//! ```
+
+use sherman_repro::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+const THREADS: usize = 6;
+const OPS_PER_THREAD: usize = 300;
+const KEY_SPACE: u64 = 1 << 16;
+
+fn drive(options: TreeOptions, label: &str) -> RunSummary {
+    let cluster = Cluster::new(ClusterConfig::paper_scaled(4, 3), options);
+    let spec = WorkloadSpec {
+        key_space: KEY_SPACE,
+        bulkload_keys: KEY_SPACE / 5 * 4,
+        mix: Mix::WRITE_INTENSIVE,
+        distribution: KeyDistribution::ScrambledZipfian { theta: 0.99 },
+        range_size: 100,
+        seed: 7,
+        update_fraction: 2.0 / 3.0,
+    };
+    cluster
+        .bulkload(spec.bulkload_iter().map(|k| (k, k)))
+        .expect("bulkload");
+
+    let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let cluster = Arc::clone(&cluster);
+        let spec = spec.clone();
+        let barrier = Arc::clone(&barrier);
+        handles.push(thread::spawn(move || {
+            let mut client = cluster.client((t % 3) as u16);
+            barrier.wait();
+            let mut gen = spec.generator(t as u64);
+            let mut latency = LatencyHistogram::new();
+            for _ in 0..OPS_PER_THREAD {
+                let stats = match gen.next_op() {
+                    Op::Insert { key, value } => client.insert(key, value).unwrap(),
+                    Op::Lookup { key } => client.lookup(key).unwrap().1,
+                    Op::Delete { key } => client.delete(key).unwrap().1,
+                    Op::Range { start_key, count } => {
+                        client.range(start_key, count as usize).unwrap().1
+                    }
+                };
+                latency.record(stats.latency_ns);
+            }
+            ThreadReport {
+                ops: OPS_PER_THREAD as u64,
+                latency,
+            }
+        }));
+    }
+    let mut agg = ThroughputAggregator::new();
+    for h in handles {
+        agg.add(&h.join().unwrap());
+    }
+    let summary = agg.finish(cluster.fabric().now());
+    println!(
+        "{label:10}  {:>8.2} Mops   p50 {:>7.1} us   p99 {:>8.1} us",
+        summary.throughput_ops / 1e6,
+        summary.p50_ns as f64 / 1e3,
+        summary.p99_ns as f64 / 1e3,
+    );
+    summary
+}
+
+fn main() {
+    println!(
+        "KV store, write-intensive + skewed (theta=0.99), {THREADS} client threads, {} keys",
+        KEY_SPACE
+    );
+    let sherman = drive(TreeOptions::sherman(), "Sherman");
+    let baseline = drive(TreeOptions::fg_plus(), "FG+");
+    println!(
+        "\nSherman speed-up over the one-sided baseline: {:.1}x throughput, {:.1}x lower p99",
+        sherman.throughput_ops / baseline.throughput_ops.max(1.0),
+        baseline.p99_ns as f64 / sherman.p99_ns.max(1) as f64,
+    );
+}

@@ -1,0 +1,72 @@
+//! Quickstart: stand up a simulated disaggregated-memory cluster, bulkload a
+//! Sherman tree, and run the basic operations from a single client thread.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sherman_repro::prelude::*;
+
+fn main() {
+    // A cluster with 4 memory servers and 2 compute servers, default 1 KB
+    // nodes, full Sherman techniques (command combination + HOCL + two-level
+    // versions).
+    let config = ClusterConfig::paper_scaled(4, 2);
+    let cluster = Cluster::new(config, TreeOptions::sherman());
+
+    // Bulkload 100k sensor readings keyed by id, 80 % leaf occupancy.
+    println!("bulkloading 100,000 entries ...");
+    cluster
+        .bulkload((0..100_000u64).map(|id| (id, id * 10)))
+        .expect("bulkload");
+
+    // A client thread on compute server 0.
+    let mut client = cluster.client(0);
+
+    // Point lookup.
+    let (value, stats) = client.lookup(42_000).expect("lookup");
+    println!(
+        "lookup(42000) -> {:?}   [{} round trip(s), {:.1} us, cache hit: {}]",
+        value,
+        stats.round_trips,
+        stats.latency_ns as f64 / 1e3,
+        stats.cache_hit
+    );
+
+    // Insert / update: with two-level versions only the 19-byte entry is
+    // written back, combined with the lock release in one doorbell batch.
+    let stats = client.insert(42_000, 777).expect("insert");
+    println!(
+        "insert(42000, 777)      [{} round trip(s), {} bytes written]",
+        stats.round_trips, stats.bytes_written
+    );
+    assert_eq!(client.lookup(42_000).unwrap().0, Some(777));
+
+    // Insert a brand-new key (may split a leaf).
+    client.insert(1_000_000, 1).expect("insert new key");
+    assert_eq!(client.lookup(1_000_000).unwrap().0, Some(1));
+
+    // Delete.
+    let (existed, _) = client.delete(42_000).expect("delete");
+    println!("delete(42000) existed = {existed}");
+    assert_eq!(client.lookup(42_000).unwrap().0, None);
+
+    // Range scan: 20 entries starting at key 10_000.
+    let (scan, stats) = client.range(10_000, 20).expect("range");
+    println!(
+        "range(10000, 20) -> {} entries in {:.1} us, first = {:?}, last = {:?}",
+        scan.len(),
+        stats.latency_ns as f64 / 1e3,
+        scan.first(),
+        scan.last()
+    );
+
+    // Index-cache effectiveness so far.
+    let cache = cluster.cache(0);
+    println!(
+        "index cache: {} level-1 entries, hit ratio {:.1}%",
+        cache.len(),
+        cache.stats().hit_ratio() * 100.0
+    );
+    println!("virtual time elapsed: {:.1} us", client.now() as f64 / 1e3);
+}

@@ -1,0 +1,125 @@
+//! Every configuration of the ablation ladder (and the original FG preset)
+//! must be *correct* under concurrent load — the paper's baselines are real
+//! systems, not strawmen.
+
+use sherman_repro::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+fn exercise(options: TreeOptions, label: &str) {
+    let cluster = Cluster::new(ClusterConfig::paper_scaled(2, 2), options);
+    cluster
+        .bulkload((0..4_000u64).map(|k| (k * 2, k)))
+        .expect("bulkload");
+
+    let threads = 3;
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let cluster = Arc::clone(&cluster);
+        handles.push(thread::spawn(move || {
+            let mut client = cluster.client((t % 2) as u16);
+            // Mixed load: updates of bulkloaded keys, fresh inserts, lookups,
+            // deletes and scans — all on overlapping ranges.
+            for i in 0..250u64 {
+                let k = (i * 37 + t as u64 * 13) % 8_000;
+                match i % 5 {
+                    0 => {
+                        client.insert(k, k + 100_000).unwrap();
+                    }
+                    1 => {
+                        client.lookup(k).unwrap();
+                    }
+                    2 => {
+                        client.insert(20_000 + t as u64 * 1_000 + i, i).unwrap();
+                    }
+                    3 => {
+                        // Delete keys from a range disjoint from both the
+                        // bulkloaded keys and the fresh-insert region.
+                        client.delete((k | 1) + 40_000).unwrap();
+                    }
+                    _ => {
+                        client.range(k, 30).unwrap();
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap_or_else(|_| panic!("{label}: worker panicked"));
+    }
+
+    // Post-conditions: fresh inserts are all readable.
+    let mut client = cluster.client(0);
+    for t in 0..threads as u64 {
+        for i in (0..250u64).filter(|i| i % 5 == 2) {
+            let key = 20_000 + t * 1_000 + i;
+            assert_eq!(
+                client.lookup(key).unwrap().0,
+                Some(i),
+                "{label}: lost fresh insert {key}"
+            );
+        }
+    }
+    // Bulkloaded keys that nobody touched are intact.
+    for k in (0..4_000u64).step_by(499) {
+        let key = k * 2;
+        if key >= 8_000 {
+            assert_eq!(client.lookup(key).unwrap().0, Some(k), "{label}: key {key}");
+        }
+    }
+}
+
+#[test]
+fn fg_original_is_correct() {
+    exercise(TreeOptions::fg(), "FG");
+}
+
+#[test]
+fn fg_plus_is_correct() {
+    exercise(TreeOptions::fg_plus(), "FG+");
+}
+
+#[test]
+fn plus_combine_is_correct() {
+    exercise(TreeOptions::plus_combine(), "+Combine");
+}
+
+#[test]
+fn plus_onchip_is_correct() {
+    exercise(TreeOptions::plus_onchip(), "+On-Chip");
+}
+
+#[test]
+fn plus_hierarchical_is_correct() {
+    exercise(TreeOptions::plus_hierarchical(), "+Hierarchical");
+}
+
+#[test]
+fn sherman_full_is_correct() {
+    exercise(TreeOptions::sherman(), "Sherman");
+}
+
+#[test]
+fn hocl_without_handover_is_correct() {
+    exercise(
+        TreeOptions {
+            lock_strategy: LockStrategy::Hocl {
+                wait_queue: true,
+                handover: false,
+            },
+            ..TreeOptions::sherman()
+        },
+        "Sherman w/o handover",
+    );
+}
+
+#[test]
+fn sherman_without_combination_is_correct() {
+    exercise(
+        TreeOptions {
+            combine_commands: false,
+            ..TreeOptions::sherman()
+        },
+        "Sherman w/o combine",
+    );
+}

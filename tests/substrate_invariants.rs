@@ -1,0 +1,109 @@
+//! Property-based tests of the substrate crates: fabric memory semantics,
+//! masked CAS algebra, zipfian statistics and histogram quantiles.
+
+use proptest::prelude::*;
+use sherman_repro::prelude::*;
+use sherman_sim::{Fabric, GlobalAddress};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// Bytes written through the fabric are read back identically for any
+    /// offset/length combination (including unaligned ones).
+    #[test]
+    fn fabric_read_write_roundtrip(
+        offset in 0u64..60_000,
+        data in prop::collection::vec(any::<u8>(), 1..512),
+    ) {
+        let fabric = Fabric::new(FabricConfig::small_test());
+        let mut client = fabric.client(0);
+        let addr = GlobalAddress::host(1, offset);
+        client.write(addr, &data).unwrap();
+        let mut out = vec![0u8; data.len()];
+        client.read(addr, &mut out).unwrap();
+        prop_assert_eq!(out, data);
+    }
+
+    /// Masked CAS only ever modifies bits inside the mask, regardless of the
+    /// operands.
+    #[test]
+    fn masked_cas_never_touches_unmasked_bits(
+        initial in any::<u64>(),
+        expected in any::<u64>(),
+        new in any::<u64>(),
+        mask in any::<u64>(),
+    ) {
+        let fabric = Fabric::new(FabricConfig::small_test());
+        let addr = GlobalAddress::on_chip(0, 256);
+        fabric.god_write_u64(addr, initial).unwrap();
+        let mut client = fabric.client(0);
+        let result = client.masked_cas(addr, expected, new, mask).unwrap();
+        let after = fabric.god_read_u64(addr).unwrap();
+        prop_assert_eq!(after & !mask, initial & !mask, "unmasked bits changed");
+        if result.succeeded {
+            prop_assert_eq!(initial & mask, expected & mask);
+            prop_assert_eq!(after & mask, new & mask);
+        } else {
+            prop_assert_eq!(after, initial);
+        }
+    }
+
+    /// The workload generator only ever emits keys inside the configured key
+    /// space, for any mix of distribution parameters.
+    #[test]
+    fn workload_keys_stay_in_domain(
+        key_space in 16u64..10_000,
+        theta in 0.0f64..0.999,
+        seed in any::<u64>(),
+    ) {
+        let spec = WorkloadSpec {
+            key_space,
+            bulkload_keys: key_space / 2,
+            mix: Mix::WRITE_INTENSIVE,
+            distribution: KeyDistribution::ScrambledZipfian { theta },
+            range_size: 10,
+            seed,
+            update_fraction: 0.5,
+        };
+        let mut gen = spec.generator(0);
+        for _ in 0..200 {
+            let key = match gen.next_op() {
+                Op::Insert { key, .. } | Op::Lookup { key } | Op::Delete { key } => key,
+                Op::Range { start_key, .. } => start_key,
+            };
+            prop_assert!(key < key_space);
+        }
+    }
+
+    /// Histogram quantiles are consistent with exact order statistics within
+    /// the histogram's relative-error bound.
+    #[test]
+    fn histogram_quantiles_bound_error(
+        mut samples in prop::collection::vec(1u64..50_000_000, 10..300),
+        q in 0.01f64..0.999,
+    ) {
+        let mut hist = LatencyHistogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        samples.sort_unstable();
+        let idx = ((samples.len() as f64 * q).ceil() as usize).clamp(1, samples.len()) - 1;
+        let exact = samples[idx] as f64;
+        let approx = hist.quantile(q) as f64;
+        prop_assert!(
+            (approx - exact).abs() / exact < 0.10,
+            "q={q}: approx {approx} vs exact {exact}"
+        );
+    }
+
+    /// Node-address packing round-trips for any server id / offset / space.
+    #[test]
+    fn global_address_pack_roundtrip(ms in any::<u16>(), offset in 0u64..(1 << 47), chip: bool) {
+        let addr = if chip {
+            GlobalAddress::on_chip(ms, offset)
+        } else {
+            GlobalAddress::host(ms, offset)
+        };
+        prop_assert_eq!(GlobalAddress::unpack(addr.pack()), addr);
+    }
+}

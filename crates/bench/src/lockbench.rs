@@ -120,7 +120,7 @@ impl Service {
 /// Synthetic "node" address representing lock slot `slot`: distinct node-sized
 /// addresses on memory server 0 that the lock tables hash onto their slots.
 fn slot_address(slot: u64) -> GlobalAddress {
-    GlobalAddress::host(0, 1 << 20 | slot * 1024)
+    GlobalAddress::host(0, (1 << 20) | (slot * 1024))
 }
 
 /// Run one lock microbenchmark and summarize throughput and latency of the

@@ -17,6 +17,7 @@ use std::sync::Arc;
 
 /// Everything needed to stand up a simulated Sherman deployment.
 #[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
 pub struct ClusterConfig {
     /// Shape and timing of the simulated fabric.
     pub fabric: FabricConfig,
@@ -24,14 +25,6 @@ pub struct ClusterConfig {
     pub tree: TreeConfig,
 }
 
-impl Default for ClusterConfig {
-    fn default() -> Self {
-        ClusterConfig {
-            fabric: FabricConfig::default(),
-            tree: TreeConfig::default(),
-        }
-    }
-}
 
 impl ClusterConfig {
     /// A tiny cluster for unit tests and doc examples.

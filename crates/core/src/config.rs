@@ -236,26 +236,17 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = TreeConfig::default();
-        c.node_size = 64;
-        assert!(c.validate().is_err());
-
-        let mut c = TreeConfig::default();
-        c.key_size = 4;
-        assert!(c.validate().is_err());
-
-        let mut c = TreeConfig::default();
-        c.leaf_fill = 0.0;
-        assert!(c.validate().is_err());
-
-        let mut c = TreeConfig::default();
-        c.chunk_bytes = 512;
-        assert!(c.validate().is_err());
-
-        // A huge key leaves no room for even 4 entries in a 1 KB node.
-        let mut c = TreeConfig::default();
-        c.key_size = 512;
-        assert!(c.validate().is_err());
+        let bad = [
+            TreeConfig { node_size: 64, ..TreeConfig::default() },
+            TreeConfig { key_size: 4, ..TreeConfig::default() },
+            TreeConfig { leaf_fill: 0.0, ..TreeConfig::default() },
+            TreeConfig { chunk_bytes: 512, ..TreeConfig::default() },
+            // A huge key leaves no room for even 4 entries in a 1 KB node.
+            TreeConfig { key_size: 512, ..TreeConfig::default() },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err(), "{c:?} should be rejected");
+        }
     }
 
     #[test]
@@ -272,6 +263,73 @@ mod tests {
         assert_eq!(ladder[4].1.leaf_format, LeafFormat::UnsortedTwoLevel);
         // The last rung is full Sherman.
         assert_eq!(ladder[4].1, TreeOptions::sherman());
+    }
+
+    #[test]
+    fn presets_toggle_exactly_the_documented_flags() {
+        // FG: no combining, host CAS/FAA locks, checksummed sorted leaves.
+        assert_eq!(
+            TreeOptions::fg(),
+            TreeOptions {
+                combine_commands: false,
+                lock_strategy: LockStrategy::HostCasFaa,
+                leaf_format: LeafFormat::SortedChecksum,
+            }
+        );
+        // FG+: only the lock release verb and the leaf consistency check change.
+        assert_eq!(
+            TreeOptions::fg_plus(),
+            TreeOptions {
+                combine_commands: false,
+                lock_strategy: LockStrategy::HostCasWrite,
+                leaf_format: LeafFormat::SortedNodeVersion,
+            }
+        );
+        // Each ladder rung flips exactly one technique relative to its
+        // predecessor and leaves everything else untouched.
+        assert_eq!(
+            TreeOptions::plus_combine(),
+            TreeOptions {
+                combine_commands: true,
+                ..TreeOptions::fg_plus()
+            }
+        );
+        assert_eq!(
+            TreeOptions::plus_onchip(),
+            TreeOptions {
+                lock_strategy: LockStrategy::OnChip,
+                ..TreeOptions::plus_combine()
+            }
+        );
+        assert_eq!(
+            TreeOptions::plus_hierarchical(),
+            TreeOptions {
+                lock_strategy: LockStrategy::Hocl {
+                    wait_queue: true,
+                    handover: true,
+                },
+                ..TreeOptions::plus_onchip()
+            }
+        );
+        assert_eq!(
+            TreeOptions::sherman(),
+            TreeOptions {
+                leaf_format: LeafFormat::UnsortedTwoLevel,
+                ..TreeOptions::plus_hierarchical()
+            }
+        );
+    }
+
+    #[test]
+    fn hocl_options_follow_lock_strategy() {
+        let opts = LockStrategy::Hocl {
+            wait_queue: true,
+            handover: false,
+        }
+        .hocl_options();
+        assert!(opts.use_wait_queue && !opts.use_handover);
+        // Non-HOCL strategies fall back to the default options.
+        assert_eq!(LockStrategy::OnChip.hocl_options(), HoclOptions::default());
     }
 
     #[test]

@@ -395,6 +395,39 @@ mod tests {
     }
 
     #[test]
+    fn leaf_entry_version_pairs_roundtrip_all_values() {
+        let l = layout();
+        // Every version byte value — including wraparound values and pairs
+        // caught mid-update (front != rear) — survives the wire format intact.
+        for fv in [0u8, 1, 7, 127, 128, 254, 255] {
+            for rv in [fv, fv.wrapping_sub(1), fv.wrapping_add(1)] {
+                let entry = LeafEntry {
+                    front_version: fv,
+                    rear_version: rv,
+                    present: true,
+                    key: 0xDEAD_BEEF,
+                    value: 42,
+                };
+                let decoded = l.decode_leaf_entry(&l.encode_leaf_entry(&entry));
+                assert_eq!(decoded, entry);
+                assert_eq!(decoded.versions_match(), fv == rv);
+            }
+        }
+        // The version pair also round-trips through a whole-node image.
+        let mut node = LeafNode::empty(&l, sample_header(true));
+        node.entries[2] = LeafEntry {
+            front_version: 200,
+            rear_version: 199, // torn entry write, must be visible after decode
+            present: true,
+            key: 5,
+            value: 6,
+        };
+        let decoded = l.decode_leaf(&l.encode_leaf(&node));
+        assert_eq!(decoded.entries[2], node.entries[2]);
+        assert!(!decoded.entries[2].versions_match());
+    }
+
+    #[test]
     fn internal_roundtrip() {
         let l = layout();
         let node = InternalNode {

@@ -432,6 +432,60 @@ mod tests {
     }
 
     #[test]
+    fn internal_split_keeps_keys_sorted() {
+        // Separators inserted in adversarial (descending, then interleaved)
+        // order; after a split both halves must remain strictly sorted and
+        // partitioned around the promoted key.
+        let mut node = InternalNode::new(1, 0, u64::MAX, addr(0));
+        for i in (1..=20u64).rev() {
+            node.insert_separator(i * 7, addr(i));
+        }
+        for i in 21..=25u64 {
+            node.insert_separator(i * 7 - 3, addr(i));
+        }
+        let total = node.entries.len();
+        let (promoted, right) = node.split();
+
+        let sorted = |entries: &[InternalEntry]| entries.windows(2).all(|w| w[0].key < w[1].key);
+        assert!(sorted(&node.entries), "left half lost sortedness");
+        assert!(sorted(&right.entries), "right half lost sortedness");
+        assert!(node.entries.iter().all(|e| e.key < promoted));
+        assert!(right.entries.iter().all(|e| e.key > promoted));
+        // No separator is lost: left + promoted + right == original count.
+        assert_eq!(node.entries.len() + 1 + right.entries.len(), total);
+        // Counts stay authoritative for the encoded form.
+        assert_eq!(node.header.count, node.entries.len());
+        assert_eq!(right.header.count, right.entries.len());
+        // Fences partition at the promoted key.
+        assert_eq!(node.header.fence_high, promoted);
+        assert_eq!(right.header.fence_low, promoted);
+    }
+
+    #[test]
+    fn leaf_split_produces_sorted_halves_from_unsorted_slots() {
+        let l = layout();
+        let mut leaf = LeafNode::empty(&l, NodeHeader::new(true, 0, 0, u64::MAX));
+        // Reverse order with a gap pattern, as an unsorted Sherman leaf may hold.
+        let keys: Vec<u64> = (0..12u64).map(|i| 1000 - i * 13).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            leaf.entries[i * 2].install(k, k + 1); // every other slot: sparse
+        }
+        let (split_key, right) = leaf.split(&l);
+        let left_keys: Vec<u64> = leaf.sorted_pairs().iter().map(|&(k, _)| k).collect();
+        let right_keys: Vec<u64> = right.sorted_pairs().iter().map(|&(k, _)| k).collect();
+        assert!(left_keys.windows(2).all(|w| w[0] < w[1]));
+        assert!(right_keys.windows(2).all(|w| w[0] < w[1]));
+        assert!(left_keys.iter().all(|&k| k < split_key));
+        assert!(right_keys.iter().all(|&k| k >= split_key));
+        assert_eq!(left_keys.len() + right_keys.len(), keys.len());
+        // After a split both halves are densely packed from slot 0 (the paper
+        // sorts unsorted leaves before splitting, Figure 7).
+        assert!(leaf.entries[..left_keys.len()].iter().all(|e| e.present));
+        assert!(right.entries[..right_keys.len()].iter().all(|e| e.present));
+        assert!(right.entries[right_keys.len()..].iter().all(|e| !e.present));
+    }
+
+    #[test]
     fn is_full_matches_capacity() {
         let l = layout();
         let mut node = InternalNode::new(1, 0, u64::MAX, addr(0));

@@ -279,7 +279,7 @@ mod tests {
         let loc = glt.location_of(node);
         assert_eq!(loc.word.ms, 1);
         assert_eq!(loc.bits, 16);
-        assert!(loc.shift % 16 == 0 && loc.shift < 64);
+        assert!(loc.shift.is_multiple_of(16) && loc.shift < 64);
     }
 
     #[test]

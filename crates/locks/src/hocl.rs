@@ -84,6 +84,9 @@ struct LocalLock {
     state: Mutex<LocalLockState>,
 }
 
+/// One shard of the local lock table: `(ms, slot) -> lock record`.
+type LockShard = Mutex<HashMap<(u16, u64), Arc<LocalLock>>>;
+
 /// The per-compute-server local lock table.
 ///
 /// One instance is shared by all client threads of a compute server.  Lock
@@ -92,7 +95,7 @@ struct LocalLock {
 /// tests light while preserving behaviour.
 #[derive(Debug)]
 pub struct LocalLockTable {
-    shards: Vec<Mutex<HashMap<(u16, u64), Arc<LocalLock>>>>,
+    shards: Vec<LockShard>,
     tickets: AtomicU64,
 }
 
@@ -128,6 +131,15 @@ impl LocalLockTable {
     pub fn materialized_locks(&self) -> usize {
         self.shards.iter().map(|s| s.lock().len()).sum()
     }
+
+    /// Number of threads currently queued on the local lock for `(ms, slot)`
+    /// (observability/tests).  Does not materialize a lock record.
+    pub fn queued_waiters(&self, ms: u16, slot: u64) -> usize {
+        let shard = &self.shards[(slot as usize ^ ms as usize) % self.shards.len()];
+        let map = shard.lock();
+        map.get(&(ms, slot))
+            .map_or(0, |lock| lock.state.lock().queue.len())
+    }
 }
 
 /// The hierarchical on-chip lock manager.
@@ -160,6 +172,13 @@ impl HoclManager {
     /// The local lock table of compute server `cs`.
     pub fn local_table(&self, cs: u16) -> &LocalLockTable {
         &self.llts[cs as usize % self.llts.len()]
+    }
+
+    /// Number of compute-server-`cs` threads queued locally on the lock that
+    /// guards `node` (observability/tests).
+    pub fn queued_waiters(&self, cs: u16, node: GlobalAddress) -> usize {
+        let slot = self.glt.slot_of(node);
+        self.local_table(cs).queued_waiters(node.ms, slot)
     }
 
     fn acquire_slot(
@@ -465,6 +484,119 @@ mod tests {
         let r = mgr.release(&mut client, node, Vec::new(), true).unwrap();
         assert!(r.released_global, "handover disabled: always release");
         assert!(!mgr.options().use_wait_queue);
+    }
+
+    /// Pump virtual time from `client` until `n` waiters are queued on the
+    /// lock guarding `node`, panicking (rather than hanging) if they never show.
+    fn pump_until_queued(mgr: &HoclManager, client: &mut ClientCtx, node: GlobalAddress, n: usize) {
+        for _ in 0..100_000 {
+            if mgr.queued_waiters(0, node) >= n {
+                return;
+            }
+            client.charge_cpu(100);
+        }
+        panic!("expected {n} queued waiter(s), they never arrived");
+    }
+
+    #[test]
+    fn queued_waiter_acquires_before_later_arrival() {
+        let (pool, mgr) = setup(HoclOptions::default());
+        let node = GlobalAddress::host(0, 70 << 10);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut main_client = pool.fabric().client(0);
+        mgr.acquire(&mut main_client, node).unwrap();
+
+        // First waiter arrives and queues behind the held lock.
+        let h1 = {
+            let pool = Arc::clone(&pool);
+            let mgr = Arc::clone(&mgr);
+            let order = Arc::clone(&order);
+            thread::spawn(move || {
+                let mut client = pool.fabric().client(0);
+                let a = mgr.acquire(&mut client, node).unwrap();
+                order.lock().push(1u32);
+                client.charge_cpu(500);
+                mgr.release(&mut client, node, Vec::new(), true).unwrap();
+                a
+            })
+        };
+        // Pump virtual time (the waiter polls on the virtual clock) until the
+        // first waiter is visibly queued, so the arrival order is fixed.
+        pump_until_queued(&mgr, &mut main_client, node, 1);
+
+        // Second waiter arrives strictly later.
+        let h2 = {
+            let pool = Arc::clone(&pool);
+            let mgr = Arc::clone(&mgr);
+            let order = Arc::clone(&order);
+            thread::spawn(move || {
+                let mut client = pool.fabric().client(0);
+                let a = mgr.acquire(&mut client, node).unwrap();
+                order.lock().push(2u32);
+                mgr.release(&mut client, node, Vec::new(), true).unwrap();
+                a
+            })
+        };
+        pump_until_queued(&mgr, &mut main_client, node, 2);
+
+        mgr.release(&mut main_client, node, Vec::new(), true).unwrap();
+        drop(main_client); // deregister so the waiters can drive the clock alone
+        let a1 = h1.join().unwrap();
+        let a2 = h2.join().unwrap();
+        // FIFO fairness: the earlier waiter entered the critical section first.
+        assert_eq!(*order.lock(), vec![1, 2]);
+        // Both acquisitions were served by handover (no remote round trip).
+        assert!(a1.handed_over && a2.handed_over);
+        assert_eq!(a1.remote_retries + a2.remote_retries, 0);
+    }
+
+    #[test]
+    fn release_wakes_exactly_one_handover_candidate() {
+        let (pool, mgr) = setup(HoclOptions::default());
+        let node = GlobalAddress::host(0, 80 << 10);
+        let mut main_client = pool.fabric().client(0);
+        mgr.acquire(&mut main_client, node).unwrap();
+
+        let queued_during_cs = Arc::new(Mutex::new(None));
+        let mut handles = Vec::new();
+        for id in 1..=2u32 {
+            let worker_pool = Arc::clone(&pool);
+            let worker_mgr = Arc::clone(&mgr);
+            let worker_seen = Arc::clone(&queued_during_cs);
+            handles.push(thread::spawn(move || {
+                let mut client = worker_pool.fabric().client(0);
+                let a = worker_mgr.acquire(&mut client, node).unwrap();
+                // The first waiter to get the lock records how many candidates
+                // are still queued: a correct handover wakes exactly one.
+                let mut seen = worker_seen.lock();
+                if seen.is_none() {
+                    *seen = Some((id, worker_mgr.queued_waiters(0, node)));
+                }
+                drop(seen);
+                client.charge_cpu(300);
+                worker_mgr.release(&mut client, node, Vec::new(), true).unwrap();
+                a
+            }));
+            // Admit waiters one at a time so both are queued before release.
+            pump_until_queued(&mgr, &mut main_client, node, id as usize);
+        }
+
+        // One release with two queued waiters: the global lock is handed over
+        // (not released) ...
+        let r = mgr.release(&mut main_client, node, Vec::new(), true).unwrap();
+        assert!(!r.released_global, "release with waiters should hand over");
+        drop(main_client);
+        for h in handles {
+            assert!(h.join().unwrap().handed_over);
+        }
+        // ... and exactly one candidate woke: the other was still queued while
+        // the first ran its critical section.
+        assert_eq!(*queued_during_cs.lock(), Some((1, 1)));
+        // After the last release the global lock really is free: a client on
+        // another compute server acquires it remotely without handover.
+        let mut other_cs = pool.fabric().client(1);
+        let a = mgr.acquire(&mut other_cs, node).unwrap();
+        assert!(!a.handed_over);
     }
 
     #[test]

@@ -560,7 +560,7 @@ mod tests {
                 .god_write_u64(GlobalAddress::host(0, 8192 + i * 1024), i + 1)
                 .unwrap();
         }
-        let mut bufs = vec![[0u8; 8]; 4];
+        let mut bufs = [[0u8; 8]; 4];
         let before = client.now();
         {
             let mut refs: Vec<(GlobalAddress, &mut [u8])> = bufs

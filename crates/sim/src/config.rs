@@ -150,16 +150,13 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut cfg = FabricConfig::default();
-        cfg.memory_servers = 0;
-        assert!(cfg.validate().is_err());
-
-        let mut cfg = FabricConfig::default();
-        cfg.atomic_buckets = 1000;
-        assert!(cfg.validate().is_err());
-
-        let mut cfg = FabricConfig::default();
-        cfg.host_bytes_per_ms = 16;
-        assert!(cfg.validate().is_err());
+        let bad = [
+            FabricConfig { memory_servers: 0, ..FabricConfig::default() },
+            FabricConfig { atomic_buckets: 1000, ..FabricConfig::default() },
+            FabricConfig { host_bytes_per_ms: 16, ..FabricConfig::default() },
+        ];
+        for cfg in bad {
+            assert!(cfg.validate().is_err(), "{cfg:?} should be rejected");
+        }
     }
 }

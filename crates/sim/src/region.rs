@@ -21,7 +21,7 @@ pub struct Region {
 impl Region {
     /// Allocate a zeroed region of `len_bytes` (rounded up to 8 bytes).
     pub fn new(len_bytes: usize) -> Self {
-        let words = (len_bytes + 7) / 8;
+        let words = len_bytes.div_ceil(8);
         let mut v = Vec::with_capacity(words);
         v.resize_with(words, || AtomicU64::new(0));
         Region {
@@ -119,7 +119,7 @@ impl Region {
     }
 
     fn aligned_slot(&self, offset: u64) -> Result<&AtomicU64, RegionAccessError> {
-        if offset % 8 != 0 {
+        if !offset.is_multiple_of(8) {
             return Err(RegionAccessError::Misaligned);
         }
         self.check(offset, 8)

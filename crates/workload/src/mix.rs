@@ -120,6 +120,67 @@ mod tests {
     }
 
     #[test]
+    fn op_ratios_sum_to_one() {
+        // Every named mix and a custom 4-way mix: the four ratios form a full
+        // probability distribution (percentages sum to exactly 100).
+        let custom = Mix {
+            insert_pct: 25,
+            lookup_pct: 40,
+            delete_pct: 15,
+            range_pct: 20,
+        };
+        for (name, mix) in Mix::named_mixes()
+            .into_iter()
+            .chain([("custom", custom)])
+        {
+            let sum = mix.insert_pct as u16
+                + mix.lookup_pct as u16
+                + mix.delete_pct as u16
+                + mix.range_pct as u16;
+            assert_eq!(sum, 100, "{name} ratios sum to {sum}");
+            assert!(mix.is_valid());
+        }
+        // And a mix that does not sum to 100 is rejected.
+        let broken = Mix {
+            insert_pct: 50,
+            lookup_pct: 30,
+            delete_pct: 10,
+            range_pct: 20,
+        };
+        assert!(!broken.is_valid());
+    }
+
+    #[test]
+    fn pick_samples_each_kind_in_proportion() {
+        // Exhaustively sweeping the 100 possible rolls must reproduce the mix
+        // percentages exactly — `pick` partitions 0..100 into the four bands.
+        let mix = Mix {
+            insert_pct: 25,
+            lookup_pct: 40,
+            delete_pct: 15,
+            range_pct: 20,
+        };
+        let mut counts = std::collections::HashMap::new();
+        for roll in 0..100u8 {
+            *counts.entry(mix.pick(roll)).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts[&OpKind::Insert], 25);
+        assert_eq!(counts[&OpKind::Lookup], 40);
+        assert_eq!(counts[&OpKind::Delete], 15);
+        assert_eq!(counts[&OpKind::RangeQuery], 20);
+
+        // Kinds with a zero share never appear.
+        let mut counts = std::collections::HashMap::new();
+        for roll in 0..100u8 {
+            *counts.entry(Mix::WRITE_INTENSIVE.pick(roll)).or_insert(0u32) += 1;
+        }
+        assert_eq!(counts.get(&OpKind::Delete), None);
+        assert_eq!(counts.get(&OpKind::RangeQuery), None);
+        assert_eq!(counts[&OpKind::Insert], 50);
+        assert_eq!(counts[&OpKind::Lookup], 50);
+    }
+
+    #[test]
     fn pick_respects_boundaries() {
         let m = Mix::WRITE_INTENSIVE;
         assert_eq!(m.pick(0), OpKind::Insert);

@@ -280,6 +280,36 @@ mod tests {
     }
 
     #[test]
+    fn generator_samples_all_four_kinds_in_proportion() {
+        let mut spec = WorkloadSpec::default_scaled();
+        spec.mix = Mix {
+            insert_pct: 25,
+            lookup_pct: 40,
+            delete_pct: 15,
+            range_pct: 20,
+        };
+        let mut gen = spec.generator(9);
+        let n = 20_000usize;
+        let mut counts = [0usize; 4];
+        for op in gen.take_ops(n) {
+            match op {
+                Op::Insert { .. } => counts[0] += 1,
+                Op::Lookup { .. } => counts[1] += 1,
+                Op::Delete { .. } => counts[2] += 1,
+                Op::Range { .. } => counts[3] += 1,
+            }
+        }
+        for (observed, pct) in counts.into_iter().zip([25u32, 40, 15, 20]) {
+            let expected = n * pct as usize / 100;
+            let tolerance = n / 50; // 2% absolute slack on 20k samples
+            assert!(
+                observed.abs_diff(expected) <= tolerance,
+                "kind share {observed} vs expected {expected} (pct {pct})"
+            );
+        }
+    }
+
+    #[test]
     fn range_ops_carry_requested_size() {
         let mut spec = WorkloadSpec::default_scaled();
         spec.mix = Mix::RANGE_ONLY;

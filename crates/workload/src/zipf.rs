@@ -150,6 +150,36 @@ mod tests {
     }
 
     #[test]
+    fn theta_099_top1_frequency_matches_analytic_value() {
+        // For a bounded zipfian over n items, P(rank 0) = 1 / zeta_n(theta).
+        // At the paper's theta = 0.99 the hottest key's empirical share must
+        // land within 10% of that analytic value.
+        let n = 100_000u64;
+        let theta = 0.99;
+        let gen = ZipfianGenerator::new(n, theta);
+        let zetan: f64 = (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+        let expected = 1.0 / zetan;
+
+        let mut rng = StdRng::seed_from_u64(0x05EE_D299);
+        let draws = 400_000u64;
+        let mut top1 = 0u64;
+        for _ in 0..draws {
+            if gen.next_rank(&mut rng) == 0 {
+                top1 += 1;
+            }
+        }
+        let observed = top1 as f64 / draws as f64;
+        let rel_err = (observed - expected).abs() / expected;
+        assert!(
+            rel_err < 0.10,
+            "top-1 frequency {observed:.4} vs analytic {expected:.4} (rel err {rel_err:.3})"
+        );
+        // Sanity: at theta = 0.99 over 1e5 items the hottest key takes a
+        // several-percent share, as the paper's skewed workloads assume.
+        assert!(observed > 0.05 && observed < 0.15);
+    }
+
+    #[test]
     fn ranks_are_in_domain() {
         for theta in [0.0, 0.5, 0.9, 0.99] {
             let gen = ZipfianGenerator::new(64, theta);

@@ -79,15 +79,16 @@ fn main() {
             s.p50_ns as f64 / 1e3,
             s.p99_ns as f64 / 1e3
         );
-        if first.is_none() {
-            first = Some(s);
-        } else if label == "+2-Level Ver" {
-            let base = first.as_ref().unwrap();
-            println!(
-                "\nSherman vs FG+: {:.1}x throughput, {:.1}x lower p99 latency",
-                s.throughput_ops / base.throughput_ops.max(1.0),
-                base.p99_ns as f64 / s.p99_ns.max(1) as f64
-            );
+        match &first {
+            None => first = Some(s),
+            Some(base) if label == "+2-Level Ver" => {
+                println!(
+                    "\nSherman vs FG+: {:.1}x throughput, {:.1}x lower p99 latency",
+                    s.throughput_ops / base.throughput_ops.max(1.0),
+                    base.p99_ns as f64 / s.p99_ns.max(1) as f64
+                );
+            }
+            Some(_) => {}
         }
     }
 }

@@ -1,0 +1,29 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde as a derive on plain data structs (no code in
+//! the tree actually serializes anything — there is no `serde_json` in the
+//! dependency set).  This stub therefore reduces serde to two marker traits
+//! with blanket implementations, plus re-exports of the no-op derives from the
+//! sibling `serde_derive` stub so that `#[derive(Serialize, Deserialize)]`
+//! keeps compiling unchanged.  If a later PR needs real serialization, vendor
+//! the actual crates and delete this stub — the API surface is a strict
+//! subset, so nothing downstream has to change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Minimal `serde::de` module so `serde::de::DeserializeOwned` paths resolve.
+pub mod de {
+    pub use super::DeserializeOwned;
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace cannot reach crates.io, so the real serde machinery is
+//! replaced by a pair of no-op derives.  The sibling `serde` stub provides
+//! blanket implementations of its `Serialize` / `Deserialize` marker traits,
+//! so expanding to an empty token stream is sufficient for every
+//! `#[derive(Serialize, Deserialize)]` in the tree.
+
+use proc_macro::TokenStream;
+
+/// No-op derive for `serde::Serialize` (blanket-implemented by the stub).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive for `serde::Deserialize` (blanket-implemented by the stub).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

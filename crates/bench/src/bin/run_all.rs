@@ -25,6 +25,7 @@ fn main() {
         "fig14_internal",
         "fig15_sensitivity",
         "fig16_hocl",
+        "churn",
     ];
     for bin in binaries {
         println!("\n================ {bin} ================");

@@ -1,0 +1,283 @@
+//! Churn experiments: sliding-window insert/delete workloads that measure
+//! structural deletes, memory reclamation and space amplification.
+//!
+//! The paper's figures never shrink the tree; this harness drives the
+//! [`sherman_workload::ChurnSpec`] family instead and reports, besides
+//! throughput, how well the allocator's footprint tracks the live tree:
+//!
+//! * **space amplification** — node addresses ever carved out of chunks,
+//!   divided by the nodes reachable from the root at the end of the run.
+//!   With structural deletes the carved count pins to the steady-state live
+//!   tree.  A grow-only tree (merges disabled) keeps its garbage *reachable*,
+//!   so there the leak shows directly in the carved/reachable node counts,
+//!   which grow without bound as the window turns over,
+//! * the merge / rebalance / root-collapse counters, and the free-list
+//!   retire / reuse counters.
+
+use sherman::{Cluster, ClusterConfig, NodeCensus, TreeConfig, TreeOptions};
+use sherman_memserver::FreeListStats;
+use sherman_metrics::{LatencyHistogram, RunSummary, SpaceSnapshot, ThreadReport, ThroughputAggregator};
+use sherman_sim::FabricConfig;
+use sherman_workload::{ChurnSpec, Op};
+use std::sync::Arc;
+use std::thread;
+
+/// A fully-specified churn experiment.
+#[derive(Debug, Clone)]
+pub struct ChurnExperiment {
+    /// Label printed in result rows.
+    pub name: String,
+    /// Number of memory servers.
+    pub memory_servers: usize,
+    /// Number of compute servers.
+    pub compute_servers: usize,
+    /// Number of client threads.
+    pub threads: usize,
+    /// Live keys once the window is full.
+    pub window: u64,
+    /// How many times the key window must turn over (the acceptance runs use
+    /// ≥ 10×).
+    pub turnover: f64,
+    /// Percentage of lookups / range scans (the rest are write waves).
+    pub lookup_pct: u8,
+    /// Percentage of range scans.
+    pub range_pct: u8,
+    /// Entries per range scan.
+    pub range_size: u64,
+    /// Technique selection.
+    pub options: TreeOptions,
+    /// Tree geometry.
+    pub tree: TreeConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ChurnExperiment {
+    /// A churn experiment at the harness's default scale.  The chunk size is
+    /// kept small so the footprint reflects node-level reuse rather than
+    /// chunk-granularity slack.
+    pub fn default_scaled(name: impl Into<String>, options: TreeOptions) -> Self {
+        ChurnExperiment {
+            name: name.into(),
+            memory_servers: 2,
+            compute_servers: 2,
+            threads: 4,
+            window: 8_000,
+            turnover: 10.0,
+            lookup_pct: 20,
+            range_pct: 5,
+            range_size: 50,
+            options,
+            tree: TreeConfig {
+                chunk_bytes: 64 << 10,
+                ..TreeConfig::default()
+            },
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Shrink the experiment for smoke runs (`--quick`).  The turnover target
+    /// is preserved — it is the point of the experiment — but the window (and
+    /// with it the total op count) shrinks.
+    pub fn quick(mut self) -> Self {
+        self.threads = self.threads.min(2);
+        self.window = self.window.min(2_000);
+        self.range_size = self.range_size.min(20);
+        self
+    }
+
+    /// The workload specification this experiment drives.
+    pub fn workload(&self) -> ChurnSpec {
+        ChurnSpec {
+            window: self.window,
+            threads: self.threads as u64,
+            lookup_pct: self.lookup_pct,
+            range_pct: self.range_pct,
+            range_size: self.range_size,
+            seed: self.seed,
+        }
+    }
+}
+
+/// What one churn experiment produced.
+#[derive(Debug)]
+pub struct ChurnResult {
+    /// Experiment label.
+    pub name: String,
+    /// Throughput / latency summary.
+    pub summary: RunSummary,
+    /// Window turnovers actually completed (minimum across threads).
+    pub turnovers: f64,
+    /// Structural-delete counters (merges, rebalances, root collapses).
+    pub space: SpaceSnapshot,
+    /// Free-list counters (retired / reused / quarantined).
+    pub reclaim: FreeListStats,
+    /// Node addresses ever carved out of chunks (the remote-memory
+    /// footprint's node count).
+    pub nodes_carved: u64,
+    /// Nodes currently allocated to the tree (carved + reissued − retired).
+    pub nodes_outstanding: u64,
+    /// Nodes reachable from the root after the run.
+    pub census: NodeCensus,
+    /// `nodes_carved / census.total()` — how much remote memory the run
+    /// claimed per live node.
+    pub space_amplification: f64,
+}
+
+/// Run one churn experiment to completion and aggregate the results.
+pub fn run_churn_experiment(exp: &ChurnExperiment) -> ChurnResult {
+    let spec = exp.workload();
+    spec.validate().expect("invalid churn workload");
+    let ops_per_thread = spec.ops_per_thread_for_turnover(exp.turnover);
+
+    let cluster_config = ClusterConfig {
+        fabric: FabricConfig {
+            memory_servers: exp.memory_servers,
+            compute_servers: exp.compute_servers,
+            ..FabricConfig::default()
+        },
+        tree: exp.tree.clone(),
+    };
+    let cluster = Cluster::new(cluster_config, exp.options);
+    // Churn starts from an empty tree: the warm-up phase of every generator
+    // fills the window through the ordinary insert path.
+    cluster.bulkload(std::iter::empty()).expect("bulkload");
+
+    let start_time = cluster.fabric().now();
+    let barrier = Arc::new(std::sync::Barrier::new(exp.threads));
+    let mut handles = Vec::new();
+    for t in 0..exp.threads {
+        let cluster = Arc::clone(&cluster);
+        let spec = spec.clone();
+        let barrier = Arc::clone(&barrier);
+        let cs = (t % exp.compute_servers) as u16;
+        handles.push(thread::spawn(move || {
+            let mut client = cluster.client(cs);
+            let mut gen = spec.generator(t as u64);
+            barrier.wait();
+            let mut ops = 0u64;
+            let mut latency = LatencyHistogram::new();
+            for _ in 0..ops_per_thread {
+                let op = gen.next_op();
+                let stats = match op {
+                    Op::Lookup { key } => {
+                        let (value, s) = client.lookup(key).expect("lookup");
+                        assert!(value.is_some(), "live key {key} must be present");
+                        s
+                    }
+                    Op::Insert { key, value } => client.insert(key, value).expect("insert"),
+                    Op::Delete { key } => {
+                        let (existed, s) = client.delete(key).expect("delete");
+                        assert!(existed, "windowed key {key} deleted twice");
+                        s
+                    }
+                    Op::Range { start_key, count } => {
+                        client.range(start_key, count as usize).expect("range").1
+                    }
+                };
+                ops += 1;
+                latency.record(stats.latency_ns);
+            }
+            (ThreadReport { ops, latency }, gen.turnovers())
+        }));
+    }
+
+    let mut agg = ThroughputAggregator::new();
+    let mut min_turnovers = f64::INFINITY;
+    for h in handles {
+        let (report, turnovers) = h.join().expect("churn worker panicked");
+        agg.add(&report);
+        min_turnovers = min_turnovers.min(turnovers);
+    }
+    let elapsed = cluster.fabric().now().saturating_sub(start_time).max(1);
+
+    let census = cluster.node_census().expect("census");
+    let nodes_carved = cluster.pool().nodes_carved();
+    ChurnResult {
+        name: exp.name.clone(),
+        summary: agg.finish(elapsed),
+        turnovers: min_turnovers,
+        space: cluster.space_stats(),
+        reclaim: cluster.reclaim_stats(),
+        nodes_carved,
+        nodes_outstanding: cluster.nodes_outstanding(),
+        census,
+        space_amplification: nodes_carved as f64 / census.total().max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(options: TreeOptions) -> ChurnExperiment {
+        ChurnExperiment {
+            window: 1_500,
+            threads: 2,
+            tree: TreeConfig {
+                node_size: 256,
+                cache_bytes: 1 << 20,
+                chunk_bytes: 64 << 10,
+                reclaim_grace_ns: 10_000,
+                ..TreeConfig::default()
+            },
+            ..ChurnExperiment::default_scaled("tiny-churn", options)
+        }
+    }
+
+    #[test]
+    fn churn_with_merges_bounds_space_amplification() {
+        let on = run_churn_experiment(&tiny(TreeOptions::sherman()));
+        assert!(
+            on.turnovers >= 10.0,
+            "acceptance requires ≥10× turnover, got {:.1}",
+            on.turnovers
+        );
+        assert!(on.space.leaf_merges > 0, "churn must trigger merges");
+        assert!(on.reclaim.retired > 0);
+        assert!(on.reclaim.reused > 0, "retired nodes must be recycled");
+        // The acceptance bar: total allocated node addresses stay within 2×
+        // of the steady-state live tree.
+        assert!(
+            on.space_amplification < 2.0,
+            "space amplification {:.2} (carved {} vs live {})",
+            on.space_amplification,
+            on.nodes_carved,
+            on.census.total()
+        );
+        // Book-keeping agrees with the reachability walk.
+        assert_eq!(on.nodes_outstanding, on.census.total());
+        assert!(on.summary.throughput_ops > 0.0);
+
+        // The same churn without structural deletes leaks without bound: its
+        // garbage stays reachable, so both the carved footprint and the
+        // reachable-node count grow with the turnover instead of pinning to
+        // the live tree size.
+        let off = run_churn_experiment(&tiny(
+            TreeOptions::sherman().without_structural_deletes(),
+        ));
+        assert_eq!(off.space.merges(), 0);
+        assert_eq!(off.reclaim.retired, 0);
+        assert!(
+            off.nodes_carved > 4 * on.nodes_carved,
+            "grow-only churn should leak: carved {} vs {} with merges",
+            off.nodes_carved,
+            on.nodes_carved
+        );
+        assert!(
+            off.census.total() > 4 * on.census.total(),
+            "grow-only churn retains garbage nodes: {} vs {} reachable",
+            off.census.total(),
+            on.census.total()
+        );
+    }
+
+    #[test]
+    fn quick_shrinks_but_preserves_turnover() {
+        let exp = ChurnExperiment::default_scaled("q", TreeOptions::sherman()).quick();
+        assert!(exp.threads <= 2);
+        assert!(exp.window <= 2_000);
+        assert_eq!(exp.turnover, 10.0);
+        exp.workload().validate().unwrap();
+    }
+}

@@ -7,6 +7,9 @@
 //!   with a YCSB-style workload from many client threads, and report
 //!   throughput, latency percentiles and the internal distributions used by
 //!   Figure 14,
+//! * [`churnbench`] — sliding-window churn runs measuring structural deletes,
+//!   reclamation and space amplification (beyond the paper, which never
+//!   shrinks the tree),
 //! * [`lockbench`] — the lock-service microbenchmarks behind Figure 2 and
 //!   Figure 16 (no tree involved),
 //! * [`fabricbench`] — raw `RDMA_WRITE` throughput versus IO size (Figure 3),
@@ -22,12 +25,14 @@
 #![deny(unsafe_code)]
 
 pub mod args;
+pub mod churnbench;
 pub mod fabricbench;
 pub mod lockbench;
 pub mod report;
 pub mod runner;
 
 pub use args::Args;
+pub use churnbench::{run_churn_experiment, ChurnExperiment, ChurnResult};
 pub use fabricbench::{run_write_size_sweep, WriteSizePoint};
 pub use lockbench::{run_lock_experiment, LockExperiment, LockVariant};
 pub use report::{fmt_mops, fmt_us, print_table};

@@ -68,6 +68,8 @@ impl TreeExperiment {
         self.threads = self.threads.min(4);
         self.key_space = self.key_space.min(1 << 15);
         self.ops_per_thread = self.ops_per_thread.min(100);
+        // Large scans dominate smoke runs of the range benches; cap them too.
+        self.range_size = self.range_size.min(100);
         self
     }
 
@@ -297,9 +299,12 @@ mod tests {
 
     #[test]
     fn quick_shrinks_the_experiment() {
-        let exp = TreeExperiment::default_scaled("x", TreeOptions::sherman()).quick();
+        let mut exp = TreeExperiment::default_scaled("x", TreeOptions::sherman());
+        exp.range_size = 1_000; // as fig12's large-scan rows configure
+        let exp = exp.quick();
         assert!(exp.threads <= 4);
         assert!(exp.ops_per_thread <= 100);
+        assert!(exp.range_size <= 100, "quick runs must cap scan size");
         exp.workload().validate().unwrap();
     }
 }

@@ -245,17 +245,19 @@ impl IndexCache {
         }
     }
 
-    /// Remove every cached level-1 node that references `addr` as a child or
-    /// is a copy of `addr` itself (used after node frees).
+    /// Remove every cached node — level-1 *and* always-cached top-level — that
+    /// references `addr` as a child or is a copy of `addr` itself (used after
+    /// node frees).  A stale always-cached copy would otherwise route
+    /// traversals to the freed node forever, so the top set must be scrubbed
+    /// too; later traversals simply fall back to the remote root.
     pub fn invalidate_addr(&self, addr: GlobalAddress) {
+        let refers = |n: &CachedInternal| {
+            n.addr == addr || n.leftmost == addr || n.children.iter().any(|c| c.child == addr)
+        };
         let mut entries = self.entries.write();
         let stale: Vec<u64> = entries
             .iter()
-            .filter(|(_, e)| {
-                e.node.addr == addr
-                    || e.node.leftmost == addr
-                    || e.node.children.iter().any(|c| c.child == addr)
-            })
+            .filter(|(_, e)| refers(&e.node))
             .map(|(k, _)| *k)
             .collect();
         for k in stale {
@@ -264,6 +266,8 @@ impl IndexCache {
                 self.stats.record_invalidation();
             }
         }
+        drop(entries);
+        self.top.write().retain(|n| !refers(n));
     }
 
     // ------------------------------------------------------------------

@@ -50,6 +50,24 @@ struct OpMeta {
     cache_hit: bool,
 }
 
+/// What a structural-delete attempt decided to commit (the encoded node
+/// images that will ride the lock releases).
+enum MergeOutcome {
+    /// The left node absorbed its right sibling; the sibling image is the
+    /// freed (free-bit set, version-bumped) tombstone.
+    Merge {
+        left_bytes: Vec<u8>,
+        right_bytes: Vec<u8>,
+    },
+    /// Entries moved from the right sibling into the left node; the parent's
+    /// separator must move to `new_sep`.
+    Rebalance {
+        left_bytes: Vec<u8>,
+        right_bytes: Vec<u8>,
+        new_sep: u64,
+    },
+}
+
 /// A per-thread handle to the tree.
 ///
 /// Create one with [`Cluster::client`] *on the thread that will use it*: the
@@ -145,6 +163,13 @@ impl TreeClient {
         if let Some(hint) = self.cluster.root_hint() {
             return Ok((hint.addr, hint.level));
         }
+        self.root_remote()
+    }
+
+    /// Re-read the root pointer and level hint from the remote superblock,
+    /// refreshing the local hint (used when a restart suggests the hint may be
+    /// stale — e.g. after a racing root growth or root collapse).
+    fn root_remote(&mut self) -> TreeResult<(GlobalAddress, u8)> {
         let packed = self.ctx.read_u64(self.cluster.root_ptr_addr())?;
         if packed == 0 {
             return Err(TreeError::NotInitialized);
@@ -227,10 +252,24 @@ impl TreeClient {
         meta: &mut OpMeta,
     ) -> TreeResult<GlobalAddress> {
         let restarts = self.cluster.config().max_restarts;
-        'restart: for _ in 0..restarts {
-            let (root_addr, root_level) = self.root()?;
-            let (mut addr, mut expect_level) = match self.cluster.cache(self.cs_id).search_top(key)
-            {
+        // With structural deletes enabled, a restart may mean a local shortcut
+        // went stale (a freed node or a collapsed root): after the first
+        // failed attempt, re-read the root from the superblock and skip the
+        // type-❷ cache.  In grow-only mode (the paper's behaviour) neither
+        // can happen, so restarts keep their shortcuts and cost profile.
+        let distrust_shortcuts = self.cluster.options().structural_deletes_enabled();
+        'restart: for attempt in 0..restarts {
+            let (root_addr, root_level) = if attempt == 0 || !distrust_shortcuts {
+                self.root()?
+            } else {
+                self.root_remote()?
+            };
+            let cached_top = if attempt == 0 || !distrust_shortcuts {
+                self.cluster.cache(self.cs_id).search_top(key)
+            } else {
+                None
+            };
+            let (mut addr, mut expect_level) = match cached_top {
                 Some((child, child_level)) if child_level >= target_level => (child, child_level),
                 _ => (root_addr, root_level),
             };
@@ -724,12 +763,371 @@ impl TreeClient {
                 }
             };
             self.release_lock(addr, writes)?;
+
+            // Structural deletes (§ beyond the paper): once the leaf drops
+            // below the merge threshold, try to fold it into its right
+            // sibling and reclaim the freed node.  Best-effort — the delete
+            // itself has already committed, so a merge that loses its races
+            // (retry budgets included) must not fail the operation; a later
+            // delete will retry it.
+            if self.cluster.options().structural_deletes_enabled()
+                && leaf.live_count() < self.leaf_merge_floor()
+                && leaf.header.sibling.is_some()
+            {
+                match self.try_merge(addr, 0, Some(&leaf.header), meta) {
+                    Ok(()) | Err(TreeError::RetriesExhausted { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
             return Ok(true);
         }
         Err(TreeError::RetriesExhausted {
             context: "delete",
             attempts: restarts,
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Structural deletes: merge, rebalance, root collapse, reclamation
+    // ------------------------------------------------------------------
+
+    /// Live-entry count below which a leaf becomes a merge candidate.
+    fn leaf_merge_floor(&self) -> usize {
+        let cap = self.layout().leaf_capacity() as f64;
+        (cap * self.cluster.options().merge_threshold).floor() as usize
+    }
+
+    /// Separator count below which an internal node becomes a merge candidate.
+    fn internal_merge_floor(&self) -> usize {
+        let cap = self.layout().internal_capacity() as f64;
+        (cap * self.cluster.options().merge_threshold).floor() as usize
+    }
+
+    /// Acquire the locks guarding `nodes` in the manager's deadlock-safe
+    /// order, returning the acquired lock-word representatives.
+    fn acquire_plan(
+        &mut self,
+        nodes: &[GlobalAddress],
+        meta: &mut OpMeta,
+    ) -> TreeResult<Vec<GlobalAddress>> {
+        let mgr = Arc::clone(self.cluster.lock_manager());
+        let plan = mgr.lock_plan(nodes);
+        for &rep in &plan {
+            let acq = mgr.acquire(&mut self.ctx, rep)?;
+            meta.lock_retries += acq.remote_retries;
+            meta.handed_over |= acq.handed_over;
+        }
+        Ok(plan)
+    }
+
+    /// Release every lock of `plan` (in reverse acquisition order), flushing
+    /// each node's write-backs with the release of the lock word guarding it.
+    fn release_plan(
+        &mut self,
+        plan: &[GlobalAddress],
+        mut writes: Vec<(GlobalAddress, WriteCmd)>,
+    ) -> TreeResult<()> {
+        let mgr = Arc::clone(self.cluster.lock_manager());
+        let combine = self.combine();
+        for &rep in plan.iter().rev() {
+            let mut batch = Vec::new();
+            writes.retain_mut(|(node, cmd)| {
+                if mgr.same_lock(rep, *node) {
+                    batch.push(std::mem::replace(cmd, WriteCmd::new(*node, Vec::new())));
+                    false
+                } else {
+                    true
+                }
+            });
+            mgr.release(&mut self.ctx, rep, batch, combine)?;
+        }
+        debug_assert!(writes.is_empty(), "write-back without a guarding lock");
+        Ok(())
+    }
+
+    /// Locate the level-`parent_level` node holding the separator
+    /// `sep → child` (lock-free).  Returns `None` when the separator cannot
+    /// be found — e.g. `child` is the leftmost child of its parent, in which
+    /// case the merge is skipped (known simplification: B-link trees have no
+    /// left-sibling pointers to merge into).
+    fn find_parent_of(
+        &mut self,
+        sep: u64,
+        child: GlobalAddress,
+        parent_level: u8,
+        meta: &mut OpMeta,
+    ) -> TreeResult<Option<GlobalAddress>> {
+        let (_, root_level) = self.root()?;
+        if root_level < parent_level {
+            return Ok(None);
+        }
+        let restarts = self.cluster.config().max_restarts;
+        let mut pending: Option<GlobalAddress> = None;
+        for _ in 0..restarts {
+            let addr = match pending.take() {
+                Some(a) => a,
+                None => match self.traverse_to_level(sep, parent_level, meta) {
+                    Ok(a) => a,
+                    // The merge is opportunistic; a lost traversal race just
+                    // means some later delete will retry it.
+                    Err(TreeError::RetriesExhausted { .. }) => return Ok(None),
+                    Err(e) => return Err(e),
+                },
+            };
+            let buf = self.read_node_consistent(addr, meta)?;
+            let node = self.layout().decode_internal(&buf);
+            if node.header.free || node.header.is_leaf || node.header.level != parent_level {
+                continue;
+            }
+            if !node.header.covers(sep) {
+                if sep >= node.header.fence_high {
+                    pending = node.header.sibling;
+                }
+                continue;
+            }
+            // Separators live in the unique covering node, so this answer is
+            // definitive (it is re-validated under the lock later anyway).
+            let found = node.entries.iter().any(|e| e.key == sep && e.child == child);
+            return Ok(found.then_some(addr));
+        }
+        Ok(None)
+    }
+
+    /// Try to merge the underfull node at `left_addr` (level `level`) with its
+    /// right B-link sibling, or rebalance entries from the sibling when a full
+    /// merge does not fit.  Merged siblings are unlinked, their separator is
+    /// removed from the parent (collapsing the root when it runs out of
+    /// separators), and their address is retired to the memory server's
+    /// quarantined free list.
+    ///
+    /// Best-effort and all-or-nothing: no remote write happens until the left
+    /// node, the sibling and the parent are all locked (in the lock manager's
+    /// global rank order) and re-validated; any mismatch releases the locks
+    /// untouched.
+    ///
+    /// `known_hdr` lets the delete path pass the leaf header it already holds
+    /// (saving a remote read); the cascade path passes `None`.  Either way the
+    /// header only seeds discovery — phase 2 re-validates under the locks.
+    fn try_merge(
+        &mut self,
+        left_addr: GlobalAddress,
+        level: u8,
+        known_hdr: Option<&crate::node::NodeHeader>,
+        meta: &mut OpMeta,
+    ) -> TreeResult<()> {
+        // Phase 1 (lock-free): discover the sibling and the parent.
+        let left_hdr = match known_hdr {
+            Some(h) => h.clone(),
+            None => {
+                let buf = self.read_node_consistent(left_addr, meta)?;
+                self.layout().decode_header(&buf)
+            }
+        };
+        if left_hdr.free || left_hdr.level != level {
+            return Ok(());
+        }
+        let Some(right_addr) = left_hdr.sibling else {
+            return Ok(());
+        };
+        let Some(parent_addr) =
+            self.find_parent_of(left_hdr.fence_high, right_addr, level + 1, meta)?
+        else {
+            return Ok(());
+        };
+
+        // Phase 2: lock all three nodes, re-read, re-validate.
+        let plan = self.acquire_plan(&[left_addr, right_addr, parent_addr], meta)?;
+        let left_buf = self.read_node_locked(left_addr)?;
+        let right_buf = self.read_node_locked(right_addr)?;
+        let parent_buf = self.read_node_locked(parent_addr)?;
+        let lh = self.layout().decode_header(&left_buf);
+        let rh = self.layout().decode_header(&right_buf);
+        let mut parent = self.layout().decode_internal(&parent_buf);
+        let sep = rh.fence_low;
+        let is_leaf = level == 0;
+        let structure_ok = !lh.free
+            && !rh.free
+            && !parent.header.free
+            && lh.level == level
+            && rh.level == level
+            && lh.is_leaf == is_leaf
+            && rh.is_leaf == is_leaf
+            && !parent.header.is_leaf
+            && parent.header.level == level + 1
+            && lh.sibling == Some(right_addr)
+            && lh.fence_high == sep
+            && parent.header.covers(sep)
+            && parent.entries.iter().any(|e| e.key == sep && e.child == right_addr);
+        if !structure_ok {
+            return self.release_plan(&plan, Vec::new());
+        }
+
+        // Phase 3: decide merge vs rebalance and build the new images.
+        let outcome = if is_leaf {
+            self.plan_leaf_merge(&left_buf, &right_buf)
+        } else {
+            self.plan_internal_merge(&left_buf, &right_buf)
+        };
+        let Some(outcome) = outcome else {
+            return self.release_plan(&plan, Vec::new());
+        };
+
+        // Phase 4: commit.  The parent update decides between separator
+        // removal (merge), separator retargeting (rebalance) and root
+        // collapse; every write rides its lock's release.
+        let mut writes: Vec<(GlobalAddress, WriteCmd)> = Vec::new();
+        let mut retired: Vec<GlobalAddress> = Vec::new();
+        let mut cascade = false;
+        match outcome {
+            MergeOutcome::Merge { left_bytes, right_bytes } => {
+                assert!(parent.remove_separator(sep, right_addr));
+                writes.push((left_addr, WriteCmd::new(left_addr, left_bytes)));
+                writes.push((right_addr, WriteCmd::new(right_addr, right_bytes)));
+                retired.push(right_addr);
+
+                let collapsed = parent.entries.is_empty()
+                    && self.try_collapse_root(parent_addr, &parent, level)?;
+                if collapsed {
+                    parent.header.free = true;
+                    retired.push(parent_addr);
+                } else {
+                    cascade = parent.entries.len() < self.internal_merge_floor()
+                        && parent.header.sibling.is_some();
+                }
+                parent.header.bump_versions();
+                let parent_bytes = self.encode_internal_for_write(&parent);
+                writes.push((parent_addr, WriteCmd::new(parent_addr, parent_bytes)));
+                if is_leaf {
+                    self.cluster.space_counters().record_leaf_merge();
+                } else {
+                    self.cluster.space_counters().record_internal_merge();
+                }
+            }
+            MergeOutcome::Rebalance { left_bytes, right_bytes, new_sep } => {
+                assert!(parent.retarget_separator(sep, new_sep, right_addr));
+                parent.header.bump_versions();
+                let parent_bytes = self.encode_internal_for_write(&parent);
+                writes.push((left_addr, WriteCmd::new(left_addr, left_bytes)));
+                writes.push((right_addr, WriteCmd::new(right_addr, right_bytes)));
+                writes.push((parent_addr, WriteCmd::new(parent_addr, parent_bytes)));
+                self.cluster.space_counters().record_rebalance();
+            }
+        }
+        self.release_plan(&plan, writes)?;
+
+        // Phase 5: post-commit bookkeeping (no locks held).
+        let now = self.ctx.now();
+        for addr in retired {
+            self.cluster.retire_node(addr, now);
+        }
+        if level == 0 && !parent.header.free {
+            self.cluster
+                .cache(self.cs_id)
+                .insert_level1(Self::cached_from_internal(parent_addr, &parent));
+        }
+        if cascade {
+            // The parent itself dropped below the merge threshold: recurse
+            // one level up (bounded by the tree height).
+            self.try_merge(parent_addr, level + 1, None, meta)?;
+        }
+        Ok(())
+    }
+
+    /// Build the post-merge (or post-rebalance) images for two adjacent
+    /// leaves, or `None` when the left leaf is no longer a merge candidate.
+    fn plan_leaf_merge(&mut self, left_buf: &[u8], right_buf: &[u8]) -> Option<MergeOutcome> {
+        let layout = *self.layout();
+        let mut left = layout.decode_leaf(left_buf);
+        let mut right = layout.decode_leaf(right_buf);
+        let floor = self.leaf_merge_floor();
+        let (live_l, live_r) = (left.live_count(), right.live_count());
+        if live_l >= floor {
+            return None;
+        }
+        // Local CPU cost of re-packing the nodes (same accounting as splits).
+        self.ctx.charge_scan(layout.node_size());
+        if live_l + live_r <= layout.leaf_capacity() {
+            left.absorb_right(&right);
+            right.header.free = true;
+            right.header.bump_versions();
+            Some(MergeOutcome::Merge {
+                left_bytes: self.encode_leaf_for_write(&left),
+                right_bytes: self.encode_leaf_for_write(&right),
+            })
+        } else {
+            // The siblings cannot fit in one node: top the left leaf up to the
+            // merge floor instead, without draining the donor below it.
+            let want = floor - live_l;
+            let spare = live_r.saturating_sub(floor);
+            let move_n = want.min(spare);
+            if move_n == 0 {
+                return None;
+            }
+            let new_sep = left.take_from_right(&mut right, move_n);
+            Some(MergeOutcome::Rebalance {
+                left_bytes: self.encode_leaf_for_write(&left),
+                right_bytes: self.encode_leaf_for_write(&right),
+                new_sep,
+            })
+        }
+    }
+
+    /// Build the post-merge images for two adjacent internal nodes, or `None`
+    /// when no merge applies (internal rebalance is a known simplification:
+    /// underfull internal nodes whose combined separators do not fit are left
+    /// alone).
+    fn plan_internal_merge(&mut self, left_buf: &[u8], right_buf: &[u8]) -> Option<MergeOutcome> {
+        let layout = *self.layout();
+        let mut left = layout.decode_internal(left_buf);
+        let mut right = layout.decode_internal(right_buf);
+        if left.entries.len() >= self.internal_merge_floor() {
+            return None;
+        }
+        if left.entries.len() + 1 + right.entries.len() > layout.internal_capacity() {
+            return None;
+        }
+        self.ctx.charge_scan(layout.node_size());
+        left.absorb_right(&right);
+        right.header.free = true;
+        right.header.bump_versions();
+        Some(MergeOutcome::Merge {
+            left_bytes: self.encode_internal_for_write(&left),
+            right_bytes: self.encode_internal_for_write(&right),
+        })
+    }
+
+    /// If `parent` (now empty of separators) is the current root, replace the
+    /// root pointer with its single remaining child.  Returns whether the
+    /// collapse happened; the caller then frees the old root.  Called with the
+    /// parent's lock held, so no separator can be inserted concurrently; a
+    /// racing root *growth* is detected by the CAS.
+    fn try_collapse_root(
+        &mut self,
+        parent_addr: GlobalAddress,
+        parent: &InternalNode,
+        child_level: u8,
+    ) -> TreeResult<bool> {
+        debug_assert!(parent.entries.is_empty());
+        let root_ptr = self.cluster.root_ptr_addr();
+        let packed = self.ctx.read_u64(root_ptr)?;
+        if packed != parent_addr.pack() {
+            // Not the root (or no longer): an empty internal node with one
+            // leftmost child is still a valid router, so just leave it.
+            return Ok(false);
+        }
+        let child = parent
+            .header
+            .leftmost
+            .expect("internal node has leftmost child");
+        let cas = self.ctx.cas(root_ptr, packed, child.pack())?;
+        if !cas.succeeded {
+            return Ok(false);
+        }
+        self.ctx
+            .write_u64(ServerLayout::level_hint_addr(), child_level as u64)?;
+        self.cluster.set_root_hint(child, child_level);
+        self.cluster.space_counters().record_root_collapse();
+        Ok(true)
     }
 
     // ------------------------------------------------------------------
@@ -764,6 +1162,10 @@ impl TreeClient {
         // RDMA_READ in parallel to fetch targeted leaf nodes").
         let per_leaf = (layout.leaf_capacity() as f64 * self.cluster.config().leaf_fill) as usize;
         let wanted_leaves = count / per_leaf.max(1) + 1;
+        // Set when a tombstoned (merged-away) leaf was encountered: its live
+        // entries moved to its left neighbour, so the scan must re-locate its
+        // resume point instead of trusting the batch / sibling chain.
+        let mut tombstoned = false;
         if let Some(cached) = self.cluster.cache(self.cs_id).lookup_covering(start_key) {
             meta.cache_hit = true;
             let addrs: Vec<GlobalAddress> = cached
@@ -786,6 +1188,10 @@ impl TreeClient {
                         // Torn image: re-read this leaf individually.
                         let fresh = self.read_node_consistent(*addr, meta)?;
                         let leaf = layout.decode_leaf(&fresh);
+                        if leaf.header.free || !leaf.header.is_leaf {
+                            tombstoned = true;
+                            break;
+                        }
                         Self::collect_leaf(&leaf, start_key, &mut results);
                         visited.insert(addr.pack());
                         last_leaf = Some(leaf);
@@ -793,7 +1199,12 @@ impl TreeClient {
                     }
                     let leaf = layout.decode_leaf(buf);
                     if leaf.header.free || !leaf.header.is_leaf {
-                        continue;
+                        // A concurrent merge freed this cached child; its
+                        // entries now live in an earlier leaf whose pre-merge
+                        // image we may already have consumed.  Stop the batch
+                        // and re-locate below.
+                        tombstoned = true;
+                        break;
                     }
                     self.ctx.charge_scan(layout.node_size());
                     Self::collect_leaf(&leaf, start_key, &mut results);
@@ -803,14 +1214,33 @@ impl TreeClient {
             }
         }
 
+        // The smallest key the scan still needs (everything below is already
+        // collected — possibly from a pre-merge image, which de-duplication
+        // reconciles).
+        let resume_key = |results: &Vec<(u64, u64)>| {
+            results
+                .iter()
+                .map(|&(k, _)| k)
+                .max()
+                .map_or(start_key, |k| k.saturating_add(1))
+        };
+
         // Phase 2: continue along sibling pointers until enough entries were
         // gathered (also the fallback when the cache had nothing).
-        let mut next = match &last_leaf {
-            Some(leaf) if results.len() < count => leaf.header.sibling,
-            Some(_) => None,
-            None => {
-                let (addr, _) = self.locate_leaf(start_key, meta)?;
-                Some(addr)
+        let mut next = if tombstoned && results.len() < count {
+            let (addr, _) = self.locate_leaf(resume_key(&results), meta)?;
+            visited.remove(&addr.pack());
+            Some(addr)
+        } else if tombstoned {
+            None
+        } else {
+            match &last_leaf {
+                Some(leaf) if results.len() < count => leaf.header.sibling,
+                Some(_) => None,
+                None => {
+                    let (addr, _) = self.locate_leaf(start_key, meta)?;
+                    Some(addr)
+                }
             }
         };
         let mut hops = 0u32;
@@ -825,7 +1255,14 @@ impl TreeClient {
             let buf = self.read_node_consistent(addr, meta)?;
             let leaf = layout.decode_leaf(&buf);
             if leaf.header.free || !leaf.header.is_leaf {
-                break;
+                // Tombstoned by a concurrent merge: its entries moved into a
+                // left neighbour.  Re-locate the resume point and re-read
+                // that leaf even if a pre-merge image of it was already
+                // consumed (bounded by the `hops` budget).
+                let (fresh, _) = self.locate_leaf(resume_key(&results), meta)?;
+                visited.remove(&fresh.pack());
+                next = Some(fresh);
+                continue;
             }
             Self::collect_leaf(&leaf, start_key, &mut results);
             next = leaf.header.sibling;
@@ -1008,6 +1445,175 @@ mod tests {
         // A cache hit costs a single leaf read: one round trip.
         assert_eq!(stats.round_trips, 1);
         assert_eq!(stats.reads, 1);
+    }
+
+    #[test]
+    fn deletes_merge_underfull_leaves_and_reclaim_nodes() {
+        let cluster = small_cluster(TreeOptions::sherman());
+        let n = 2_000u64;
+        cluster.bulkload((0..n).map(|k| (k, k + 1))).unwrap();
+        let mut client = cluster.client(0);
+        let before = cluster.node_census().unwrap();
+
+        // Delete everything except every 100th key: leaves drain and merge.
+        for k in 0..n {
+            if k % 100 != 0 {
+                client.delete(k).unwrap();
+            }
+        }
+        let space = cluster.space_stats();
+        assert!(space.leaf_merges > 0, "draining 99% of keys must trigger merges");
+        let reclaim = cluster.reclaim_stats();
+        assert!(reclaim.retired > 0, "merged siblings must be retired");
+
+        let after = cluster.node_census().unwrap();
+        assert!(
+            after.total() < before.total() / 4,
+            "census should shrink: {} -> {}",
+            before.total(),
+            after.total()
+        );
+        // Book-keeping agrees with the walk: every allocated node is either
+        // reachable or still quarantined/ready in a free list.
+        assert_eq!(cluster.nodes_outstanding(), after.total());
+
+        // Survivors are intact, victims are gone.
+        for k in (0..n).step_by(100) {
+            assert_eq!(client.lookup(k).unwrap().0, Some(k + 1), "survivor {k}");
+        }
+        for k in (1..n).step_by(97) {
+            if k % 100 != 0 {
+                assert_eq!(client.lookup(k).unwrap().0, None, "victim {k}");
+            }
+        }
+        // Range scans cross the merge boundaries correctly.
+        let (scan, _) = client.range(0, 10).unwrap();
+        let expect: Vec<(u64, u64)> = (0..10).map(|i| (i * 100, i * 100 + 1)).collect();
+        assert_eq!(scan, expect);
+    }
+
+    #[test]
+    fn full_drain_collapses_the_root() {
+        let cluster = small_cluster(TreeOptions::sherman());
+        let n = 3_000u64;
+        cluster.bulkload((0..n).map(|k| (k, k))).unwrap();
+        assert!(cluster.root_hint().unwrap().level >= 2);
+        let mut client = cluster.client(0);
+        for k in 0..n {
+            client.delete(k).unwrap();
+        }
+        let space = cluster.space_stats();
+        assert!(space.root_collapses > 0, "draining the tree must collapse the root");
+        assert!(space.internal_merges > 0, "internal levels must merge too");
+        assert!(
+            cluster.root_hint().unwrap().level < 2,
+            "root level should shrink, still {}",
+            cluster.root_hint().unwrap().level
+        );
+        // The empty tree still works.
+        assert_eq!(client.lookup(500).unwrap().0, None);
+        client.insert(500, 7).unwrap();
+        assert_eq!(client.lookup(500).unwrap().0, Some(7));
+        let (scan, _) = client.range(0, 10).unwrap();
+        assert_eq!(scan, vec![(500, 7)]);
+    }
+
+    #[test]
+    fn retired_addresses_are_recycled_by_later_inserts() {
+        // Zero grace period so reuse is immediate and deterministic.
+        let mut config = ClusterConfig::small();
+        config.tree.reclaim_grace_ns = 0;
+        let cluster = Cluster::new(config, TreeOptions::sherman());
+        let n = 2_000u64;
+        cluster.bulkload((0..n).map(|k| (k, k))).unwrap();
+        let mut client = cluster.client(0);
+        for k in 0..n {
+            client.delete(k).unwrap();
+        }
+        assert!(cluster.reclaim_stats().retired > 0);
+        // Grow the tree again: the allocator must prefer recycled addresses
+        // over fresh chunks.
+        for k in 0..n {
+            client.insert(k, k * 2).unwrap();
+        }
+        assert!(
+            cluster.reclaim_stats().reused > 0,
+            "re-growing after a drain should reuse retired nodes"
+        );
+        for k in (0..n).step_by(83) {
+            assert_eq!(client.lookup(k).unwrap().0, Some(k * 2));
+        }
+    }
+
+    #[test]
+    fn underfull_leaf_next_to_full_sibling_rebalances() {
+        // Bulkload 100% full so the right sibling cannot absorb a merge;
+        // draining the left leaf must *rebalance* (move entries, keep both
+        // nodes) instead.
+        let mut config = ClusterConfig::small();
+        config.tree.leaf_fill = 1.0;
+        let cluster = Cluster::new(config, TreeOptions::sherman());
+        let leaf_cap = cluster.layout().leaf_capacity() as u64;
+        let n = leaf_cap * 30;
+        cluster.bulkload((0..n).map(|k| (k, k + 7))).unwrap();
+        let mut client = cluster.client(0);
+
+        // Drain the first leaf down to a single key.
+        for k in 1..leaf_cap {
+            client.delete(k).unwrap();
+        }
+        let space = cluster.space_stats();
+        assert!(space.rebalances > 0, "full sibling should force a rebalance");
+        assert_eq!(space.merges(), 0, "nothing can merge at 100% fill");
+        assert_eq!(cluster.reclaim_stats().retired, 0);
+
+        // Every surviving key is still reachable with its value.
+        assert_eq!(client.lookup(0).unwrap().0, Some(7));
+        for k in leaf_cap..n {
+            if k % 7 == 0 {
+                assert_eq!(client.lookup(k).unwrap().0, Some(k + 7), "key {k}");
+            }
+        }
+        let (scan, _) = client.range(0, leaf_cap as usize * 2).unwrap();
+        assert!(scan.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(scan[0], (0, 7));
+    }
+
+    #[test]
+    fn disabling_structural_deletes_reproduces_grow_only_paper_behaviour() {
+        let cluster = small_cluster(TreeOptions::sherman().without_structural_deletes());
+        cluster.bulkload((0..2_000u64).map(|k| (k, k))).unwrap();
+        let before = cluster.node_census().unwrap();
+        let mut client = cluster.client(0);
+        for k in 0..2_000u64 {
+            client.delete(k).unwrap();
+        }
+        let space = cluster.space_stats();
+        assert_eq!(space.merges(), 0);
+        assert_eq!(cluster.reclaim_stats().retired, 0);
+        assert_eq!(cluster.node_census().unwrap(), before, "grow-only: no node freed");
+    }
+
+    #[test]
+    fn merges_work_for_every_ablation_configuration() {
+        for (name, options) in TreeOptions::ablation_ladder() {
+            let cluster = small_cluster(options);
+            let n = 1_200u64;
+            cluster.bulkload((0..n).map(|k| (k, k))).unwrap();
+            let mut client = cluster.client(0);
+            for k in 0..n {
+                if k % 10 != 0 {
+                    client.delete(k).unwrap();
+                }
+            }
+            assert!(cluster.space_stats().leaf_merges > 0, "{name}: no merges");
+            for k in (0..n).step_by(10) {
+                assert_eq!(client.lookup(k).unwrap().0, Some(k), "{name}: survivor {k}");
+            }
+            let (scan, _) = client.range(0, 30).unwrap();
+            assert_eq!(scan.len(), 30, "{name}");
+            assert!(scan.windows(2).all(|w| w[0].0 < w[1].0), "{name}");
+        }
     }
 
     #[test]

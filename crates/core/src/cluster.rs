@@ -11,7 +11,8 @@ use sherman_cache::{CachedInternal, ChildRef, IndexCache, IndexCacheConfig};
 use sherman_locks::{
     GlobalLockKind, GlobalLockTable, HoclManager, NodeLockManager, RemoteLockManager,
 };
-use sherman_memserver::{MemoryPool, ServerLayout};
+use sherman_memserver::{FreeListStats, MemoryPool, ServerLayout};
+use sherman_metrics::{SpaceCounters, SpaceSnapshot};
 use sherman_sim::{Fabric, FabricConfig, GlobalAddress};
 use std::sync::Arc;
 
@@ -69,6 +70,7 @@ pub struct Cluster {
     layout: NodeLayout,
     caches: Vec<Arc<IndexCache>>,
     root_hint: RwLock<Option<RootHint>>,
+    space: SpaceCounters,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -91,6 +93,7 @@ impl Cluster {
         config.tree.validate().expect("invalid tree configuration");
         let fabric = Fabric::new(config.fabric.clone());
         let pool = MemoryPool::new(Arc::clone(&fabric), config.tree.chunk_bytes);
+        pool.set_reclaim_grace(config.tree.reclaim_grace_ns);
         let lock_mgr = Self::build_lock_manager(&pool, &config.fabric, &options);
         let layout = NodeLayout::new(&config.tree);
         let cache_cfg = IndexCacheConfig::new(config.tree.cache_bytes, config.tree.node_size);
@@ -106,6 +109,7 @@ impl Cluster {
             layout,
             caches,
             root_hint: RwLock::new(None),
+            space: SpaceCounters::new(),
         })
     }
 
@@ -188,6 +192,103 @@ impl Cluster {
         TreeClient::new(Arc::clone(self), cs)
     }
 
+    // ------------------------------------------------------------------
+    // Structural deletes: counters, reclamation, census
+    // ------------------------------------------------------------------
+
+    /// Counters for structural-delete events (merges, rebalances, root
+    /// collapses), shared by every client of this cluster.
+    pub(crate) fn space_counters(&self) -> &SpaceCounters {
+        &self.space
+    }
+
+    /// Snapshot of the structural-delete counters.
+    pub fn space_stats(&self) -> SpaceSnapshot {
+        self.space.snapshot()
+    }
+
+    /// Aggregated free-list counters (retired / reused / quarantined nodes)
+    /// across every memory server.
+    pub fn reclaim_stats(&self) -> FreeListStats {
+        self.pool.reclaim_stats()
+    }
+
+    /// Node addresses currently allocated to the tree (carved + reissued −
+    /// retired).  Compare against [`Cluster::node_census`] for a
+    /// space-amplification figure.
+    pub fn nodes_outstanding(&self) -> u64 {
+        self.pool.nodes_outstanding()
+    }
+
+    /// Retire a node freed by a structural delete: drop every compute
+    /// server's cached pointers to it, then quarantine the address on its
+    /// memory server's free list until `now + reclaim_grace_ns`.
+    pub(crate) fn retire_node(&self, addr: GlobalAddress, now: u64) {
+        for cache in &self.caches {
+            cache.invalidate_addr(addr);
+        }
+        self.pool.retire_node(addr, now);
+    }
+
+    /// Count the nodes reachable from the current root by walking each level's
+    /// B-link sibling chain (god-mode reads, no simulated time charged).
+    ///
+    /// The walk is only meaningful on a quiesced tree; concurrent structural
+    /// changes may be double-counted or missed.
+    pub fn node_census(&self) -> TreeResult<NodeCensus> {
+        let mut census = NodeCensus::default();
+        let Some(hint) = self.root_hint() else {
+            return Ok(census);
+        };
+        let node_size = self.layout.node_size();
+        let mut level_head = hint.addr;
+        loop {
+            // Walk this level's sibling chain.
+            let mut cursor = Some(level_head);
+            let mut first_child = None;
+            let mut buf = vec![0u8; node_size];
+            while let Some(addr) = cursor {
+                self.fabric.god_read(addr, &mut buf)?;
+                let header = self.layout.decode_header(&buf);
+                if header.free {
+                    break;
+                }
+                if header.is_leaf {
+                    census.leaves += 1;
+                } else {
+                    census.internals += 1;
+                    if first_child.is_none() {
+                        first_child = self.layout.decode_internal(&buf).header.leftmost;
+                    }
+                }
+                cursor = header.sibling;
+            }
+            match first_child {
+                Some(child) => level_head = child,
+                None => break,
+            }
+        }
+        Ok(census)
+    }
+}
+
+/// Reachable-node counts produced by [`Cluster::node_census`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeCensus {
+    /// Reachable leaf nodes.
+    pub leaves: u64,
+    /// Reachable internal nodes.
+    pub internals: u64,
+}
+
+impl NodeCensus {
+    /// Total reachable nodes.
+    pub fn total(&self) -> u64 {
+        self.leaves + self.internals
+    }
+}
+
+impl Cluster {
     // ------------------------------------------------------------------
     // Bulkload
     // ------------------------------------------------------------------
@@ -386,6 +487,7 @@ impl<'a> BulkAllocator<'a> {
             if *used + self.node_bytes <= self.pool.chunk_bytes() {
                 let addr = base.add(*used);
                 *used += self.node_bytes;
+                self.pool.note_node_carved();
                 return Ok(addr);
             }
         }
@@ -397,6 +499,7 @@ impl<'a> BulkAllocator<'a> {
             match self.pool.alloc_chunk_untimed(ms) {
                 Ok(base) => {
                     self.current = Some((base, self.node_bytes));
+                    self.pool.note_node_carved();
                     return Ok(base);
                 }
                 Err(e) => last_err = Some(e.into()),
@@ -448,6 +551,19 @@ mod tests {
         let cfg = cluster.fabric().config();
         let full = (cfg.host_bytes_per_ms as u64 - 4096) / cluster.config().chunk_bytes;
         assert!(remaining.iter().all(|&r| r < full));
+    }
+
+    #[test]
+    fn node_census_matches_allocation_accounting() {
+        let cluster = Cluster::new(ClusterConfig::small(), TreeOptions::sherman());
+        assert_eq!(cluster.node_census().unwrap().total(), 0, "no root yet");
+        cluster.bulkload((0..2_000u64).map(|k| (k, k))).unwrap();
+        let census = cluster.node_census().unwrap();
+        assert!(census.leaves > 10, "2000 keys need many 256-byte leaves");
+        assert!(census.internals > 0);
+        // Nothing has been deleted, so every carved node is reachable.
+        assert_eq!(cluster.nodes_outstanding(), census.total());
+        assert_eq!(cluster.space_stats(), Default::default());
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub struct TreeConfig {
     pub max_read_retries: u32,
     /// Upper bound on traversal restarts per operation.
     pub max_restarts: u32,
+    /// Grace period (virtual ns) a node freed by a structural delete spends in
+    /// quarantine before its address may be recycled.  Any lock-free reader
+    /// that raced the merge observes the free bit / bumped versions and
+    /// retries well within this window.
+    pub reclaim_grace_ns: u64,
 }
 
 impl Default for TreeConfig {
@@ -41,6 +46,7 @@ impl Default for TreeConfig {
             chunk_bytes: 1 << 20,
             max_read_retries: 1_000,
             max_restarts: 10_000,
+            reclaim_grace_ns: sherman_memserver::DEFAULT_RECLAIM_GRACE_NS,
         }
     }
 }
@@ -52,6 +58,7 @@ impl TreeConfig {
             node_size: 256,
             cache_bytes: 1 << 20,
             chunk_bytes: 64 << 10,
+            reclaim_grace_ns: 10_000,
             ..TreeConfig::default()
         }
     }
@@ -153,9 +160,18 @@ pub struct TreeOptions {
     pub lock_strategy: LockStrategy,
     /// Leaf layout / consistency-check design.
     pub leaf_format: LeafFormat,
+    /// Occupancy fraction below which a delete attempts to merge the node
+    /// with its right sibling (structural deletes, beyond the paper: Sherman
+    /// itself never shrinks the tree).  `0.0` disables merging and reproduces
+    /// the paper's grow-only behaviour.
+    pub merge_threshold: f64,
 }
 
 impl TreeOptions {
+    /// Default [`TreeOptions::merge_threshold`]: merge a node once it drops
+    /// below a quarter of its capacity.
+    pub const DEFAULT_MERGE_THRESHOLD: f64 = 0.25;
+
     /// Original FG: checksummed sorted leaves, host-memory CAS/FAA locks, no
     /// command combination, (the index cache is always present in this
     /// implementation, as in FG+).
@@ -164,6 +180,7 @@ impl TreeOptions {
             combine_commands: false,
             lock_strategy: LockStrategy::HostCasFaa,
             leaf_format: LeafFormat::SortedChecksum,
+            merge_threshold: Self::DEFAULT_MERGE_THRESHOLD,
         }
     }
 
@@ -174,7 +191,21 @@ impl TreeOptions {
             combine_commands: false,
             lock_strategy: LockStrategy::HostCasWrite,
             leaf_format: LeafFormat::SortedNodeVersion,
+            merge_threshold: Self::DEFAULT_MERGE_THRESHOLD,
         }
+    }
+
+    /// Disable structural deletes, reproducing the paper's grow-only tree.
+    pub fn without_structural_deletes(self) -> Self {
+        TreeOptions {
+            merge_threshold: 0.0,
+            ..self
+        }
+    }
+
+    /// Whether deletes may merge underfull nodes and reclaim their memory.
+    pub fn structural_deletes_enabled(&self) -> bool {
+        self.merge_threshold > 0.0
     }
 
     /// FG+ plus command combination ("+Combine").
@@ -274,6 +305,7 @@ mod tests {
                 combine_commands: false,
                 lock_strategy: LockStrategy::HostCasFaa,
                 leaf_format: LeafFormat::SortedChecksum,
+                merge_threshold: TreeOptions::DEFAULT_MERGE_THRESHOLD,
             }
         );
         // FG+: only the lock release verb and the leaf consistency check change.
@@ -283,6 +315,7 @@ mod tests {
                 combine_commands: false,
                 lock_strategy: LockStrategy::HostCasWrite,
                 leaf_format: LeafFormat::SortedNodeVersion,
+                merge_threshold: TreeOptions::DEFAULT_MERGE_THRESHOLD,
             }
         );
         // Each ladder rung flips exactly one technique relative to its
@@ -337,5 +370,18 @@ mod tests {
         assert!(LeafFormat::SortedNodeVersion.is_sorted());
         assert!(LeafFormat::SortedChecksum.is_sorted());
         assert!(!LeafFormat::UnsortedTwoLevel.is_sorted());
+    }
+
+    #[test]
+    fn structural_deletes_toggle() {
+        let on = TreeOptions::sherman();
+        assert!(on.structural_deletes_enabled());
+        let off = on.without_structural_deletes();
+        assert!(!off.structural_deletes_enabled());
+        assert_eq!(off.merge_threshold, 0.0);
+        // Everything else is untouched.
+        assert_eq!(off.leaf_format, on.leaf_format);
+        assert_eq!(off.lock_strategy, on.lock_strategy);
+        assert_eq!(off.combine_commands, on.combine_commands);
     }
 }

@@ -28,6 +28,13 @@
 //! [`TreeOptions::fg`], [`TreeOptions::fg_plus`], …, [`TreeOptions::sherman`]
 //! reproduce the ablation ladder of Figures 10 and 11.
 //!
+//! Beyond the paper, deletes are **structural**: a leaf that drops below
+//! [`TreeOptions::merge_threshold`] merges into its right B-link sibling (or
+//! rebalances), separators are removed up the tree with root collapse at the
+//! top, and freed nodes are quarantined and recycled by the allocator.  Set
+//! the threshold to `0.0` to reproduce the paper's grow-only behaviour; see
+//! `docs/ARCHITECTURE.md` for the merge-path walkthrough.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -60,7 +67,7 @@ pub mod node;
 pub mod stats;
 
 pub use client::TreeClient;
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{Cluster, ClusterConfig, NodeCensus};
 pub use config::{LeafFormat, LockStrategy, TreeConfig, TreeOptions};
 pub use error::TreeError;
 pub use layout::NodeLayout;

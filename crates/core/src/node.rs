@@ -196,6 +196,61 @@ impl LeafNode {
         self.header.count = pairs.len();
     }
 
+    /// Absorb the contents of `right` (this leaf's B-link sibling): every live
+    /// pair of both nodes is re-packed into this node in sorted order, and the
+    /// fence / sibling metadata is extended to cover `right`'s interval.
+    /// Versions of both headers and all rewritten entries are bumped; the
+    /// caller frees `right`'s address.
+    ///
+    /// # Panics
+    /// Panics if the combined live entries exceed this node's slot count or if
+    /// the two nodes are not fence-adjacent.
+    pub fn absorb_right(&mut self, right: &LeafNode) {
+        assert_eq!(
+            self.header.fence_high, right.header.fence_low,
+            "absorb_right requires fence-adjacent leaves"
+        );
+        let mut pairs = self.sorted_pairs();
+        pairs.extend(right.sorted_pairs());
+        assert!(pairs.len() <= self.entries.len(), "merged leaf overflows");
+        self.repack_sorted(&pairs);
+        self.header.fence_high = right.header.fence_high;
+        self.header.sibling = right.header.sibling;
+        self.header.bump_versions();
+    }
+
+    /// Move the `count` smallest live pairs of `right` into this leaf
+    /// (rebalancing two siblings that cannot fully merge).  Returns the new
+    /// separator key — the smallest key remaining in `right` — which the
+    /// caller must install in the parent.  Both nodes end up sorted, densely
+    /// packed and version-bumped, with their shared fence moved to the new
+    /// separator.
+    ///
+    /// # Panics
+    /// Panics if `right` would be drained completely, if this leaf cannot hold
+    /// the moved pairs, or if the nodes are not fence-adjacent.
+    pub fn take_from_right(&mut self, right: &mut LeafNode, count: usize) -> u64 {
+        assert_eq!(
+            self.header.fence_high, right.header.fence_low,
+            "take_from_right requires fence-adjacent leaves"
+        );
+        let right_pairs = right.sorted_pairs();
+        assert!(count < right_pairs.len(), "rebalance must not drain the donor");
+        let mut pairs = self.sorted_pairs();
+        pairs.extend(&right_pairs[..count]);
+        assert!(pairs.len() <= self.entries.len(), "rebalanced leaf overflows");
+        let new_sep = right_pairs[count].0;
+
+        self.repack_sorted(&pairs);
+        self.header.fence_high = new_sep;
+        self.header.bump_versions();
+
+        right.repack_sorted(&right_pairs[count..]);
+        right.header.fence_low = new_sep;
+        right.header.bump_versions();
+        new_sep
+    }
+
     /// Split this (full) leaf: the upper half of its keys move to a new leaf
     /// covering `[split_key, old_fence_high)`.  Returns the new sibling's
     /// contents; the caller allocates its address and links
@@ -304,6 +359,61 @@ impl InternalNode {
         self.header.fence_high = promoted.key;
         self.header.bump_versions();
         (promoted.key, right)
+    }
+
+    /// Remove the separator `key` if (and only if) it routes to `child`.
+    /// Returns whether the entry was removed.  The child check makes the
+    /// operation idempotent under races: a stale retry cannot remove a
+    /// separator that was re-inserted for a different node.
+    pub fn remove_separator(&mut self, key: u64, child: GlobalAddress) -> bool {
+        match self.entries.binary_search_by_key(&key, |e| e.key) {
+            Ok(pos) if self.entries[pos].child == child => {
+                self.entries.remove(pos);
+                self.header.count = self.entries.len();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Replace the separator `old_key → child` with `new_key → child`
+    /// (sibling rebalance: the boundary between two children moved).  Returns
+    /// whether the entry was found and retargeted.
+    pub fn retarget_separator(&mut self, old_key: u64, new_key: u64, child: GlobalAddress) -> bool {
+        if !self.remove_separator(old_key, child) {
+            return false;
+        }
+        self.insert_separator(new_key, child)
+    }
+
+    /// Absorb the contents of `right` (this node's B-link sibling): `right`'s
+    /// leftmost child re-enters as a separator at `right`'s lower fence, and
+    /// the fence / sibling metadata is extended.  Versions are bumped; the
+    /// caller frees `right`'s address.
+    ///
+    /// # Panics
+    /// Panics if the combined separators do not fit (check with
+    /// [`InternalNode::is_full`]-style capacity math first) or if the nodes
+    /// are not fence-adjacent.
+    pub fn absorb_right(&mut self, right: &InternalNode) {
+        assert_eq!(
+            self.header.fence_high, right.header.fence_low,
+            "absorb_right requires fence-adjacent nodes"
+        );
+        let right_leftmost = right
+            .header
+            .leftmost
+            .expect("internal node has leftmost child");
+        self.entries.push(InternalEntry {
+            key: right.header.fence_low,
+            child: right_leftmost,
+        });
+        self.entries.extend(right.entries.iter().copied());
+        debug_assert!(self.entries.windows(2).all(|w| w[0].key < w[1].key));
+        self.header.count = self.entries.len();
+        self.header.fence_high = right.header.fence_high;
+        self.header.sibling = right.header.sibling;
+        self.header.bump_versions();
     }
 
     /// All children of this node in key order (leftmost first).
@@ -483,6 +593,99 @@ mod tests {
         assert!(leaf.entries[..left_keys.len()].iter().all(|e| e.present));
         assert!(right.entries[..right_keys.len()].iter().all(|e| e.present));
         assert!(right.entries[right_keys.len()..].iter().all(|e| !e.present));
+    }
+
+    #[test]
+    fn leaf_absorb_right_merges_pairs_and_fences() {
+        let l = layout();
+        let mut left = LeafNode::empty(&l, NodeHeader::new(true, 0, 0, 50));
+        let mut right_header = NodeHeader::new(true, 0, 50, 200);
+        right_header.sibling = Some(addr(9));
+        let mut right = LeafNode::empty(&l, right_header);
+        for (i, k) in [40u64, 10, 30].iter().enumerate() {
+            left.entries[i].install(*k, k * 2);
+        }
+        for (i, k) in [90u64, 60].iter().enumerate() {
+            right.entries[i].install(*k, k * 2);
+        }
+        left.header.sibling = Some(addr(1));
+        left.absorb_right(&right);
+
+        assert_eq!(left.live_count(), 5);
+        assert_eq!(
+            left.sorted_pairs().iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![10, 30, 40, 60, 90]
+        );
+        assert_eq!(left.header.fence_high, 200);
+        assert_eq!(left.header.sibling, Some(addr(9)), "B-link skips the merged node");
+        assert_eq!(left.header.front_version, 1);
+        assert!(left.header.versions_match());
+        // Dense packing from slot 0.
+        assert!(left.entries[..5].iter().all(|e| e.present));
+        assert!(left.entries[5..].iter().all(|e| !e.present));
+    }
+
+    #[test]
+    fn leaf_take_from_right_moves_smallest_keys() {
+        let l = layout();
+        let mut left = LeafNode::empty(&l, NodeHeader::new(true, 0, 0, 100));
+        let mut right = LeafNode::empty(&l, NodeHeader::new(true, 0, 100, u64::MAX));
+        left.entries[0].install(5, 1);
+        for (i, k) in [100u64, 140, 120, 160, 180].iter().enumerate() {
+            right.entries[i].install(*k, k + 1);
+        }
+        let sep = left.take_from_right(&mut right, 2);
+        assert_eq!(sep, 140, "separator is the smallest key left in the donor");
+        assert_eq!(left.header.fence_high, 140);
+        assert_eq!(right.header.fence_low, 140);
+        assert_eq!(
+            left.sorted_pairs().iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![5, 100, 120]
+        );
+        assert_eq!(
+            right.sorted_pairs().iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![140, 160, 180]
+        );
+        assert_eq!(right.get(160), Some(161), "values follow their keys");
+    }
+
+    #[test]
+    fn internal_remove_and_retarget_separator() {
+        let mut node = InternalNode::new(1, 0, u64::MAX, addr(0));
+        node.insert_separator(50, addr(1));
+        node.insert_separator(100, addr(2));
+        // Wrong child: refused (idempotence under races).
+        assert!(!node.remove_separator(50, addr(9)));
+        assert!(node.remove_separator(50, addr(1)));
+        assert_eq!(node.entries.len(), 1);
+        assert_eq!(node.header.count, 1);
+        assert_eq!(node.child_for(60), addr(0), "keys re-route to the left child");
+
+        assert!(node.retarget_separator(100, 120, addr(2)));
+        assert_eq!(node.child_for(110), addr(0));
+        assert_eq!(node.child_for(120), addr(2));
+        assert!(!node.retarget_separator(100, 130, addr(2)), "stale retarget is a no-op");
+    }
+
+    #[test]
+    fn internal_absorb_right_reattaches_leftmost() {
+        let mut left = InternalNode::new(1, 0, 100, addr(0));
+        left.insert_separator(50, addr(1));
+        let mut right = InternalNode::new(1, 100, u64::MAX, addr(2));
+        right.insert_separator(150, addr(3));
+        right.header.sibling = Some(addr(7));
+
+        left.absorb_right(&right);
+        assert_eq!(left.entries.len(), 3);
+        assert_eq!(left.header.count, 3);
+        assert_eq!(left.header.fence_high, u64::MAX);
+        assert_eq!(left.header.sibling, Some(addr(7)));
+        // Routing covers the whole combined interval.
+        assert_eq!(left.child_for(10), addr(0));
+        assert_eq!(left.child_for(60), addr(1));
+        assert_eq!(left.child_for(120), addr(2), "right's leftmost child re-enters");
+        assert_eq!(left.child_for(200), addr(3));
+        assert_eq!(left.header.front_version, 1);
     }
 
     #[test]

@@ -321,6 +321,14 @@ impl HoclManager {
 }
 
 impl NodeLockManager for HoclManager {
+    fn same_lock(&self, a: GlobalAddress, b: GlobalAddress) -> bool {
+        self.glt.location_of(a) == self.glt.location_of(b)
+    }
+
+    fn lock_rank(&self, node: GlobalAddress) -> u128 {
+        crate::manager::location_rank(&self.glt.location_of(node))
+    }
+
     fn acquire(&self, client: &mut ClientCtx, node: GlobalAddress) -> SimResult<AcquireOutcome> {
         let slot = self.glt.slot_of(node);
         self.acquire_slot(client, node.ms, slot)

@@ -45,6 +45,38 @@ pub trait NodeLockManager: Send + Sync {
         writes: Vec<WriteCmd>,
         combine: bool,
     ) -> SimResult<ReleaseOutcome>;
+
+    /// Whether `a` and `b` are guarded by the same lock word.  Hash-sharded
+    /// lock tables map many nodes onto few lock slots, so two distinct node
+    /// addresses may alias; a caller that acquired `a` must not also acquire
+    /// an aliasing `b` (self-deadlock).
+    fn same_lock(&self, a: GlobalAddress, b: GlobalAddress) -> bool {
+        a == b
+    }
+
+    /// A total order on the *lock words* (not the node addresses).  Threads
+    /// that hold several node locks at once — the structural-delete merge path
+    /// — must acquire them in increasing rank, which makes the discipline
+    /// deadlock-free cluster-wide.  Two nodes compare equal iff they share a
+    /// lock word.
+    fn lock_rank(&self, node: GlobalAddress) -> u128 {
+        node.pack() as u128
+    }
+
+    /// Plan a deadlock-safe multi-node acquisition: deduplicate `nodes` by
+    /// lock word and sort the representatives by [`NodeLockManager::lock_rank`].
+    /// Acquiring (and later releasing) exactly the returned representatives,
+    /// in order, is safe against every other client using the same plan.
+    fn lock_plan(&self, nodes: &[GlobalAddress]) -> Vec<GlobalAddress> {
+        let mut plan: Vec<GlobalAddress> = Vec::with_capacity(nodes.len());
+        for &n in nodes {
+            if !plan.iter().any(|&p| self.same_lock(p, n)) {
+                plan.push(n);
+            }
+        }
+        plan.sort_by_key(|&n| self.lock_rank(n));
+        plan
+    }
 }
 
 /// A lock manager that goes straight to the global lock table: every
@@ -120,7 +152,21 @@ pub(crate) fn flush_writes_and_release(
     }
 }
 
+/// Rank a lock location for the multi-node acquisition order: the word
+/// address is globally unique and the shift separates sub-word locks.
+pub(crate) fn location_rank(loc: &crate::global::LockLocation) -> u128 {
+    ((loc.word.pack() as u128) << 32) | loc.shift as u128
+}
+
 impl NodeLockManager for RemoteLockManager {
+    fn same_lock(&self, a: GlobalAddress, b: GlobalAddress) -> bool {
+        self.table.location_of(a) == self.table.location_of(b)
+    }
+
+    fn lock_rank(&self, node: GlobalAddress) -> u128 {
+        location_rank(&self.table.location_of(node))
+    }
+
     fn acquire(&self, client: &mut ClientCtx, node: GlobalAddress) -> SimResult<AcquireOutcome> {
         let loc = self.table.location_of(node);
         let owner = client.cs_id();
@@ -245,6 +291,35 @@ mod tests {
         let loc = mgr.table().location_of(node);
         let mut c1 = pool.fabric().client(1);
         assert!(mgr.table().try_acquire_at(&mut c1, loc, 1).unwrap());
+    }
+
+    #[test]
+    fn lock_plan_orders_and_deduplicates_aliased_nodes() {
+        let (_pool, mgr) = setup(GlobalLockKind::OnChipMasked);
+        let a = GlobalAddress::host(0, 16 << 10);
+        let b = GlobalAddress::host(1, 16 << 10);
+        let c = GlobalAddress::host(0, 48 << 10);
+
+        // A node aliases itself; the plan keeps one representative per word.
+        let plan = mgr.lock_plan(&[a, b, a, c]);
+        assert!(plan.len() <= 3 && !plan.is_empty());
+        // The plan is sorted by lock rank and free of aliases.
+        for w in plan.windows(2) {
+            assert!(mgr.lock_rank(w[0]) < mgr.lock_rank(w[1]));
+            assert!(!mgr.same_lock(w[0], w[1]));
+        }
+        // Plans are order-insensitive: any permutation yields the same order
+        // (representatives may differ only if inputs alias each other).
+        if !mgr.same_lock(a, c) && !mgr.same_lock(a, b) && !mgr.same_lock(b, c) {
+            assert_eq!(plan, mgr.lock_plan(&[c, a, b, a]));
+        }
+        // Every requested node is covered by some representative.
+        for n in [a, b, c] {
+            assert!(plan.iter().any(|&p| mgr.same_lock(p, n)));
+        }
+        // Ranks agree with aliasing: equal rank iff same lock word.
+        assert!(mgr.same_lock(a, a));
+        assert_eq!(mgr.lock_rank(a) == mgr.lock_rank(c), mgr.same_lock(a, c));
     }
 
     #[test]

@@ -1,11 +1,22 @@
-//! Per-server fixed-size chunk allocator.
+//! Per-server fixed-size chunk allocator and the node-grained free list.
 //!
 //! The memory thread on each memory server divides host DRAM into fixed-length
 //! chunks (8 MB in the paper) and hands them to compute servers on request
 //! (§4.2.4).  Because every allocation is chunk-sized, the allocator is a bump
 //! pointer plus a free list; there is no fragmentation to manage.
+//!
+//! The paper stops there — deallocation only clears a node's free bit and the
+//! space is never reused.  [`NodeFreeList`] goes further: node addresses
+//! retired by structural deletes (leaf/internal merges, root collapses) are
+//! quarantined for a grace period of virtual time before they become
+//! allocatable again.  The grace period is what makes recycling safe against
+//! Sherman's lock-free readers: a retired node is written with its free bit
+//! set and its versions bumped, so any reader that raced the merge fails
+//! validation and restarts *before* the address can be handed out again.
 
 use crate::layout::ALLOC_START_OFFSET;
+use sherman_sim::GlobalAddress;
+use std::collections::VecDeque;
 
 /// Allocator state owned by one memory server's management thread.
 #[derive(Debug)]
@@ -76,6 +87,105 @@ impl ChunkAllocator {
     }
 }
 
+/// Summary of one server's node free list (observability and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FreeListStats {
+    /// Node addresses retired so far.
+    pub retired: u64,
+    /// Retired addresses handed back out to allocators.
+    pub reused: u64,
+    /// Addresses still inside their grace period.
+    pub quarantined: u64,
+    /// Addresses past their grace period, ready for reuse.
+    pub ready: u64,
+}
+
+impl FreeListStats {
+    /// Merge per-server stats into a cluster-wide total.
+    pub fn merge(&mut self, other: &FreeListStats) {
+        self.retired += other.retired;
+        self.reused += other.reused;
+        self.quarantined += other.quarantined;
+        self.ready += other.ready;
+    }
+}
+
+/// A per-memory-server free list of retired node addresses with a
+/// grace-period quarantine.
+///
+/// `retire` timestamps the address with the retiring client's virtual time;
+/// `reuse` only hands an address back once `grace_ns` of virtual time has
+/// passed since its retirement, so every lock-free reader that could still
+/// hold a pointer to the node has had time to observe the free bit / bumped
+/// versions and retry.
+#[derive(Debug)]
+pub struct NodeFreeList {
+    grace_ns: u64,
+    /// Retired addresses in retirement-time order (monotone, so the front is
+    /// always the first to leave quarantine).
+    quarantine: VecDeque<(u64, GlobalAddress)>,
+    ready: Vec<GlobalAddress>,
+    retired: u64,
+    reused: u64,
+}
+
+impl NodeFreeList {
+    /// Create an empty free list with the given grace period (virtual ns).
+    pub fn new(grace_ns: u64) -> Self {
+        NodeFreeList {
+            grace_ns,
+            quarantine: VecDeque::new(),
+            ready: Vec::new(),
+            retired: 0,
+            reused: 0,
+        }
+    }
+
+    /// Change the grace period (applies to future reclamation decisions).
+    pub fn set_grace_ns(&mut self, grace_ns: u64) {
+        self.grace_ns = grace_ns;
+    }
+
+    /// Retire a node address at virtual time `now`.
+    pub fn retire(&mut self, addr: GlobalAddress, now: u64) {
+        self.retired += 1;
+        // Clients on different threads may observe slightly different virtual
+        // times; clamp so the queue stays monotone and pop stays O(1).
+        let stamp = self.quarantine.back().map_or(now, |&(t, _)| t.max(now));
+        self.quarantine.push_back((stamp, addr));
+    }
+
+    /// Move every quarantined address whose grace period has elapsed at `now`
+    /// into the ready pool.
+    fn reclaim(&mut self, now: u64) {
+        while let Some(&(t, addr)) = self.quarantine.front() {
+            if now.saturating_sub(t) < self.grace_ns {
+                break;
+            }
+            self.quarantine.pop_front();
+            self.ready.push(addr);
+        }
+    }
+
+    /// Take one reusable node address, if any has cleared quarantine by `now`.
+    pub fn reuse(&mut self, now: u64) -> Option<GlobalAddress> {
+        self.reclaim(now);
+        let addr = self.ready.pop()?;
+        self.reused += 1;
+        Some(addr)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> FreeListStats {
+        FreeListStats {
+            retired: self.retired,
+            reused: self.reused,
+            quarantined: self.quarantine.len() as u64,
+            ready: self.ready.len() as u64,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +231,56 @@ mod tests {
         assert_eq!(a.remaining_chunks(), 3);
         a.free(x);
         assert_eq!(a.remaining_chunks(), 4);
+    }
+
+    #[test]
+    fn node_free_list_enforces_grace_period() {
+        let mut fl = NodeFreeList::new(1_000);
+        let a = GlobalAddress::host(0, 8 << 10);
+        let b = GlobalAddress::host(0, 16 << 10);
+        fl.retire(a, 100);
+        fl.retire(b, 200);
+        // Inside the grace period nothing is reusable.
+        assert_eq!(fl.reuse(500), None);
+        assert_eq!(fl.stats().quarantined, 2);
+        // After the grace period both become available (LIFO from the ready
+        // pool keeps recently-hot addresses warm).
+        assert_eq!(fl.reuse(1_100), Some(a));
+        assert_eq!(fl.reuse(1_300), Some(b));
+        assert_eq!(fl.reuse(10_000), None);
+        let s = fl.stats();
+        assert_eq!((s.retired, s.reused, s.quarantined, s.ready), (2, 2, 0, 0));
+    }
+
+    #[test]
+    fn node_free_list_tolerates_out_of_order_timestamps() {
+        // Two clients can observe slightly different virtual times; the queue
+        // must stay monotone so quarantine never releases early.
+        let mut fl = NodeFreeList::new(1_000);
+        fl.retire(GlobalAddress::host(0, 8 << 10), 5_000);
+        fl.retire(GlobalAddress::host(0, 16 << 10), 4_000);
+        assert_eq!(fl.reuse(5_500), None, "second retiree inherits the later stamp");
+        assert!(fl.reuse(6_100).is_some());
+        assert!(fl.reuse(6_100).is_some());
+    }
+
+    #[test]
+    fn free_list_stats_merge_adds_fields() {
+        let mut a = FreeListStats {
+            retired: 1,
+            reused: 2,
+            quarantined: 3,
+            ready: 4,
+        };
+        a.merge(&FreeListStats {
+            retired: 10,
+            reused: 20,
+            quarantined: 30,
+            ready: 40,
+        });
+        assert_eq!(a.retired, 11);
+        assert_eq!(a.reused, 22);
+        assert_eq!(a.quarantined, 33);
+        assert_eq!(a.ready, 44);
     }
 }

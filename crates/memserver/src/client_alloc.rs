@@ -3,10 +3,12 @@
 //! Each client thread owns a [`ClientAllocator`]: it picks a memory server in
 //! round-robin order, obtains an 8 MB chunk from that server's memory thread
 //! via RPC, and then carves fixed-size tree nodes out of the chunk locally
-//! (§4.2.4).  Node deallocation does not return memory to the server — the
-//! node's free bit is cleared by the index layer and the space is reused only
-//! when the chunk is recycled — exactly as the paper describes ("we do not
-//! need complex garbage collection strategies").
+//! (§4.2.4).  The paper stops at a free bit ("we do not need complex garbage
+//! collection strategies"); this implementation additionally recycles node
+//! addresses that structural deletes retired to the pool's per-server
+//! [`crate::NodeFreeList`]s — allocation prefers a quarantine-cleared retired
+//! address over carving fresh chunk space, which pins the remote-memory
+//! footprint to the steady-state tree size under delete-heavy churn.
 
 use crate::pool::{MemoryPool, PoolError};
 use sherman_sim::{ClientCtx, GlobalAddress};
@@ -92,12 +94,36 @@ impl ClientAllocator {
         }
         let addr = chunk.base.add(chunk.used);
         chunk.used += self.node_bytes;
+        self.pool.note_node_carved();
         Some(addr)
     }
 
-    /// Allocate one node, charging the allocation RPC when a new chunk is
-    /// needed.
+    /// Take a retired node address whose quarantine has cleared, trying every
+    /// server in round-robin order starting at this allocator's cursor.  The
+    /// lock-free `reusable_nodes` guard keeps allocation scan-free until a
+    /// structural delete has actually retired something.
+    fn reuse(&mut self, now: u64) -> Option<GlobalAddress> {
+        if self.pool.reusable_nodes() == 0 {
+            return None;
+        }
+        let servers = self.pool.servers() as u16;
+        for i in 0..servers {
+            let ms = (self.next_ms + i) % servers;
+            if let Some(addr) = self.pool.reuse_node(ms, now) {
+                return Some(addr);
+            }
+        }
+        None
+    }
+
+    /// Allocate one node: recycle a retired address when one has cleared
+    /// quarantine (keeping the remote-memory footprint at the steady-state
+    /// tree size under churn), else carve from the local chunk, else request
+    /// a new chunk (charging the allocation RPC).
     pub fn alloc_node(&mut self, client: &mut ClientCtx) -> Result<GlobalAddress, PoolError> {
+        if let Some(addr) = self.reuse(client.now()) {
+            return Ok(addr);
+        }
         if let Some(addr) = self.carve() {
             return Ok(addr);
         }
@@ -110,6 +136,9 @@ impl ClientAllocator {
         &mut self,
         client: &mut ClientCtx,
     ) -> Result<GlobalAddress, PoolError> {
+        if let Some(addr) = self.reuse(client.now()) {
+            return Ok(addr);
+        }
         if let Some(addr) = self.carve() {
             return Ok(addr);
         }
@@ -174,6 +203,25 @@ mod tests {
             assert_eq!(addr.offset % 512, 0);
             assert!(seen.insert(addr.pack()), "duplicate address {addr}");
         }
+    }
+
+    #[test]
+    fn exhausted_chunk_prefers_retired_nodes_over_new_chunks() {
+        let (pool, mut client) = setup();
+        // Chunks hold exactly two 32 KiB nodes.
+        let mut alloc = ClientAllocator::new(Arc::clone(&pool), 32 << 10, 0);
+        pool.set_reclaim_grace(0);
+        let a = alloc.alloc_node(&mut client).unwrap();
+        let _b = alloc.alloc_node(&mut client).unwrap();
+        assert_eq!(alloc.chunks_acquired(), 1);
+        // Retire the first node; the next allocation (chunk now full) must
+        // recycle it instead of paying another chunk RPC.
+        pool.retire_node(a, client.now());
+        client.charge_cpu(1);
+        let c = alloc.alloc_node(&mut client).unwrap();
+        assert_eq!(c, a, "retired address is recycled");
+        assert_eq!(alloc.chunks_acquired(), 1, "no new chunk was requested");
+        assert_eq!(pool.reclaim_stats().reused, 1);
     }
 
     #[test]

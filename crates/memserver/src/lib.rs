@@ -15,7 +15,11 @@
 //!   chunks over (simulated) RPC,
 //! * [`ClientAllocator`] — the compute-side second stage of the paper's
 //!   two-stage allocation scheme: round-robin chunk acquisition, local node
-//!   carving, and a free bit on deallocation instead of heavyweight GC.
+//!   carving, and a free bit on deallocation instead of heavyweight GC,
+//! * [`NodeFreeList`] — the reclamation path the paper omits: node addresses
+//!   retired by structural deletes sit in a per-server quarantine for a grace
+//!   period of virtual time, then become allocatable again (epoch-style
+//!   protection for Sherman's lock-free readers).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -25,7 +29,7 @@ pub mod client_alloc;
 pub mod layout;
 pub mod pool;
 
-pub use alloc::ChunkAllocator;
+pub use alloc::{ChunkAllocator, FreeListStats, NodeFreeList};
 pub use client_alloc::ClientAllocator;
 pub use layout::{ServerLayout, ALLOC_START_OFFSET, ROOT_PTR_OFFSET, SUPERBLOCK_MAGIC};
-pub use pool::{MemoryPool, PoolError};
+pub use pool::{MemoryPool, PoolError, DEFAULT_RECLAIM_GRACE_NS};

@@ -8,10 +8,11 @@
 //! rare (one per 8 MB of new tree nodes), so the wimpy MS cores stay off the
 //! data path.
 
-use crate::alloc::ChunkAllocator;
+use crate::alloc::{ChunkAllocator, FreeListStats, NodeFreeList};
 use crate::layout::{ServerLayout, ROOT_PTR_OFFSET, SUPERBLOCK_MAGIC, TREE_LEVEL_HINT_OFFSET};
 use parking_lot::Mutex;
 use sherman_sim::{ClientCtx, Fabric, GlobalAddress};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Errors from the allocation control plane.
@@ -53,6 +54,10 @@ impl From<sherman_sim::SimError> for PoolError {
 const ALLOC_RPC_REQ_BYTES: usize = 16;
 const ALLOC_RPC_RESP_BYTES: usize = 16;
 
+/// Default grace period (virtual ns) a retired node spends in quarantine
+/// before its address may be recycled.
+pub const DEFAULT_RECLAIM_GRACE_NS: u64 = 100_000;
+
 /// The cluster-wide allocation service.
 #[derive(Debug)]
 pub struct MemoryPool {
@@ -60,6 +65,14 @@ pub struct MemoryPool {
     chunk_bytes: u64,
     allocators: Vec<Mutex<ChunkAllocator>>,
     layouts: Vec<ServerLayout>,
+    /// Node addresses retired by structural deletes, one list per server.
+    free_nodes: Vec<Mutex<NodeFreeList>>,
+    /// Tree nodes carved out of chunks by all client allocators.
+    nodes_carved: AtomicU64,
+    /// Retired addresses not yet reissued (fast-path guard: allocators skip
+    /// the free-list scan entirely while this is zero, keeping the common
+    /// insert/split path free of per-server lock traffic).
+    retired_available: AtomicU64,
 }
 
 impl MemoryPool {
@@ -90,11 +103,19 @@ impl MemoryPool {
         fabric
             .god_write_u64(GlobalAddress::host(0, TREE_LEVEL_HINT_OFFSET), 0)
             .expect("superblock must fit");
+        let servers = allocators.len();
+        let mut free_nodes = Vec::with_capacity(servers);
+        free_nodes.resize_with(servers, || {
+            Mutex::new(NodeFreeList::new(DEFAULT_RECLAIM_GRACE_NS))
+        });
         Arc::new(MemoryPool {
             fabric,
             chunk_bytes,
             allocators,
             layouts,
+            free_nodes,
+            nodes_carved: AtomicU64::new(0),
+            retired_available: AtomicU64::new(0),
         })
     }
 
@@ -172,6 +193,70 @@ impl MemoryPool {
             .map(|a| a.lock().remaining_chunks())
             .collect()
     }
+
+    // ------------------------------------------------------------------
+    // Node-grained free / reuse (structural deletes)
+    // ------------------------------------------------------------------
+
+    /// Override the quarantine grace period on every server's free list.
+    pub fn set_reclaim_grace(&self, grace_ns: u64) {
+        for fl in &self.free_nodes {
+            fl.lock().set_grace_ns(grace_ns);
+        }
+    }
+
+    /// Retire a node address freed by a structural delete at virtual time
+    /// `now`.  The address stays quarantined for the grace period before
+    /// [`MemoryPool::reuse_node`] will hand it out again.
+    ///
+    /// No fabric time is charged: like the paper's free-bit deallocation, the
+    /// free-list bookkeeping is compute-side metadata.
+    pub fn retire_node(&self, addr: GlobalAddress, now: u64) {
+        if let Some(fl) = self.free_nodes.get(addr.ms as usize) {
+            fl.lock().retire(addr, now);
+            self.retired_available.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Retired addresses not yet handed back out (includes addresses still in
+    /// quarantine).  Zero means a free-list scan cannot possibly succeed.
+    pub fn reusable_nodes(&self) -> u64 {
+        self.retired_available.load(Ordering::Relaxed)
+    }
+
+    /// Take one reusable node address from server `ms`'s free list, if any
+    /// has cleared its grace period by virtual time `now`.
+    pub fn reuse_node(&self, ms: u16, now: u64) -> Option<GlobalAddress> {
+        let addr = self.free_nodes.get(ms as usize)?.lock().reuse(now)?;
+        self.retired_available.fetch_sub(1, Ordering::Relaxed);
+        Some(addr)
+    }
+
+    /// Record that a client allocator carved one fresh node out of a chunk.
+    pub fn note_node_carved(&self) {
+        self.nodes_carved.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Nodes carved out of chunks so far (fresh allocations, not reuses).
+    pub fn nodes_carved(&self) -> u64 {
+        self.nodes_carved.load(Ordering::Relaxed)
+    }
+
+    /// Aggregated free-list counters across every memory server.
+    pub fn reclaim_stats(&self) -> FreeListStats {
+        let mut total = FreeListStats::default();
+        for fl in &self.free_nodes {
+            total.merge(&fl.lock().stats());
+        }
+        total
+    }
+
+    /// Node addresses currently allocated to the tree: everything ever carved
+    /// or re-issued, minus addresses sitting retired in the free lists.
+    pub fn nodes_outstanding(&self) -> u64 {
+        let s = self.reclaim_stats();
+        (self.nodes_carved() + s.reused).saturating_sub(s.retired)
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +315,33 @@ mod tests {
         assert_eq!(got.len(), 3);
         p.free_chunk(got[0]).unwrap();
         assert_eq!(p.alloc_chunk(&mut client, 0).unwrap(), got[0]);
+    }
+
+    #[test]
+    fn retired_nodes_reappear_only_after_grace() {
+        let p = pool();
+        p.set_reclaim_grace(10_000);
+        let addr = GlobalAddress::host(1, 32 << 10);
+        p.retire_node(addr, 1_000);
+        assert_eq!(p.reuse_node(1, 5_000), None, "still quarantined");
+        assert_eq!(p.reuse_node(0, 50_000), None, "wrong server");
+        assert_eq!(p.reuse_node(1, 11_000), Some(addr));
+        let s = p.reclaim_stats();
+        assert_eq!((s.retired, s.reused), (1, 1));
+    }
+
+    #[test]
+    fn outstanding_counts_carves_and_retirements() {
+        let p = pool();
+        p.set_reclaim_grace(0);
+        p.note_node_carved();
+        p.note_node_carved();
+        assert_eq!(p.nodes_outstanding(), 2);
+        p.retire_node(GlobalAddress::host(0, 8 << 10), 100);
+        assert_eq!(p.nodes_outstanding(), 1);
+        let reused = p.reuse_node(0, 200).unwrap();
+        assert_eq!(reused.offset, 8 << 10);
+        assert_eq!(p.nodes_outstanding(), 2);
     }
 
     #[test]

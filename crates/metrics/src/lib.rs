@@ -19,8 +19,10 @@
 
 pub mod counts;
 pub mod latency;
+pub mod space;
 pub mod summary;
 
 pub use counts::{CountHistogram, SizeHistogram};
 pub use latency::LatencyHistogram;
+pub use space::{SpaceCounters, SpaceSnapshot};
 pub use summary::{RunSummary, ThreadReport, ThroughputAggregator};

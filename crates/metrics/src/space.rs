@@ -1,0 +1,105 @@
+//! Counters for structural-delete and space-reclamation events.
+//!
+//! The paper never shrinks the tree, so these counters have no Figure to
+//! match; they exist so that the churn benchmarks can report how much remote
+//! memory structural deletes reclaim (merged nodes, retired addresses,
+//! reused addresses) and derive a space-amplification figure from them.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe counters for structural tree-maintenance events.
+///
+/// One instance is shared by every client of a cluster; increments are relaxed
+/// atomics because the counters are observability-only.
+#[derive(Debug, Default)]
+pub struct SpaceCounters {
+    leaf_merges: AtomicU64,
+    internal_merges: AtomicU64,
+    rebalances: AtomicU64,
+    root_collapses: AtomicU64,
+}
+
+impl SpaceCounters {
+    /// Create zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one leaf merge (a leaf absorbed its right sibling).
+    pub fn record_leaf_merge(&self) {
+        self.leaf_merges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one internal-node merge.
+    pub fn record_internal_merge(&self) {
+        self.internal_merges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one rebalance (entries moved between siblings, nothing freed).
+    pub fn record_rebalance(&self) {
+        self.rebalances.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one root collapse (a single-child root was replaced by its
+    /// child).
+    pub fn record_root_collapse(&self) {
+        self.root_collapses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Capture the current values.
+    pub fn snapshot(&self) -> SpaceSnapshot {
+        SpaceSnapshot {
+            leaf_merges: self.leaf_merges.load(Ordering::Relaxed),
+            internal_merges: self.internal_merges.load(Ordering::Relaxed),
+            rebalances: self.rebalances.load(Ordering::Relaxed),
+            root_collapses: self.root_collapses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`SpaceCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct SpaceSnapshot {
+    /// Leaves that absorbed their right sibling.
+    pub leaf_merges: u64,
+    /// Internal nodes that absorbed their right sibling.
+    pub internal_merges: u64,
+    /// Sibling rebalances that moved entries without freeing a node.
+    pub rebalances: u64,
+    /// Root nodes collapsed into their single remaining child.
+    pub root_collapses: u64,
+}
+
+impl SpaceSnapshot {
+    /// Total structural merge operations (leaf + internal).
+    pub fn merges(&self) -> u64 {
+        self.leaf_merges + self.internal_merges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = SpaceCounters::new();
+        c.record_leaf_merge();
+        c.record_leaf_merge();
+        c.record_internal_merge();
+        c.record_rebalance();
+        c.record_root_collapse();
+        let s = c.snapshot();
+        assert_eq!(s.leaf_merges, 2);
+        assert_eq!(s.internal_merges, 1);
+        assert_eq!(s.rebalances, 1);
+        assert_eq!(s.root_collapses, 1);
+        assert_eq!(s.merges(), 3);
+    }
+
+    #[test]
+    fn default_snapshot_is_zero() {
+        assert_eq!(SpaceCounters::new().snapshot(), SpaceSnapshot::default());
+    }
+}

@@ -11,15 +11,20 @@
 //! * [`KeyDistribution`] — uniform / Zipfian / scrambled-Zipfian selection,
 //! * [`Mix`] and [`OpKind`] — the paper's five operation mixes,
 //! * [`WorkloadSpec`] and [`WorkloadGenerator`] — per-thread deterministic
-//!   operation streams.
+//!   operation streams,
+//! * [`ChurnSpec`] and [`ChurnGenerator`] — sliding-window insert/delete
+//!   churn, the delete-heavy family the paper's mixes cannot express (drives
+//!   structural deletes and memory reclamation).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod churn;
 pub mod mix;
 pub mod spec;
 pub mod zipf;
 
+pub use churn::{ChurnGenerator, ChurnSpec};
 pub use mix::{Mix, OpKind};
 pub use spec::{KeyDistribution, Op, WorkloadGenerator, WorkloadSpec};
 pub use zipf::ZipfianGenerator;

@@ -168,6 +168,87 @@ fn delete_insert_interleaving() {
     }
 }
 
+/// Sliding-window churn across several writer threads while a reader thread
+/// continuously range-scans across the merge boundary: scans must stay
+/// sorted and free of torn values even as leaves merge, separators disappear
+/// and node addresses are retired underneath the scan.
+#[test]
+fn churn_merges_under_concurrent_range_scans() {
+    let cluster = Cluster::new(ClusterConfig::paper_scaled(2, 2), TreeOptions::sherman());
+    cluster.bulkload(std::iter::empty()).expect("bulkload");
+
+    let writers = 3u64;
+    let window = 300u64; // per writer
+    let waves = 8u64;
+    let value_of = |k: u64| k * 3 + 1;
+    let mut handles = Vec::new();
+    for t in 0..writers {
+        let cluster = Arc::clone(&cluster);
+        handles.push(thread::spawn(move || {
+            // Writer `t` owns keys ≡ t (mod writers): private windows, shared
+            // leaves (and therefore shared merge boundaries).
+            let mut client = cluster.client((t % 2) as u16);
+            let key_at = |i: u64| i * writers + t;
+            let mut tail = 0u64;
+            for i in 0..window * waves {
+                client.insert(key_at(i), value_of(key_at(i))).expect("insert");
+                if i >= window {
+                    let (existed, _) = client.delete(key_at(tail)).expect("delete");
+                    assert!(existed, "windowed key must exist");
+                    tail += 1;
+                }
+            }
+            tail
+        }));
+    }
+    let scanner = {
+        let cluster = Arc::clone(&cluster);
+        thread::spawn(move || {
+            let mut client = cluster.client(1);
+            let mut observed = 0usize;
+            for round in 0..40u64 {
+                let start = round * 37;
+                let (scan, _) = client.range(start, 100).expect("range");
+                assert!(
+                    scan.windows(2).all(|w| w[0].0 < w[1].0),
+                    "scan not strictly sorted"
+                );
+                for &(k, v) in &scan {
+                    assert!(k >= start);
+                    assert_eq!(v, value_of(k), "torn value {v} for key {k}");
+                }
+                observed += scan.len();
+            }
+            observed
+        })
+    };
+    let tails: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    scanner.join().unwrap();
+
+    // The churn must have merged and reclaimed nodes...
+    assert!(
+        cluster.space_stats().leaf_merges > 0,
+        "churn with {waves} waves must merge leaves"
+    );
+    assert!(cluster.reclaim_stats().retired > 0);
+    // ...and the final state is exactly the three live windows.
+    let mut client = cluster.client(0);
+    for (t, &tail) in tails.iter().enumerate() {
+        let t = t as u64;
+        let key_at = |i: u64| i * writers + t;
+        for i in (0..tail).step_by(29) {
+            assert_eq!(client.lookup(key_at(i)).unwrap().0, None, "stale key survived");
+        }
+        for i in (tail..window * waves).step_by(17) {
+            assert_eq!(
+                client.lookup(key_at(i)).unwrap().0,
+                Some(value_of(key_at(i))),
+                "live key lost"
+            );
+        }
+    }
+}
+
 /// Range scans running against concurrent inserts return sorted, de-duplicated
 /// results whose values satisfy the writers' invariant.
 #[test]

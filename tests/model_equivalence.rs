@@ -1,5 +1,7 @@
 //! Property-based tests: the tree behaves exactly like an in-memory
-//! `BTreeMap` model under arbitrary operation sequences and geometries.
+//! `BTreeMap` model under arbitrary operation sequences and geometries —
+//! including delete-heavy sliding-window churn that drives leaf merges,
+//! separator removal and root collapse.
 
 use proptest::prelude::*;
 use sherman_repro::prelude::*;
@@ -62,6 +64,80 @@ fn check_against_model(options: TreeOptions, node_size: usize, ops: &[ModelOp]) 
     for (&k, &v) in &model {
         assert_eq!(client.lookup(k).unwrap().0, Some(v), "final state key {k}");
     }
+}
+
+/// Drive a sliding-window churn (insert waves at the head, delete waves at
+/// the tail) against the model.  This is the delete-heavy pattern that forces
+/// leaf merges, separator removals and root collapses; interleaved range
+/// scans cross the merge boundaries.
+fn check_churn_against_model(options: TreeOptions, window: u64, waves: u64) {
+    let cluster = Cluster::new(ClusterConfig::small(), options);
+    cluster.bulkload(std::iter::empty()).expect("bulkload");
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut client = cluster.client(0);
+
+    let mut head = 0u64;
+    let mut tail = 0u64;
+    let total = window * waves;
+    while tail < total {
+        // Insert one key at the head, and once the window is full delete one
+        // at the tail, so exactly `window` keys stay live.
+        client.insert(head, head * 3 + 1).expect("insert");
+        model.insert(head, head * 3 + 1);
+        head += 1;
+        if head - tail > window {
+            let (existed, _) = client.delete(tail).expect("delete");
+            assert!(existed, "windowed key {tail} must exist");
+            model.remove(&tail);
+            tail += 1;
+        }
+        // Periodically scan across the live window (and the merge boundary
+        // just below it) and compare with the model.
+        if head.is_multiple_of((window / 4).max(1)) {
+            let start = tail.saturating_sub(5);
+            let (scan, _) = client.range(start, 30).expect("range");
+            let expected: Vec<(u64, u64)> = model
+                .range(start..)
+                .take(30)
+                .map(|(&k, &v)| (k, v))
+                .collect();
+            assert_eq!(scan, expected, "scan at {start} after {tail} deletes");
+        }
+    }
+    // The churn must have exercised the structural-delete machinery...
+    if options.structural_deletes_enabled() {
+        assert!(
+            cluster.space_stats().leaf_merges > 0,
+            "a {waves}-wave churn must trigger merges"
+        );
+        assert!(cluster.reclaim_stats().retired > 0);
+    }
+    // ...while the final state matches the model exactly.
+    for (&k, &v) in &model {
+        assert_eq!(client.lookup(k).unwrap().0, Some(v), "final key {k}");
+    }
+    let (scan, _) = client.range(0, window as usize + 10).expect("range");
+    let expected: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(scan, expected);
+}
+
+#[test]
+fn sherman_churn_matches_btreemap() {
+    check_churn_against_model(TreeOptions::sherman(), 400, 12);
+}
+
+#[test]
+fn fg_plus_churn_matches_btreemap() {
+    check_churn_against_model(TreeOptions::fg_plus(), 400, 12);
+}
+
+#[test]
+fn grow_only_churn_matches_btreemap() {
+    check_churn_against_model(
+        TreeOptions::sherman().without_structural_deletes(),
+        400,
+        6,
+    );
 }
 
 proptest! {

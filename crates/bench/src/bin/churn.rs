@@ -2,29 +2,42 @@
 //!
 //! Drives a windowed insert/delete workload until the live key set has turned
 //! over `--turnover` times (default 10×), comparing Sherman with structural
-//! deletes enabled against the paper's grow-only behaviour.  Reports
-//! throughput, merge/reclaim counters and space amplification (node addresses
-//! carved per live node).
+//! deletes under **epoch-based reclamation** (the default), the same tree
+//! under the deprecated grace-period fallback, and the paper's grow-only
+//! behaviour.  Reports throughput, merge/reclaim counters, space
+//! amplification (node addresses carved per live node), and **reclaim
+//! latency** — the virtual-time distance from a node's retirement to its
+//! reuse.  Under epochs that distance tracks the workload (near-zero when no
+//! reader is pinned); under the fallback it is floored by `reclaim_grace_ns`.
 //!
 //! ```text
 //! cargo run --release -p sherman_bench --bin churn [-- --quick]
 //!     [--window N] [--turnover X] [--threads N] [--lookup-pct P] [--range-pct P]
 //! ```
 
-use sherman::TreeOptions;
+use sherman::{ReclaimScheme, TreeOptions};
 use sherman_bench::{fmt_mops, print_table, run_churn_experiment, Args, ChurnExperiment};
 
 fn main() {
     let args = Args::from_env();
     let systems = [
-        ("merges-on", TreeOptions::sherman()),
-        ("merges-off", TreeOptions::sherman().without_structural_deletes()),
+        ("merges-on/epochs", TreeOptions::sherman(), ReclaimScheme::Epoch),
+        ("merges-on/grace", TreeOptions::sherman(), ReclaimScheme::GracePeriod),
+        (
+            "merges-off",
+            TreeOptions::sherman().without_structural_deletes(),
+            ReclaimScheme::Epoch,
+        ),
     ];
 
-    println!("Churn: sliding-window insert/delete, structural deletes vs grow-only");
+    println!("Churn: sliding-window insert/delete; reclamation schemes vs grow-only");
     let mut rows = Vec::new();
-    for (name, options) in systems {
+    for (name, options, scheme) in systems {
         let mut exp = ChurnExperiment::default_scaled(name, options);
+        if scheme == ReclaimScheme::GracePeriod {
+            let grace = exp.tree.reclaim_grace_ns;
+            exp.tree = exp.tree.with_grace_reclamation(grace);
+        }
         exp.window = args.get_u64("window", exp.window);
         exp.turnover = args.get_f64("turnover", exp.turnover);
         exp.threads = args.get_usize("threads", exp.threads);
@@ -39,10 +52,14 @@ fn main() {
             fmt_mops(r.summary.throughput_ops),
             format!("{:.1}", r.turnovers),
             r.space.merges().to_string(),
-            r.space.rebalances.to_string(),
-            r.space.root_collapses.to_string(),
             r.reclaim.retired.to_string(),
             r.reclaim.reused.to_string(),
+            format!("{:.0}", r.reclaim.mean_reclaim_latency_ns()),
+            if r.reclaim.reused == 0 {
+                "-".into()
+            } else {
+                r.reclaim.reclaim_latency_min_ns.to_string()
+            },
             r.census.total().to_string(),
             r.nodes_carved.to_string(),
             format!("{:.2}", r.space_amplification),
@@ -54,10 +71,10 @@ fn main() {
             "Mops",
             "turnovers",
             "merges",
-            "rebalances",
-            "root-collapses",
             "retired",
             "reused",
+            "reclaim-lat mean(ns)",
+            "reclaim-lat min(ns)",
             "live nodes",
             "carved nodes",
             "space amp",
@@ -65,6 +82,9 @@ fn main() {
         &rows,
     );
     println!("\nspace amp = node addresses carved from chunks / nodes reachable at the end");
+    println!("reclaim latency = virtual time from a node's retirement to its reuse:");
+    println!(" epochs recycle as soon as the last pre-retirement reader finishes, so the");
+    println!(" mean follows the workload; the grace fallback is floored by reclaim_grace_ns");
     println!("(grow-only trees keep their garbage reachable: the leak shows in the live/");
     println!(" carved node counts, which scale with turnover instead of the window size)");
 }

@@ -24,7 +24,7 @@ use crate::node::{InternalNode, LeafNode};
 use crate::stats::OpStats;
 use crate::TreeResult;
 use sherman_cache::{CachedInternal, ChildRef};
-use sherman_memserver::{ClientAllocator, ServerLayout};
+use sherman_memserver::{ClientAllocator, ReaderHandle, ServerLayout};
 use sherman_sim::{ClientCtx, ClientStats, GlobalAddress, WriteCmd};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -54,10 +54,13 @@ struct OpMeta {
 /// images that will ride the lock releases).
 enum MergeOutcome {
     /// The left node absorbed its right sibling; the sibling image is the
-    /// freed (free-bit set, version-bumped) tombstone.
+    /// freed (free-bit set, version-bumped) tombstone whose node-level
+    /// version is `right_version` (recorded with the retirement so the next
+    /// writer of the address stamps its image above it).
     Merge {
         left_bytes: Vec<u8>,
         right_bytes: Vec<u8>,
+        right_version: u8,
     },
     /// Entries moved from the right sibling into the left node; the parent's
     /// separator must move to `new_sep`.
@@ -76,6 +79,11 @@ pub struct TreeClient {
     cluster: Arc<Cluster>,
     ctx: ClientCtx,
     allocator: ClientAllocator,
+    /// This client's slot in the epoch registry: every public operation pins
+    /// the global epoch on entry and unpins on exit, which is what lets
+    /// epoch-based reclamation recycle freed node addresses the moment no
+    /// pre-retirement reader is left.
+    reader: ReaderHandle,
     cs_id: u16,
 }
 
@@ -95,10 +103,12 @@ impl TreeClient {
             cluster.config().node_size as u64,
             cs_id,
         );
+        let reader = cluster.pool().epoch_registry().register();
         TreeClient {
             cluster,
             ctx,
             allocator,
+            reader,
             cs_id,
         }
     }
@@ -358,6 +368,7 @@ impl TreeClient {
     pub fn lookup(&mut self, key: u64) -> TreeResult<(Option<u64>, OpStats)> {
         let before = self.ctx.stats();
         let t0 = self.ctx.now();
+        let _pin = self.reader.pin();
         let mut meta = OpMeta::default();
 
         let value = self.lookup_inner(key, &mut meta)?;
@@ -422,6 +433,7 @@ impl TreeClient {
     pub fn insert(&mut self, key: u64, value: u64) -> TreeResult<OpStats> {
         let before = self.ctx.stats();
         let t0 = self.ctx.now();
+        let _pin = self.reader.pin();
         let mut meta = OpMeta::default();
         self.insert_inner(key, value, &mut meta)?;
         Ok(self.finish(before, t0, meta))
@@ -536,7 +548,7 @@ impl TreeClient {
             target.repack_sorted(&pairs);
         }
 
-        let sibling_addr = match self.allocator.alloc_node(&mut self.ctx) {
+        let sibling = match self.allocator.alloc_node(&mut self.ctx) {
             Ok(a) => a,
             Err(e) => {
                 // Do not leak the node lock when the cluster is out of memory.
@@ -544,8 +556,14 @@ impl TreeClient {
                 return Err(e.into());
             }
         };
+        let sibling_addr = sibling.addr;
         leaf.header.sibling = Some(sibling_addr);
 
+        // A recycled address still holds its tombstone; the first image
+        // written there must be stamped above the tombstone's version so
+        // versions bump across reuse (fresh carves seed at version 1, the
+        // same value the pre-reuse code produced).
+        right.header.set_versions(sibling.first_version());
         let right_bytes = self.encode_leaf_for_write(&right);
         let left_bytes = self.encode_leaf_for_write(&leaf);
 
@@ -628,15 +646,19 @@ impl TreeClient {
             } else {
                 node.insert_separator(sep_key, child);
             }
-            let right_addr = match self.allocator.alloc_node(&mut self.ctx) {
+            let right_alloc = match self.allocator.alloc_node(&mut self.ctx) {
                 Ok(a) => a,
                 Err(e) => {
                     self.release_lock(addr, Vec::new())?;
                     return Err(e.into());
                 }
             };
+            let right_addr = right_alloc.addr;
             node.header.sibling = Some(right_addr);
 
+            // Stamp the new sibling above any tombstone left at a recycled
+            // address (versions bump across reuse).
+            right.header.set_versions(right_alloc.first_version());
             let right_bytes = self.encode_internal_for_write(&right);
             let left_bytes = self.encode_internal_for_write(&node);
             let mut writes = Vec::new();
@@ -685,10 +707,13 @@ impl TreeClient {
             return Ok(false);
         }
 
-        let new_root_addr = self.allocator.alloc_node(&mut self.ctx)?;
+        let new_root_alloc = self.allocator.alloc_node(&mut self.ctx)?;
+        let new_root_addr = new_root_alloc.addr;
         let mut new_root = InternalNode::new(new_level, 0, u64::MAX, old_root);
         new_root.insert_separator(sep_key, right_child);
-        new_root.header.bump_versions();
+        // Stamp above any tombstone left at a recycled address (versions bump
+        // across reuse).
+        new_root.header.set_versions(new_root_alloc.first_version());
         let bytes = self.encode_internal_for_write(&new_root);
         // The new root is not reachable yet, so no lock is needed for this
         // write; the root-pointer CAS is the linearization point.
@@ -708,6 +733,14 @@ impl TreeClient {
         let mut free_flag = [0u8; 1];
         free_flag[0] = crate::layout::FLAG_FREE;
         self.ctx.write(new_root_addr.add(1), &free_flag)?;
+        // The orphan was never reachable, so with structural deletes enabled
+        // its address can be retired right away instead of leaking (grow-only
+        // mode keeps the paper's leak-on-loss behaviour).
+        if self.cluster.options().structural_deletes_enabled() {
+            let version = new_root.header.front_version;
+            self.cluster
+                .retire_node(new_root_addr, version, self.ctx.now());
+        }
         Ok(false)
     }
 
@@ -719,6 +752,7 @@ impl TreeClient {
     pub fn delete(&mut self, key: u64) -> TreeResult<(bool, OpStats)> {
         let before = self.ctx.stats();
         let t0 = self.ctx.now();
+        let _pin = self.reader.pin();
         let mut meta = OpMeta::default();
         let deleted = self.delete_inner(key, &mut meta)?;
         Ok((deleted, self.finish(before, t0, meta)))
@@ -976,25 +1010,29 @@ impl TreeClient {
         // removal (merge), separator retargeting (rebalance) and root
         // collapse; every write rides its lock's release.
         let mut writes: Vec<(GlobalAddress, WriteCmd)> = Vec::new();
-        let mut retired: Vec<GlobalAddress> = Vec::new();
+        // Addresses to retire post-commit, with their tombstone's node-level
+        // version (the eventual reuser stamps its first image above it).
+        let mut retired: Vec<(GlobalAddress, u8)> = Vec::new();
         let mut cascade = false;
         match outcome {
-            MergeOutcome::Merge { left_bytes, right_bytes } => {
+            MergeOutcome::Merge { left_bytes, right_bytes, right_version } => {
                 assert!(parent.remove_separator(sep, right_addr));
                 writes.push((left_addr, WriteCmd::new(left_addr, left_bytes)));
                 writes.push((right_addr, WriteCmd::new(right_addr, right_bytes)));
-                retired.push(right_addr);
+                retired.push((right_addr, right_version));
 
                 let collapsed = parent.entries.is_empty()
                     && self.try_collapse_root(parent_addr, &parent, level)?;
                 if collapsed {
                     parent.header.free = true;
-                    retired.push(parent_addr);
                 } else {
                     cascade = parent.entries.len() < self.internal_merge_floor()
                         && parent.header.sibling.is_some();
                 }
                 parent.header.bump_versions();
+                if collapsed {
+                    retired.push((parent_addr, parent.header.front_version));
+                }
                 let parent_bytes = self.encode_internal_for_write(&parent);
                 writes.push((parent_addr, WriteCmd::new(parent_addr, parent_bytes)));
                 if is_leaf {
@@ -1017,8 +1055,8 @@ impl TreeClient {
 
         // Phase 5: post-commit bookkeeping (no locks held).
         let now = self.ctx.now();
-        for addr in retired {
-            self.cluster.retire_node(addr, now);
+        for (addr, tombstone_version) in retired {
+            self.cluster.retire_node(addr, tombstone_version, now);
         }
         if level == 0 && !parent.header.free {
             self.cluster
@@ -1053,6 +1091,7 @@ impl TreeClient {
             Some(MergeOutcome::Merge {
                 left_bytes: self.encode_leaf_for_write(&left),
                 right_bytes: self.encode_leaf_for_write(&right),
+                right_version: right.header.front_version,
             })
         } else {
             // The siblings cannot fit in one node: top the left leaf up to the
@@ -1093,6 +1132,7 @@ impl TreeClient {
         Some(MergeOutcome::Merge {
             left_bytes: self.encode_internal_for_write(&left),
             right_bytes: self.encode_internal_for_write(&right),
+            right_version: right.header.front_version,
         })
     }
 
@@ -1141,6 +1181,7 @@ impl TreeClient {
     pub fn range(&mut self, start_key: u64, count: usize) -> TreeResult<(Vec<(u64, u64)>, OpStats)> {
         let before = self.ctx.stats();
         let t0 = self.ctx.now();
+        let _pin = self.reader.pin();
         let mut meta = OpMeta::default();
         let results = self.range_inner(start_key, count, &mut meta)?;
         Ok((results, self.finish(before, t0, meta)))

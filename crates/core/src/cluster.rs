@@ -1,7 +1,7 @@
 //! Cluster bootstrap: fabric, memory pool, lock service, caches, bulkload.
 
 use crate::client::TreeClient;
-use crate::config::{LockStrategy, TreeConfig, TreeOptions};
+use crate::config::{LockStrategy, ReclaimScheme, TreeConfig, TreeOptions};
 use crate::error::TreeError;
 use crate::layout::NodeLayout;
 use crate::node::{InternalNode, LeafEntry, LeafNode, NodeHeader};
@@ -11,8 +11,8 @@ use sherman_cache::{CachedInternal, ChildRef, IndexCache, IndexCacheConfig};
 use sherman_locks::{
     GlobalLockKind, GlobalLockTable, HoclManager, NodeLockManager, RemoteLockManager,
 };
-use sherman_memserver::{FreeListStats, MemoryPool, ServerLayout};
-use sherman_metrics::{SpaceCounters, SpaceSnapshot};
+use sherman_memserver::{EpochRegistry, FreeListStats, MemoryPool, ServerLayout};
+use sherman_metrics::{EpochGauges, SpaceCounters, SpaceSnapshot};
 use sherman_sim::{Fabric, FabricConfig, GlobalAddress};
 use std::sync::Arc;
 
@@ -93,7 +93,10 @@ impl Cluster {
         config.tree.validate().expect("invalid tree configuration");
         let fabric = Fabric::new(config.fabric.clone());
         let pool = MemoryPool::new(Arc::clone(&fabric), config.tree.chunk_bytes);
-        pool.set_reclaim_grace(config.tree.reclaim_grace_ns);
+        match config.tree.reclaim {
+            ReclaimScheme::Epoch => pool.use_epoch_reclamation(),
+            ReclaimScheme::GracePeriod => pool.set_reclaim_grace(config.tree.reclaim_grace_ns),
+        }
         let lock_mgr = Self::build_lock_manager(&pool, &config.fabric, &options);
         let layout = NodeLayout::new(&config.tree);
         let cache_cfg = IndexCacheConfig::new(config.tree.cache_bytes, config.tree.node_size);
@@ -207,10 +210,23 @@ impl Cluster {
         self.space.snapshot()
     }
 
-    /// Aggregated free-list counters (retired / reused / quarantined nodes)
-    /// across every memory server.
+    /// Aggregated free-list counters (retired / reused / quarantined nodes,
+    /// retire→reuse latency) across every memory server.
     pub fn reclaim_stats(&self) -> FreeListStats {
         self.pool.reclaim_stats()
+    }
+
+    /// The reader-epoch registry of this deployment.  Every [`TreeClient`]
+    /// registers a reader; tests and external observers may register their
+    /// own to hold a pin (e.g. to model a stalled reader).
+    pub fn epoch_registry(&self) -> &Arc<EpochRegistry> {
+        self.pool.epoch_registry()
+    }
+
+    /// Epoch-reclamation gauges: global epoch, lag of the oldest pinned
+    /// reader, and the quarantined addresses that pin is blocking.
+    pub fn epoch_stats(&self) -> EpochGauges {
+        self.pool.epoch_gauges()
     }
 
     /// Node addresses currently allocated to the tree (carved + reissued −
@@ -222,12 +238,15 @@ impl Cluster {
 
     /// Retire a node freed by a structural delete: drop every compute
     /// server's cached pointers to it, then quarantine the address on its
-    /// memory server's free list until `now + reclaim_grace_ns`.
-    pub(crate) fn retire_node(&self, addr: GlobalAddress, now: u64) {
+    /// memory server's free list until the reclamation scheme clears it.
+    /// `tombstone_version` is the node-level version of the tombstone image
+    /// written at the address; the eventual reuser stamps its first image
+    /// above it so versions always bump across reuse.
+    pub(crate) fn retire_node(&self, addr: GlobalAddress, tombstone_version: u8, now: u64) {
         for cache in &self.caches {
             cache.invalidate_addr(addr);
         }
-        self.pool.retire_node(addr, now);
+        self.pool.retire_node(addr, tombstone_version, now);
     }
 
     /// Count the nodes reachable from the current root by walking each level's

@@ -28,11 +28,36 @@ pub struct TreeConfig {
     pub max_read_retries: u32,
     /// Upper bound on traversal restarts per operation.
     pub max_restarts: u32,
-    /// Grace period (virtual ns) a node freed by a structural delete spends in
-    /// quarantine before its address may be recycled.  Any lock-free reader
-    /// that raced the merge observes the free bit / bumped versions and
-    /// retries well within this window.
+    /// Which scheme decides when a node address freed by a structural delete
+    /// may be recycled (see [`ReclaimScheme`]).
+    pub reclaim: ReclaimScheme,
+    /// Grace period (virtual ns) used by the **deprecated**
+    /// [`ReclaimScheme::GracePeriod`] fallback: a freed node's address is
+    /// quarantined for this much virtual time before it may be recycled.
+    /// Ignored under [`ReclaimScheme::Epoch`], which tracks actual reader
+    /// pins instead of guessing a window.
     pub reclaim_grace_ns: u64,
+}
+
+/// When may a node address retired by a structural delete be recycled?
+///
+/// Retired nodes are always written as tombstones first (free bit set,
+/// versions bumped) so racing lock-free readers fail validation and retry;
+/// the scheme only decides how long the *address* stays out of circulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReclaimScheme {
+    /// Epoch-based reclamation (the default): every tree operation pins the
+    /// global epoch on entry; a retired address is recycled only once every
+    /// reader pinned at or before its retirement epoch has finished.  Reuse
+    /// is immediate under no contention and provably deferred while a stalled
+    /// reader could still hold a pointer into the freed node.
+    Epoch,
+    /// Deprecated compatibility fallback: a fixed window of
+    /// [`TreeConfig::reclaim_grace_ns`] virtual nanoseconds.  Unsafe in
+    /// principle (a reader stalled longer than the constant can observe a
+    /// recycled node) and wasteful in practice (idle addresses wait out the
+    /// full window); kept so the PR 2 behaviour remains reproducible.
+    GracePeriod,
 }
 
 impl Default for TreeConfig {
@@ -46,6 +71,7 @@ impl Default for TreeConfig {
             chunk_bytes: 1 << 20,
             max_read_retries: 1_000,
             max_restarts: 10_000,
+            reclaim: ReclaimScheme::Epoch,
             reclaim_grace_ns: sherman_memserver::DEFAULT_RECLAIM_GRACE_NS,
         }
     }
@@ -61,6 +87,14 @@ impl TreeConfig {
             reclaim_grace_ns: 10_000,
             ..TreeConfig::default()
         }
+    }
+
+    /// Switch to the deprecated grace-period reclamation fallback with the
+    /// given quarantine window (virtual ns).
+    pub fn with_grace_reclamation(mut self, grace_ns: u64) -> Self {
+        self.reclaim = ReclaimScheme::GracePeriod;
+        self.reclaim_grace_ns = grace_ns;
+        self
     }
 
     /// Validate the configuration.
@@ -263,6 +297,16 @@ mod tests {
     fn default_and_test_configs_validate() {
         TreeConfig::default().validate().unwrap();
         TreeConfig::small_test().validate().unwrap();
+    }
+
+    #[test]
+    fn epoch_reclamation_is_the_default_with_a_grace_fallback() {
+        let config = TreeConfig::default();
+        assert_eq!(config.reclaim, ReclaimScheme::Epoch);
+        let fallback = config.with_grace_reclamation(5_000);
+        assert_eq!(fallback.reclaim, ReclaimScheme::GracePeriod);
+        assert_eq!(fallback.reclaim_grace_ns, 5_000);
+        fallback.validate().unwrap();
     }
 
     #[test]

@@ -31,9 +31,12 @@
 //! Beyond the paper, deletes are **structural**: a leaf that drops below
 //! [`TreeOptions::merge_threshold`] merges into its right B-link sibling (or
 //! rebalances), separators are removed up the tree with root collapse at the
-//! top, and freed nodes are quarantined and recycled by the allocator.  Set
-//! the threshold to `0.0` to reproduce the paper's grow-only behaviour; see
-//! `docs/ARCHITECTURE.md` for the merge-path walkthrough.
+//! top, and freed nodes are recycled by the allocator under **epoch-based
+//! reclamation** ([`ReclaimScheme`]): every operation pins the global epoch
+//! on entry, and a retired address is recycled only once every reader pinned
+//! at or before its retirement has finished.  Set the threshold to `0.0` to
+//! reproduce the paper's grow-only behaviour; see `docs/ARCHITECTURE.md` for
+//! the merge-path walkthrough.
 //!
 //! ## Quick start
 //!
@@ -68,7 +71,7 @@ pub mod stats;
 
 pub use client::TreeClient;
 pub use cluster::{Cluster, ClusterConfig, NodeCensus};
-pub use config::{LeafFormat, LockStrategy, TreeConfig, TreeOptions};
+pub use config::{LeafFormat, LockStrategy, ReclaimScheme, TreeConfig, TreeOptions};
 pub use error::TreeError;
 pub use layout::NodeLayout;
 pub use node::{InternalEntry, InternalNode, LeafEntry, LeafNode, NodeHeader};

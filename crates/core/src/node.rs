@@ -70,6 +70,18 @@ impl NodeHeader {
         self.front_version = self.front_version.wrapping_add(1);
         self.rear_version = self.front_version;
     }
+
+    /// Set both node-level versions to `v`.
+    ///
+    /// Used when a node image is written to a **recycled** address: the first
+    /// image must be stamped strictly above the tombstone's version
+    /// ([`sherman_memserver::AllocatedNode::first_version`]) so that a torn
+    /// read mixing tombstone and fresh bytes can never present a matching
+    /// version pair — versions always bump across reuse.
+    pub fn set_versions(&mut self, v: u8) {
+        self.front_version = v;
+        self.rear_version = v;
+    }
 }
 
 /// One leaf entry.

@@ -8,15 +8,31 @@
 //! The paper stops there — deallocation only clears a node's free bit and the
 //! space is never reused.  [`NodeFreeList`] goes further: node addresses
 //! retired by structural deletes (leaf/internal merges, root collapses) are
-//! quarantined for a grace period of virtual time before they become
-//! allocatable again.  The grace period is what makes recycling safe against
-//! Sherman's lock-free readers: a retired node is written with its free bit
-//! set and its versions bumped, so any reader that raced the merge fails
-//! validation and restarts *before* the address can be handed out again.
+//! quarantined until no lock-free reader can still hold a pointer into them,
+//! then become allocatable again.  Two [`ReclaimPolicy`] variants decide when
+//! that is:
+//!
+//! * [`ReclaimPolicy::Epoch`] (the default scheme) — addresses are bucketed
+//!   by retirement epoch (see [`crate::epoch`]) and a bucket is recycled only
+//!   once every pinned reader has advanced past it.  Reuse is immediate under
+//!   no contention and provably deferred while a pre-retirement reader is
+//!   still pinned,
+//! * [`ReclaimPolicy::GracePeriod`] (deprecated compatibility fallback) — the
+//!   PR 2 heuristic: a fixed window of virtual time, unsafe in principle
+//!   against a stalled reader and wasteful against an idle one.
+//!
+//! Either way the retired node is written as a tombstone first — free bit
+//! set, versions bumped — so any reader that raced the unlinking fails
+//! validation and restarts.  The free list additionally remembers each
+//! tombstone's node-level version so that the next writer of the address can
+//! seed its image *above* it: versions always bump across reuse, which keeps
+//! torn old/new images distinguishable (the ABA hazard).
 
+use crate::epoch::EpochRegistry;
 use crate::layout::ALLOC_START_OFFSET;
 use sherman_sim::GlobalAddress;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Allocator state owned by one memory server's management thread.
 #[derive(Debug)]
@@ -88,16 +104,38 @@ impl ChunkAllocator {
 }
 
 /// Summary of one server's node free list (observability and tests).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FreeListStats {
     /// Node addresses retired so far.
     pub retired: u64,
     /// Retired addresses handed back out to allocators.
     pub reused: u64,
-    /// Addresses still inside their grace period.
+    /// Addresses still quarantined (not yet cleared for reuse).
     pub quarantined: u64,
-    /// Addresses past their grace period, ready for reuse.
+    /// Addresses cleared for reuse but not yet handed out.
     pub ready: u64,
+    /// Sum of retire→reuse distances (virtual ns) over every reuse.
+    pub reclaim_latency_sum_ns: u64,
+    /// Largest retire→reuse distance (virtual ns) seen so far.
+    pub reclaim_latency_max_ns: u64,
+    /// Smallest retire→reuse distance (virtual ns) seen so far
+    /// (`u64::MAX` until something was reused).  The grace-period fallback
+    /// floors this at `grace_ns`; epoch-based reclamation does not.
+    pub reclaim_latency_min_ns: u64,
+}
+
+impl Default for FreeListStats {
+    fn default() -> Self {
+        FreeListStats {
+            retired: 0,
+            reused: 0,
+            quarantined: 0,
+            ready: 0,
+            reclaim_latency_sum_ns: 0,
+            reclaim_latency_max_ns: 0,
+            reclaim_latency_min_ns: u64::MAX,
+        }
+    }
 }
 
 impl FreeListStats {
@@ -107,72 +145,213 @@ impl FreeListStats {
         self.reused += other.reused;
         self.quarantined += other.quarantined;
         self.ready += other.ready;
+        self.reclaim_latency_sum_ns += other.reclaim_latency_sum_ns;
+        self.reclaim_latency_max_ns = self.reclaim_latency_max_ns.max(other.reclaim_latency_max_ns);
+        self.reclaim_latency_min_ns = self.reclaim_latency_min_ns.min(other.reclaim_latency_min_ns);
+    }
+
+    /// Mean retire→reuse distance in virtual ns (zero when nothing was
+    /// reused yet).
+    pub fn mean_reclaim_latency_ns(&self) -> f64 {
+        if self.reused == 0 {
+            0.0
+        } else {
+            self.reclaim_latency_sum_ns as f64 / self.reused as f64
+        }
     }
 }
 
-/// A per-memory-server free list of retired node addresses with a
-/// grace-period quarantine.
+/// When may a retired node address be recycled?
+#[derive(Debug, Clone)]
+pub enum ReclaimPolicy {
+    /// Deprecated fallback: a fixed window of virtual time after retirement.
+    GracePeriod {
+        /// Quarantine length in virtual nanoseconds.
+        grace_ns: u64,
+    },
+    /// Epoch-based reclamation: recycle once every reader pinned at or before
+    /// the retirement epoch has unpinned.
+    Epoch(Arc<EpochRegistry>),
+}
+
+/// One retired node address awaiting reclamation.
+#[derive(Debug, Clone, Copy)]
+struct Retired {
+    addr: GlobalAddress,
+    /// Retirement epoch ([`ReclaimPolicy::Epoch`]) or clamped virtual
+    /// retirement time ([`ReclaimPolicy::GracePeriod`]).  Monotone within the
+    /// queue either way, so the front is always first to clear quarantine.
+    stamp: u64,
+    /// Virtual time of retirement (for the retire→reuse latency figure).
+    retired_at_ns: u64,
+    /// Node-level version of the tombstone written at the address; the next
+    /// writer must seed its image above this so versions bump across reuse.
+    tombstone_version: u8,
+}
+
+/// A node address cleared for reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReusedNode {
+    /// The recycled address.
+    pub addr: GlobalAddress,
+    /// Node-level version of the tombstone currently stored there; new
+    /// images written at `addr` must use a version strictly above it.
+    pub tombstone_version: u8,
+}
+
+/// A per-memory-server free list of retired node addresses.
 ///
-/// `retire` timestamps the address with the retiring client's virtual time;
-/// `reuse` only hands an address back once `grace_ns` of virtual time has
-/// passed since its retirement, so every lock-free reader that could still
-/// hold a pointer to the node has had time to observe the free bit / bumped
-/// versions and retry.
+/// `retire` stamps the address according to the configured
+/// [`ReclaimPolicy`]; `reuse` only hands an address back once the policy says
+/// every lock-free reader that could still hold a pointer to the node is
+/// gone (epoch scheme) or has had time to observe the tombstone and retry
+/// (grace-period fallback).
 #[derive(Debug)]
 pub struct NodeFreeList {
-    grace_ns: u64,
-    /// Retired addresses in retirement-time order (monotone, so the front is
-    /// always the first to leave quarantine).
-    quarantine: VecDeque<(u64, GlobalAddress)>,
-    ready: Vec<GlobalAddress>,
+    policy: ReclaimPolicy,
+    quarantine: VecDeque<Retired>,
+    ready: Vec<Retired>,
     retired: u64,
     reused: u64,
+    latency_sum_ns: u64,
+    latency_max_ns: u64,
+    latency_min_ns: u64,
 }
 
 impl NodeFreeList {
-    /// Create an empty free list with the given grace period (virtual ns).
+    /// Create an empty free list with the grace-period fallback policy.
     pub fn new(grace_ns: u64) -> Self {
+        Self::with_policy(ReclaimPolicy::GracePeriod { grace_ns })
+    }
+
+    /// Create an empty free list under epoch-based reclamation.
+    pub fn new_epoch(registry: Arc<EpochRegistry>) -> Self {
+        Self::with_policy(ReclaimPolicy::Epoch(registry))
+    }
+
+    /// Create an empty free list with the given policy.
+    pub fn with_policy(policy: ReclaimPolicy) -> Self {
         NodeFreeList {
-            grace_ns,
+            policy,
             quarantine: VecDeque::new(),
             ready: Vec::new(),
             retired: 0,
             reused: 0,
+            latency_sum_ns: 0,
+            latency_max_ns: 0,
+            latency_min_ns: u64::MAX,
         }
     }
 
-    /// Change the grace period (applies to future reclamation decisions).
+    /// Replace the reclamation policy.
+    ///
+    /// # Panics
+    /// Panics if anything is quarantined: stamps are epochs under one policy
+    /// and virtual timestamps under the other, so reinterpreting them would
+    /// silently break the safety argument (an epoch stamp like `3` read as a
+    /// nanosecond timestamp clears any grace window instantly).
+    pub fn set_policy(&mut self, policy: ReclaimPolicy) {
+        assert!(
+            self.quarantine.is_empty(),
+            "reclaim policy must be configured before the first retirement"
+        );
+        self.policy = policy;
+    }
+
+    /// Change the grace period.  Switches to the grace-period fallback if the
+    /// list was under epoch reclamation.
     pub fn set_grace_ns(&mut self, grace_ns: u64) {
-        self.grace_ns = grace_ns;
+        match &mut self.policy {
+            ReclaimPolicy::GracePeriod { grace_ns: g } => *g = grace_ns,
+            ReclaimPolicy::Epoch(_) => self.set_policy(ReclaimPolicy::GracePeriod { grace_ns }),
+        }
     }
 
-    /// Retire a node address at virtual time `now`.
-    pub fn retire(&mut self, addr: GlobalAddress, now: u64) {
+    /// Retire a node address at virtual time `now`.  `tombstone_version` is
+    /// the node-level version of the tombstone image written at the address.
+    /// Returns the stamp the address was quarantined under (its retirement
+    /// epoch under [`ReclaimPolicy::Epoch`]).
+    pub fn retire(&mut self, addr: GlobalAddress, tombstone_version: u8, now: u64) -> u64 {
         self.retired += 1;
-        // Clients on different threads may observe slightly different virtual
-        // times; clamp so the queue stays monotone and pop stays O(1).
-        let stamp = self.quarantine.back().map_or(now, |&(t, _)| t.max(now));
-        self.quarantine.push_back((stamp, addr));
+        let stamp = match &self.policy {
+            // Clients on different threads may observe slightly different
+            // virtual times; clamp so the queue stays monotone and pop stays
+            // O(1).
+            ReclaimPolicy::GracePeriod { .. } => {
+                self.quarantine.back().map_or(now, |r| r.stamp.max(now))
+            }
+            ReclaimPolicy::Epoch(reg) => reg.retire_epoch(),
+        };
+        self.quarantine.push_back(Retired {
+            addr,
+            stamp,
+            retired_at_ns: now,
+            tombstone_version,
+        });
+        stamp
     }
 
-    /// Move every quarantined address whose grace period has elapsed at `now`
-    /// into the ready pool.
+    /// Move every quarantined address the policy has cleared into the ready
+    /// pool.
     fn reclaim(&mut self, now: u64) {
-        while let Some(&(t, addr)) = self.quarantine.front() {
-            if now.saturating_sub(t) < self.grace_ns {
+        // This sits on the per-allocation hot path: bail before touching the
+        // epoch registry when there is nothing to reclaim.
+        if self.quarantine.is_empty() {
+            return;
+        }
+        // Epoch scheme: everything stamped strictly below the oldest pin is
+        // safe.  The boundary is read once per reclaim pass; that is sound
+        // because it can only have *grown* since any earlier pass (a reader
+        // pinning later lands at or above the current global epoch, which is
+        // above every existing stamp).
+        enum Rule {
+            Grace { grace_ns: u64 },
+            Epoch { boundary: u64 },
+        }
+        let rule = match &self.policy {
+            ReclaimPolicy::GracePeriod { grace_ns } => Rule::Grace { grace_ns: *grace_ns },
+            ReclaimPolicy::Epoch(reg) => Rule::Epoch { boundary: reg.safe_boundary() },
+        };
+        while let Some(front) = self.quarantine.front() {
+            let cleared = match rule {
+                Rule::Grace { grace_ns } => now.saturating_sub(front.stamp) >= grace_ns,
+                Rule::Epoch { boundary } => front.stamp < boundary,
+            };
+            if !cleared {
                 break;
             }
-            self.quarantine.pop_front();
-            self.ready.push(addr);
+            let r = self.quarantine.pop_front().expect("front exists");
+            self.ready.push(r);
         }
     }
 
-    /// Take one reusable node address, if any has cleared quarantine by `now`.
-    pub fn reuse(&mut self, now: u64) -> Option<GlobalAddress> {
+    /// Take one reusable node address, if the policy has cleared any by
+    /// virtual time `now`.
+    pub fn reuse(&mut self, now: u64) -> Option<ReusedNode> {
         self.reclaim(now);
-        let addr = self.ready.pop()?;
+        let r = self.ready.pop()?;
         self.reused += 1;
-        Some(addr)
+        let latency = now.saturating_sub(r.retired_at_ns);
+        self.latency_sum_ns += latency;
+        self.latency_max_ns = self.latency_max_ns.max(latency);
+        self.latency_min_ns = self.latency_min_ns.min(latency);
+        Some(ReusedNode {
+            addr: r.addr,
+            tombstone_version: r.tombstone_version,
+        })
+    }
+
+    /// Quarantined addresses whose recycling is currently blocked by a pinned
+    /// reader (zero under the grace-period fallback, which has no notion of a
+    /// pinned reader).
+    pub fn pinned_buckets(&self) -> u64 {
+        match &self.policy {
+            ReclaimPolicy::GracePeriod { .. } => 0,
+            ReclaimPolicy::Epoch(reg) => {
+                let boundary = reg.safe_boundary();
+                self.quarantine.iter().filter(|r| r.stamp >= boundary).count() as u64
+            }
+        }
     }
 
     /// Current counters.
@@ -182,6 +361,9 @@ impl NodeFreeList {
             reused: self.reused,
             quarantined: self.quarantine.len() as u64,
             ready: self.ready.len() as u64,
+            reclaim_latency_sum_ns: self.latency_sum_ns,
+            reclaim_latency_max_ns: self.latency_max_ns,
+            reclaim_latency_min_ns: self.latency_min_ns,
         }
     }
 }
@@ -238,18 +420,23 @@ mod tests {
         let mut fl = NodeFreeList::new(1_000);
         let a = GlobalAddress::host(0, 8 << 10);
         let b = GlobalAddress::host(0, 16 << 10);
-        fl.retire(a, 100);
-        fl.retire(b, 200);
+        fl.retire(a, 1, 100);
+        fl.retire(b, 1, 200);
         // Inside the grace period nothing is reusable.
         assert_eq!(fl.reuse(500), None);
         assert_eq!(fl.stats().quarantined, 2);
         // After the grace period both become available (LIFO from the ready
         // pool keeps recently-hot addresses warm).
-        assert_eq!(fl.reuse(1_100), Some(a));
-        assert_eq!(fl.reuse(1_300), Some(b));
+        assert_eq!(fl.reuse(1_100).map(|r| r.addr), Some(a));
+        assert_eq!(fl.reuse(1_300).map(|r| r.addr), Some(b));
         assert_eq!(fl.reuse(10_000), None);
         let s = fl.stats();
         assert_eq!((s.retired, s.reused, s.quarantined, s.ready), (2, 2, 0, 0));
+        // Retire→reuse latencies: 1_100-100 and 1_300-200, both 1_000 ... 1_100.
+        assert_eq!(s.reclaim_latency_sum_ns, 1_000 + 1_100);
+        assert_eq!(s.reclaim_latency_max_ns, 1_100);
+        assert_eq!(s.reclaim_latency_min_ns, 1_000, "grace floors the minimum latency");
+        assert!((s.mean_reclaim_latency_ns() - 1_050.0).abs() < 1e-9);
     }
 
     #[test]
@@ -257,11 +444,47 @@ mod tests {
         // Two clients can observe slightly different virtual times; the queue
         // must stay monotone so quarantine never releases early.
         let mut fl = NodeFreeList::new(1_000);
-        fl.retire(GlobalAddress::host(0, 8 << 10), 5_000);
-        fl.retire(GlobalAddress::host(0, 16 << 10), 4_000);
+        fl.retire(GlobalAddress::host(0, 8 << 10), 1, 5_000);
+        fl.retire(GlobalAddress::host(0, 16 << 10), 1, 4_000);
         assert_eq!(fl.reuse(5_500), None, "second retiree inherits the later stamp");
         assert!(fl.reuse(6_100).is_some());
         assert!(fl.reuse(6_100).is_some());
+    }
+
+    #[test]
+    fn epoch_policy_reuses_immediately_when_no_reader_is_pinned() {
+        let registry = crate::EpochRegistry::new();
+        let mut fl = NodeFreeList::new_epoch(Arc::clone(&registry));
+        let a = GlobalAddress::host(0, 8 << 10);
+        let stamp = fl.retire(a, 7, 1_000);
+        assert_eq!(stamp, 1, "first retirement is stamped with epoch 1");
+        // No pinned reader: the very next reuse attempt succeeds, regardless
+        // of how little virtual time has passed.
+        let reused = fl.reuse(1_000).expect("idle reclamation is immediate");
+        assert_eq!(reused.addr, a);
+        assert_eq!(reused.tombstone_version, 7);
+        assert_eq!(fl.stats().reclaim_latency_max_ns, 0, "retire→reuse distance is zero");
+    }
+
+    #[test]
+    fn epoch_policy_defers_reuse_behind_a_pinned_reader() {
+        let registry = crate::EpochRegistry::new();
+        let reader = registry.register();
+        let mut fl = NodeFreeList::new_epoch(Arc::clone(&registry));
+        let a = GlobalAddress::host(0, 8 << 10);
+        let b = GlobalAddress::host(0, 16 << 10);
+
+        // `a` retires before the reader pins: recyclable even during the pin.
+        fl.retire(a, 1, 100);
+        let pin = reader.pin();
+        // `b` retires while the reader is pinned: blocked until it unpins.
+        fl.retire(b, 1, 200);
+        assert_eq!(fl.pinned_buckets(), 1);
+        assert_eq!(fl.reuse(10_000).map(|r| r.addr), Some(a));
+        assert_eq!(fl.reuse(1 << 40), None, "no amount of virtual time unblocks b");
+        drop(pin);
+        assert_eq!(fl.reuse(1 << 40).map(|r| r.addr), Some(b));
+        assert_eq!(fl.pinned_buckets(), 0);
     }
 
     #[test]
@@ -271,16 +494,29 @@ mod tests {
             reused: 2,
             quarantined: 3,
             ready: 4,
+            reclaim_latency_sum_ns: 100,
+            reclaim_latency_max_ns: 60,
+            reclaim_latency_min_ns: 40,
         };
         a.merge(&FreeListStats {
             retired: 10,
             reused: 20,
             quarantined: 30,
             ready: 40,
+            reclaim_latency_sum_ns: 1_000,
+            reclaim_latency_max_ns: 900,
+            reclaim_latency_min_ns: 12,
         });
         assert_eq!(a.retired, 11);
         assert_eq!(a.reused, 22);
         assert_eq!(a.quarantined, 33);
         assert_eq!(a.ready, 44);
+        assert_eq!(a.reclaim_latency_sum_ns, 1_100);
+        assert_eq!(a.reclaim_latency_max_ns, 900, "max latency merges by maximum");
+        assert_eq!(a.reclaim_latency_min_ns, 12, "min latency merges by minimum");
+        assert_eq!(a.mean_reclaim_latency_ns(), 50.0);
+        // An idle server's sentinel min does not perturb the merge.
+        a.merge(&FreeListStats::default());
+        assert_eq!(a.reclaim_latency_min_ns, 12);
     }
 }

@@ -14,6 +14,31 @@ use crate::pool::{MemoryPool, PoolError};
 use sherman_sim::{ClientCtx, GlobalAddress};
 use std::sync::Arc;
 
+/// One allocated node address plus the version floor the caller must respect
+/// when writing the node's first image.
+///
+/// Freshly carved addresses have floor 0 (any version is fine); recycled
+/// addresses carry the tombstone's node-level version, and the new image must
+/// be stamped **above** it (see [`AllocatedNode::first_version`]) so that
+/// versions always bump across reuse — a reader that raced the recycling can
+/// then never mistake a torn old/new image mix for a consistent node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocatedNode {
+    /// The allocated node address.
+    pub addr: GlobalAddress,
+    /// Node-level version currently stored at the address (0 for fresh
+    /// carves, the tombstone version for recycled addresses).
+    pub version_floor: u8,
+}
+
+impl AllocatedNode {
+    /// The node-level version the first image written at this address must
+    /// use.
+    pub fn first_version(&self) -> u8 {
+        self.version_floor.wrapping_add(1)
+    }
+}
+
 /// Per-client-thread node allocator.
 #[derive(Debug)]
 pub struct ClientAllocator {
@@ -102,48 +127,53 @@ impl ClientAllocator {
     /// server in round-robin order starting at this allocator's cursor.  The
     /// lock-free `reusable_nodes` guard keeps allocation scan-free until a
     /// structural delete has actually retired something.
-    fn reuse(&mut self, now: u64) -> Option<GlobalAddress> {
+    fn reuse(&mut self, now: u64) -> Option<AllocatedNode> {
         if self.pool.reusable_nodes() == 0 {
             return None;
         }
         let servers = self.pool.servers() as u16;
         for i in 0..servers {
             let ms = (self.next_ms + i) % servers;
-            if let Some(addr) = self.pool.reuse_node(ms, now) {
-                return Some(addr);
+            if let Some(reused) = self.pool.reuse_node(ms, now) {
+                return Some(AllocatedNode {
+                    addr: reused.addr,
+                    version_floor: reused.tombstone_version,
+                });
             }
         }
         None
     }
 
-    /// Allocate one node: recycle a retired address when one has cleared
-    /// quarantine (keeping the remote-memory footprint at the steady-state
-    /// tree size under churn), else carve from the local chunk, else request
-    /// a new chunk (charging the allocation RPC).
-    pub fn alloc_node(&mut self, client: &mut ClientCtx) -> Result<GlobalAddress, PoolError> {
-        if let Some(addr) = self.reuse(client.now()) {
-            return Ok(addr);
+    /// Allocate one node: recycle a retired address when the reclamation
+    /// policy has cleared one (keeping the remote-memory footprint at the
+    /// steady-state tree size under churn), else carve from the local chunk,
+    /// else request a new chunk (charging the allocation RPC).
+    pub fn alloc_node(&mut self, client: &mut ClientCtx) -> Result<AllocatedNode, PoolError> {
+        if let Some(node) = self.reuse(client.now()) {
+            return Ok(node);
         }
         if let Some(addr) = self.carve() {
-            return Ok(addr);
+            return Ok(AllocatedNode { addr, version_floor: 0 });
         }
         self.refill(client, true)?;
-        Ok(self.carve().expect("fresh chunk must fit at least one node"))
+        let addr = self.carve().expect("fresh chunk must fit at least one node");
+        Ok(AllocatedNode { addr, version_floor: 0 })
     }
 
     /// Allocate one node without charging fabric time (bulkload / setup).
     pub fn alloc_node_untimed(
         &mut self,
         client: &mut ClientCtx,
-    ) -> Result<GlobalAddress, PoolError> {
-        if let Some(addr) = self.reuse(client.now()) {
-            return Ok(addr);
+    ) -> Result<AllocatedNode, PoolError> {
+        if let Some(node) = self.reuse(client.now()) {
+            return Ok(node);
         }
         if let Some(addr) = self.carve() {
-            return Ok(addr);
+            return Ok(AllocatedNode { addr, version_floor: 0 });
         }
         self.refill(client, false)?;
-        Ok(self.carve().expect("fresh chunk must fit at least one node"))
+        let addr = self.carve().expect("fresh chunk must fit at least one node");
+        Ok(AllocatedNode { addr, version_floor: 0 })
     }
 }
 
@@ -164,6 +194,7 @@ mod tests {
         let (pool, mut client) = setup();
         let mut alloc = ClientAllocator::new(pool, 1024, 0);
         let first = alloc.alloc_node(&mut client).unwrap();
+        assert_eq!(first.version_floor, 0, "fresh carves have no version floor");
         let rpcs_after_first = client.stats().rpcs;
         // The rest of the chunk (64 KiB / 1 KiB = 64 nodes) is carved locally:
         // no further RPCs.
@@ -175,7 +206,7 @@ mod tests {
         // The 65th node needs a new chunk.
         let sixty_fifth = alloc.alloc_node(&mut client).unwrap();
         assert_eq!(alloc.chunks_acquired(), 2);
-        assert_ne!(first, sixty_fifth);
+        assert_ne!(first.addr, sixty_fifth.addr);
     }
 
     #[test]
@@ -185,9 +216,9 @@ mod tests {
         // Each chunk holds 2 nodes; allocate 8 nodes = 4 chunks.
         let mut servers_seen = Vec::new();
         for _ in 0..8 {
-            let addr = alloc.alloc_node(&mut client).unwrap();
-            if !servers_seen.contains(&addr.ms) {
-                servers_seen.push(addr.ms);
+            let node = alloc.alloc_node(&mut client).unwrap();
+            if !servers_seen.contains(&node.addr.ms) {
+                servers_seen.push(node.addr.ms);
             }
         }
         assert_eq!(servers_seen.len(), pool.servers());
@@ -199,9 +230,9 @@ mod tests {
         let mut alloc = ClientAllocator::new(pool, 512, 1);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..300 {
-            let addr = alloc.alloc_node_untimed(&mut client).unwrap();
-            assert_eq!(addr.offset % 512, 0);
-            assert!(seen.insert(addr.pack()), "duplicate address {addr}");
+            let node = alloc.alloc_node_untimed(&mut client).unwrap();
+            assert_eq!(node.addr.offset % 512, 0);
+            assert!(seen.insert(node.addr.pack()), "duplicate address {}", node.addr);
         }
     }
 
@@ -210,16 +241,18 @@ mod tests {
         let (pool, mut client) = setup();
         // Chunks hold exactly two 32 KiB nodes.
         let mut alloc = ClientAllocator::new(Arc::clone(&pool), 32 << 10, 0);
-        pool.set_reclaim_grace(0);
         let a = alloc.alloc_node(&mut client).unwrap();
         let _b = alloc.alloc_node(&mut client).unwrap();
         assert_eq!(alloc.chunks_acquired(), 1);
         // Retire the first node; the next allocation (chunk now full) must
-        // recycle it instead of paying another chunk RPC.
-        pool.retire_node(a, client.now());
+        // recycle it instead of paying another chunk RPC.  No reader is
+        // pinned, so under epoch reclamation reuse is immediate.
+        pool.retire_node(a.addr, 9, client.now());
         client.charge_cpu(1);
         let c = alloc.alloc_node(&mut client).unwrap();
-        assert_eq!(c, a, "retired address is recycled");
+        assert_eq!(c.addr, a.addr, "retired address is recycled");
+        assert_eq!(c.version_floor, 9, "the tombstone version rides the reuse");
+        assert_eq!(c.first_version(), 10, "new images must be stamped above it");
         assert_eq!(alloc.chunks_acquired(), 1, "no new chunk was requested");
         assert_eq!(pool.reclaim_stats().reused, 1);
     }

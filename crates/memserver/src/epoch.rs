@@ -1,0 +1,313 @@
+//! Epoch-based reclamation (EBR): the per-compute-server reader registry.
+//!
+//! PR 2's structural deletes retired freed node addresses behind a fixed
+//! virtual-time quarantine (`reclaim_grace_ns`).  That heuristic is unsafe in
+//! principle — a reader stalled longer than any constant can still hold a
+//! pointer into the freed node — and wasteful in practice, because addresses
+//! idle long after the last reader retires.  This module replaces it with
+//! tracked reader epochs:
+//!
+//! * a global **epoch counter** advances on every retirement, so each retired
+//!   address is stamped with the epoch of its retirement,
+//! * every tree operation **pins** the current epoch on entry (storing it in
+//!   its registered [`ReaderHandle`] slot) and unpins on exit,
+//! * an address stamped with epoch `e` may be recycled only once every pinned
+//!   reader has pinned an epoch **greater than `e`** — i.e. every operation
+//!   that could have observed a pointer to the node before it was unlinked
+//!   has finished.
+//!
+//! The safety argument mirrors classic EBR: a reader that pins *after* a
+//! retirement can only discover the node through the current structure, where
+//! it is already unlinked and tombstoned (free bit set, versions bumped), so
+//! it retries; a reader that pinned *before* the retirement blocks recycling
+//! until it unpins.  Under no contention the quarantine is empty the moment
+//! the retiring operation completes — reuse is immediate — while a stalled
+//! reader defers exactly the addresses retired since it pinned, no more.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sentinel stored in a reader slot that is not currently pinned.
+pub const UNPINNED_EPOCH: u64 = u64::MAX;
+
+/// The per-deployment epoch registry: one global epoch counter plus one slot
+/// per registered reader.
+///
+/// Cheap to share (`Arc`); the memory pool owns one and every tree client
+/// registers a [`ReaderHandle`] with it.
+#[derive(Debug)]
+pub struct EpochRegistry {
+    /// The next epoch a retirement will be stamped with.
+    global: AtomicU64,
+    /// One pinned-epoch slot per registered reader (`UNPINNED_EPOCH` when the
+    /// reader is between operations).
+    readers: Mutex<Vec<Arc<ReaderSlot>>>,
+}
+
+#[derive(Debug)]
+struct ReaderSlot {
+    pinned: AtomicU64,
+    /// Nesting depth of live [`EpochPin`] guards on this slot; the slot
+    /// unpins only when the count returns to zero, so guards may be dropped
+    /// in any order without losing protection or wedging the slot.
+    depth: AtomicU64,
+}
+
+impl EpochRegistry {
+    /// Create a registry.  Epochs start at 1 so that epoch 0 never appears as
+    /// a retirement stamp.
+    pub fn new() -> Arc<Self> {
+        Arc::new(EpochRegistry {
+            global: AtomicU64::new(1),
+            readers: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The epoch the next retirement will be stamped with.
+    pub fn current(&self) -> u64 {
+        self.global.load(Ordering::SeqCst)
+    }
+
+    /// Stamp one retirement: returns the epoch for the retired address and
+    /// advances the global epoch past it.
+    pub fn retire_epoch(&self) -> u64 {
+        self.global.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Register a new reader with an unpinned slot.
+    pub fn register(self: &Arc<Self>) -> ReaderHandle {
+        let slot = Arc::new(ReaderSlot {
+            pinned: AtomicU64::new(UNPINNED_EPOCH),
+            depth: AtomicU64::new(0),
+        });
+        self.readers.lock().push(Arc::clone(&slot));
+        ReaderHandle {
+            registry: Arc::clone(self),
+            slot,
+        }
+    }
+
+    /// The oldest epoch any registered reader is currently pinned at, or
+    /// `None` when no reader is pinned.
+    pub fn min_pinned(&self) -> Option<u64> {
+        self.readers
+            .lock()
+            .iter()
+            .map(|s| s.pinned.load(Ordering::SeqCst))
+            .filter(|&e| e != UNPINNED_EPOCH)
+            .min()
+    }
+
+    /// First epoch that is **not** safe to recycle: every address stamped
+    /// strictly below this boundary has no pre-retirement reader left.
+    pub fn safe_boundary(&self) -> u64 {
+        self.min_pinned().unwrap_or(u64::MAX)
+    }
+
+    /// Number of registered readers.
+    pub fn registered_readers(&self) -> usize {
+        self.readers.lock().len()
+    }
+
+    /// Number of readers currently inside a pinned section.
+    pub fn pinned_readers(&self) -> usize {
+        self.readers
+            .lock()
+            .iter()
+            .filter(|s| s.pinned.load(Ordering::SeqCst) != UNPINNED_EPOCH)
+            .count()
+    }
+}
+
+/// A registered reader's handle: owns this reader's pinned-epoch slot.
+///
+/// One per tree client (or per explicitly-registered observer).  Dropping the
+/// handle deregisters the reader; any retired addresses it was blocking
+/// become recyclable.
+#[derive(Debug)]
+pub struct ReaderHandle {
+    registry: Arc<EpochRegistry>,
+    slot: Arc<ReaderSlot>,
+}
+
+impl ReaderHandle {
+    /// Pin the current global epoch for the duration of the returned guard.
+    ///
+    /// Pins nest by depth counting: only the outermost pin records an epoch,
+    /// inner pins leave the (older) value in place — an operation that pins
+    /// inside an already-pinned section must not advance its own slot, or the
+    /// outer operation's references would lose protection.  The slot unpins
+    /// when the last guard drops, in whatever order the guards are dropped.
+    ///
+    /// The store-and-recheck loop closes the registration race: once the
+    /// store is visible and the global epoch has not moved past it, every
+    /// later retirement is stamped at or above the pinned epoch and therefore
+    /// cannot be recycled under this pin.
+    pub fn pin(&self) -> EpochPin {
+        if self.slot.depth.fetch_add(1, Ordering::SeqCst) == 0 {
+            loop {
+                let e = self.registry.current();
+                self.slot.pinned.store(e, Ordering::SeqCst);
+                if self.registry.current() == e {
+                    break;
+                }
+            }
+        }
+        EpochPin {
+            slot: Arc::clone(&self.slot),
+        }
+    }
+
+    /// The epoch this reader is currently pinned at, if any.
+    pub fn pinned_epoch(&self) -> Option<u64> {
+        match self.slot.pinned.load(Ordering::SeqCst) {
+            UNPINNED_EPOCH => None,
+            e => Some(e),
+        }
+    }
+
+    /// The registry this reader is registered with.
+    pub fn registry(&self) -> &Arc<EpochRegistry> {
+        &self.registry
+    }
+}
+
+impl Drop for ReaderHandle {
+    fn drop(&mut self) {
+        let mut readers = self.registry.readers.lock();
+        if let Some(i) = readers.iter().position(|s| Arc::ptr_eq(s, &self.slot)) {
+            readers.swap_remove(i);
+        }
+    }
+}
+
+/// Guard for one pinned section; the slot unpins when the last guard drops.
+///
+/// Owns its slot, so it does not borrow the [`ReaderHandle`] (a client can
+/// keep mutating itself while pinned).  Nested guards may be dropped in any
+/// order: the slot stays pinned at the outermost epoch until every guard is
+/// gone.
+#[derive(Debug)]
+pub struct EpochPin {
+    slot: Arc<ReaderSlot>,
+}
+
+impl Drop for EpochPin {
+    fn drop(&mut self) {
+        if self.slot.depth.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.slot.pinned.store(UNPINNED_EPOCH, Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_tracks_the_global_epoch() {
+        let reg = EpochRegistry::new();
+        let reader = reg.register();
+        assert_eq!(reg.current(), 1);
+        assert_eq!(reg.min_pinned(), None);
+
+        let pin = reader.pin();
+        assert_eq!(reader.pinned_epoch(), Some(1));
+        assert_eq!(reg.min_pinned(), Some(1));
+        assert_eq!(reg.pinned_readers(), 1);
+
+        // Retirements advance the global epoch; the pin stays put.
+        assert_eq!(reg.retire_epoch(), 1);
+        assert_eq!(reg.retire_epoch(), 2);
+        assert_eq!(reg.current(), 3);
+        assert_eq!(reg.min_pinned(), Some(1));
+
+        drop(pin);
+        assert_eq!(reg.min_pinned(), None);
+        assert_eq!(reg.pinned_readers(), 0);
+
+        // A fresh pin lands on the advanced epoch.
+        let pin2 = reader.pin();
+        assert_eq!(reader.pinned_epoch(), Some(3));
+        drop(pin2);
+    }
+
+    #[test]
+    fn min_pinned_is_the_oldest_reader() {
+        let reg = EpochRegistry::new();
+        let a = reg.register();
+        let b = reg.register();
+        let pin_a = a.pin(); // epoch 1
+        reg.retire_epoch();
+        reg.retire_epoch();
+        let pin_b = b.pin(); // epoch 3
+        assert_eq!(reg.min_pinned(), Some(1));
+        drop(pin_a);
+        assert_eq!(reg.min_pinned(), Some(3));
+        drop(pin_b);
+        assert_eq!(reg.min_pinned(), None);
+    }
+
+    #[test]
+    fn nested_pins_keep_the_outer_epoch() {
+        let reg = EpochRegistry::new();
+        let reader = reg.register();
+        let outer = reader.pin();
+        assert_eq!(reader.pinned_epoch(), Some(1));
+        reg.retire_epoch();
+        {
+            let _inner = reader.pin();
+            // The inner pin must not advance the slot past the outer pin.
+            assert_eq!(reader.pinned_epoch(), Some(1));
+        }
+        assert_eq!(reader.pinned_epoch(), Some(1), "inner drop keeps the outer pin");
+        drop(outer);
+        assert_eq!(reader.pinned_epoch(), None);
+    }
+
+    #[test]
+    fn nested_pins_survive_out_of_order_drops() {
+        let reg = EpochRegistry::new();
+        let reader = reg.register();
+        let outer = reader.pin();
+        let inner = reader.pin();
+        // Dropping the *outer* guard first must neither unpin the slot (the
+        // inner section still needs protection) nor wedge it pinned forever.
+        drop(outer);
+        assert_eq!(reader.pinned_epoch(), Some(1), "inner guard keeps the pin");
+        drop(inner);
+        assert_eq!(reader.pinned_epoch(), None, "last guard out unpins");
+        // The slot is reusable afterwards.
+        reg.retire_epoch();
+        let again = reader.pin();
+        assert_eq!(reader.pinned_epoch(), Some(2));
+        drop(again);
+    }
+
+    #[test]
+    fn deregistration_releases_the_pin() {
+        let reg = EpochRegistry::new();
+        let reader = reg.register();
+        let pin = reader.pin();
+        assert_eq!(reg.registered_readers(), 1);
+        // Dropping the handle (even with a live pin guard) deregisters: the
+        // guard only touches its own slot, which the registry no longer
+        // consults.
+        drop(reader);
+        assert_eq!(reg.registered_readers(), 0);
+        assert_eq!(reg.min_pinned(), None);
+        drop(pin);
+    }
+
+    #[test]
+    fn safe_boundary_is_unbounded_when_idle() {
+        let reg = EpochRegistry::new();
+        let reader = reg.register();
+        assert_eq!(reg.safe_boundary(), u64::MAX);
+        let pin = reader.pin();
+        assert_eq!(reg.safe_boundary(), 1);
+        drop(pin);
+        assert_eq!(reg.safe_boundary(), u64::MAX);
+    }
+}

@@ -17,19 +17,25 @@
 //!   two-stage allocation scheme: round-robin chunk acquisition, local node
 //!   carving, and a free bit on deallocation instead of heavyweight GC,
 //! * [`NodeFreeList`] — the reclamation path the paper omits: node addresses
-//!   retired by structural deletes sit in a per-server quarantine for a grace
-//!   period of virtual time, then become allocatable again (epoch-style
-//!   protection for Sherman's lock-free readers).
+//!   retired by structural deletes are quarantined per server until the
+//!   configured [`ReclaimPolicy`] clears them, then become allocatable again,
+//! * [`epoch`] — the epoch-based reclamation (EBR) registry: every tree
+//!   operation pins the global epoch on entry; a retired address is recycled
+//!   only once every reader pinned at or before its retirement has unpinned.
+//!   The fixed grace-period quarantine of earlier revisions remains available
+//!   as a deprecated fallback ([`ReclaimPolicy::GracePeriod`]).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod alloc;
 pub mod client_alloc;
+pub mod epoch;
 pub mod layout;
 pub mod pool;
 
-pub use alloc::{ChunkAllocator, FreeListStats, NodeFreeList};
-pub use client_alloc::ClientAllocator;
+pub use alloc::{ChunkAllocator, FreeListStats, NodeFreeList, ReclaimPolicy, ReusedNode};
+pub use client_alloc::{AllocatedNode, ClientAllocator};
+pub use epoch::{EpochPin, EpochRegistry, ReaderHandle, UNPINNED_EPOCH};
 pub use layout::{ServerLayout, ALLOC_START_OFFSET, ROOT_PTR_OFFSET, SUPERBLOCK_MAGIC};
 pub use pool::{MemoryPool, PoolError, DEFAULT_RECLAIM_GRACE_NS};

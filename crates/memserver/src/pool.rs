@@ -8,9 +8,11 @@
 //! rare (one per 8 MB of new tree nodes), so the wimpy MS cores stay off the
 //! data path.
 
-use crate::alloc::{ChunkAllocator, FreeListStats, NodeFreeList};
+use crate::alloc::{ChunkAllocator, FreeListStats, NodeFreeList, ReclaimPolicy, ReusedNode};
+use crate::epoch::EpochRegistry;
 use crate::layout::{ServerLayout, ROOT_PTR_OFFSET, SUPERBLOCK_MAGIC, TREE_LEVEL_HINT_OFFSET};
 use parking_lot::Mutex;
+use sherman_metrics::EpochGauges;
 use sherman_sim::{ClientCtx, Fabric, GlobalAddress};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -67,6 +69,9 @@ pub struct MemoryPool {
     layouts: Vec<ServerLayout>,
     /// Node addresses retired by structural deletes, one list per server.
     free_nodes: Vec<Mutex<NodeFreeList>>,
+    /// The reader-epoch registry every free list consults under epoch-based
+    /// reclamation; tree clients register their reader slots here.
+    epochs: Arc<EpochRegistry>,
     /// Tree nodes carved out of chunks by all client allocators.
     nodes_carved: AtomicU64,
     /// Retired addresses not yet reissued (fast-path guard: allocators skip
@@ -104,9 +109,10 @@ impl MemoryPool {
             .god_write_u64(GlobalAddress::host(0, TREE_LEVEL_HINT_OFFSET), 0)
             .expect("superblock must fit");
         let servers = allocators.len();
+        let epochs = EpochRegistry::new();
         let mut free_nodes = Vec::with_capacity(servers);
         free_nodes.resize_with(servers, || {
-            Mutex::new(NodeFreeList::new(DEFAULT_RECLAIM_GRACE_NS))
+            Mutex::new(NodeFreeList::new_epoch(Arc::clone(&epochs)))
         });
         Arc::new(MemoryPool {
             fabric,
@@ -114,6 +120,7 @@ impl MemoryPool {
             allocators,
             layouts,
             free_nodes,
+            epochs,
             nodes_carved: AtomicU64::new(0),
             retired_available: AtomicU64::new(0),
         })
@@ -198,7 +205,24 @@ impl MemoryPool {
     // Node-grained free / reuse (structural deletes)
     // ------------------------------------------------------------------
 
-    /// Override the quarantine grace period on every server's free list.
+    /// The reader-epoch registry of this deployment.  Tree clients register
+    /// here so that epoch-based reclamation can track their pins.
+    pub fn epoch_registry(&self) -> &Arc<EpochRegistry> {
+        &self.epochs
+    }
+
+    /// Switch every server's free list to epoch-based reclamation (the
+    /// default).  Must be called before the first retirement.
+    pub fn use_epoch_reclamation(&self) {
+        for fl in &self.free_nodes {
+            fl.lock()
+                .set_policy(ReclaimPolicy::Epoch(Arc::clone(&self.epochs)));
+        }
+    }
+
+    /// Switch every server's free list to the deprecated grace-period
+    /// fallback (or adjust its window).  Must be called before the first
+    /// retirement when switching schemes.
     pub fn set_reclaim_grace(&self, grace_ns: u64) {
         for fl in &self.free_nodes {
             fl.lock().set_grace_ns(grace_ns);
@@ -206,14 +230,16 @@ impl MemoryPool {
     }
 
     /// Retire a node address freed by a structural delete at virtual time
-    /// `now`.  The address stays quarantined for the grace period before
-    /// [`MemoryPool::reuse_node`] will hand it out again.
+    /// `now`.  `tombstone_version` is the node-level version of the tombstone
+    /// image written at the address; the eventual reuser seeds its image
+    /// above it.  The address stays quarantined until the reclamation policy
+    /// clears it, then [`MemoryPool::reuse_node`] hands it out again.
     ///
     /// No fabric time is charged: like the paper's free-bit deallocation, the
     /// free-list bookkeeping is compute-side metadata.
-    pub fn retire_node(&self, addr: GlobalAddress, now: u64) {
+    pub fn retire_node(&self, addr: GlobalAddress, tombstone_version: u8, now: u64) {
         if let Some(fl) = self.free_nodes.get(addr.ms as usize) {
-            fl.lock().retire(addr, now);
+            fl.lock().retire(addr, tombstone_version, now);
             self.retired_available.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -224,12 +250,31 @@ impl MemoryPool {
         self.retired_available.load(Ordering::Relaxed)
     }
 
-    /// Take one reusable node address from server `ms`'s free list, if any
-    /// has cleared its grace period by virtual time `now`.
-    pub fn reuse_node(&self, ms: u16, now: u64) -> Option<GlobalAddress> {
-        let addr = self.free_nodes.get(ms as usize)?.lock().reuse(now)?;
+    /// Take one reusable node address from server `ms`'s free list, if the
+    /// reclamation policy has cleared any by virtual time `now`.
+    pub fn reuse_node(&self, ms: u16, now: u64) -> Option<ReusedNode> {
+        let reused = self.free_nodes.get(ms as usize)?.lock().reuse(now)?;
         self.retired_available.fetch_sub(1, Ordering::Relaxed);
-        Some(addr)
+        Some(reused)
+    }
+
+    /// Snapshot of the epoch-reclamation gauges: epoch lag of the oldest
+    /// pinned reader and the quarantined addresses it is blocking.
+    pub fn epoch_gauges(&self) -> EpochGauges {
+        let (mut pinned_buckets, mut quarantined) = (0u64, 0u64);
+        for fl in &self.free_nodes {
+            let fl = fl.lock();
+            pinned_buckets += fl.pinned_buckets();
+            quarantined += fl.stats().quarantined;
+        }
+        EpochGauges::from_raw(
+            self.epochs.current(),
+            self.epochs.min_pinned(),
+            self.epochs.registered_readers() as u64,
+            self.epochs.pinned_readers() as u64,
+            pinned_buckets,
+            quarantined,
+        )
     }
 
     /// Record that a client allocator carved one fresh node out of a chunk.
@@ -322,12 +367,38 @@ mod tests {
         let p = pool();
         p.set_reclaim_grace(10_000);
         let addr = GlobalAddress::host(1, 32 << 10);
-        p.retire_node(addr, 1_000);
+        p.retire_node(addr, 1, 1_000);
         assert_eq!(p.reuse_node(1, 5_000), None, "still quarantined");
         assert_eq!(p.reuse_node(0, 50_000), None, "wrong server");
-        assert_eq!(p.reuse_node(1, 11_000), Some(addr));
+        assert_eq!(p.reuse_node(1, 11_000).map(|r| r.addr), Some(addr));
         let s = p.reclaim_stats();
         assert_eq!((s.retired, s.reused), (1, 1));
+    }
+
+    #[test]
+    fn epoch_reclamation_tracks_pins_across_the_pool() {
+        let p = pool(); // epoch policy is the default
+        let reader = p.epoch_registry().register();
+        let a = GlobalAddress::host(0, 8 << 10);
+        let b = GlobalAddress::host(1, 8 << 10);
+        p.retire_node(a, 3, 100);
+        let pin = reader.pin();
+        p.retire_node(b, 5, 200);
+
+        let g = p.epoch_gauges();
+        assert_eq!(g.pinned_readers, 1);
+        assert!(g.epoch_lag > 0, "a retirement happened past the pin");
+        assert_eq!(g.pinned_buckets, 1, "only the post-pin retirement is blocked");
+        assert_eq!(g.quarantined, 2);
+
+        // The pre-pin retirement recycles immediately; the post-pin one waits.
+        let r = p.reuse_node(0, 300).expect("pre-pin address recycles");
+        assert_eq!((r.addr, r.tombstone_version), (a, 3));
+        assert_eq!(p.reuse_node(1, 1 << 40), None);
+        drop(pin);
+        assert_eq!(p.reuse_node(1, 1 << 40).map(|r| r.addr), Some(b));
+        let g = p.epoch_gauges();
+        assert_eq!((g.epoch_lag, g.pinned_buckets, g.quarantined), (0, 0, 0));
     }
 
     #[test]
@@ -337,10 +408,10 @@ mod tests {
         p.note_node_carved();
         p.note_node_carved();
         assert_eq!(p.nodes_outstanding(), 2);
-        p.retire_node(GlobalAddress::host(0, 8 << 10), 100);
+        p.retire_node(GlobalAddress::host(0, 8 << 10), 1, 100);
         assert_eq!(p.nodes_outstanding(), 1);
         let reused = p.reuse_node(0, 200).unwrap();
-        assert_eq!(reused.offset, 8 << 10);
+        assert_eq!(reused.addr.offset, 8 << 10);
         assert_eq!(p.nodes_outstanding(), 2);
     }
 

@@ -12,17 +12,21 @@
 //! * [`SizeHistogram`] — an exact histogram over byte sizes with helpers for
 //!   CDF-style reporting,
 //! * [`ThroughputAggregator`] and [`RunSummary`] — combine per-thread
-//!   measurements into the rows the paper's tables print.
+//!   measurements into the rows the paper's tables print,
+//! * [`EpochGauges`] — observability for the epoch-based reclamation
+//!   subsystem (epoch lag, pinned readers, pinned buckets).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod counts;
+pub mod epoch;
 pub mod latency;
 pub mod space;
 pub mod summary;
 
 pub use counts::{CountHistogram, SizeHistogram};
+pub use epoch::EpochGauges;
 pub use latency::LatencyHistogram;
 pub use space::{SpaceCounters, SpaceSnapshot};
 pub use summary::{RunSummary, ThreadReport, ThroughputAggregator};

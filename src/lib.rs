@@ -21,10 +21,13 @@ pub use sherman_workload;
 /// Convenience prelude for examples and integration tests.
 pub mod prelude {
     pub use sherman::{
-        Cluster, ClusterConfig, LeafFormat, LockStrategy, NodeCensus, OpStats, TreeClient,
-        TreeConfig, TreeError, TreeOptions,
+        Cluster, ClusterConfig, LeafFormat, LockStrategy, NodeCensus, OpStats, ReclaimScheme,
+        TreeClient, TreeConfig, TreeError, TreeOptions,
     };
-    pub use sherman_metrics::{LatencyHistogram, RunSummary, ThreadReport, ThroughputAggregator};
+    pub use sherman_memserver::{EpochRegistry, ReaderHandle};
+    pub use sherman_metrics::{
+        EpochGauges, LatencyHistogram, RunSummary, ThreadReport, ThroughputAggregator,
+    };
     pub use sherman_sim::FabricConfig;
     pub use sherman_workload::{ChurnSpec, KeyDistribution, Mix, Op, WorkloadSpec};
 }

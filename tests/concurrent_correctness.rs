@@ -171,10 +171,33 @@ fn delete_insert_interleaving() {
 /// Sliding-window churn across several writer threads while a reader thread
 /// continuously range-scans across the merge boundary: scans must stay
 /// sorted and free of torn values even as leaves merge, separators disappear
-/// and node addresses are retired underneath the scan.
+/// and node addresses are retired underneath the scan.  Runs under both
+/// reclamation schemes: epoch-based reclamation recycles addresses as soon
+/// as the last pre-retirement scan finishes (the aggressive case), the
+/// deprecated grace-period fallback after a fixed virtual-time window.
 #[test]
 fn churn_merges_under_concurrent_range_scans() {
-    let cluster = Cluster::new(ClusterConfig::paper_scaled(2, 2), TreeOptions::sherman());
+    churn_under_scans(ReclaimScheme::Epoch);
+}
+
+#[test]
+fn churn_merges_under_concurrent_range_scans_grace_fallback() {
+    churn_under_scans(ReclaimScheme::GracePeriod);
+}
+
+fn churn_under_scans(scheme: ReclaimScheme) {
+    let mut config = ClusterConfig::paper_scaled(2, 2);
+    config.tree = match scheme {
+        ReclaimScheme::Epoch => config.tree,
+        // Keep the PR 2 default window: the fallback is only in-sim safe
+        // because the conservative virtual clock bounds how far a scanner
+        // can trail, and that argument needs the full-size margin.
+        ReclaimScheme::GracePeriod => {
+            let grace = config.tree.reclaim_grace_ns;
+            config.tree.with_grace_reclamation(grace)
+        }
+    };
+    let cluster = Cluster::new(config, TreeOptions::sherman());
     cluster.bulkload(std::iter::empty()).expect("bulkload");
 
     let writers = 3u64;

@@ -119,6 +119,76 @@ fn concurrent_split_storm_is_correct() {
     }
 }
 
+/// A reader stalled mid-traversal holds an epoch pin.  Reclamation must
+/// degrade gracefully: addresses retired *before* the stall keep recycling,
+/// addresses retired *during* it accumulate (bounded by the churn since the
+/// pin, observable through the `epoch_lag` / `pinned_buckets` gauges), the
+/// tree keeps operating by carving fresh nodes, and the backlog drains the
+/// moment the reader retires.
+#[test]
+fn stalled_reader_pins_epoch_and_bounds_free_list_growth() {
+    let cluster = Cluster::new(ClusterConfig::small(), TreeOptions::sherman());
+    let n = 2_400u64;
+    cluster.bulkload((0..n).map(|k| (k, k))).unwrap();
+    let mut client = cluster.client(0);
+
+    // Phase 1 — healthy churn: deletes retire nodes, nothing is pinned.
+    for k in 0..n / 3 {
+        client.delete(k).unwrap();
+    }
+    let pre = cluster.reclaim_stats();
+    assert!(pre.retired > 0, "phase 1 must retire nodes");
+    assert_eq!(cluster.epoch_stats().epoch_lag, 0, "no pin, no lag");
+
+    // The stall: a reader pins its epoch mid-traversal and stops making
+    // progress (modelled by holding the pin across the writer's churn).
+    let stalled_reader = cluster.epoch_registry().register();
+    let stall_pin = stalled_reader.pin();
+
+    // Phase 2 — churn under the stall.
+    for k in n / 3..2 * n / 3 {
+        client.delete(k).unwrap();
+    }
+    let during = cluster.reclaim_stats();
+    let gauges = cluster.epoch_stats();
+    let stalled_retires = during.retired - pre.retired;
+    assert!(stalled_retires > 0, "phase 2 must retire nodes too");
+    // The gauges report the stall: the oldest pin trails every retirement
+    // made since, and exactly those addresses are blocked behind it.
+    assert_eq!(gauges.pinned_readers, 1);
+    assert_eq!(gauges.epoch_lag, stalled_retires, "lag counts the retirements since the pin");
+    assert_eq!(
+        gauges.pinned_buckets, stalled_retires,
+        "exactly the post-pin retirements are blocked"
+    );
+    // Growth is bounded: everything the stall blocks is still quarantined —
+    // nothing retired under the pin has been recycled.
+    assert!(during.quarantined >= stalled_retires);
+
+    // The tree still operates under the stall (allocations fall back to
+    // carving and to pre-stall buckets).
+    let carved_before = cluster.pool().nodes_carved();
+    for k in 0..200u64 {
+        client.insert(10_000_000 + k, k).unwrap();
+    }
+    assert_eq!(client.lookup(10_000_100).unwrap().0, Some(100));
+    assert!(cluster.pool().nodes_carved() >= carved_before);
+
+    // The reader retires: reclamation resumes and the backlog drains.
+    drop(stall_pin);
+    assert_eq!(cluster.epoch_stats().epoch_lag, 0, "lag clears with the pin");
+    let reused_before = cluster.reclaim_stats().reused;
+    for k in 0..1_500u64 {
+        client.insert(20_000_000 + k, k).unwrap();
+    }
+    let after = cluster.reclaim_stats();
+    assert!(
+        after.reused > reused_before,
+        "recycling must resume once the stalled reader retires"
+    );
+    assert_eq!(cluster.epoch_stats().pinned_buckets, 0);
+}
+
 /// Directly corrupting a leaf in disaggregated memory (simulating a torn
 /// writer) makes lock-free readers retry rather than return garbage; once the
 /// image is repaired the reader succeeds.

@@ -8,9 +8,16 @@
 //!
 //! Differences from the real crate, by design:
 //!
-//! * **No shrinking.**  A failing case panics with the generated inputs in the
-//!   panic message (via the normal assert formatting); `max_shrink_iters` in
-//!   [`test_runner::ProptestConfig`] is accepted and ignored.
+//! * **Value-based shrinking.**  A failing case is shrunk by re-running the
+//!   property on candidate simplifications proposed by
+//!   [`strategy::Strategy::shrink`]: integer ranges walk a halving-distance
+//!   ladder toward their lower bound (binary search, not linear decrement),
+//!   vectors drop halves and single elements and shrink elements in place,
+//!   and tuples shrink component-wise.  Mapped / union / sampled strategies
+//!   do not shrink through their closures (candidates come from the
+//!   enclosing vector / tuple structure instead).  The shrink loop is
+//!   bounded by `max_shrink_iters` in [`test_runner::ProptestConfig`]; the
+//!   property finally panics with the minimal failing input.
 //! * **Deterministic seeding.**  Each property derives its RNG seed from the
 //!   test function's name, so failures reproduce exactly across runs.
 
@@ -25,6 +32,15 @@ pub mod strategy {
 
         /// Generate one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Propose simplifications of a failing `value`, most aggressive
+        /// first.  The shrink loop keeps the first candidate that still
+        /// fails and asks again, so returning an empty list (the default)
+        /// just means the value is already minimal for this strategy.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
 
         /// Map generated values through `f`.
         fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -45,6 +61,10 @@ pub mod strategy {
     }
 
     /// Strategy returned by [`Strategy::prop_map`].
+    ///
+    /// Does not shrink: the mapping closure is not invertible, so candidate
+    /// simplifications of the *output* cannot be derived from the input
+    /// strategy.
     pub struct Map<S, F> {
         pub(crate) inner: S,
         pub(crate) f: F,
@@ -69,6 +89,9 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> V {
             self.0.generate(rng)
         }
+        fn shrink(&self, value: &V) -> Vec<V> {
+            self.0.shrink(value)
+        }
     }
 
     /// Uniform choice among several strategies (built by [`crate::prop_oneof!`]).
@@ -90,6 +113,8 @@ pub mod strategy {
             let idx = rng.below(self.options.len() as u64) as usize;
             self.options[idx].generate(rng)
         }
+        // No shrink: the arm that produced a value is not recorded, so no
+        // single arm can be asked for candidates.
     }
 
     /// A strategy that always yields a clone of one value.
@@ -103,6 +128,26 @@ pub mod strategy {
         }
     }
 
+    /// The empty strategy tuple (used by zero-parameter properties).
+    impl Strategy for () {
+        type Value = ();
+        fn generate(&self, _rng: &mut TestRng) -> Self::Value {}
+    }
+
+    /// Candidate ladder toward `start`: distances halve from the full span
+    /// down to 1, so the shrink loop binary-searches the smallest failing
+    /// value in `O(log²)` property executions instead of a linear descent.
+    fn shrink_ladder_u64(start_bits: u64, value_bits: u64) -> Vec<u64> {
+        let dist = value_bits.wrapping_sub(start_bits);
+        let mut out = Vec::new();
+        let mut d = dist;
+        while d > 0 {
+            out.push(value_bits.wrapping_sub(d));
+            d /= 2;
+        }
+        out
+    }
+
     macro_rules! impl_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for std::ops::Range<$t> {
@@ -110,11 +155,25 @@ pub mod strategy {
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     rng.int_in(self.start, self.end)
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    use $crate::test_runner::IntBits;
+                    shrink_ladder_u64(self.start.to_bits(), value.to_bits())
+                        .into_iter()
+                        .map(<$t>::from_bits)
+                        .collect()
+                }
             }
             impl Strategy for std::ops::RangeInclusive<$t> {
                 type Value = $t;
                 fn generate(&self, rng: &mut TestRng) -> $t {
                     rng.int_in_inclusive(*self.start(), *self.end())
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    use $crate::test_runner::IntBits;
+                    shrink_ladder_u64(self.start().to_bits(), value.to_bits())
+                        .into_iter()
+                        .map(<$t>::from_bits)
+                        .collect()
                 }
             }
         )*};
@@ -126,14 +185,46 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> f64 {
             self.start + rng.unit_f64() * (self.end - self.start)
         }
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            // Halve the distance to the lower bound; skip candidates that no
+            // longer move (denormal-small distances) so the loop terminates.
+            let mut out = Vec::new();
+            let mut d = value - self.start;
+            while d > 0.0 {
+                let candidate = value - d;
+                if candidate >= *value {
+                    break;
+                }
+                out.push(candidate);
+                d /= 2.0;
+                if out.len() >= 64 {
+                    break;
+                }
+            }
+            out
+        }
     }
 
     macro_rules! impl_tuple_strategy {
         ($(($($s:ident . $idx:tt),+))*) => {$(
-            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+)
+            where
+                $($s::Value: Clone,)+
+            {
                 type Value = ($($s::Value,)+);
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
                     ($(self.$idx.generate(rng),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    let mut out = Vec::new();
+                    $(
+                        for candidate in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = candidate;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         )*};
@@ -209,11 +300,42 @@ pub mod collection {
         size: std::ops::Range<usize>,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = rng.int_in(self.size.start, self.size.end);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let min_len = self.size.start;
+            let n = v.len();
+            let mut out = Vec::new();
+            // Structural shrinks first (aggressive length cuts, then single
+            // removals), element-wise shrinks after.
+            if n > min_len {
+                let half = n / 2;
+                if half >= min_len {
+                    out.push(v[..half].to_vec());
+                    out.push(v[n - half..].to_vec());
+                }
+                for i in 0..n {
+                    let mut shorter = Vec::with_capacity(n - 1);
+                    shorter.extend_from_slice(&v[..i]);
+                    shorter.extend_from_slice(&v[i + 1..]);
+                    out.push(shorter);
+                }
+            }
+            for i in 0..n {
+                for candidate in self.element.shrink(&v[i]) {
+                    let mut next = v.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 
@@ -249,14 +371,17 @@ pub mod sample {
     }
 }
 
-/// Test-runner configuration and RNG.
+/// Test-runner configuration, RNG, and the generate → shrink → report loop.
 pub mod test_runner {
+    use crate::strategy::Strategy;
+    use std::cell::Cell;
+
     /// Per-property configuration, consumed by the [`crate::proptest!`] macro.
     #[derive(Debug, Clone)]
     pub struct ProptestConfig {
         /// Number of random cases each property runs.
         pub cases: u32,
-        /// Accepted for API compatibility; this stub never shrinks.
+        /// Upper bound on property re-executions spent shrinking one failure.
         pub max_shrink_iters: u32,
         /// Accepted for API compatibility; failures always panic immediately.
         pub max_local_rejects: u32,
@@ -356,6 +481,111 @@ pub mod test_runner {
         )*};
     }
     impl_int_bits!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    thread_local! {
+        /// While set, this thread's panics are swallowed by the quiet hook:
+        /// candidate executions during detection/shrinking would otherwise
+        /// print one backtrace per attempt.
+        static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Install (once per process) a panic hook that respects
+    /// [`QUIET_PANICS`]; panics from other threads are unaffected because
+    /// the flag is thread-local.
+    fn install_quiet_hook() {
+        use std::sync::Once;
+        static ONCE: Once = Once::new();
+        ONCE.call_once(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if !QUIET_PANICS.with(|q| q.get()) {
+                    previous(info);
+                }
+            }));
+        });
+    }
+
+    /// Run the property body on one input, quietly capturing a panic as the
+    /// stringified payload.
+    fn run_case<V: Clone, F: Fn(V)>(body: &F, value: &V) -> Result<(), String> {
+        install_quiet_hook();
+        QUIET_PANICS.with(|q| q.set(true));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value.clone())));
+        QUIET_PANICS.with(|q| q.set(false));
+        result.map_err(|payload| {
+            payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".into())
+        })
+    }
+
+    /// Shrink `failing` to a value that is minimal under `strategy`'s
+    /// candidate order: repeatedly adopt the first candidate that still
+    /// satisfies `fails`, stopping when no candidate does (or the iteration
+    /// budget runs out).  Returns the minimal value and the number of
+    /// candidate executions spent.
+    pub fn minimize<S>(
+        strategy: &S,
+        failing: S::Value,
+        max_iters: u32,
+        fails: impl Fn(&S::Value) -> bool,
+    ) -> (S::Value, u32)
+    where
+        S: Strategy,
+        S::Value: Clone,
+    {
+        let mut current = failing;
+        let mut spent = 0u32;
+        'outer: while spent < max_iters {
+            for candidate in strategy.shrink(&current) {
+                if spent >= max_iters {
+                    break 'outer;
+                }
+                spent += 1;
+                if fails(&candidate) {
+                    current = candidate;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        (current, spent)
+    }
+
+    /// Drive one property: generate `config.cases` inputs, and on the first
+    /// failure shrink it to a minimal counterexample and panic with it.
+    ///
+    /// This is the function the [`crate::proptest!`] macro expands to; the
+    /// strategy is the tuple of all the property's bindings and `body` is the
+    /// property body as a closure over that tuple.
+    pub fn run_property<S, F>(name: &str, config: ProptestConfig, strategy: S, body: F)
+    where
+        S: Strategy,
+        S::Value: Clone + std::fmt::Debug,
+        F: Fn(S::Value),
+    {
+        let mut rng = TestRng::from_name(name);
+        for _ in 0..config.cases {
+            let value = strategy.generate(&mut rng);
+            if run_case(&body, &value).is_ok() {
+                continue;
+            }
+            let (minimal, spent) = minimize(&strategy, value, config.max_shrink_iters, |v| {
+                run_case(&body, v).is_err()
+            });
+            let cause = match run_case(&body, &minimal) {
+                Err(message) => message,
+                Ok(()) => "(failure did not reproduce on the minimal input)".into(),
+            };
+            panic!(
+                "proptest: property `{name}` failed.\n\
+                 minimal failing input (after {spent} shrink executions): {minimal:?}\n\
+                 cause: {cause}"
+            );
+        }
+    }
 }
 
 /// Everything a property-test file needs, mirroring `proptest::prelude`.
@@ -399,35 +629,83 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::test_runner::ProptestConfig = $cfg;
-            let mut __rng = $crate::test_runner::TestRng::from_name(concat!(
-                module_path!(), "::", stringify!($name)
-            ));
-            for __case in 0..__config.cases {
-                $crate::__proptest_bind! { __rng; $($params)* }
-                $body
+            $crate::__proptest_run! {
+                config = __config;
+                name = (concat!(module_path!(), "::", stringify!($name)));
+                strategies = ();
+                patterns = ();
+                body = $body;
+                $($params)*
             }
         }
         $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
     };
 }
 
+/// Tail-recursive parameter muncher: accumulates one strategy expression and
+/// one closure pattern per binding, then hands the assembled tuple strategy
+/// and tuple-pattern closure to `run_property`.
 #[doc(hidden)]
 #[macro_export]
-macro_rules! __proptest_bind {
-    ($rng:ident;) => {};
-    ($rng:ident; $pat:pat in $strat:expr, $($rest:tt)*) => {
-        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
-        $crate::__proptest_bind! { $rng; $($rest)* }
+macro_rules! __proptest_run {
+    (config = $cfg:ident; name = ($name:expr);
+     strategies = ($($strat:expr,)*); patterns = ($($pat:pat,)*);
+     body = $body:block;
+    ) => {
+        $crate::test_runner::run_property(
+            $name,
+            $cfg,
+            ($($strat,)*),
+            |($($pat,)*)| $body,
+        )
     };
-    ($rng:ident; $pat:pat in $strat:expr) => {
-        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    (config = $cfg:ident; name = ($name:expr);
+     strategies = ($($strat:expr,)*); patterns = ($($pat:pat,)*);
+     body = $body:block;
+     $p:pat in $s:expr, $($restparams:tt)*
+    ) => {
+        $crate::__proptest_run! {
+            config = $cfg; name = ($name);
+            strategies = ($($strat,)* $s,); patterns = ($($pat,)* $p,);
+            body = $body;
+            $($restparams)*
+        }
     };
-    ($rng:ident; $arg:ident : $ty:ty, $($rest:tt)*) => {
-        let $arg = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
-        $crate::__proptest_bind! { $rng; $($rest)* }
+    (config = $cfg:ident; name = ($name:expr);
+     strategies = ($($strat:expr,)*); patterns = ($($pat:pat,)*);
+     body = $body:block;
+     $p:pat in $s:expr
+    ) => {
+        $crate::__proptest_run! {
+            config = $cfg; name = ($name);
+            strategies = ($($strat,)* $s,); patterns = ($($pat,)* $p,);
+            body = $body;
+        }
     };
-    ($rng:ident; $arg:ident : $ty:ty) => {
-        let $arg = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+    (config = $cfg:ident; name = ($name:expr);
+     strategies = ($($strat:expr,)*); patterns = ($($pat:pat,)*);
+     body = $body:block;
+     $arg:ident : $ty:ty, $($restparams:tt)*
+    ) => {
+        $crate::__proptest_run! {
+            config = $cfg; name = ($name);
+            strategies = ($($strat,)* $crate::arbitrary::any::<$ty>(),);
+            patterns = ($($pat,)* $arg,);
+            body = $body;
+            $($restparams)*
+        }
+    };
+    (config = $cfg:ident; name = ($name:expr);
+     strategies = ($($strat:expr,)*); patterns = ($($pat:pat,)*);
+     body = $body:block;
+     $arg:ident : $ty:ty
+    ) => {
+        $crate::__proptest_run! {
+            config = $cfg; name = ($name);
+            strategies = ($($strat,)* $crate::arbitrary::any::<$ty>(),);
+            patterns = ($($pat,)* $arg,);
+            body = $body;
+        }
     };
 }
 
@@ -441,19 +719,20 @@ macro_rules! prop_oneof {
     };
 }
 
-/// Property assertion; this stub panics (no shrinking), like `assert!`.
+/// Property assertion; panics like `assert!` (the runner catches the panic
+/// and shrinks the failing input).
 #[macro_export]
 macro_rules! prop_assert {
     ($($args:tt)*) => { assert!($($args)*) };
 }
 
-/// Property equality assertion; this stub panics, like `assert_eq!`.
+/// Property equality assertion; panics like `assert_eq!`.
 #[macro_export]
 macro_rules! prop_assert_eq {
     ($($args:tt)*) => { assert_eq!($($args)*) };
 }
 
-/// Property inequality assertion; this stub panics, like `assert_ne!`.
+/// Property inequality assertion; panics like `assert_ne!`.
 #[macro_export]
 macro_rules! prop_assert_ne {
     ($($args:tt)*) => { assert_ne!($($args)*) };
@@ -462,6 +741,7 @@ macro_rules! prop_assert_ne {
 #[cfg(test)]
 mod tests {
     use crate::prelude::*;
+    use crate::test_runner::minimize;
 
     proptest! {
         #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
@@ -490,5 +770,83 @@ mod tests {
             prop_assert_eq!(doubled % 2, 0);
             prop_assert!([3, 5, 7].contains(&choice));
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Shrinking meta-tests: a seeded failure must shrink to the *minimal*
+    // counterexample, and in far fewer executions than a linear descent.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn integer_failure_shrinks_to_minimal_counterexample() {
+        // Property "x < 17" first fails at 17; whatever large value was
+        // generated must shrink exactly to it.
+        let strategy = 0u64..10_000;
+        let (minimal, spent) = minimize(&strategy, 9_731, 10_000, |&v| v >= 17);
+        assert_eq!(minimal, 17);
+        assert!(
+            spent <= 250,
+            "halving ladder should binary-search, not walk linearly: {spent} executions"
+        );
+    }
+
+    #[test]
+    fn inclusive_range_shrinks_toward_its_lower_bound() {
+        let strategy = 5u32..=5_000;
+        let (minimal, _) = minimize(&strategy, 4_999, 10_000, |&v| v >= 5);
+        assert_eq!(minimal, 5, "an always-failing property shrinks to the range minimum");
+    }
+
+    #[test]
+    fn vec_failure_shrinks_to_minimal_counterexample() {
+        // Property "no element >= 60": the minimal counterexample is the
+        // one-element vector [60] — shorter vectors pass, and 60 is the
+        // smallest failing element.
+        let strategy = prop::collection::vec(0u64..100, 0..50);
+        let failing = vec![3, 99, 0, 62, 7, 81];
+        let (minimal, _) =
+            minimize(&strategy, failing, 100_000, |v| v.iter().any(|&x| x >= 60));
+        assert_eq!(minimal, vec![60]);
+    }
+
+    #[test]
+    fn tuple_components_shrink_independently() {
+        let strategy = (0u64..1_000, 0u64..1_000);
+        let (minimal, _) =
+            minimize(&strategy, (912, 344), 100_000, |&(a, b)| a >= 30 && b >= 7);
+        assert_eq!(minimal, (30, 7));
+    }
+
+    #[test]
+    fn run_property_panics_with_the_minimal_input() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run_property(
+                "meta::always_fails_at_17",
+                ProptestConfig { cases: 64, ..ProptestConfig::default() },
+                0u64..10_000,
+                |x| assert!(x < 17, "x must stay below 17"),
+            );
+        });
+        let payload = result.expect_err("the property must fail");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic carries a formatted message");
+        assert!(
+            message.contains("minimal failing input") && message.contains(": 17"),
+            "report must name the minimal input, got: {message}"
+        );
+        assert!(message.contains("x must stay below 17"), "report keeps the cause: {message}");
+    }
+
+    #[test]
+    fn shrink_candidates_respect_range_bounds() {
+        use crate::strategy::Strategy;
+        let strategy = 100u64..200;
+        for candidate in strategy.shrink(&173) {
+            assert!((100..200).contains(&candidate));
+            assert!(candidate < 173, "candidates only simplify");
+        }
+        assert!(strategy.shrink(&100).is_empty(), "the minimum is already minimal");
     }
 }

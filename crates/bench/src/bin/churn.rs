@@ -4,22 +4,33 @@
 //! over `--turnover` times (default 10×), comparing Sherman with structural
 //! deletes under **epoch-based reclamation** (the default), the same tree
 //! under the deprecated grace-period fallback, and the paper's grow-only
-//! behaviour.  Reports throughput, merge/reclaim counters, space
-//! amplification (node addresses carved per live node), and **reclaim
-//! latency** — the virtual-time distance from a node's retirement to its
-//! reuse.  Under epochs that distance tracks the workload (near-zero when no
-//! reader is pinned); under the fallback it is floored by `reclaim_grace_ns`.
+//! behaviour.  Reports throughput, merge/reclaim counters — including the
+//! merge **direction** split (left merges fold a rightmost child into its
+//! left sibling) — space amplification (node addresses carved per live
+//! node), the two **reclaim latency** figures (retire→eligible isolates the
+//! scheme; retire→reuse additionally includes the wait for allocation
+//! demand), and the type-❷ cache hit ratio with the self-healing refresh
+//! count.
 //!
 //! ```text
-//! cargo run --release -p sherman_bench --bin churn [-- --quick]
+//! cargo run --release -p sherman_bench --bin churn [-- --quick] [--smoke]
 //!     [--window N] [--turnover X] [--threads N] [--lookup-pct P] [--range-pct P]
 //! ```
+//!
+//! `--smoke` runs only the merges-on/epochs system at `--quick` scale and
+//! exits non-zero when a structural regression is detected: space
+//! amplification above 2×, zero left merges (the rightmost-child shape leak),
+//! or a persistently underfull child that a same-parent partner could fix.
 
 use sherman::{ReclaimScheme, TreeOptions};
 use sherman_bench::{fmt_mops, print_table, run_churn_experiment, Args, ChurnExperiment};
 
 fn main() {
     let args = Args::from_env();
+    if args.flag("smoke") {
+        smoke(&args);
+        return;
+    }
     let systems = [
         ("merges-on/epochs", TreeOptions::sherman(), ReclaimScheme::Epoch),
         ("merges-on/grace", TreeOptions::sherman(), ReclaimScheme::GracePeriod),
@@ -33,36 +44,24 @@ fn main() {
     println!("Churn: sliding-window insert/delete; reclamation schemes vs grow-only");
     let mut rows = Vec::new();
     for (name, options, scheme) in systems {
-        let mut exp = ChurnExperiment::default_scaled(name, options);
-        if scheme == ReclaimScheme::GracePeriod {
-            let grace = exp.tree.reclaim_grace_ns;
-            exp.tree = exp.tree.with_grace_reclamation(grace);
-        }
-        exp.window = args.get_u64("window", exp.window);
-        exp.turnover = args.get_f64("turnover", exp.turnover);
-        exp.threads = args.get_usize("threads", exp.threads);
-        exp.lookup_pct = args.get_u64("lookup-pct", exp.lookup_pct as u64) as u8;
-        exp.range_pct = args.get_u64("range-pct", exp.range_pct as u64) as u8;
-        if args.quick() {
-            exp = exp.quick();
-        }
+        let exp = configure(&args, name, options, scheme);
         let r = run_churn_experiment(&exp);
         rows.push(vec![
             r.name.clone(),
             fmt_mops(r.summary.throughput_ops),
             format!("{:.1}", r.turnovers),
             r.space.merges().to_string(),
+            r.space.left_merges.to_string(),
+            (r.space.rebalances + r.space.internal_rebalances).to_string(),
             r.reclaim.retired.to_string(),
             r.reclaim.reused.to_string(),
+            format!("{:.0}", r.reclaim.mean_eligible_latency_ns()),
             format!("{:.0}", r.reclaim.mean_reclaim_latency_ns()),
-            if r.reclaim.reused == 0 {
-                "-".into()
-            } else {
-                r.reclaim.reclaim_latency_min_ns.to_string()
-            },
             r.census.total().to_string(),
             r.nodes_carved.to_string(),
             format!("{:.2}", r.space_amplification),
+            format!("{:.0}%", r.top_hit_ratio * 100.0),
+            r.cache_refreshes.to_string(),
         ]);
     }
     print_table(
@@ -71,20 +70,102 @@ fn main() {
             "Mops",
             "turnovers",
             "merges",
+            "left-mrg",
+            "rebal",
             "retired",
             "reused",
-            "reclaim-lat mean(ns)",
-            "reclaim-lat min(ns)",
+            "elig-lat mean(ns)",
+            "reuse-lat mean(ns)",
             "live nodes",
             "carved nodes",
             "space amp",
+            "top-hit",
+            "refreshes",
         ],
         &rows,
     );
     println!("\nspace amp = node addresses carved from chunks / nodes reachable at the end");
-    println!("reclaim latency = virtual time from a node's retirement to its reuse:");
-    println!(" epochs recycle as soon as the last pre-retirement reader finishes, so the");
-    println!(" mean follows the workload; the grace fallback is floored by reclaim_grace_ns");
+    println!("left-mrg  = merges that folded a rightmost child into its left sibling");
+    println!("elig-lat  = retirement -> policy clears the address (isolates the scheme)");
+    println!("reuse-lat = retirement -> an allocator takes it (includes demand waits)");
+    println!("top-hit   = type-2 top-level cache hit ratio; refreshes = entries healed");
+    println!("            in place after structural changes / on cache-miss traversals");
     println!("(grow-only trees keep their garbage reachable: the leak shows in the live/");
     println!(" carved node counts, which scale with turnover instead of the window size)");
+}
+
+fn configure(
+    args: &Args,
+    name: &str,
+    options: TreeOptions,
+    scheme: ReclaimScheme,
+) -> ChurnExperiment {
+    let mut exp = ChurnExperiment::default_scaled(name, options);
+    if scheme == ReclaimScheme::GracePeriod {
+        let grace = exp.tree.reclaim_grace_ns;
+        exp.tree = exp.tree.with_grace_reclamation(grace);
+    }
+    exp.window = args.get_u64("window", exp.window);
+    exp.turnover = args.get_f64("turnover", exp.turnover);
+    exp.threads = args.get_usize("threads", exp.threads);
+    exp.lookup_pct = args.get_u64("lookup-pct", exp.lookup_pct as u64) as u8;
+    exp.range_pct = args.get_u64("range-pct", exp.range_pct as u64) as u8;
+    if args.quick() || args.flag("smoke") {
+        exp = exp.quick();
+    }
+    exp
+}
+
+/// CI gate: one quick merges-on run; non-zero exit on structural regression.
+fn smoke(args: &Args) {
+    let exp = configure(args, "smoke/epochs", TreeOptions::sherman(), ReclaimScheme::Epoch);
+    let r = run_churn_experiment(&exp);
+    println!(
+        "churn smoke: turnovers={:.1} space_amp={:.2} merges={} left_merges={} \
+         rebalances={}+{} underfull_rightmost_fixable={} underfull_internals_fixable={} \
+         top_hit={:.0}% refreshes={}",
+        r.turnovers,
+        r.space_amplification,
+        r.space.merges(),
+        r.space.left_merges,
+        r.space.rebalances,
+        r.space.internal_rebalances,
+        r.audit.underfull_rightmost_fixable,
+        r.audit.underfull_internals_fixable,
+        r.top_hit_ratio * 100.0,
+        r.cache_refreshes,
+    );
+    let mut failures = Vec::new();
+    if r.turnovers < exp.turnover {
+        failures.push(format!(
+            "turnover {:.1} below the {:.1} target",
+            r.turnovers, exp.turnover
+        ));
+    }
+    if r.space_amplification > 2.0 {
+        failures.push(format!("space amplification {:.2} exceeds 2x", r.space_amplification));
+    }
+    if r.space.left_merges == 0 {
+        failures.push("zero left merges: the rightmost-child shape leak is back".into());
+    }
+    if r.audit.underfull_rightmost_fixable > 0 {
+        failures.push(format!(
+            "{} rightmost children stayed underfull with a viable left sibling",
+            r.audit.underfull_rightmost_fixable
+        ));
+    }
+    if r.audit.underfull_internals_fixable > 0 {
+        failures.push(format!(
+            "{} internal nodes stayed underfull with a viable rebalance partner",
+            r.audit.underfull_internals_fixable
+        ));
+    }
+    if failures.is_empty() {
+        println!("churn smoke: OK");
+    } else {
+        for f in &failures {
+            eprintln!("churn smoke FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -282,12 +282,42 @@ impl IndexCache {
     /// Search the top-level copies for the deepest node covering `key`;
     /// returns the child to continue the traversal from and that child's
     /// level (the cached node's level minus one).
+    ///
+    /// Stats are *not* recorded here: an answer shallower than the
+    /// traversal's target level still forces a root-first walk, so only the
+    /// caller can tell a usable hit from a miss (it records via
+    /// [`CacheStats::record_top_hit`] / [`CacheStats::record_top_miss`]).
     pub fn search_top(&self, key: u64) -> Option<(GlobalAddress, u8)> {
         let top = self.top.read();
         top.iter()
             .filter(|n| n.covers(key))
             .min_by_key(|n| n.level)
             .map(|n| (n.child_for(key), n.level - 1))
+    }
+
+    /// Install (or replace in place) a top-level copy of `node`, keeping the
+    /// set pruned to the tree's current top window.
+    ///
+    /// This is the **self-healing** half of the type-❷ cache: structural
+    /// changes that scrub an entry (`invalidate_addr`) call this with the
+    /// surviving sibling/parent image instead of leaving a hole, and
+    /// cache-miss traversals call it with every top-window node they read on
+    /// the way down (lazy repair).  `root_level` bounds the window: only
+    /// nodes within one level of the root are kept (the same predicate the
+    /// bulkload warm-up uses), and stale entries *above* the root — left
+    /// behind by a root collapse — are pruned on the way.
+    pub fn refresh_top(&self, node: CachedInternal, root_level: u8) {
+        if node.level + 1 < root_level.max(1) || node.level > root_level {
+            return;
+        }
+        let mut top = self.top.write();
+        // A collapse lowered the root: entries above it can only mis-route.
+        top.retain(|n| n.level <= root_level);
+        match top.iter_mut().find(|n| n.addr == node.addr) {
+            Some(slot) => *slot = node,
+            None => top.push(node),
+        }
+        self.stats.record_refresh();
     }
 
     /// Number of cached top-level nodes.
@@ -426,6 +456,71 @@ mod tests {
         assert_eq!(cache.search_top(100), Some((addr(10), 1)));
         // Keys beyond the level-2 node fall back to the root.
         assert_eq!(cache.search_top(5_000), Some((addr(200), 2)));
+    }
+
+    #[test]
+    fn refresh_top_replaces_scrubbed_entries_and_prunes_stale_roots() {
+        let cache = IndexCache::new(IndexCacheConfig::new(1 << 20, 1024));
+        let root = CachedInternal {
+            addr: addr(999),
+            fence_low: 0,
+            fence_high: u64::MAX,
+            level: 3,
+            leftmost: addr(50),
+            children: vec![],
+        };
+        let mid = CachedInternal {
+            addr: addr(100),
+            fence_low: 0,
+            fence_high: u64::MAX,
+            level: 2,
+            leftmost: addr(10),
+            children: vec![],
+        };
+        cache.set_top_levels(vec![root.clone(), mid.clone()]);
+
+        // A structural change scrubs the mid node, then refreshes it with the
+        // updated image: the hole heals instead of persisting.
+        cache.invalidate_addr(addr(100));
+        assert_eq!(cache.top_len(), 1);
+        let updated = CachedInternal {
+            leftmost: addr(11),
+            ..mid.clone()
+        };
+        cache.refresh_top(updated, 3);
+        assert_eq!(cache.top_len(), 2);
+        assert_eq!(cache.search_top(5), Some((addr(11), 1)));
+        assert_eq!(cache.stats().refreshes(), 1);
+
+        // Refreshing the same address replaces in place (no duplicates).
+        cache.refresh_top(mid.clone(), 3);
+        assert_eq!(cache.top_len(), 2);
+
+        // Nodes below the top window are rejected; a refresh under a lowered
+        // root prunes entries stranded above it.
+        cache.refresh_top(
+            CachedInternal {
+                addr: addr(7),
+                level: 1,
+                ..mid.clone()
+            },
+            3,
+        );
+        assert_eq!(cache.top_len(), 2, "level-1 node is below the 3-level top window");
+        cache.refresh_top(
+            CachedInternal {
+                addr: addr(8),
+                level: 2,
+                ..mid
+            },
+            2,
+        );
+        assert_eq!(
+            cache.top_len(),
+            2,
+            "the stale level-3 root is pruned, the level-2 refresh is kept"
+        );
+        assert!(cache.search_top(5).is_some());
     }
 
     #[test]

@@ -11,6 +11,9 @@ pub struct CacheStats {
     invalidations: AtomicU64,
     evictions: AtomicU64,
     inserts: AtomicU64,
+    top_hits: AtomicU64,
+    top_misses: AtomicU64,
+    refreshes: AtomicU64,
 }
 
 impl CacheStats {
@@ -64,10 +67,53 @@ impl CacheStats {
         self.inserts.load(Ordering::Relaxed)
     }
 
+    /// Record a type-❷ (top-level) search that found a covering node.
+    pub fn record_top_hit(&self) {
+        self.top_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a type-❷ search that found no covering node (the traversal
+    /// falls back to the remote root).
+    pub fn record_top_miss(&self) {
+        self.top_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a type-❷ entry refreshed in place (structural-change refresh or
+    /// lazy traversal repair) instead of merely scrubbed.
+    pub fn record_refresh(&self) {
+        self.refreshes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Type-❷ searches served from the always-cached top levels.
+    pub fn top_hits(&self) -> u64 {
+        self.top_hits.load(Ordering::Relaxed)
+    }
+
+    /// Type-❷ searches that found no covering node.
+    pub fn top_misses(&self) -> u64 {
+        self.top_misses.load(Ordering::Relaxed)
+    }
+
+    /// Type-❷ entries refreshed in place.
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes.load(Ordering::Relaxed)
+    }
+
     /// Hit ratio in `[0, 1]` (0 when no lookups were recorded).
     pub fn hit_ratio(&self) -> f64 {
         let h = self.hits() as f64;
         let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Type-❷ hit ratio in `[0, 1]` (0 when no top searches were recorded).
+    pub fn top_hit_ratio(&self) -> f64 {
+        let h = self.top_hits() as f64;
+        let m = self.top_misses() as f64;
         if h + m == 0.0 {
             0.0
         } else {
@@ -95,5 +141,21 @@ mod tests {
         assert_eq!(s.invalidations(), 1);
         assert_eq!(s.evictions(), 1);
         assert_eq!(s.inserts(), 1);
+    }
+
+    #[test]
+    fn top_level_counters_are_independent() {
+        let s = CacheStats::default();
+        assert_eq!(s.top_hit_ratio(), 0.0);
+        s.record_top_hit();
+        s.record_top_hit();
+        s.record_top_miss();
+        s.record_refresh();
+        assert_eq!(s.top_hits(), 2);
+        assert_eq!(s.top_misses(), 1);
+        assert_eq!(s.refreshes(), 1);
+        assert!((s.top_hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
+        // Type-❶ counters are untouched.
+        assert_eq!(s.hits() + s.misses(), 0);
     }
 }

@@ -20,7 +20,7 @@ use crate::cluster::Cluster;
 use crate::config::LeafFormat;
 use crate::error::TreeError;
 use crate::layout::NodeLayout;
-use crate::node::{InternalNode, LeafNode};
+use crate::node::{InternalEntry, InternalNode, LeafNode};
 use crate::stats::OpStats;
 use crate::TreeResult;
 use sherman_cache::{CachedInternal, ChildRef};
@@ -50,24 +50,58 @@ struct OpMeta {
     cache_hit: bool,
 }
 
+/// Which sibling a structural delete pairs the underfull node with.
+///
+/// The commit always operates on an adjacent `(left, right)` pair under one
+/// parent and always retires the *right* node of the pair on a full merge
+/// (B-link safety: the survivor's sibling pointer skips the tombstone).  The
+/// direction records which side the *underfull* node is on:
+///
+/// * [`MergeDirection::Right`] — the underfull node is the left of the pair
+///   and absorbs its right B-link sibling (the PR 2 behaviour),
+/// * [`MergeDirection::Left`] — the underfull node has no right sibling under
+///   its parent (it is the rightmost child), so it becomes the right of the
+///   pair and folds into its **left** sibling, which the parent identifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MergeDirection {
+    Right,
+    Left,
+}
+
+/// The same-parent neighbourhood of an underfull node, discovered lock-free
+/// by one parent resolution in `find_merge_pair`: the parent plus whichever
+/// adjacent siblings live under it (both `None` for an only child).
+struct MergePartners {
+    parent: GlobalAddress,
+    right_sibling: Option<GlobalAddress>,
+    left_sibling: Option<GlobalAddress>,
+}
+
 /// What a structural-delete attempt decided to commit (the encoded node
-/// images that will ride the lock releases).
+/// images that will ride the lock releases, plus the decoded survivor state
+/// the post-commit bookkeeping needs — carried here so the commit path does
+/// not re-decode bytes the planner just encoded).
 enum MergeOutcome {
     /// The left node absorbed its right sibling; the sibling image is the
     /// freed (free-bit set, version-bumped) tombstone whose node-level
     /// version is `right_version` (recorded with the retirement so the next
-    /// writer of the address stamps its image above it).
+    /// writer of the address stamps its image above it).  `survivor_live` is
+    /// the surviving left node's occupancy (live entries for leaves,
+    /// separators for internals) for the still-underfull chase.
     Merge {
         left_bytes: Vec<u8>,
         right_bytes: Vec<u8>,
         right_version: u8,
+        survivor_live: usize,
+        left_image: Option<InternalNode>,
     },
-    /// Entries moved from the right sibling into the left node; the parent's
-    /// separator must move to `new_sep`.
+    /// Entries moved between the siblings (neither node is freed); the
+    /// parent's separator for the right node must move to `new_sep`.
     Rebalance {
         left_bytes: Vec<u8>,
         right_bytes: Vec<u8>,
         new_sep: u64,
+        left_image: Option<InternalNode>,
     },
 }
 
@@ -274,13 +308,32 @@ impl TreeClient {
             } else {
                 self.root_remote()?
             };
-            let cached_top = if attempt == 0 || !distrust_shortcuts {
+            let consult_top = attempt == 0 || !distrust_shortcuts;
+            let cached_top = if consult_top {
                 self.cluster.cache(self.cs_id).search_top(key)
             } else {
                 None
             };
+            // Only an answer deep enough for this traversal counts as a hit:
+            // an entry above `target_level` still forces the root-first walk.
+            let usable_top =
+                matches!(cached_top, Some((_, child_level)) if child_level >= target_level);
+            if consult_top {
+                let stats = self.cluster.cache(self.cs_id).stats();
+                if usable_top {
+                    stats.record_top_hit();
+                } else {
+                    stats.record_top_miss();
+                }
+            }
+            // An unusable type-❷ answer means churn scrubbed the always-cached
+            // top set (or the root moved): repair it lazily from the internal
+            // nodes this root-first traversal is about to read anyway, so one
+            // expensive walk re-warms the cache instead of every future
+            // operation paying the same root round trips.
+            let repair_top = !usable_top;
             let (mut addr, mut expect_level) = match cached_top {
-                Some((child, child_level)) if child_level >= target_level => (child, child_level),
+                Some((child, child_level)) if usable_top => (child, child_level),
                 _ => (root_addr, root_level),
             };
             if expect_level < target_level {
@@ -307,6 +360,11 @@ impl TreeClient {
                     continue 'restart;
                 }
                 expect_level = node.header.level;
+                if repair_top && node.header.level + 1 >= root_level.max(1) {
+                    self.cluster
+                        .cache(self.cs_id)
+                        .refresh_top(Self::cached_from_internal(addr, &node), root_level);
+                }
                 if expect_level == target_level {
                     return Ok(addr);
                 }
@@ -733,10 +791,12 @@ impl TreeClient {
         let mut free_flag = [0u8; 1];
         free_flag[0] = crate::layout::FLAG_FREE;
         self.ctx.write(new_root_addr.add(1), &free_flag)?;
-        // The orphan was never reachable, so with structural deletes enabled
-        // its address can be retired right away instead of leaking (grow-only
-        // mode keeps the paper's leak-on-loss behaviour).
-        if self.cluster.options().structural_deletes_enabled() {
+        // The orphan was never reachable, so its address can be retired right
+        // away under the reclamation scheme instead of leaking — independent
+        // of whether structural deletes are on (the
+        // `TreeOptions::reclaim_root_orphans` escape hatch restores the
+        // paper's leak-on-loss behaviour).
+        if self.cluster.options().reclaim_root_orphans {
             let version = new_root.header.front_version;
             self.cluster
                 .retire_node(new_root_addr, version, self.ctx.now());
@@ -799,14 +859,15 @@ impl TreeClient {
             self.release_lock(addr, writes)?;
 
             // Structural deletes (§ beyond the paper): once the leaf drops
-            // below the merge threshold, try to fold it into its right
-            // sibling and reclaim the freed node.  Best-effort — the delete
-            // itself has already committed, so a merge that loses its races
-            // (retry budgets included) must not fail the operation; a later
-            // delete will retry it.
+            // below the merge threshold, pair it with a sibling — its right
+            // B-link sibling when one exists under the same parent, its left
+            // sibling otherwise (direction-complete) — and merge or
+            // rebalance.  Best-effort — the delete itself has already
+            // committed, so a merge that loses its races (retry budgets
+            // included) must not fail the operation; a later delete will
+            // retry it.
             if self.cluster.options().structural_deletes_enabled()
                 && leaf.live_count() < self.leaf_merge_floor()
-                && leaf.header.sibling.is_some()
             {
                 match self.try_merge(addr, 0, Some(&leaf.header), meta) {
                     Ok(()) | Err(TreeError::RetriesExhausted { .. }) => {}
@@ -879,20 +940,23 @@ impl TreeClient {
         Ok(())
     }
 
-    /// Locate the level-`parent_level` node holding the separator
-    /// `sep → child` (lock-free).  Returns `None` when the separator cannot
-    /// be found — e.g. `child` is the leftmost child of its parent, in which
-    /// case the merge is skipped (known simplification: B-link trees have no
-    /// left-sibling pointers to merge into).
-    fn find_parent_of(
+    /// Resolve the node's parent **once** (lock-free) and derive both
+    /// candidate merge partners from its image: the same-parent right sibling
+    /// (the child routed right after the node, sanity-checked against the
+    /// node's own B-link pointer and fence) and the same-parent left sibling
+    /// (the preceding child, or the parent's leftmost).  Returns
+    /// [`MergePartners`]; the answer is `None` when the node cannot be
+    /// located under the covering parent (a stale header or a lost discovery
+    /// race — the merge is opportunistic either way).
+    fn find_merge_pair(
         &mut self,
-        sep: u64,
-        child: GlobalAddress,
-        parent_level: u8,
+        node_addr: GlobalAddress,
+        hdr: &crate::node::NodeHeader,
+        level: u8,
         meta: &mut OpMeta,
-    ) -> TreeResult<Option<GlobalAddress>> {
+    ) -> TreeResult<Option<MergePartners>> {
         let (_, root_level) = self.root()?;
-        if root_level < parent_level {
+        if root_level < level + 1 {
             return Ok(None);
         }
         let restarts = self.cluster.config().max_restarts;
@@ -900,76 +964,135 @@ impl TreeClient {
         for _ in 0..restarts {
             let addr = match pending.take() {
                 Some(a) => a,
-                None => match self.traverse_to_level(sep, parent_level, meta) {
+                None => match self.traverse_to_level(hdr.fence_low, level + 1, meta) {
                     Ok(a) => a,
-                    // The merge is opportunistic; a lost traversal race just
-                    // means some later delete will retry it.
                     Err(TreeError::RetriesExhausted { .. }) => return Ok(None),
                     Err(e) => return Err(e),
                 },
             };
             let buf = self.read_node_consistent(addr, meta)?;
-            let node = self.layout().decode_internal(&buf);
-            if node.header.free || node.header.is_leaf || node.header.level != parent_level {
+            let parent = self.layout().decode_internal(&buf);
+            if parent.header.free || parent.header.is_leaf || parent.header.level != level + 1 {
                 continue;
             }
-            if !node.header.covers(sep) {
-                if sep >= node.header.fence_high {
-                    pending = node.header.sibling;
+            if !parent.header.covers(hdr.fence_low) {
+                if hdr.fence_low >= parent.header.fence_high {
+                    pending = parent.header.sibling;
                 }
                 continue;
             }
-            // Separators live in the unique covering node, so this answer is
-            // definitive (it is re-validated under the lock later anyway).
-            let found = node.entries.iter().any(|e| e.key == sep && e.child == child);
-            return Ok(found.then_some(addr));
+            // The child routed right after the node is its same-parent right
+            // sibling — but only trust it when it agrees with the node's own
+            // B-link pointer and upper fence (any disagreement is a racing
+            // split/merge that the under-lock revalidation would reject).
+            let right_of = |next: Option<&InternalEntry>| {
+                next.filter(|e| e.key == hdr.fence_high && Some(e.child) == hdr.sibling)
+                    .map(|e| e.child)
+            };
+            if parent.header.leftmost == Some(node_addr) {
+                return Ok(Some(MergePartners {
+                    parent: addr,
+                    right_sibling: right_of(parent.entries.first()),
+                    left_sibling: None,
+                }));
+            }
+            let Some(pos) = parent
+                .entries
+                .iter()
+                .position(|e| e.key == hdr.fence_low && e.child == node_addr)
+            else {
+                return Ok(None);
+            };
+            let left = if pos == 0 {
+                parent.header.leftmost
+            } else {
+                Some(parent.entries[pos - 1].child)
+            };
+            return Ok(Some(MergePartners {
+                parent: addr,
+                right_sibling: right_of(parent.entries.get(pos + 1)),
+                left_sibling: left,
+            }));
         }
         Ok(None)
     }
 
-    /// Try to merge the underfull node at `left_addr` (level `level`) with its
-    /// right B-link sibling, or rebalance entries from the sibling when a full
-    /// merge does not fit.  Merged siblings are unlinked, their separator is
-    /// removed from the parent (collapsing the root when it runs out of
-    /// separators), and their address is retired to the memory server's
-    /// quarantined free list.
+    /// Try to merge the underfull node at `node_addr` (level `level`) with an
+    /// adjacent sibling under the same parent, or rebalance entries across
+    /// the pair when a full merge does not fit.  The pairing is
+    /// direction-complete (see [`MergeDirection`]): a node with a right
+    /// B-link sibling under its parent absorbs it, the rightmost child folds
+    /// into its left sibling instead — so no underfull node is ever skipped
+    /// for lack of a partner direction.  Merged-away nodes are unlinked,
+    /// their separator is removed from the parent (collapsing the root when
+    /// it runs out of separators), and their address is retired to the memory
+    /// server's quarantined free list; every type-❷ cache entry the change
+    /// scrubs is refreshed from the surviving images.
     ///
     /// Best-effort and all-or-nothing: no remote write happens until the left
-    /// node, the sibling and the parent are all locked (in the lock manager's
-    /// global rank order) and re-validated; any mismatch releases the locks
-    /// untouched.
+    /// node, the right node and the parent are all locked (in the lock
+    /// manager's global rank order) and re-validated; any mismatch releases
+    /// the locks untouched.
     ///
     /// `known_hdr` lets the delete path pass the leaf header it already holds
     /// (saving a remote read); the cascade path passes `None`.  Either way the
     /// header only seeds discovery — phase 2 re-validates under the locks.
     fn try_merge(
         &mut self,
-        left_addr: GlobalAddress,
+        node_addr: GlobalAddress,
         level: u8,
         known_hdr: Option<&crate::node::NodeHeader>,
         meta: &mut OpMeta,
     ) -> TreeResult<()> {
-        // Phase 1 (lock-free): discover the sibling and the parent.
-        let left_hdr = match known_hdr {
+        // Phase 1 (lock-free): resolve the parent once and pair the node
+        // with a same-parent sibling.  Prefer the right B-link sibling; fall
+        // through to the parent-guided left pairing when there is none under
+        // this parent *or* when the right attempt declined (e.g. at
+        // aggressive merge thresholds the right pair may neither fit nor
+        // have spare while the left sibling could still absorb or donate).
+        let hdr = match known_hdr {
             Some(h) => h.clone(),
             None => {
-                let buf = self.read_node_consistent(left_addr, meta)?;
+                let buf = self.read_node_consistent(node_addr, meta)?;
                 self.layout().decode_header(&buf)
             }
         };
-        if left_hdr.free || left_hdr.level != level {
+        if hdr.free || hdr.level != level {
             return Ok(());
         }
-        let Some(right_addr) = left_hdr.sibling else {
+        let Some(partners) = self.find_merge_pair(node_addr, &hdr, level, meta)? else {
             return Ok(());
         };
-        let Some(parent_addr) =
-            self.find_parent_of(left_hdr.fence_high, right_addr, level + 1, meta)?
-        else {
-            return Ok(());
-        };
+        let parent = partners.parent;
+        if let Some(right) = partners.right_sibling {
+            if self
+                .try_merge_pair(node_addr, right, parent, MergeDirection::Right, level, meta)?
+            {
+                return Ok(());
+            }
+        }
+        if let Some(left) = partners.left_sibling {
+            self.try_merge_pair(left, node_addr, parent, MergeDirection::Left, level, meta)?;
+        }
+        Ok(())
+    }
 
-        // Phase 2: lock all three nodes, re-read, re-validate.
+    /// Lock, re-validate, plan and commit one `(left, right, parent)` merge
+    /// pair (phases 2–5 of the structural delete).  Returns whether a merge
+    /// or rebalance actually committed; `false` means the locks were released
+    /// untouched (revalidation failed, or the planner declined).
+    fn try_merge_pair(
+        &mut self,
+        left_addr: GlobalAddress,
+        right_addr: GlobalAddress,
+        parent_addr: GlobalAddress,
+        direction: MergeDirection,
+        level: u8,
+        meta: &mut OpMeta,
+    ) -> TreeResult<bool> {
+        // Phase 2: lock all three nodes, re-read, re-validate.  The same
+        // predicate covers both directions: the pair must be fence-adjacent
+        // B-link siblings whose separator lives in this parent.
         let plan = self.acquire_plan(&[left_addr, right_addr, parent_addr], meta)?;
         let left_buf = self.read_node_locked(left_addr)?;
         let right_buf = self.read_node_locked(right_addr)?;
@@ -979,7 +1102,8 @@ impl TreeClient {
         let mut parent = self.layout().decode_internal(&parent_buf);
         let sep = rh.fence_low;
         let is_leaf = level == 0;
-        let structure_ok = !lh.free
+        let structure_ok = left_addr != right_addr
+            && !lh.free
             && !rh.free
             && !parent.header.free
             && lh.level == level
@@ -993,17 +1117,19 @@ impl TreeClient {
             && parent.header.covers(sep)
             && parent.entries.iter().any(|e| e.key == sep && e.child == right_addr);
         if !structure_ok {
-            return self.release_plan(&plan, Vec::new());
+            self.release_plan(&plan, Vec::new())?;
+            return Ok(false);
         }
 
         // Phase 3: decide merge vs rebalance and build the new images.
         let outcome = if is_leaf {
-            self.plan_leaf_merge(&left_buf, &right_buf)
+            self.plan_leaf_merge(&left_buf, &right_buf, direction)
         } else {
-            self.plan_internal_merge(&left_buf, &right_buf)
+            self.plan_internal_merge(&left_buf, &right_buf, direction)
         };
         let Some(outcome) = outcome else {
-            return self.release_plan(&plan, Vec::new());
+            self.release_plan(&plan, Vec::new())?;
+            return Ok(false);
         };
 
         // Phase 4: commit.  The parent update decides between separator
@@ -1013,9 +1139,24 @@ impl TreeClient {
         // Addresses to retire post-commit, with their tombstone's node-level
         // version (the eventual reuser stamps its first image above it).
         let mut retired: Vec<(GlobalAddress, u8)> = Vec::new();
+        // The surviving left node's decoded image (internal levels only,
+        // produced by the planner), kept for the type-2 cache refresh; the
+        // occupancy drives the still-underfull chase after a merge.
+        let left_image: Option<InternalNode>;
+        let mut survivor_live = usize::MAX;
         let mut cascade = false;
+        let mut merged = false;
         match outcome {
-            MergeOutcome::Merge { left_bytes, right_bytes, right_version } => {
+            MergeOutcome::Merge {
+                left_bytes,
+                right_bytes,
+                right_version,
+                survivor_live: live,
+                left_image: image,
+            } => {
+                merged = true;
+                survivor_live = live;
+                left_image = image;
                 assert!(parent.remove_separator(sep, right_addr));
                 writes.push((left_addr, WriteCmd::new(left_addr, left_bytes)));
                 writes.push((right_addr, WriteCmd::new(right_addr, right_bytes)));
@@ -1026,8 +1167,7 @@ impl TreeClient {
                 if collapsed {
                     parent.header.free = true;
                 } else {
-                    cascade = parent.entries.len() < self.internal_merge_floor()
-                        && parent.header.sibling.is_some();
+                    cascade = parent.entries.len() < self.internal_merge_floor();
                 }
                 parent.header.bump_versions();
                 if collapsed {
@@ -1035,51 +1175,100 @@ impl TreeClient {
                 }
                 let parent_bytes = self.encode_internal_for_write(&parent);
                 writes.push((parent_addr, WriteCmd::new(parent_addr, parent_bytes)));
+                let counters = self.cluster.space_counters();
                 if is_leaf {
-                    self.cluster.space_counters().record_leaf_merge();
+                    counters.record_leaf_merge();
                 } else {
-                    self.cluster.space_counters().record_internal_merge();
+                    counters.record_internal_merge();
+                }
+                if direction == MergeDirection::Left {
+                    counters.record_left_merge();
                 }
             }
-            MergeOutcome::Rebalance { left_bytes, right_bytes, new_sep } => {
+            MergeOutcome::Rebalance { left_bytes, right_bytes, new_sep, left_image: image } => {
+                left_image = image;
                 assert!(parent.retarget_separator(sep, new_sep, right_addr));
                 parent.header.bump_versions();
                 let parent_bytes = self.encode_internal_for_write(&parent);
                 writes.push((left_addr, WriteCmd::new(left_addr, left_bytes)));
                 writes.push((right_addr, WriteCmd::new(right_addr, right_bytes)));
                 writes.push((parent_addr, WriteCmd::new(parent_addr, parent_bytes)));
-                self.cluster.space_counters().record_rebalance();
+                if is_leaf {
+                    self.cluster.space_counters().record_rebalance();
+                } else {
+                    self.cluster.space_counters().record_internal_rebalance();
+                }
             }
         }
         self.release_plan(&plan, writes)?;
 
-        // Phase 5: post-commit bookkeeping (no locks held).
+        // Phase 5: post-commit bookkeeping (no locks held).  Retiring scrubs
+        // every compute server's cached pointers to the freed nodes; the
+        // refresh calls below immediately replace the scrubbed type-2
+        // entries with the surviving images, so the always-cached top set
+        // self-heals instead of decaying under churn.
         let now = self.ctx.now();
         for (addr, tombstone_version) in retired {
             self.cluster.retire_node(addr, tombstone_version, now);
         }
-        if level == 0 && !parent.header.free {
+        if !parent.header.free {
+            if level == 0 {
+                self.cluster
+                    .cache(self.cs_id)
+                    .insert_level1(Self::cached_from_internal(parent_addr, &parent));
+            }
             self.cluster
-                .cache(self.cs_id)
-                .insert_level1(Self::cached_from_internal(parent_addr, &parent));
+                .refresh_top_entry(Self::cached_from_internal(parent_addr, &parent));
+        }
+        if let Some(left_node) = &left_image {
+            if left_node.header.level == 1 {
+                self.cluster
+                    .cache(self.cs_id)
+                    .insert_level1(Self::cached_from_internal(left_addr, left_node));
+            }
+            self.cluster
+                .refresh_top_entry(Self::cached_from_internal(left_addr, left_node));
+        }
+        // A merge of two tiny nodes can leave the survivor itself below the
+        // floor with no delete ever landing on it again; chase it now so no
+        // node stays persistently underfull while a partner exists (bounded:
+        // every merge removes one node from the level).
+        let floor = if is_leaf {
+            self.leaf_merge_floor()
+        } else {
+            self.internal_merge_floor()
+        };
+        if merged && survivor_live < floor {
+            self.try_merge(left_addr, level, None, meta)?;
         }
         if cascade {
             // The parent itself dropped below the merge threshold: recurse
             // one level up (bounded by the tree height).
             self.try_merge(parent_addr, level + 1, None, meta)?;
         }
-        Ok(())
+        Ok(true)
     }
 
     /// Build the post-merge (or post-rebalance) images for two adjacent
-    /// leaves, or `None` when the left leaf is no longer a merge candidate.
-    fn plan_leaf_merge(&mut self, left_buf: &[u8], right_buf: &[u8]) -> Option<MergeOutcome> {
+    /// leaves, or `None` when the initiating node — the left of the pair for
+    /// [`MergeDirection::Right`], the right for [`MergeDirection::Left`] — is
+    /// no longer a merge candidate.
+    fn plan_leaf_merge(
+        &mut self,
+        left_buf: &[u8],
+        right_buf: &[u8],
+        direction: MergeDirection,
+    ) -> Option<MergeOutcome> {
         let layout = *self.layout();
         let mut left = layout.decode_leaf(left_buf);
         let mut right = layout.decode_leaf(right_buf);
         let floor = self.leaf_merge_floor();
         let (live_l, live_r) = (left.live_count(), right.live_count());
-        if live_l >= floor {
+        let underfull = match direction {
+            MergeDirection::Right => live_l,
+            MergeDirection::Left => live_r,
+        };
+        if underfull >= floor {
             return None;
         }
         // Local CPU cost of re-packing the nodes (same accounting as splits).
@@ -1089,50 +1278,99 @@ impl TreeClient {
             right.header.free = true;
             right.header.bump_versions();
             Some(MergeOutcome::Merge {
+                survivor_live: left.live_count(),
                 left_bytes: self.encode_leaf_for_write(&left),
                 right_bytes: self.encode_leaf_for_write(&right),
                 right_version: right.header.front_version,
+                left_image: None,
             })
         } else {
-            // The siblings cannot fit in one node: top the left leaf up to the
-            // merge floor instead, without draining the donor below it.
-            let want = floor - live_l;
-            let spare = live_r.saturating_sub(floor);
+            // The siblings cannot fit in one node: top the underfull leaf up
+            // to the merge floor instead, without draining the donor below it.
+            let want = floor - underfull;
+            let donor = match direction {
+                MergeDirection::Right => live_r,
+                MergeDirection::Left => live_l,
+            };
+            let spare = donor.saturating_sub(floor);
             let move_n = want.min(spare);
             if move_n == 0 {
                 return None;
             }
-            let new_sep = left.take_from_right(&mut right, move_n);
+            let new_sep = match direction {
+                MergeDirection::Right => left.take_from_right(&mut right, move_n),
+                MergeDirection::Left => right.take_from_left(&mut left, move_n),
+            };
             Some(MergeOutcome::Rebalance {
                 left_bytes: self.encode_leaf_for_write(&left),
                 right_bytes: self.encode_leaf_for_write(&right),
                 new_sep,
+                left_image: None,
             })
         }
     }
 
-    /// Build the post-merge images for two adjacent internal nodes, or `None`
-    /// when no merge applies (internal rebalance is a known simplification:
-    /// underfull internal nodes whose combined separators do not fit are left
-    /// alone).
-    fn plan_internal_merge(&mut self, left_buf: &[u8], right_buf: &[u8]) -> Option<MergeOutcome> {
+    /// Build the post-merge (or post-rebalance) images for two adjacent
+    /// internal nodes, or `None` when the initiating node is no longer a
+    /// merge candidate.  When the combined separators do not fit in one node,
+    /// separators are redistributed toward the underfull side by rotating
+    /// children through the pair's boundary (the parent's separator is then
+    /// retargeted in the same critical section, mirroring the leaf rebalance
+    /// path).
+    fn plan_internal_merge(
+        &mut self,
+        left_buf: &[u8],
+        right_buf: &[u8],
+        direction: MergeDirection,
+    ) -> Option<MergeOutcome> {
         let layout = *self.layout();
         let mut left = layout.decode_internal(left_buf);
         let mut right = layout.decode_internal(right_buf);
-        if left.entries.len() >= self.internal_merge_floor() {
-            return None;
-        }
-        if left.entries.len() + 1 + right.entries.len() > layout.internal_capacity() {
+        let floor = self.internal_merge_floor();
+        let (len_l, len_r) = (left.entries.len(), right.entries.len());
+        let underfull = match direction {
+            MergeDirection::Right => len_l,
+            MergeDirection::Left => len_r,
+        };
+        if underfull >= floor {
             return None;
         }
         self.ctx.charge_scan(layout.node_size());
-        left.absorb_right(&right);
-        right.header.free = true;
-        right.header.bump_versions();
-        Some(MergeOutcome::Merge {
+        if len_l + 1 + len_r <= layout.internal_capacity() {
+            left.absorb_right(&right);
+            right.header.free = true;
+            right.header.bump_versions();
+            return Some(MergeOutcome::Merge {
+                survivor_live: left.entries.len(),
+                left_bytes: self.encode_internal_for_write(&left),
+                right_bytes: self.encode_internal_for_write(&right),
+                right_version: right.header.front_version,
+                left_image: Some(left),
+            });
+        }
+        // Two underfull internals whose separators do not fit: redistribute
+        // from the fuller sibling until the underfull side reaches the floor,
+        // keeping the donor at or above it.
+        let want = floor - underfull;
+        let donor = match direction {
+            MergeDirection::Right => len_r,
+            MergeDirection::Left => len_l,
+        };
+        let spare = donor.saturating_sub(floor);
+        let headroom = layout.internal_capacity() - underfull;
+        let move_n = want.min(spare).min(headroom);
+        if move_n == 0 {
+            return None;
+        }
+        let new_sep = match direction {
+            MergeDirection::Right => left.take_from_right(&mut right, move_n),
+            MergeDirection::Left => right.take_from_left(&mut left, move_n),
+        };
+        Some(MergeOutcome::Rebalance {
             left_bytes: self.encode_internal_for_write(&left),
             right_bytes: self.encode_internal_for_write(&right),
-            right_version: right.header.front_version,
+            new_sep,
+            left_image: Some(left),
         })
     }
 

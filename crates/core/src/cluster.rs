@@ -249,6 +249,21 @@ impl Cluster {
         self.pool.retire_node(addr, tombstone_version, now);
     }
 
+    /// Refresh every compute server's always-cached type-❷ copy of `node`
+    /// (insert or replace in place).  Called by the merge path with the
+    /// surviving sibling/parent images right after [`Cluster::retire_node`]
+    /// scrubbed the freed addresses, so structural changes *heal* the top
+    /// set instead of eroding it; the per-cache level window is bounded by
+    /// the current root level.
+    pub(crate) fn refresh_top_entry(&self, node: CachedInternal) {
+        let Some(hint) = self.root_hint() else {
+            return;
+        };
+        for cache in &self.caches {
+            cache.refresh_top(node.clone(), hint.level);
+        }
+    }
+
     /// Count the nodes reachable from the current root by walking each level's
     /// B-link sibling chain (god-mode reads, no simulated time charged).
     ///
@@ -289,6 +304,111 @@ impl Cluster {
         }
         Ok(census)
     }
+
+    /// Audit the balance *shape* of a quiesced tree (god-mode reads, no
+    /// simulated time charged): for every parent, check each child's
+    /// occupancy against the merge floor and report the children that are
+    /// underfull **even though a same-parent partner could fix them** — a
+    /// merge that fits in one node, or a sibling with spare entries above
+    /// the floor to rebalance from.
+    ///
+    /// A direction-complete merge engine leaves both `fixable` counts at
+    /// zero after any quiesced workload: an underfull child with a right
+    /// sibling under the same parent absorbs it, a rightmost child folds
+    /// into its left sibling, and redistribution covers the pairs that do
+    /// not fit.  Children without a viable partner (an only child, or a
+    /// neighbour already at the floor with nothing to spare when the pair
+    /// does not fit) are excluded — no local operation could help them.
+    pub fn shape_audit(&self) -> TreeResult<ShapeAudit> {
+        let mut audit = ShapeAudit::default();
+        let Some(hint) = self.root_hint() else {
+            return Ok(audit);
+        };
+        if hint.level == 0 {
+            return Ok(audit);
+        }
+        let node_size = self.layout.node_size();
+        let leaf_cap = self.layout.leaf_capacity();
+        let internal_cap = self.layout.internal_capacity();
+        let leaf_floor = (leaf_cap as f64 * self.options.merge_threshold).floor() as usize;
+        let internal_floor =
+            (internal_cap as f64 * self.options.merge_threshold).floor() as usize;
+
+        let mut level_head = hint.addr;
+        loop {
+            let mut cursor = Some(level_head);
+            let mut first_child = None;
+            let mut buf = vec![0u8; node_size];
+            let mut child_buf = vec![0u8; node_size];
+            while let Some(addr) = cursor {
+                self.fabric.god_read(addr, &mut buf)?;
+                let header = self.layout.decode_header(&buf);
+                if header.free || header.is_leaf {
+                    break;
+                }
+                let parent = self.layout.decode_internal(&buf);
+                if first_child.is_none() {
+                    first_child = parent.header.leftmost;
+                }
+                audit.parents += 1;
+
+                // Occupancy of every child under this parent, in key order.
+                let children = parent.children();
+                let mut occupancy = Vec::with_capacity(children.len());
+                for child in &children {
+                    self.fabric.god_read(*child, &mut child_buf)?;
+                    let ch = self.layout.decode_header(&child_buf);
+                    let occ = if ch.is_leaf {
+                        self.layout.decode_leaf(&child_buf).live_count()
+                    } else {
+                        self.layout.decode_internal(&child_buf).entries.len()
+                    };
+                    occupancy.push(occ);
+                }
+                let children_are_leaves = header.level == 1;
+                let (floor, cap) = if children_are_leaves {
+                    (leaf_floor, leaf_cap)
+                } else {
+                    (internal_floor, internal_cap)
+                };
+                // A `(a, b)` sibling pair is a viable fix for an underfull
+                // node when the pair merges into one node or the partner can
+                // donate without dropping below the floor itself.
+                let fix = |underfull: usize, partner: usize| {
+                    let merge_fits = if children_are_leaves {
+                        underfull + partner <= cap
+                    } else {
+                        underfull + 1 + partner <= cap
+                    };
+                    merge_fits || partner > floor
+                };
+                for (i, &occ) in occupancy.iter().enumerate() {
+                    if occ >= floor {
+                        continue;
+                    }
+                    let fixable = (i > 0 && fix(occ, occupancy[i - 1]))
+                        || (i + 1 < occupancy.len() && fix(occ, occupancy[i + 1]));
+                    if children_are_leaves {
+                        audit.underfull_leaves += 1;
+                    } else {
+                        audit.underfull_internals += 1;
+                        if fixable {
+                            audit.underfull_internals_fixable += 1;
+                        }
+                    }
+                    if i + 1 == occupancy.len() && fixable {
+                        audit.underfull_rightmost_fixable += 1;
+                    }
+                }
+                cursor = header.sibling;
+            }
+            match first_child {
+                Some(child) => level_head = child,
+                None => break,
+            }
+        }
+        Ok(audit)
+    }
 }
 
 /// Reachable-node counts produced by [`Cluster::node_census`].
@@ -305,6 +425,31 @@ impl NodeCensus {
     pub fn total(&self) -> u64 {
         self.leaves + self.internals
     }
+}
+
+/// Balance-shape counts produced by [`Cluster::shape_audit`].
+///
+/// The `*_fixable` fields are the acceptance criteria of direction-complete
+/// merging: both stay zero on a quiesced tree, because every underfull child
+/// with a viable same-parent partner is merged or rebalanced at delete time
+/// regardless of which side the partner is on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShapeAudit {
+    /// Internal nodes visited (each is some child's parent).
+    pub parents: u64,
+    /// Rightmost children (of any level) below the merge floor whose left
+    /// sibling could absorb or refill them — the shape leak a right-only
+    /// merge engine accumulates.
+    pub underfull_rightmost_fixable: u64,
+    /// Underfull internal nodes (any position) with a viable same-parent
+    /// partner — zero means internal occupancy stays above the threshold
+    /// wherever a rebalance partner exists.
+    pub underfull_internals_fixable: u64,
+    /// All leaves below the merge floor (informational; an underfull leaf
+    /// without a viable partner is legitimate).
+    pub underfull_leaves: u64,
+    /// All internal nodes below the merge floor (informational).
+    pub underfull_internals: u64,
 }
 
 impl Cluster {

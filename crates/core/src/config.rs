@@ -195,10 +195,20 @@ pub struct TreeOptions {
     /// Leaf layout / consistency-check design.
     pub leaf_format: LeafFormat,
     /// Occupancy fraction below which a delete attempts to merge the node
-    /// with its right sibling (structural deletes, beyond the paper: Sherman
-    /// itself never shrinks the tree).  `0.0` disables merging and reproduces
-    /// the paper's grow-only behaviour.
+    /// with a sibling (structural deletes, beyond the paper: Sherman itself
+    /// never shrinks the tree).  Merges are direction-complete: the right
+    /// B-link sibling is absorbed when one exists under the same parent, and
+    /// a rightmost child folds into its left sibling instead.  `0.0` disables
+    /// merging and reproduces the paper's grow-only behaviour.
     pub merge_threshold: f64,
+    /// Whether a root-growth race that was *lost* retires its never-reachable
+    /// orphan node through the free list (the reclamation scheme still
+    /// decides when the address recycles).  Enabled by default — the orphan
+    /// was never linked into the tree, so retiring it is safe regardless of
+    /// whether structural deletes are on.  Disable for strict paper-faithful
+    /// mode, where the loser merely tombstones the node and leaks its address
+    /// (the paper's free-bit-only deallocation).
+    pub reclaim_root_orphans: bool,
 }
 
 impl TreeOptions {
@@ -215,6 +225,7 @@ impl TreeOptions {
             lock_strategy: LockStrategy::HostCasFaa,
             leaf_format: LeafFormat::SortedChecksum,
             merge_threshold: Self::DEFAULT_MERGE_THRESHOLD,
+            reclaim_root_orphans: true,
         }
     }
 
@@ -226,6 +237,7 @@ impl TreeOptions {
             lock_strategy: LockStrategy::HostCasWrite,
             leaf_format: LeafFormat::SortedNodeVersion,
             merge_threshold: Self::DEFAULT_MERGE_THRESHOLD,
+            reclaim_root_orphans: true,
         }
     }
 
@@ -240,6 +252,18 @@ impl TreeOptions {
     /// Whether deletes may merge underfull nodes and reclaim their memory.
     pub fn structural_deletes_enabled(&self) -> bool {
         self.merge_threshold > 0.0
+    }
+
+    /// Strict paper-faithful mode for lost root-growth races: the orphan node
+    /// is tombstoned but its address leaks (the paper only ever clears a free
+    /// bit).  By default the orphan is retired through the free list under
+    /// the configured [`crate::ReclaimScheme`], independent of whether
+    /// structural deletes are enabled.
+    pub fn with_paper_faithful_orphan_leak(self) -> Self {
+        TreeOptions {
+            reclaim_root_orphans: false,
+            ..self
+        }
     }
 
     /// FG+ plus command combination ("+Combine").
@@ -350,6 +374,7 @@ mod tests {
                 lock_strategy: LockStrategy::HostCasFaa,
                 leaf_format: LeafFormat::SortedChecksum,
                 merge_threshold: TreeOptions::DEFAULT_MERGE_THRESHOLD,
+                reclaim_root_orphans: true,
             }
         );
         // FG+: only the lock release verb and the leaf consistency check change.
@@ -360,6 +385,7 @@ mod tests {
                 lock_strategy: LockStrategy::HostCasWrite,
                 leaf_format: LeafFormat::SortedNodeVersion,
                 merge_threshold: TreeOptions::DEFAULT_MERGE_THRESHOLD,
+                reclaim_root_orphans: true,
             }
         );
         // Each ladder rung flips exactly one technique relative to its
@@ -414,6 +440,25 @@ mod tests {
         assert!(LeafFormat::SortedNodeVersion.is_sorted());
         assert!(LeafFormat::SortedChecksum.is_sorted());
         assert!(!LeafFormat::UnsortedTwoLevel.is_sorted());
+    }
+
+    #[test]
+    fn orphan_reclamation_defaults_on_with_a_paper_faithful_escape_hatch() {
+        for (_, options) in TreeOptions::ablation_ladder() {
+            assert!(options.reclaim_root_orphans);
+        }
+        // Grow-only mode still reclaims lost-race orphans by default …
+        assert!(
+            TreeOptions::sherman()
+                .without_structural_deletes()
+                .reclaim_root_orphans
+        );
+        // … unless strict paper-faithful mode is requested.
+        let faithful = TreeOptions::sherman().with_paper_faithful_orphan_leak();
+        assert!(!faithful.reclaim_root_orphans);
+        // Nothing else is touched.
+        assert_eq!(faithful.merge_threshold, TreeOptions::sherman().merge_threshold);
+        assert_eq!(faithful.leaf_format, TreeOptions::sherman().leaf_format);
     }
 
     #[test]

@@ -29,8 +29,11 @@
 //! reproduce the ablation ladder of Figures 10 and 11.
 //!
 //! Beyond the paper, deletes are **structural**: a leaf that drops below
-//! [`TreeOptions::merge_threshold`] merges into its right B-link sibling (or
-//! rebalances), separators are removed up the tree with root collapse at the
+//! [`TreeOptions::merge_threshold`] merges with a sibling under the same
+//! parent — absorbing its right B-link sibling, or folding into its left
+//! sibling when it is the rightmost child (direction-complete; pairs that do
+//! not fit rebalance instead), separators are removed up the tree with root
+//! collapse at the
 //! top, and freed nodes are recycled by the allocator under **epoch-based
 //! reclamation** ([`ReclaimScheme`]): every operation pins the global epoch
 //! on entry, and a retired address is recycled only once every reader pinned
@@ -70,7 +73,7 @@ pub mod node;
 pub mod stats;
 
 pub use client::TreeClient;
-pub use cluster::{Cluster, ClusterConfig, NodeCensus};
+pub use cluster::{Cluster, ClusterConfig, NodeCensus, ShapeAudit};
 pub use config::{LeafFormat, LockStrategy, ReclaimScheme, TreeConfig, TreeOptions};
 pub use error::TreeError;
 pub use layout::NodeLayout;

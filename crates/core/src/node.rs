@@ -263,6 +263,40 @@ impl LeafNode {
         new_sep
     }
 
+    /// Move the `count` **largest** live pairs of `left` into this leaf
+    /// (the mirror of [`LeafNode::take_from_right`], used when the underfull
+    /// node is the rightmost child of its parent and must be topped up from
+    /// its left sibling).  Returns the new separator key — the smallest key
+    /// now held by this leaf — which the caller must retarget in the parent.
+    /// Both nodes end up sorted, densely packed and version-bumped, with
+    /// their shared fence moved to the new separator.
+    ///
+    /// # Panics
+    /// Panics if `left` would be drained completely, if this leaf cannot hold
+    /// the moved pairs, or if the nodes are not fence-adjacent.
+    pub fn take_from_left(&mut self, left: &mut LeafNode, count: usize) -> u64 {
+        assert_eq!(
+            left.header.fence_high, self.header.fence_low,
+            "take_from_left requires fence-adjacent leaves"
+        );
+        let left_pairs = left.sorted_pairs();
+        assert!(count < left_pairs.len(), "rebalance must not drain the donor");
+        let split = left_pairs.len() - count;
+        let new_sep = left_pairs[split].0;
+        let mut pairs: Vec<(u64, u64)> = left_pairs[split..].to_vec();
+        pairs.extend(self.sorted_pairs());
+        assert!(pairs.len() <= self.entries.len(), "rebalanced leaf overflows");
+
+        self.repack_sorted(&pairs);
+        self.header.fence_low = new_sep;
+        self.header.bump_versions();
+
+        left.repack_sorted(&left_pairs[..split]);
+        left.header.fence_high = new_sep;
+        left.header.bump_versions();
+        new_sep
+    }
+
     /// Split this (full) leaf: the upper half of its keys move to a new leaf
     /// covering `[split_key, old_fence_high)`.  Returns the new sibling's
     /// contents; the caller allocates its address and links
@@ -426,6 +460,104 @@ impl InternalNode {
         self.header.fence_high = right.header.fence_high;
         self.header.sibling = right.header.sibling;
         self.header.bump_versions();
+    }
+
+    /// Move the `count` **smallest** children of `right` (this node's B-link
+    /// sibling) into this node, rotating each child's routing key through the
+    /// shared boundary: `right`'s leftmost child re-enters here as a separator
+    /// at `right`'s lower fence, and `right`'s first separator becomes its new
+    /// leftmost child.  Returns the new separator key — `right`'s new lower
+    /// fence — which the caller must retarget in the parent.  Versions of both
+    /// headers are bumped.
+    ///
+    /// The donor always keeps at least one child — its (rotated) leftmost —
+    /// so `count` may equal its separator count, leaving a separator-less but
+    /// still-valid router; callers that must respect an occupancy floor cap
+    /// `count` themselves.
+    ///
+    /// # Panics
+    /// Panics if `count` is zero or exceeds `right`'s separator count, or if
+    /// the nodes are not fence-adjacent.
+    pub fn take_from_right(&mut self, right: &mut InternalNode, count: usize) -> u64 {
+        assert_eq!(
+            self.header.fence_high, right.header.fence_low,
+            "take_from_right requires fence-adjacent nodes"
+        );
+        assert!(
+            count > 0 && count <= right.entries.len(),
+            "rotation count must leave the donor its leftmost child"
+        );
+        for _ in 0..count {
+            let child = right
+                .header
+                .leftmost
+                .expect("internal node has leftmost child");
+            self.entries.push(InternalEntry {
+                key: right.header.fence_low,
+                child,
+            });
+            let first = right.entries.remove(0);
+            right.header.leftmost = Some(first.child);
+            right.header.fence_low = first.key;
+        }
+        debug_assert!(self.entries.windows(2).all(|w| w[0].key < w[1].key));
+        let new_sep = right.header.fence_low;
+        self.header.fence_high = new_sep;
+        self.header.count = self.entries.len();
+        self.header.bump_versions();
+        right.header.count = right.entries.len();
+        right.header.bump_versions();
+        new_sep
+    }
+
+    /// Move the `count` **largest** children of `left` (whose B-link sibling
+    /// is this node) into this node — the mirror of
+    /// [`InternalNode::take_from_right`], used when the underfull node is the
+    /// rightmost child of its parent.  Each rotation demotes this node's
+    /// leftmost child to an ordinary separator at the old lower fence and
+    /// promotes `left`'s last child to the new leftmost.  Returns the new
+    /// separator key — this node's new lower fence — for the parent retarget.
+    ///
+    /// The donor always keeps at least one child — its leftmost — so `count`
+    /// may equal its separator count; callers that must respect an occupancy
+    /// floor cap `count` themselves.
+    ///
+    /// # Panics
+    /// Panics if `count` is zero or exceeds `left`'s separator count, or if
+    /// the nodes are not fence-adjacent.
+    pub fn take_from_left(&mut self, left: &mut InternalNode, count: usize) -> u64 {
+        assert_eq!(
+            left.header.fence_high, self.header.fence_low,
+            "take_from_left requires fence-adjacent nodes"
+        );
+        assert!(
+            count > 0 && count <= left.entries.len(),
+            "rotation count must leave the donor its leftmost child"
+        );
+        for _ in 0..count {
+            let old_leftmost = self
+                .header
+                .leftmost
+                .expect("internal node has leftmost child");
+            self.entries.insert(
+                0,
+                InternalEntry {
+                    key: self.header.fence_low,
+                    child: old_leftmost,
+                },
+            );
+            let last = left.entries.pop().expect("donor keeps at least one entry");
+            self.header.leftmost = Some(last.child);
+            self.header.fence_low = last.key;
+        }
+        debug_assert!(self.entries.windows(2).all(|w| w[0].key < w[1].key));
+        let new_sep = self.header.fence_low;
+        left.header.fence_high = new_sep;
+        left.header.count = left.entries.len();
+        left.header.bump_versions();
+        self.header.count = self.entries.len();
+        self.header.bump_versions();
+        new_sep
     }
 
     /// All children of this node in key order (leftmost first).
@@ -659,6 +791,77 @@ mod tests {
             vec![140, 160, 180]
         );
         assert_eq!(right.get(160), Some(161), "values follow their keys");
+    }
+
+    #[test]
+    fn leaf_take_from_left_moves_largest_keys() {
+        let l = layout();
+        let mut left = LeafNode::empty(&l, NodeHeader::new(true, 0, 0, 100));
+        let mut right = LeafNode::empty(&l, NodeHeader::new(true, 0, 100, u64::MAX));
+        for (i, k) in [10u64, 40, 20, 30, 50].iter().enumerate() {
+            left.entries[i].install(*k, k + 1);
+        }
+        right.entries[0].install(200, 201);
+        let sep = right.take_from_left(&mut left, 2);
+        assert_eq!(sep, 40, "separator is the smallest key moved");
+        assert_eq!(left.header.fence_high, 40);
+        assert_eq!(right.header.fence_low, 40);
+        assert_eq!(
+            left.sorted_pairs().iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
+        assert_eq!(
+            right.sorted_pairs().iter().map(|&(k, _)| k).collect::<Vec<_>>(),
+            vec![40, 50, 200]
+        );
+        assert_eq!(right.get(50), Some(51), "values follow their keys");
+    }
+
+    #[test]
+    fn internal_take_from_right_rotates_children_through_the_boundary() {
+        let mut left = InternalNode::new(1, 0, 100, addr(0));
+        left.insert_separator(50, addr(1));
+        let mut right = InternalNode::new(1, 100, u64::MAX, addr(2));
+        right.insert_separator(150, addr(3));
+        right.insert_separator(200, addr(4));
+        right.insert_separator(250, addr(5));
+
+        let sep = left.take_from_right(&mut right, 2);
+        assert_eq!(sep, 200, "separator is the donor's new lower fence");
+        assert_eq!(left.header.fence_high, 200);
+        assert_eq!(right.header.fence_low, 200);
+        // Left gained right's old leftmost (at 100) and the child at 150.
+        assert_eq!(left.children(), vec![addr(0), addr(1), addr(2), addr(3)]);
+        assert_eq!(right.children(), vec![addr(4), addr(5)]);
+        // Routing is preserved across the pair.
+        assert_eq!(left.child_for(120), addr(2));
+        assert_eq!(left.child_for(160), addr(3));
+        assert_eq!(right.child_for(210), addr(4));
+        assert_eq!(right.child_for(300), addr(5));
+        assert_eq!(left.header.count, left.entries.len());
+        assert_eq!(right.header.count, right.entries.len());
+    }
+
+    #[test]
+    fn internal_take_from_left_mirrors_the_rotation() {
+        let mut left = InternalNode::new(1, 0, 300, addr(0));
+        left.insert_separator(100, addr(1));
+        left.insert_separator(200, addr(2));
+        let mut right = InternalNode::new(1, 300, u64::MAX, addr(3));
+        right.insert_separator(400, addr(4));
+
+        let sep = right.take_from_left(&mut left, 2);
+        assert_eq!(sep, 100, "separator is the recipient's new lower fence");
+        assert_eq!(left.header.fence_high, 100);
+        assert_eq!(right.header.fence_low, 100);
+        assert_eq!(left.children(), vec![addr(0)]);
+        assert_eq!(right.children(), vec![addr(1), addr(2), addr(3), addr(4)]);
+        // Every moved child still routes the keys it covered before.
+        assert_eq!(left.child_for(50), addr(0));
+        assert_eq!(right.child_for(150), addr(1));
+        assert_eq!(right.child_for(250), addr(2));
+        assert_eq!(right.child_for(350), addr(3));
+        assert_eq!(right.child_for(500), addr(4));
     }
 
     #[test]

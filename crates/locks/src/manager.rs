@@ -67,6 +67,14 @@ pub trait NodeLockManager: Send + Sync {
     /// lock word and sort the representatives by [`NodeLockManager::lock_rank`].
     /// Acquiring (and later releasing) exactly the returned representatives,
     /// in order, is safe against every other client using the same plan.
+    ///
+    /// The plan is insensitive to how the caller *discovered* the nodes: the
+    /// structural-delete path hands in `(left, right, parent)` triples that
+    /// may have been found right-to-left (an underfull node absorbing its
+    /// B-link sibling) or left-to-right (a rightmost child folding into the
+    /// left sibling its parent identified), and overlapping triples from
+    /// clients merging in opposite directions still acquire in one global
+    /// rank order.
     fn lock_plan(&self, nodes: &[GlobalAddress]) -> Vec<GlobalAddress> {
         let mut plan: Vec<GlobalAddress> = Vec::with_capacity(nodes.len());
         for &n in nodes {
@@ -320,6 +328,42 @@ mod tests {
         // Ranks agree with aliasing: equal rank iff same lock word.
         assert!(mgr.same_lock(a, a));
         assert_eq!(mgr.lock_rank(a) == mgr.lock_rank(c), mgr.same_lock(a, c));
+    }
+
+    #[test]
+    fn opposite_direction_merge_plans_share_a_total_order() {
+        // Two clients merge around overlapping nodes in opposite directions:
+        // A pairs (n1, n2) under p, B pairs (n2, n3) under p.  Whatever order
+        // each discovered its triple in, the planned acquisition order of the
+        // shared lock words must be consistent — otherwise A and B could each
+        // hold one of {n2, p} while waiting for the other.
+        let (_pool, mgr) = setup(GlobalLockKind::OnChipMasked);
+        let n1 = GlobalAddress::host(0, 16 << 10);
+        let n2 = GlobalAddress::host(0, 32 << 10);
+        let n3 = GlobalAddress::host(1, 16 << 10);
+        let p = GlobalAddress::host(1, 32 << 10);
+
+        let plan_a = mgr.lock_plan(&[n1, n2, p]); // right-direction discovery
+        let plan_b = mgr.lock_plan(&[n3, n2, p]); // left-direction discovery
+        let rank_order = |plan: &[GlobalAddress]| {
+            plan.windows(2)
+                .all(|w| mgr.lock_rank(w[0]) < mgr.lock_rank(w[1]))
+        };
+        assert!(rank_order(&plan_a) && rank_order(&plan_b));
+        // The shared representatives appear in the same relative order in
+        // both plans (same global total order => no circular wait).
+        let shared: Vec<u128> = plan_a
+            .iter()
+            .map(|&x| mgr.lock_rank(x))
+            .filter(|r| plan_b.iter().any(|&y| mgr.lock_rank(y) == *r))
+            .collect();
+        let shared_b: Vec<u128> = plan_b
+            .iter()
+            .map(|&x| mgr.lock_rank(x))
+            .filter(|r| plan_a.iter().any(|&y| mgr.lock_rank(y) == *r))
+            .collect();
+        assert_eq!(shared, shared_b);
+        assert!(!shared.is_empty(), "the triples overlap on {{n2, p}}");
     }
 
     #[test]

@@ -104,6 +104,18 @@ impl ChunkAllocator {
 }
 
 /// Summary of one server's node free list (observability and tests).
+///
+/// Reclaim latency is reported as **two** figures because a retired address
+/// passes two gates on its way back into circulation:
+///
+/// * **retire→eligible** — from retirement to the moment the reclamation
+///   policy clears the address (the grace window elapses, or the last
+///   pre-retirement epoch pin is gone).  This isolates the scheme's own
+///   contribution,
+/// * **retire→reuse** — from retirement to the address actually being handed
+///   to an allocator.  This is *demand-inclusive*: an address can sit ready
+///   for a long time simply because nobody allocated, so this figure bounds
+///   the first from above but also reflects the workload's cadence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FreeListStats {
     /// Node addresses retired so far.
@@ -122,6 +134,14 @@ pub struct FreeListStats {
     /// (`u64::MAX` until something was reused).  The grace-period fallback
     /// floors this at `grace_ns`; epoch-based reclamation does not.
     pub reclaim_latency_min_ns: u64,
+    /// Sum of retire→eligible distances (virtual ns) over every address that
+    /// cleared quarantine (`reused + ready` of them).
+    pub eligible_latency_sum_ns: u64,
+    /// Largest retire→eligible distance (virtual ns) seen so far.
+    pub eligible_latency_max_ns: u64,
+    /// Smallest retire→eligible distance (virtual ns) seen so far
+    /// (`u64::MAX` until something cleared quarantine).
+    pub eligible_latency_min_ns: u64,
 }
 
 impl Default for FreeListStats {
@@ -134,6 +154,9 @@ impl Default for FreeListStats {
             reclaim_latency_sum_ns: 0,
             reclaim_latency_max_ns: 0,
             reclaim_latency_min_ns: u64::MAX,
+            eligible_latency_sum_ns: 0,
+            eligible_latency_max_ns: 0,
+            eligible_latency_min_ns: u64::MAX,
         }
     }
 }
@@ -148,15 +171,37 @@ impl FreeListStats {
         self.reclaim_latency_sum_ns += other.reclaim_latency_sum_ns;
         self.reclaim_latency_max_ns = self.reclaim_latency_max_ns.max(other.reclaim_latency_max_ns);
         self.reclaim_latency_min_ns = self.reclaim_latency_min_ns.min(other.reclaim_latency_min_ns);
+        self.eligible_latency_sum_ns += other.eligible_latency_sum_ns;
+        self.eligible_latency_max_ns =
+            self.eligible_latency_max_ns.max(other.eligible_latency_max_ns);
+        self.eligible_latency_min_ns =
+            self.eligible_latency_min_ns.min(other.eligible_latency_min_ns);
+    }
+
+    /// Addresses that have cleared quarantine (eligible for reuse), whether
+    /// or not an allocator has taken them yet.
+    pub fn eligible(&self) -> u64 {
+        self.reused + self.ready
     }
 
     /// Mean retire→reuse distance in virtual ns (zero when nothing was
-    /// reused yet).
+    /// reused yet).  Demand-inclusive; see the type-level docs.
     pub fn mean_reclaim_latency_ns(&self) -> f64 {
         if self.reused == 0 {
             0.0
         } else {
             self.reclaim_latency_sum_ns as f64 / self.reused as f64
+        }
+    }
+
+    /// Mean retire→eligible distance in virtual ns (zero when nothing has
+    /// cleared quarantine yet).  Isolates the reclamation scheme from the
+    /// workload's allocation demand.
+    pub fn mean_eligible_latency_ns(&self) -> f64 {
+        if self.eligible() == 0 {
+            0.0
+        } else {
+            self.eligible_latency_sum_ns as f64 / self.eligible() as f64
         }
     }
 }
@@ -174,7 +219,8 @@ pub enum ReclaimPolicy {
     Epoch(Arc<EpochRegistry>),
 }
 
-/// One retired node address awaiting reclamation.
+/// One retired node address awaiting reclamation (or, in the ready pool,
+/// awaiting demand).
 #[derive(Debug, Clone, Copy)]
 struct Retired {
     addr: GlobalAddress,
@@ -216,6 +262,9 @@ pub struct NodeFreeList {
     latency_sum_ns: u64,
     latency_max_ns: u64,
     latency_min_ns: u64,
+    eligible_sum_ns: u64,
+    eligible_max_ns: u64,
+    eligible_min_ns: u64,
 }
 
 impl NodeFreeList {
@@ -240,6 +289,9 @@ impl NodeFreeList {
             latency_sum_ns: 0,
             latency_max_ns: 0,
             latency_min_ns: u64::MAX,
+            eligible_sum_ns: 0,
+            eligible_max_ns: 0,
+            eligible_min_ns: u64::MAX,
         }
     }
 
@@ -288,6 +340,12 @@ impl NodeFreeList {
             retired_at_ns: now,
             tombstone_version,
         });
+        // Sweep the quarantine on retire as well as on reuse, so the
+        // retire→eligible figure is stamped close to the moment the policy
+        // actually clears an address rather than when demand next asks
+        // (under epoch reclamation with no pinned reader the just-retired
+        // address becomes eligible right here, at latency zero).
+        self.reclaim(now);
         stamp
     }
 
@@ -321,6 +379,10 @@ impl NodeFreeList {
                 break;
             }
             let r = self.quarantine.pop_front().expect("front exists");
+            let eligible_latency = now.saturating_sub(r.retired_at_ns);
+            self.eligible_sum_ns += eligible_latency;
+            self.eligible_max_ns = self.eligible_max_ns.max(eligible_latency);
+            self.eligible_min_ns = self.eligible_min_ns.min(eligible_latency);
             self.ready.push(r);
         }
     }
@@ -364,6 +426,9 @@ impl NodeFreeList {
             reclaim_latency_sum_ns: self.latency_sum_ns,
             reclaim_latency_max_ns: self.latency_max_ns,
             reclaim_latency_min_ns: self.latency_min_ns,
+            eligible_latency_sum_ns: self.eligible_sum_ns,
+            eligible_latency_max_ns: self.eligible_max_ns,
+            eligible_latency_min_ns: self.eligible_min_ns,
         }
     }
 }
@@ -437,6 +502,33 @@ mod tests {
         assert_eq!(s.reclaim_latency_max_ns, 1_100);
         assert_eq!(s.reclaim_latency_min_ns, 1_000, "grace floors the minimum latency");
         assert!((s.mean_reclaim_latency_ns() - 1_050.0).abs() < 1e-9);
+        // Under a grace policy each sweep clears exactly the addresses whose
+        // window has elapsed, so here eligibility coincides with the sweeps
+        // at 1_100 (a) and 1_300 (b) and never undercuts the window.
+        assert_eq!(s.eligible(), 2);
+        assert_eq!(s.eligible_latency_sum_ns, 1_000 + 1_100);
+        assert_eq!(s.eligible_latency_max_ns, 1_100);
+        assert_eq!(s.eligible_latency_min_ns, 1_000);
+        // The demand-inclusive figure always dominates the eligibility one.
+        assert!(s.reclaim_latency_sum_ns >= s.eligible_latency_sum_ns);
+    }
+
+    #[test]
+    fn eligible_latency_isolates_the_scheme_from_demand() {
+        // Epoch policy, nobody pinned: an address is eligible the moment it
+        // retires, however long demand takes to arrive.
+        let registry = crate::EpochRegistry::new();
+        let mut fl = NodeFreeList::new_epoch(Arc::clone(&registry));
+        fl.retire(GlobalAddress::host(0, 8 << 10), 1, 1_000);
+        let s = fl.stats();
+        assert_eq!((s.quarantined, s.ready), (0, 1), "eligible at retire time");
+        assert_eq!(s.eligible_latency_max_ns, 0);
+        // Demand arrives much later: retire→reuse records the wait, the
+        // retire→eligible figure stays at zero.
+        assert!(fl.reuse(50_000).is_some());
+        let s = fl.stats();
+        assert_eq!(s.reclaim_latency_min_ns, 49_000);
+        assert_eq!(s.eligible_latency_max_ns, 0);
     }
 
     #[test]
@@ -497,6 +589,9 @@ mod tests {
             reclaim_latency_sum_ns: 100,
             reclaim_latency_max_ns: 60,
             reclaim_latency_min_ns: 40,
+            eligible_latency_sum_ns: 50,
+            eligible_latency_max_ns: 30,
+            eligible_latency_min_ns: 20,
         };
         a.merge(&FreeListStats {
             retired: 10,
@@ -506,6 +601,9 @@ mod tests {
             reclaim_latency_sum_ns: 1_000,
             reclaim_latency_max_ns: 900,
             reclaim_latency_min_ns: 12,
+            eligible_latency_sum_ns: 500,
+            eligible_latency_max_ns: 450,
+            eligible_latency_min_ns: 6,
         });
         assert_eq!(a.retired, 11);
         assert_eq!(a.reused, 22);
@@ -515,8 +613,14 @@ mod tests {
         assert_eq!(a.reclaim_latency_max_ns, 900, "max latency merges by maximum");
         assert_eq!(a.reclaim_latency_min_ns, 12, "min latency merges by minimum");
         assert_eq!(a.mean_reclaim_latency_ns(), 50.0);
+        assert_eq!(a.eligible_latency_sum_ns, 550);
+        assert_eq!(a.eligible_latency_max_ns, 450);
+        assert_eq!(a.eligible_latency_min_ns, 6);
+        assert_eq!(a.eligible(), 66);
+        assert!((a.mean_eligible_latency_ns() - 550.0 / 66.0).abs() < 1e-9);
         // An idle server's sentinel min does not perturb the merge.
         a.merge(&FreeListStats::default());
         assert_eq!(a.reclaim_latency_min_ns, 12);
+        assert_eq!(a.eligible_latency_min_ns, 6);
     }
 }

@@ -43,6 +43,30 @@ pub struct EpochRegistry {
     /// One pinned-epoch slot per registered reader (`UNPINNED_EPOCH` when the
     /// reader is between operations).
     readers: Mutex<Vec<Arc<ReaderSlot>>>,
+    /// Cached result of the reader scan, so that the reclaim path's
+    /// [`EpochRegistry::min_pinned`] is O(1) instead of O(readers) per pass.
+    ///
+    /// Maintenance is event-driven: an outermost **pin** at epoch `e` folds
+    /// `min(cached, e)` into a valid cache (a new pin can only lower the
+    /// minimum, and never below any existing pin, because pins always take
+    /// the current global epoch); an outermost **unpin** or a reader
+    /// deregistration *invalidates* the cache (removing the minimum cannot
+    /// be patched in O(1)), and the next `min_pinned` call rescans once and
+    /// revalidates.  Every slot `pinned` store happens *inside* this mutex
+    /// together with its cache transition, so a scan (which also holds it)
+    /// always sees slots and cache in agreement — that is what makes the
+    /// debug cross-check in `min_pinned` sound, and it keeps the boundary a
+    /// reclaim pass reads at or below every established pin.
+    min_cache: Mutex<MinPinnedCache>,
+}
+
+/// See [`EpochRegistry::min_cache`].
+#[derive(Debug, Default)]
+struct MinPinnedCache {
+    /// Whether `min` reflects the current reader set.
+    valid: bool,
+    /// The oldest pinned epoch, `None` when no reader is pinned.
+    min: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -61,6 +85,7 @@ impl EpochRegistry {
         Arc::new(EpochRegistry {
             global: AtomicU64::new(1),
             readers: Mutex::new(Vec::new()),
+            min_cache: Mutex::new(MinPinnedCache::default()),
         })
     }
 
@@ -90,13 +115,72 @@ impl EpochRegistry {
 
     /// The oldest epoch any registered reader is currently pinned at, or
     /// `None` when no reader is pinned.
+    ///
+    /// O(1) between unpins: the answer is served from the cached minimum and
+    /// the reader vector is only rescanned after an invalidation (outermost
+    /// unpin or deregistration, or a pin that had to retry its epoch).
+    /// Debug builds re-scan on the fast path too and assert that the cached
+    /// and scanned values agree — sound because every slot store happens
+    /// under the same mutex this scan holds.
     pub fn min_pinned(&self) -> Option<u64> {
+        let mut cache = self.min_cache.lock();
+        if cache.valid {
+            let cached = cache.min;
+            #[cfg(debug_assertions)]
+            {
+                let scanned = self.scan_min_pinned();
+                debug_assert_eq!(
+                    cached, scanned,
+                    "cached min-pinned epoch diverged from the reader scan"
+                );
+            }
+            return cached;
+        }
+        let scanned = self.scan_min_pinned();
+        cache.min = scanned;
+        cache.valid = true;
+        scanned
+    }
+
+    /// Full O(readers) scan of the pinned-epoch slots.
+    fn scan_min_pinned(&self) -> Option<u64> {
         self.readers
             .lock()
             .iter()
             .map(|s| s.pinned.load(Ordering::SeqCst))
             .filter(|&e| e != UNPINNED_EPOCH)
             .min()
+    }
+
+    /// Store `epoch` into `slot` and update the cached minimum in the same
+    /// critical section.  A first (outermost) pin only ever *lowers* the
+    /// minimum, so it folds in O(1); a retry raises this slot's own earlier
+    /// store, which cannot be patched in O(1) — invalidate and let the next
+    /// `min_pinned` rescan (retries only happen when a retirement raced the
+    /// pin, so this stays off the common path).
+    fn store_pin(&self, slot: &ReaderSlot, epoch: u64, first_attempt: bool) {
+        let mut cache = self.min_cache.lock();
+        slot.pinned.store(epoch, Ordering::SeqCst);
+        if cache.valid {
+            if first_attempt {
+                cache.min = Some(cache.min.map_or(epoch, |m| m.min(epoch)));
+            } else {
+                cache.valid = false;
+            }
+        }
+    }
+
+    /// Clear `slot` (outermost unpin) and invalidate the cached minimum in
+    /// the same critical section.
+    fn store_unpin(&self, slot: &ReaderSlot) {
+        let mut cache = self.min_cache.lock();
+        slot.pinned.store(UNPINNED_EPOCH, Ordering::SeqCst);
+        cache.valid = false;
+    }
+
+    /// Invalidate the cached minimum (reader deregistration).
+    fn invalidate_min(&self) {
+        self.min_cache.lock().valid = false;
     }
 
     /// First epoch that is **not** safe to recycle: every address stamped
@@ -143,18 +227,26 @@ impl ReaderHandle {
     /// The store-and-recheck loop closes the registration race: once the
     /// store is visible and the global epoch has not moved past it, every
     /// later retirement is stamped at or above the pinned epoch and therefore
-    /// cannot be recycled under this pin.
+    /// cannot be recycled under this pin.  Each store updates the cached
+    /// minimum in the same critical section (`store_pin`), *inside* the loop
+    /// and before the recheck: if a reclaim pass consulted the stale cache
+    /// while a retirement advanced the epoch past our store, the recheck
+    /// fails and the pin re-establishes above everything that pass could
+    /// have recycled — nothing this operation will read was freed under it.
     pub fn pin(&self) -> EpochPin {
         if self.slot.depth.fetch_add(1, Ordering::SeqCst) == 0 {
+            let mut first_attempt = true;
             loop {
                 let e = self.registry.current();
-                self.slot.pinned.store(e, Ordering::SeqCst);
+                self.registry.store_pin(&self.slot, e, first_attempt);
+                first_attempt = false;
                 if self.registry.current() == e {
                     break;
                 }
             }
         }
         EpochPin {
+            registry: Arc::clone(&self.registry),
             slot: Arc::clone(&self.slot),
         }
     }
@@ -175,10 +267,15 @@ impl ReaderHandle {
 
 impl Drop for ReaderHandle {
     fn drop(&mut self) {
-        let mut readers = self.registry.readers.lock();
-        if let Some(i) = readers.iter().position(|s| Arc::ptr_eq(s, &self.slot)) {
-            readers.swap_remove(i);
+        {
+            let mut readers = self.registry.readers.lock();
+            if let Some(i) = readers.iter().position(|s| Arc::ptr_eq(s, &self.slot)) {
+                readers.swap_remove(i);
+            }
         }
+        // The departed slot may have carried the cached minimum (its pin, if
+        // any, no longer counts once deregistered); rescan on next demand.
+        self.registry.invalidate_min();
     }
 }
 
@@ -190,13 +287,17 @@ impl Drop for ReaderHandle {
 /// gone.
 #[derive(Debug)]
 pub struct EpochPin {
+    registry: Arc<EpochRegistry>,
     slot: Arc<ReaderSlot>,
 }
 
 impl Drop for EpochPin {
     fn drop(&mut self) {
         if self.slot.depth.fetch_sub(1, Ordering::SeqCst) == 1 {
-            self.slot.pinned.store(UNPINNED_EPOCH, Ordering::SeqCst);
+            // Clearing the slot and invalidating the cached minimum happen in
+            // one critical section; removing a pin can only *raise* the true
+            // minimum, and the next `min_pinned` rescan catches it up.
+            self.registry.store_unpin(&self.slot);
         }
     }
 }
@@ -283,6 +384,35 @@ mod tests {
         let again = reader.pin();
         assert_eq!(reader.pinned_epoch(), Some(2));
         drop(again);
+    }
+
+    #[test]
+    fn cached_minimum_tracks_pins_unpins_and_interleavings() {
+        let reg = EpochRegistry::new();
+        let a = reg.register();
+        let b = reg.register();
+
+        // Warm the cache while idle, then pin: the fold must land without an
+        // invalidation in between (debug builds cross-check every fast-path
+        // read against a full scan).
+        assert_eq!(reg.min_pinned(), None);
+        let pin_a = a.pin();
+        assert_eq!(reg.min_pinned(), Some(1));
+        reg.retire_epoch();
+        reg.retire_epoch();
+        // A later pin folds in above the existing minimum.
+        let pin_b = b.pin();
+        assert_eq!(reg.min_pinned(), Some(1));
+        // Unpinning the minimum invalidates; the rescan finds the survivor.
+        drop(pin_a);
+        assert_eq!(reg.min_pinned(), Some(3));
+        // Re-pinning after a validated rescan folds correctly again.
+        let pin_a2 = a.pin();
+        assert_eq!(reg.min_pinned(), Some(3));
+        drop(pin_b);
+        assert_eq!(reg.min_pinned(), Some(3), "a's re-pin still holds epoch 3");
+        drop(pin_a2);
+        assert_eq!(reg.min_pinned(), None);
     }
 
     #[test]

@@ -4,6 +4,13 @@
 //! match; they exist so that the churn benchmarks can report how much remote
 //! memory structural deletes reclaim (merged nodes, retired addresses,
 //! reused addresses) and derive a space-amplification figure from them.
+//!
+//! Merges are additionally broken down by **direction**: a right merge folds
+//! a node's right B-link sibling into it, a left merge folds the node into
+//! its left sibling (the parent-guided path taken when the node is the
+//! rightmost child under its parent and therefore has no right sibling to
+//! absorb).  A long churn run on a direction-complete merge engine shows both
+//! kinds; zero left merges is the signature of the old rightmost-child leak.
 
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,7 +23,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct SpaceCounters {
     leaf_merges: AtomicU64,
     internal_merges: AtomicU64,
+    left_merges: AtomicU64,
     rebalances: AtomicU64,
+    internal_rebalances: AtomicU64,
     root_collapses: AtomicU64,
 }
 
@@ -26,7 +35,7 @@ impl SpaceCounters {
         Self::default()
     }
 
-    /// Record one leaf merge (a leaf absorbed its right sibling).
+    /// Record one leaf merge (two adjacent leaves folded into one).
     pub fn record_leaf_merge(&self) {
         self.leaf_merges.fetch_add(1, Ordering::Relaxed);
     }
@@ -36,9 +45,23 @@ impl SpaceCounters {
         self.internal_merges.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Record one rebalance (entries moved between siblings, nothing freed).
+    /// Record that a merge ran in the **left** direction: the underfull node
+    /// (the rightmost child under its parent) was folded into its left
+    /// sibling.  Incremented *in addition to* the leaf/internal merge counter.
+    pub fn record_left_merge(&self) {
+        self.left_merges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one leaf rebalance (entries moved between sibling leaves,
+    /// nothing freed).
     pub fn record_rebalance(&self) {
         self.rebalances.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one internal rebalance (separators redistributed between
+    /// sibling internal nodes whose combined entries do not fit in one node).
+    pub fn record_internal_rebalance(&self) {
+        self.internal_rebalances.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one root collapse (a single-child root was replaced by its
@@ -52,7 +75,9 @@ impl SpaceCounters {
         SpaceSnapshot {
             leaf_merges: self.leaf_merges.load(Ordering::Relaxed),
             internal_merges: self.internal_merges.load(Ordering::Relaxed),
+            left_merges: self.left_merges.load(Ordering::Relaxed),
             rebalances: self.rebalances.load(Ordering::Relaxed),
+            internal_rebalances: self.internal_rebalances.load(Ordering::Relaxed),
             root_collapses: self.root_collapses.load(Ordering::Relaxed),
         }
     }
@@ -61,12 +86,19 @@ impl SpaceCounters {
 /// A point-in-time copy of [`SpaceCounters`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct SpaceSnapshot {
-    /// Leaves that absorbed their right sibling.
+    /// Leaf pairs folded into one leaf.
     pub leaf_merges: u64,
-    /// Internal nodes that absorbed their right sibling.
+    /// Internal-node pairs folded into one node.
     pub internal_merges: u64,
-    /// Sibling rebalances that moved entries without freeing a node.
+    /// Merges (leaf or internal) that ran in the left direction — the
+    /// underfull rightmost child folded into its left sibling.  Also counted
+    /// in `leaf_merges` / `internal_merges`.
+    pub left_merges: u64,
+    /// Leaf rebalances that moved entries without freeing a node.
     pub rebalances: u64,
+    /// Internal rebalances that redistributed separators without freeing a
+    /// node.
+    pub internal_rebalances: u64,
     /// Root nodes collapsed into their single remaining child.
     pub root_collapses: u64,
 }
@@ -75,6 +107,11 @@ impl SpaceSnapshot {
     /// Total structural merge operations (leaf + internal).
     pub fn merges(&self) -> u64 {
         self.leaf_merges + self.internal_merges
+    }
+
+    /// Merges that ran in the right direction (a right sibling was absorbed).
+    pub fn right_merges(&self) -> u64 {
+        self.merges().saturating_sub(self.left_merges)
     }
 }
 
@@ -87,15 +124,20 @@ mod tests {
         let c = SpaceCounters::new();
         c.record_leaf_merge();
         c.record_leaf_merge();
+        c.record_left_merge();
         c.record_internal_merge();
         c.record_rebalance();
+        c.record_internal_rebalance();
         c.record_root_collapse();
         let s = c.snapshot();
         assert_eq!(s.leaf_merges, 2);
         assert_eq!(s.internal_merges, 1);
+        assert_eq!(s.left_merges, 1);
         assert_eq!(s.rebalances, 1);
+        assert_eq!(s.internal_rebalances, 1);
         assert_eq!(s.root_collapses, 1);
         assert_eq!(s.merges(), 3);
+        assert_eq!(s.right_merges(), 2);
     }
 
     #[test]

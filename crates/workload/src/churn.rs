@@ -12,6 +12,16 @@
 //! Each thread owns the keys congruent to its id modulo the thread count, so
 //! threads never insert/delete the same key while still sharing leaves (and
 //! therefore merge boundaries) with their neighbours.
+//!
+//! With [`ChurnSpec::bidirectional`] (the default) each full upward turnover
+//! is followed by a short **descending drain**: write waves briefly delete at
+//! the window's *head* (re-filling at the tail) before resuming the upward
+//! slide.  A purely ascending window only ever drains nodes that have a right
+//! B-link sibling; the descending excursions drain the tree's high edge —
+//! rightmost children whose only same-parent partner is their *left* sibling
+//! — which is exactly the shape a direction-complete merge engine must keep
+//! balanced.  The net motion stays upward, so grow-only comparisons still
+//! leak proportionally to turnover.
 
 use crate::spec::Op;
 use rand::rngs::StdRng;
@@ -32,6 +42,11 @@ pub struct ChurnSpec {
     pub range_pct: u8,
     /// Entries requested per range scan.
     pub range_size: u64,
+    /// Whether each full upward turnover is followed by a short descending
+    /// drain at the window's head (a quarter window), exercising left-sibling
+    /// merges of rightmost children.  `false` restores the purely ascending
+    /// PR 2 window.
+    pub bidirectional: bool,
     /// Base RNG seed; each thread derives a deterministic stream.
     pub seed: u64,
 }
@@ -46,6 +61,7 @@ impl ChurnSpec {
             lookup_pct: 20,
             range_pct: 5,
             range_size: 50,
+            bidirectional: true,
             seed: 0xC0FFEE,
         }
     }
@@ -106,10 +122,20 @@ impl ChurnSpec {
 pub struct ChurnGenerator {
     spec: ChurnSpec,
     thread_id: u64,
-    /// Next key index to insert.
+    /// Next key index to insert at the window's high end (the window itself
+    /// is always `tail..head`).
     head: u64,
     /// Oldest live key index (everything below is deleted).
     tail: u64,
+    /// Whether write waves currently delete at the head (descending drain)
+    /// instead of the tail (upward slide).
+    descending: bool,
+    /// Write waves left before the direction flips (ignored when
+    /// [`ChurnSpec::bidirectional`] is off).
+    phase_left: u64,
+    /// Total deletes issued (the turnover numerator: every windowful of
+    /// deletes is one turnover, whichever end they drained).
+    deletes: u64,
     rng: StdRng,
 }
 
@@ -118,13 +144,22 @@ impl ChurnGenerator {
         let rng = StdRng::seed_from_u64(
             spec.seed ^ thread_id.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
+        let up_phase = spec.window_per_thread();
         ChurnGenerator {
             spec,
             thread_id,
             head: 0,
             tail: 0,
+            descending: false,
+            phase_left: up_phase,
+            deletes: 0,
             rng,
         }
+    }
+
+    /// Length of a descending excursion: a quarter window (at least one).
+    fn down_phase(&self) -> u64 {
+        (self.spec.window_per_thread() / 4).max(1)
     }
 
     /// The thread id this stream was derived for.
@@ -147,18 +182,27 @@ impl ChurnGenerator {
         self.head - self.tail
     }
 
-    /// How many times the window has fully turned over so far.
+    /// How many times the window has fully turned over so far (one turnover
+    /// per windowful of deletes, whichever end they drained).
     pub fn turnovers(&self) -> f64 {
-        self.tail as f64 / self.spec.window_per_thread() as f64
+        self.deletes as f64 / self.spec.window_per_thread() as f64
     }
 
     /// Produce the next operation.
     pub fn next_op(&mut self) -> Op {
         let per_thread = self.spec.window_per_thread();
-        // Warm-up: fill the window before churning.
+        // Warm-up / re-fill: keep the window full before churning.  During a
+        // descending drain the window re-fills downward at the tail, so the
+        // net window slides down with the head; everywhere else it grows at
+        // the head.
         if self.live() < per_thread {
-            let i = self.head;
-            self.head += 1;
+            let i = if self.descending && self.tail > 0 {
+                self.tail -= 1;
+                self.tail
+            } else {
+                self.head += 1;
+                self.head - 1
+            };
             return Op::Insert {
                 key: self.key_at(i),
                 value: self.value_at(i),
@@ -177,14 +221,33 @@ impl ChurnGenerator {
             };
         }
         // Write wave: the window is full here (the warm-up guard above
-        // handles every not-full state), so delete the oldest key.  The next
-        // call then takes the warm-up branch and re-fills the window — each
-        // delete is immediately followed by an insert, which also means the
-        // realized write share is somewhat above what the lookup/range
-        // percentages alone suggest ([`ChurnSpec::ops_per_thread_for_turnover`]
-        // treats its estimate as a lower bound for the same reason).
-        let i = self.tail;
-        self.tail += 1;
+        // handles every not-full state), so delete at the draining end.  The
+        // next call then takes the re-fill branch — each delete is
+        // immediately followed by an insert, which also means the realized
+        // write share is somewhat above what the lookup/range percentages
+        // alone suggest ([`ChurnSpec::ops_per_thread_for_turnover`] treats
+        // its estimate as a lower bound for the same reason).
+        let i = if self.descending {
+            self.head -= 1;
+            self.head
+        } else {
+            self.tail += 1;
+            self.tail - 1
+        };
+        self.deletes += 1;
+        if self.spec.bidirectional {
+            self.phase_left = self.phase_left.saturating_sub(1);
+            // Flip at the phase boundary; a descending drain also ends early
+            // when the window cannot slide further down.
+            if self.phase_left == 0 || (self.descending && self.tail == 0) {
+                self.descending = !self.descending && self.tail > 0;
+                self.phase_left = if self.descending {
+                    self.down_phase()
+                } else {
+                    per_thread
+                };
+            }
+        }
         Op::Delete { key: self.key_at(i) }
     }
 
@@ -232,6 +295,7 @@ mod tests {
             lookup_pct: 10,
             range_pct: 5,
             range_size: 10,
+            bidirectional: false,
             seed: 7,
         };
         let mut gen = spec.generator(1);
@@ -243,7 +307,7 @@ mod tests {
                     assert!(live.insert(key), "insert of an already-live key {key}");
                 }
                 Op::Delete { key } => {
-                    // Deletes always target the oldest live key.
+                    // Ascending-only mode: deletes target the oldest live key.
                     assert_eq!(live.iter().next(), Some(&key), "delete must hit the tail");
                     live.remove(&key);
                 }
@@ -255,6 +319,55 @@ mod tests {
         }
         assert_eq!(live.len() as u64, spec.window_per_thread());
         assert!(gen.turnovers() > 10.0, "5000 ops over a 100-key window churn a lot");
+    }
+
+    #[test]
+    fn bidirectional_churn_drains_both_ends_and_stays_consistent() {
+        let spec = ChurnSpec {
+            window: 400,
+            threads: 4,
+            lookup_pct: 10,
+            range_pct: 5,
+            range_size: 10,
+            bidirectional: true,
+            seed: 7,
+        };
+        let mut gen = spec.generator(1);
+        let mut live: BTreeSet<u64> = BTreeSet::new();
+        let (mut tail_deletes, mut head_deletes) = (0u64, 0u64);
+        for op in gen.take_ops(8_000) {
+            match op {
+                Op::Insert { key, .. } => {
+                    assert!(live.insert(key), "insert of an already-live key {key}");
+                }
+                Op::Delete { key } => {
+                    // Every delete hits one *end* of the live window — the
+                    // drain direction just flips between phases.
+                    if live.iter().next() == Some(&key) {
+                        tail_deletes += 1;
+                    } else if live.iter().next_back() == Some(&key) {
+                        head_deletes += 1;
+                    } else {
+                        panic!("delete of an interior key {key}");
+                    }
+                    live.remove(&key);
+                }
+                Op::Lookup { key } | Op::Range { start_key: key, .. } => {
+                    assert!(live.contains(&key), "read of a dead key {key}");
+                }
+            }
+            assert!(live.len() as u64 <= spec.window_per_thread());
+        }
+        assert_eq!(live.len() as u64, spec.window_per_thread());
+        assert!(tail_deletes > 0, "the window must still slide upward");
+        assert!(
+            head_deletes > 0,
+            "descending excursions must drain the high edge (left-merge shapes)"
+        );
+        // Up-phases dominate: the net motion stays upward so grow-only
+        // comparisons still leak proportionally to turnover.
+        assert!(tail_deletes > 2 * head_deletes);
+        assert!(gen.turnovers() > 10.0);
     }
 
     #[test]
@@ -286,6 +399,7 @@ mod tests {
             lookup_pct: 20,
             range_pct: 5,
             range_size: 10,
+            bidirectional: true,
             seed: 9,
         };
         let ops = spec.ops_per_thread_for_turnover(10.0);

@@ -22,7 +22,7 @@ pub use sherman_workload;
 pub mod prelude {
     pub use sherman::{
         Cluster, ClusterConfig, LeafFormat, LockStrategy, NodeCensus, OpStats, ReclaimScheme,
-        TreeClient, TreeConfig, TreeError, TreeOptions,
+        ShapeAudit, TreeClient, TreeConfig, TreeError, TreeOptions,
     };
     pub use sherman_memserver::{EpochRegistry, ReaderHandle};
     pub use sherman_metrics::{

@@ -43,9 +43,11 @@ fn main() {
 
     println!("Churn: sliding-window insert/delete; reclamation schemes vs grow-only");
     let mut rows = Vec::new();
+    let mut timelines = Vec::new();
     for (name, options, scheme) in systems {
         let exp = configure(&args, name, options, scheme);
         let r = run_churn_experiment(&exp);
+        timelines.push((r.name.clone(), r.shape_timeline.clone()));
         rows.push(vec![
             r.name.clone(),
             fmt_mops(r.summary.throughput_ops),
@@ -84,6 +86,25 @@ fn main() {
         ],
         &rows,
     );
+    println!("\nshape health while running (incremental per-level samples, rotating windows):");
+    for (name, timeline) in &timelines {
+        let samples = timeline.len();
+        let parents: u64 = timeline.iter().map(|a| a.parents).sum();
+        let worst_rightmost = timeline
+            .iter()
+            .map(|a| a.underfull_rightmost_fixable)
+            .max()
+            .unwrap_or(0);
+        let worst_internal = timeline
+            .iter()
+            .map(|a| a.underfull_internals_fixable)
+            .max()
+            .unwrap_or(0);
+        println!(
+            "  {name}: {samples} samples / {parents} parents audited mid-run, \
+             worst fixable rightmost={worst_rightmost} internals={worst_internal} (advisory)"
+        );
+    }
     println!("\nspace amp = node addresses carved from chunks / nodes reachable at the end");
     println!("left-mrg  = merges that folded a rightmost child into its left sibling");
     println!("elig-lat  = retirement -> policy clears the address (isolates the scheme)");

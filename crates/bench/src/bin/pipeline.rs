@@ -1,0 +1,137 @@
+//! Pipeline — the split-phase scheduler's depth sweep (beyond the paper).
+//!
+//! Sherman's evaluation hides RDMA round-trip latency by running multiple
+//! coroutines per client thread; this reproduction's analogue is the
+//! pipelined read scheduler (`TreeClient::run_pipelined`), which multiplexes
+//! N logical lookups/scans over one fabric context.  This binary sweeps the
+//! in-flight depth over {1, 2, 4, 8} on the uniform-lookup workload and
+//! reports the virtual-time throughput curve next to the blocking reference,
+//! plus the overlap gauges that prove the depth actually materialized
+//! (mean/max in-flight verbs, overlapped round trips, serial-vs-elapsed
+//! overlap factor).
+//!
+//! ```text
+//! cargo run --release -p sherman_bench --bin pipeline [-- --quick] [--smoke]
+//!     [--threads N] [--keys N] [--ops N] [--range-pct P] [--depths 1,2,4,8]
+//! ```
+//!
+//! `--smoke` runs the CI gate at `--quick` scale and exits non-zero when
+//! depth 1 deviates from the blocking path by more than 5%, when depth 4
+//! fails to beat depth 1 by at least 1.5× on uniform lookups, or when the
+//! overlap gauges show the pipeline never went concurrent (mean in-flight
+//! ≤ 1.5 at depth 4).
+
+use sherman_bench::{fmt_mops, fmt_us, print_table, run_pipeline_experiment, Args, PipelineExperiment};
+
+fn main() {
+    let args = Args::from_env();
+    if args.flag("smoke") {
+        smoke(&args);
+        return;
+    }
+    let depths: Vec<usize> = args
+        .get("depths")
+        .map(|s| s.split(',').filter_map(|d| d.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+
+    println!("Pipeline: split-phase read scheduler, in-flight depth sweep (uniform lookups)");
+    let blocking = run_pipeline_experiment(&configure(&args, "blocking", 0));
+    let base = blocking.summary.throughput_ops;
+    let mut rows = vec![row(&blocking, base)];
+    for &depth in &depths {
+        let result = run_pipeline_experiment(&configure(&args, &format!("depth-{depth}"), depth));
+        rows.push(row(&result, base));
+    }
+    print_table(
+        &[
+            "system",
+            "Mops",
+            "vs blocking",
+            "p50",
+            "p99",
+            "mean-inflight",
+            "max",
+            "overlapped-rt",
+            "overlap-x",
+        ],
+        &rows,
+    );
+    println!("\nvs blocking  = virtual-time throughput relative to the blocking client loop");
+    println!("mean/max     = in-flight verb depth at post time (1.0 when blocking)");
+    println!("overlapped-rt= fraction of round trips whose window overlapped another verb");
+    println!("overlap-x    = serial verb time / elapsed time (how many RTTs were hidden)");
+}
+
+fn configure(args: &Args, name: &str, depth: usize) -> PipelineExperiment {
+    let mut exp = PipelineExperiment::default_scaled(name, depth);
+    exp.threads = args.get_usize("threads", exp.threads);
+    exp.key_space = args.get_u64("keys", exp.key_space);
+    exp.ops_per_thread = args.get_usize("ops", exp.ops_per_thread);
+    exp.range_pct = args.get_u64("range-pct", exp.range_pct as u64) as u8;
+    exp.range_size = args.get_u64("range-size", exp.range_size);
+    if args.quick() || args.flag("smoke") {
+        exp = exp.quick();
+    }
+    exp
+}
+
+fn row(result: &sherman_bench::PipelineResult, base: f64) -> Vec<String> {
+    vec![
+        result.name.clone(),
+        fmt_mops(result.summary.throughput_ops),
+        format!("{:.2}x", result.summary.throughput_ops / base.max(f64::MIN_POSITIVE)),
+        fmt_us(result.summary.p50_ns),
+        fmt_us(result.summary.p99_ns),
+        format!("{:.2}", result.overlap.mean_in_flight()),
+        result.overlap.max_in_flight.to_string(),
+        format!("{:.0}%", result.overlap.overlapped_fraction() * 100.0),
+        format!("{:.2}", result.overlap.overlap_factor()),
+    ]
+}
+
+/// CI gate: depth-1 equivalence and the depth-4 speedup, at quick scale.
+fn smoke(args: &Args) {
+    let blocking = run_pipeline_experiment(&configure(args, "blocking", 0));
+    let depth1 = run_pipeline_experiment(&configure(args, "depth-1", 1));
+    let depth4 = run_pipeline_experiment(&configure(args, "depth-4", 4));
+
+    let equivalence = depth1.summary.throughput_ops / blocking.summary.throughput_ops;
+    let speedup = depth4.summary.throughput_ops / depth1.summary.throughput_ops;
+    println!(
+        "pipeline smoke: blocking={} depth1={} depth4={} equivalence={:.3} speedup={:.2}x \
+         mean_inflight(d4)={:.2} max_inflight(d4)={} overlapped(d4)={:.0}%",
+        fmt_mops(blocking.summary.throughput_ops),
+        fmt_mops(depth1.summary.throughput_ops),
+        fmt_mops(depth4.summary.throughput_ops),
+        equivalence,
+        speedup,
+        depth4.overlap.mean_in_flight(),
+        depth4.overlap.max_in_flight,
+        depth4.overlap.overlapped_fraction() * 100.0,
+    );
+    let mut failures = Vec::new();
+    if !(0.95..=1.05).contains(&equivalence) {
+        failures.push(format!(
+            "depth-1 deviates from the blocking path by more than 5% (ratio {equivalence:.3})"
+        ));
+    }
+    if speedup < 1.5 {
+        failures.push(format!(
+            "depth-4 read throughput only {speedup:.2}x depth-1 (needs >= 1.5x)"
+        ));
+    }
+    if depth4.overlap.mean_in_flight() <= 1.5 {
+        failures.push(format!(
+            "depth-4 mean in-flight {:.2} shows no real overlap (needs > 1.5)",
+            depth4.overlap.mean_in_flight()
+        ));
+    }
+    if failures.is_empty() {
+        println!("pipeline smoke: OK");
+    } else {
+        for f in &failures {
+            eprintln!("pipeline smoke FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -26,6 +26,7 @@ fn main() {
         "fig15_sensitivity",
         "fig16_hocl",
         "churn",
+        "pipeline",
     ];
     for bin in binaries {
         println!("\n================ {bin} ================");

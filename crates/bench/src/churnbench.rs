@@ -134,6 +134,11 @@ pub struct ChurnResult {
     /// rightmost children / internal nodes that a same-parent partner could
     /// fix (zero under direction-complete merging).
     pub audit: ShapeAudit,
+    /// Mid-run shape samples (`Cluster::shape_audit_sampled`, rotating
+    /// windows) taken by thread 0 while the churn was still running: the
+    /// continuous shape-health signal, advisory rather than a gate (samples
+    /// race in-flight merges; the quiesced `audit` is authoritative).
+    pub shape_timeline: Vec<ShapeAudit>,
     /// Type-❷ cache entries refreshed in place across every compute server
     /// (structural-change refresh + lazy traversal repair).
     pub cache_refreshes: u64,
@@ -174,7 +179,22 @@ pub fn run_churn_experiment(exp: &ChurnExperiment) -> ChurnResult {
             barrier.wait();
             let mut ops = 0u64;
             let mut latency = LatencyHistogram::new();
-            for _ in 0..ops_per_thread {
+            // Thread 0 doubles as the shape monitor: every so often it takes
+            // an incremental (per-level sampled, rotating-window) audit so
+            // the bench can report shape health *during* the churn, not just
+            // after quiesce.  God-mode reads charge no virtual time, so the
+            // monitoring does not perturb the measured run.
+            const SHAPE_SAMPLES: usize = 8;
+            const SHAPE_WINDOW: usize = 16;
+            let sample_every = (ops_per_thread / SHAPE_SAMPLES).max(1);
+            let mut shape_timeline = Vec::new();
+            for i in 0..ops_per_thread {
+                if t == 0 && i > 0 && i % sample_every == 0 {
+                    let skip = shape_timeline.len() * SHAPE_WINDOW;
+                    if let Ok(sample) = cluster.shape_audit_sampled(SHAPE_WINDOW, skip) {
+                        shape_timeline.push(sample);
+                    }
+                }
                 let op = gen.next_op();
                 let stats = match op {
                     Op::Lookup { key } => {
@@ -195,16 +215,20 @@ pub fn run_churn_experiment(exp: &ChurnExperiment) -> ChurnResult {
                 ops += 1;
                 latency.record(stats.latency_ns);
             }
-            (ThreadReport { ops, latency }, gen.turnovers())
+            (ThreadReport { ops, latency }, gen.turnovers(), shape_timeline)
         }));
     }
 
     let mut agg = ThroughputAggregator::new();
     let mut min_turnovers = f64::INFINITY;
+    let mut shape_timeline = Vec::new();
     for h in handles {
-        let (report, turnovers) = h.join().expect("churn worker panicked");
+        let (report, turnovers, timeline) = h.join().expect("churn worker panicked");
         agg.add(&report);
         min_turnovers = min_turnovers.min(turnovers);
+        if !timeline.is_empty() {
+            shape_timeline = timeline;
+        }
     }
     let elapsed = cluster.fabric().now().saturating_sub(start_time).max(1);
 
@@ -229,6 +253,7 @@ pub fn run_churn_experiment(exp: &ChurnExperiment) -> ChurnResult {
         census,
         space_amplification: nodes_carved as f64 / census.total().max(1) as f64,
         audit,
+        shape_timeline,
         cache_refreshes,
         top_hit_ratio: if top_hits + top_misses == 0 {
             0.0
@@ -280,6 +305,11 @@ mod tests {
         // Book-keeping agrees with the reachability walk.
         assert_eq!(on.nodes_outstanding, on.census.total());
         assert!(on.summary.throughput_ops > 0.0);
+        // The monitor thread sampled the shape while the churn ran.
+        assert!(
+            !on.shape_timeline.is_empty(),
+            "thread 0 must collect mid-run shape samples"
+        );
 
         // The same churn without structural deletes leaks without bound: its
         // garbage stays reachable, so both the carved footprint and the

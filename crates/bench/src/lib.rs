@@ -6,7 +6,8 @@
 //! * [`runner`] — end-to-end tree experiments: bulkload a cluster, drive it
 //!   with a YCSB-style workload from many client threads, and report
 //!   throughput, latency percentiles and the internal distributions used by
-//!   Figure 14,
+//!   Figure 14; also the pipelined read experiments that sweep the
+//!   split-phase scheduler's in-flight depth (the `pipeline` binary),
 //! * [`churnbench`] — sliding-window churn runs measuring structural deletes,
 //!   reclamation and space amplification (beyond the paper, which never
 //!   shrinks the tree),
@@ -36,4 +37,7 @@ pub use churnbench::{run_churn_experiment, ChurnExperiment, ChurnResult};
 pub use fabricbench::{run_write_size_sweep, WriteSizePoint};
 pub use lockbench::{run_lock_experiment, LockExperiment, LockVariant};
 pub use report::{fmt_mops, fmt_us, print_table};
-pub use runner::{run_tree_experiment, ExperimentResult, TreeExperiment};
+pub use runner::{
+    run_pipeline_experiment, run_tree_experiment, ExperimentResult, PipelineExperiment,
+    PipelineResult, TreeExperiment,
+};

@@ -1,9 +1,10 @@
 //! End-to-end tree experiments: bulkload, multi-threaded workload drive,
-//! aggregation.
+//! aggregation — plus the **pipelined** read experiments that sweep the
+//! split-phase scheduler's in-flight depth.
 
-use sherman::{Cluster, ClusterConfig, OpStats, TreeConfig, TreeOptions};
+use sherman::{Cluster, ClusterConfig, OpStats, PipelineOp, TreeConfig, TreeOptions};
 use sherman_metrics::{
-    CountHistogram, LatencyHistogram, RunSummary, SizeHistogram, ThreadReport,
+    CountHistogram, LatencyHistogram, OverlapGauges, RunSummary, SizeHistogram, ThreadReport,
     ThroughputAggregator,
 };
 use sherman_sim::metrics::MetricsSnapshot;
@@ -250,6 +251,224 @@ pub fn run_tree_experiment(exp: &TreeExperiment) -> ExperimentResult {
     }
 }
 
+// ----------------------------------------------------------------------
+// Pipelined read experiments
+// ----------------------------------------------------------------------
+
+/// A read-only experiment driven through the pipelined scheduler: every
+/// thread multiplexes `depth` logical lookups/scans over one fabric context.
+///
+/// `depth == 0` selects the **blocking reference** implementation (the plain
+/// `TreeClient::lookup`/`range` loop) so the depth-1 scheduler can be
+/// validated against it; `depth >= 1` runs `TreeClient::run_pipelined` at
+/// that depth (carried into the cluster via `TreeOptions::pipeline_depth`).
+#[derive(Debug, Clone)]
+pub struct PipelineExperiment {
+    /// Label printed in result rows.
+    pub name: String,
+    /// Number of memory servers.
+    pub memory_servers: usize,
+    /// Number of compute servers.
+    pub compute_servers: usize,
+    /// Number of client threads.
+    pub threads: usize,
+    /// Key-space size.
+    pub key_space: u64,
+    /// Fraction of the key space bulkloaded before the measured phase.
+    pub bulkload_fraction: f64,
+    /// Logical operations issued per thread.
+    pub ops_per_thread: usize,
+    /// Percentage of operations that are range scans (the rest are uniform
+    /// lookups; the acceptance workload uses 0).
+    pub range_pct: u8,
+    /// Entries per range scan.
+    pub range_size: u64,
+    /// In-flight depth (0 = blocking reference, see type docs).
+    pub depth: usize,
+    /// Technique selection.
+    pub options: TreeOptions,
+    /// Tree geometry.
+    pub tree: TreeConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PipelineExperiment {
+    /// The uniform-lookup experiment at the harness's default scale.
+    pub fn default_scaled(name: impl Into<String>, depth: usize) -> Self {
+        PipelineExperiment {
+            name: name.into(),
+            memory_servers: 4,
+            compute_servers: 2,
+            threads: 4,
+            key_space: 1 << 18,
+            bulkload_fraction: 0.8,
+            ops_per_thread: 2_000,
+            range_pct: 0,
+            range_size: 50,
+            depth,
+            options: TreeOptions::sherman(),
+            tree: TreeConfig::default(),
+            seed: 0x9196_5EED,
+        }
+    }
+
+    /// Shrink the experiment for smoke runs (`--quick` / `--smoke`).
+    pub fn quick(mut self) -> Self {
+        self.threads = self.threads.min(2);
+        self.key_space = self.key_space.min(1 << 15);
+        self.ops_per_thread = self.ops_per_thread.min(500);
+        self.range_size = self.range_size.min(20);
+        self
+    }
+
+    /// The read-only workload specification this experiment draws keys from.
+    pub fn workload(&self) -> WorkloadSpec {
+        WorkloadSpec {
+            key_space: self.key_space,
+            bulkload_keys: (self.key_space as f64 * self.bulkload_fraction) as u64,
+            mix: Mix {
+                insert_pct: 0,
+                lookup_pct: 100 - self.range_pct,
+                delete_pct: 0,
+                range_pct: self.range_pct,
+            },
+            distribution: KeyDistribution::Uniform,
+            range_size: self.range_size,
+            seed: self.seed,
+            update_fraction: 0.0,
+        }
+    }
+}
+
+/// What one pipelined experiment produced.
+#[derive(Debug)]
+pub struct PipelineResult {
+    /// Experiment label.
+    pub name: String,
+    /// In-flight depth the run used (0 = blocking reference).
+    pub depth: usize,
+    /// Throughput / latency summary.
+    pub summary: RunSummary,
+    /// Aggregated overlap gauges across every thread.
+    pub overlap: OverlapGauges,
+    /// Fraction of operations whose leaf address came from the index cache.
+    pub cache_hit_ratio: f64,
+}
+
+/// Run one pipelined (or blocking-reference) read experiment.
+pub fn run_pipeline_experiment(exp: &PipelineExperiment) -> PipelineResult {
+    let spec = exp.workload();
+    spec.validate().expect("invalid pipeline workload");
+
+    let cluster_config = ClusterConfig {
+        fabric: FabricConfig {
+            memory_servers: exp.memory_servers,
+            compute_servers: exp.compute_servers,
+            ..FabricConfig::default()
+        },
+        tree: exp.tree.clone(),
+    };
+    // The depth knob rides TreeOptions so any consumer of the cluster knows
+    // the configured pipeline depth.
+    let options = exp.options.with_pipeline_depth(exp.depth.max(1));
+    let cluster = Cluster::new(cluster_config, options);
+    cluster
+        .bulkload(spec.bulkload_iter().map(|k| (k, k.wrapping_mul(3) + 1)))
+        .expect("bulkload");
+
+    let start_time = cluster.fabric().now();
+    let barrier = Arc::new(std::sync::Barrier::new(exp.threads));
+    let mut handles = Vec::new();
+    for t in 0..exp.threads {
+        let cluster = Arc::clone(&cluster);
+        let spec = spec.clone();
+        let barrier = Arc::clone(&barrier);
+        let cs = (t % exp.compute_servers) as u16;
+        let ops_per_thread = exp.ops_per_thread;
+        let blocking_reference = exp.depth == 0;
+        handles.push(thread::spawn(move || {
+            let mut client = cluster.client(cs);
+            let depth = cluster.options().pipeline_depth;
+            let mut gen = spec.generator(t as u64);
+            let ops: Vec<PipelineOp> = (0..ops_per_thread)
+                .map(|_| match gen.next_op() {
+                    Op::Lookup { key } => PipelineOp::Lookup { key },
+                    Op::Range { start_key, count } => PipelineOp::Range {
+                        start_key,
+                        count: count as usize,
+                    },
+                    other => panic!("read-only workload produced {other:?}"),
+                })
+                .collect();
+            barrier.wait();
+
+            let mut latency = LatencyHistogram::new();
+            let mut cache_hits = 0u64;
+            let before = client.fabric_stats();
+            let t0 = client.now();
+            let overlap = if blocking_reference {
+                for op in &ops {
+                    let stats = match *op {
+                        PipelineOp::Lookup { key } => client.lookup(key).expect("lookup").1,
+                        PipelineOp::Range { start_key, count } => {
+                            client.range(start_key, count).expect("range").1
+                        }
+                    };
+                    latency.record(stats.latency_ns);
+                    if stats.cache_hit {
+                        cache_hits += 1;
+                    }
+                }
+                let stats = client.fabric_stats().delta_since(&before);
+                sherman::overlap_from_stats(&stats, client.now().saturating_sub(t0))
+            } else {
+                let report = client
+                    .run_pipelined(ops.iter().copied(), depth)
+                    .expect("pipelined run");
+                for r in &report.results {
+                    latency.record(r.latency_ns);
+                    if r.cache_hit {
+                        cache_hits += 1;
+                    }
+                }
+                report.overlap
+            };
+            (
+                ThreadReport {
+                    ops: ops_per_thread as u64,
+                    latency,
+                },
+                overlap,
+                cache_hits,
+            )
+        }));
+    }
+
+    let mut agg = ThroughputAggregator::new();
+    let mut overlap = OverlapGauges::default();
+    let mut cache_hits = 0u64;
+    for h in handles {
+        let (report, thread_overlap, hits) = h.join().expect("pipeline worker panicked");
+        agg.add(&report);
+        overlap.merge(&thread_overlap);
+        cache_hits += hits;
+    }
+    let elapsed = cluster.fabric().now().saturating_sub(start_time).max(1);
+    let total_ops = (exp.threads * exp.ops_per_thread) as u64;
+    PipelineResult {
+        name: exp.name.clone(),
+        depth: exp.depth,
+        summary: agg.finish(elapsed),
+        overlap,
+        cache_hit_ratio: if total_ops == 0 {
+            0.0
+        } else {
+            cache_hits as f64 / total_ops as f64
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +514,63 @@ mod tests {
             result.write_round_trips.mean(),
             sherman.write_round_trips.mean()
         );
+    }
+
+    fn tiny_pipeline(depth: usize) -> PipelineExperiment {
+        PipelineExperiment {
+            memory_servers: 2,
+            compute_servers: 2,
+            threads: 2,
+            key_space: 1 << 12,
+            ops_per_thread: 150,
+            tree: TreeConfig {
+                cache_bytes: 1 << 20,
+                chunk_bytes: 256 << 10,
+                ..TreeConfig::default()
+            },
+            ..PipelineExperiment::default_scaled(format!("pipe-d{depth}"), depth)
+        }
+    }
+
+    #[test]
+    fn depth_one_pipeline_matches_the_blocking_reference() {
+        let blocking = run_pipeline_experiment(&tiny_pipeline(0));
+        let depth1 = run_pipeline_experiment(&tiny_pipeline(1));
+        let ratio = depth1.summary.throughput_ops / blocking.summary.throughput_ops;
+        assert!(
+            (0.95..=1.05).contains(&ratio),
+            "depth-1 must reproduce the blocking path within 5%, ratio {ratio:.3}"
+        );
+        assert_eq!(depth1.overlap.max_in_flight, 1);
+        assert_eq!(depth1.overlap.overlapped_round_trips, 0);
+    }
+
+    #[test]
+    fn depth_four_pipeline_overlaps_and_outperforms() {
+        let depth1 = run_pipeline_experiment(&tiny_pipeline(1));
+        let depth4 = run_pipeline_experiment(&tiny_pipeline(4));
+        let speedup = depth4.summary.throughput_ops / depth1.summary.throughput_ops;
+        assert!(
+            speedup >= 1.5,
+            "depth 4 should beat depth 1 by 1.5x on uniform lookups, got {speedup:.2}x"
+        );
+        assert!(
+            depth4.overlap.mean_in_flight() > 1.5,
+            "mean in-flight {:.2}",
+            depth4.overlap.mean_in_flight()
+        );
+        assert!(depth4.overlap.overlapped_round_trips > 0);
+        assert!(depth4.overlap.overlap_factor() > depth1.overlap.overlap_factor());
+    }
+
+    #[test]
+    fn pipeline_experiment_supports_scans() {
+        let mut exp = tiny_pipeline(4);
+        exp.range_pct = 20;
+        let result = run_pipeline_experiment(&exp);
+        assert_eq!(result.summary.ops, 300);
+        assert!(result.summary.throughput_ops > 0.0);
+        assert!(result.cache_hit_ratio > 0.5, "bulkload warms the cache");
     }
 
     #[test]

@@ -21,34 +21,15 @@ use crate::config::LeafFormat;
 use crate::error::TreeError;
 use crate::layout::NodeLayout;
 use crate::node::{InternalEntry, InternalNode, LeafNode};
+use crate::ops::{
+    self, drive_blocking, LeafSource, LocateStart, LookupSM, OpCx, OpMeta, RangeSM, ReadNodeSM,
+    TraverseSM,
+};
 use crate::stats::OpStats;
 use crate::TreeResult;
-use sherman_cache::{CachedInternal, ChildRef};
 use sherman_memserver::{ClientAllocator, ReaderHandle, ServerLayout};
 use sherman_sim::{ClientCtx, ClientStats, GlobalAddress, WriteCmd};
-use std::collections::HashSet;
 use std::sync::Arc;
-
-/// Where a leaf address came from (used for cache invalidation decisions).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum LeafSource {
-    /// Served by the type-❶ index cache; holds the cached node's lower fence
-    /// key so the entry can be invalidated on a mismatch.
-    Cache { fence_low: u64 },
-    /// Found by traversing internal nodes.
-    Traversal,
-    /// Reached by following a sibling pointer.
-    Sibling,
-}
-
-/// Book-keeping accumulated while executing one operation.
-#[derive(Debug, Default)]
-struct OpMeta {
-    read_retries: u64,
-    lock_retries: u64,
-    handed_over: bool,
-    cache_hit: bool,
-}
 
 /// Which sibling a structural delete pairs the underfull node with.
 ///
@@ -110,15 +91,15 @@ enum MergeOutcome {
 /// Create one with [`Cluster::client`] *on the thread that will use it*: the
 /// handle registers the calling thread with the simulation's virtual clock.
 pub struct TreeClient {
-    cluster: Arc<Cluster>,
-    ctx: ClientCtx,
+    pub(crate) cluster: Arc<Cluster>,
+    pub(crate) ctx: ClientCtx,
     allocator: ClientAllocator,
     /// This client's slot in the epoch registry: every public operation pins
     /// the global epoch on entry and unpins on exit, which is what lets
     /// epoch-based reclamation recycle freed node addresses the moment no
     /// pre-retirement reader is left.
-    reader: ReaderHandle,
-    cs_id: u16,
+    pub(crate) reader: ReaderHandle,
+    pub(crate) cs_id: u16,
 }
 
 impl std::fmt::Debug for TreeClient {
@@ -197,6 +178,15 @@ impl TreeClient {
         Ok(())
     }
 
+    /// The state-machine stepping context for this client's thread.
+    pub(crate) fn op_cx(&mut self) -> OpCx<'_> {
+        OpCx {
+            cluster: &self.cluster,
+            ctx: &mut self.ctx,
+            cs_id: self.cs_id,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Root management
     // ------------------------------------------------------------------
@@ -204,55 +194,20 @@ impl TreeClient {
     /// Current root address and level, from the local hint or the remote
     /// superblock.
     fn root(&mut self) -> TreeResult<(GlobalAddress, u8)> {
-        if let Some(hint) = self.cluster.root_hint() {
-            return Ok((hint.addr, hint.level));
-        }
-        self.root_remote()
-    }
-
-    /// Re-read the root pointer and level hint from the remote superblock,
-    /// refreshing the local hint (used when a restart suggests the hint may be
-    /// stale — e.g. after a racing root growth or root collapse).
-    fn root_remote(&mut self) -> TreeResult<(GlobalAddress, u8)> {
-        let packed = self.ctx.read_u64(self.cluster.root_ptr_addr())?;
-        if packed == 0 {
-            return Err(TreeError::NotInitialized);
-        }
-        let level = self.ctx.read_u64(ServerLayout::level_hint_addr())? as u8;
-        let addr = GlobalAddress::unpack(packed);
-        self.cluster.set_root_hint(addr, level);
-        Ok((addr, level))
+        self.op_cx().root()
     }
 
     // ------------------------------------------------------------------
     // Node reads
     // ------------------------------------------------------------------
 
-    fn node_image_consistent(&self, buf: &[u8]) -> bool {
-        match self.leaf_format() {
-            LeafFormat::SortedChecksum => self.layout().checksum_matches(buf),
-            _ => self.layout().node_versions_match(buf),
-        }
-    }
-
     /// Read a node image with the lock-free consistency loop (node-level
     /// check only; entry-level checks are done by the caller where relevant).
+    /// Blocking wrapper over [`ReadNodeSM`].
     fn read_node_consistent(&mut self, addr: GlobalAddress, meta: &mut OpMeta) -> TreeResult<Vec<u8>> {
-        let node_size = self.layout().node_size();
-        let mut buf = vec![0u8; node_size];
-        for _ in 0..self.cluster.config().max_read_retries {
-            self.ctx.read(addr, &mut buf)?;
-            if self.node_image_consistent(&buf) {
-                self.ctx.charge_scan(node_size);
-                return Ok(buf);
-            }
-            meta.read_retries += 1;
-            self.ctx.note_retries(1);
-        }
-        Err(TreeError::RetriesExhausted {
-            context: "node-level consistency check",
-            attempts: self.cluster.config().max_read_retries,
-        })
+        let mut cx = self.op_cx();
+        let mut sm = ReadNodeSM::new(&cx, addr);
+        drive_blocking(&mut cx, meta, |cx, meta, c| sm.step(cx, meta, c))
     }
 
     /// Read a node image while holding its exclusive lock (no retry loop
@@ -265,137 +220,34 @@ impl TreeClient {
         Ok(buf)
     }
 
-    fn cached_from_internal(addr: GlobalAddress, node: &InternalNode) -> CachedInternal {
-        CachedInternal {
-            addr,
-            fence_low: node.header.fence_low,
-            fence_high: node.header.fence_high,
-            level: node.header.level,
-            leftmost: node.header.leftmost.unwrap_or_else(GlobalAddress::null),
-            children: node
-                .entries
-                .iter()
-                .map(|e| ChildRef {
-                    separator: e.key,
-                    child: e.child,
-                })
-                .collect(),
-        }
-    }
-
     // ------------------------------------------------------------------
     // Traversal
     // ------------------------------------------------------------------
 
     /// Walk down from the root (or the cached top levels) to the node at
-    /// `target_level` whose key interval contains `key`.
+    /// `target_level` whose key interval contains `key`.  Blocking wrapper
+    /// over [`TraverseSM`], used by the write paths.
     fn traverse_to_level(
         &mut self,
         key: u64,
         target_level: u8,
         meta: &mut OpMeta,
     ) -> TreeResult<GlobalAddress> {
-        let restarts = self.cluster.config().max_restarts;
-        // With structural deletes enabled, a restart may mean a local shortcut
-        // went stale (a freed node or a collapsed root): after the first
-        // failed attempt, re-read the root from the superblock and skip the
-        // type-❷ cache.  In grow-only mode (the paper's behaviour) neither
-        // can happen, so restarts keep their shortcuts and cost profile.
-        let distrust_shortcuts = self.cluster.options().structural_deletes_enabled();
-        'restart: for attempt in 0..restarts {
-            let (root_addr, root_level) = if attempt == 0 || !distrust_shortcuts {
-                self.root()?
-            } else {
-                self.root_remote()?
-            };
-            let consult_top = attempt == 0 || !distrust_shortcuts;
-            let cached_top = if consult_top {
-                self.cluster.cache(self.cs_id).search_top(key)
-            } else {
-                None
-            };
-            // Only an answer deep enough for this traversal counts as a hit:
-            // an entry above `target_level` still forces the root-first walk.
-            let usable_top =
-                matches!(cached_top, Some((_, child_level)) if child_level >= target_level);
-            if consult_top {
-                let stats = self.cluster.cache(self.cs_id).stats();
-                if usable_top {
-                    stats.record_top_hit();
-                } else {
-                    stats.record_top_miss();
-                }
-            }
-            // An unusable type-❷ answer means churn scrubbed the always-cached
-            // top set (or the root moved): repair it lazily from the internal
-            // nodes this root-first traversal is about to read anyway, so one
-            // expensive walk re-warms the cache instead of every future
-            // operation paying the same root round trips.
-            let repair_top = !usable_top;
-            let (mut addr, mut expect_level) = match cached_top {
-                Some((child, child_level)) if usable_top => (child, child_level),
-                _ => (root_addr, root_level),
-            };
-            if expect_level < target_level {
-                // The tree is shallower than the requested level; the caller
-                // handles root growth.
-                return Ok(root_addr);
-            }
-            loop {
-                if expect_level == target_level {
-                    return Ok(addr);
-                }
-                let buf = self.read_node_consistent(addr, meta)?;
-                let node = self.layout().decode_internal(&buf);
-                if node.header.free || node.header.is_leaf {
-                    continue 'restart;
-                }
-                if !node.header.covers(key) {
-                    if key >= node.header.fence_high {
-                        if let Some(sib) = node.header.sibling {
-                            addr = sib;
-                            continue;
-                        }
-                    }
-                    continue 'restart;
-                }
-                expect_level = node.header.level;
-                if repair_top && node.header.level + 1 >= root_level.max(1) {
-                    self.cluster
-                        .cache(self.cs_id)
-                        .refresh_top(Self::cached_from_internal(addr, &node), root_level);
-                }
-                if expect_level == target_level {
-                    return Ok(addr);
-                }
-                if node.header.level == 1 {
-                    self.cluster
-                        .cache(self.cs_id)
-                        .insert_level1(Self::cached_from_internal(addr, &node));
-                }
-                addr = node.child_for(key);
-                expect_level = node.header.level - 1;
-            }
-        }
-        Err(TreeError::RetriesExhausted {
-            context: "tree traversal",
-            attempts: restarts,
-        })
+        let mut cx = self.op_cx();
+        let mut sm = TraverseSM::new(&cx, key, target_level);
+        drive_blocking(&mut cx, meta, |cx, meta, c| sm.step(cx, meta, c))
     }
 
     /// Find the leaf that should hold `key`, preferring the index cache.
     fn locate_leaf(&mut self, key: u64, meta: &mut OpMeta) -> TreeResult<(GlobalAddress, LeafSource)> {
-        if let Some(cached) = self.cluster.cache(self.cs_id).lookup_covering(key) {
-            meta.cache_hit = true;
-            return Ok((
-                cached.child_for(key),
-                LeafSource::Cache {
-                    fence_low: cached.fence_low,
-                },
-            ));
+        let mut cx = self.op_cx();
+        match ops::locate_start(&mut cx, meta, key) {
+            LocateStart::Cached(addr, source) => Ok((addr, source)),
+            LocateStart::Traverse(mut sm) => {
+                let addr = drive_blocking(&mut cx, meta, |cx, meta, c| sm.step(cx, meta, c))?;
+                Ok((addr, LeafSource::Traversal))
+            }
         }
-        let addr = self.traverse_to_level(key, 0, meta)?;
-        Ok((addr, LeafSource::Traversal))
     }
 
     /// Handle a leaf that turned out not to cover `key`: invalidate the stale
@@ -407,15 +259,7 @@ impl TreeClient {
         leaf: &LeafNode,
         source: LeafSource,
     ) -> Option<GlobalAddress> {
-        if let LeafSource::Cache { fence_low } = source {
-            self.cluster.cache(self.cs_id).invalidate(fence_low);
-        }
-        if !leaf.header.free && key >= leaf.header.fence_high {
-            if let Some(sib) = leaf.header.sibling {
-                return Some(sib);
-            }
-        }
-        None
+        ops::next_after_mismatch(&mut self.op_cx(), key, leaf, source)
     }
 
     // ------------------------------------------------------------------
@@ -423,64 +267,19 @@ impl TreeClient {
     // ------------------------------------------------------------------
 
     /// Look up `key`, returning its value if present.
+    ///
+    /// Blocking form of the lookup state machine: one verb in flight at a time, which is
+    /// exactly what a pipelined run at depth 1 executes.
     pub fn lookup(&mut self, key: u64) -> TreeResult<(Option<u64>, OpStats)> {
         let before = self.ctx.stats();
         let t0 = self.ctx.now();
         let _pin = self.reader.pin();
         let mut meta = OpMeta::default();
 
-        let value = self.lookup_inner(key, &mut meta)?;
+        let mut cx = self.op_cx();
+        let mut sm = LookupSM::new(&cx, key);
+        let value = drive_blocking(&mut cx, &mut meta, |cx, meta, c| sm.step(cx, meta, c))?;
         Ok((value, self.finish(before, t0, meta)))
-    }
-
-    fn lookup_inner(&mut self, key: u64, meta: &mut OpMeta) -> TreeResult<Option<u64>> {
-        let restarts = self.cluster.config().max_restarts;
-        let mut pending: Option<(GlobalAddress, LeafSource)> = None;
-        for _ in 0..restarts {
-            let (addr, source) = match pending.take() {
-                Some(next) => next,
-                None => self.locate_leaf(key, meta)?,
-            };
-            let max_reads = self.cluster.config().max_read_retries;
-            let mut entry_ok = None;
-            for _ in 0..max_reads {
-                let buf = self.read_node_consistent(addr, meta)?;
-                let leaf = self.layout().decode_leaf(&buf);
-                if leaf.header.free || !leaf.header.is_leaf || !leaf.header.covers(key) {
-                    pending = self
-                        .next_after_mismatch(key, &leaf, source)
-                        .map(|a| (a, LeafSource::Sibling));
-                    entry_ok = None;
-                    break;
-                }
-                // Entry-level validation (two-level versions only).
-                let found = leaf
-                    .entries
-                    .iter()
-                    .find(|e| e.present && e.key == key)
-                    .copied();
-                match (self.leaf_format(), found) {
-                    (LeafFormat::UnsortedTwoLevel, Some(e)) if !e.versions_match() => {
-                        meta.read_retries += 1;
-                        self.ctx.note_retries(1);
-                        continue;
-                    }
-                    (_, found) => {
-                        entry_ok = Some(found.map(|e| e.value));
-                        break;
-                    }
-                }
-            }
-            match entry_ok {
-                Some(value) => return Ok(value),
-                None if pending.is_some() => continue,
-                None => continue,
-            }
-        }
-        Err(TreeError::RetriesExhausted {
-            context: "lookup",
-            attempts: restarts,
-        })
     }
 
     // ------------------------------------------------------------------
@@ -692,7 +491,7 @@ impl TreeClient {
                 if parent_level == 1 {
                     self.cluster
                         .cache(self.cs_id)
-                        .insert_level1(Self::cached_from_internal(addr, &node));
+                        .insert_level1(ops::cached_from_internal(addr, &node));
                 }
                 return Ok(());
             }
@@ -730,8 +529,8 @@ impl TreeClient {
 
             if parent_level == 1 {
                 let cache = self.cluster.cache(self.cs_id);
-                cache.insert_level1(Self::cached_from_internal(addr, &node));
-                cache.insert_level1(Self::cached_from_internal(right_addr, &right));
+                cache.insert_level1(ops::cached_from_internal(addr, &node));
+                cache.insert_level1(ops::cached_from_internal(right_addr, &right));
             }
             return self.insert_separator_at(promoted, right_addr, parent_level + 1, meta);
         }
@@ -1215,19 +1014,19 @@ impl TreeClient {
             if level == 0 {
                 self.cluster
                     .cache(self.cs_id)
-                    .insert_level1(Self::cached_from_internal(parent_addr, &parent));
+                    .insert_level1(ops::cached_from_internal(parent_addr, &parent));
             }
             self.cluster
-                .refresh_top_entry(Self::cached_from_internal(parent_addr, &parent));
+                .refresh_top_entry(ops::cached_from_internal(parent_addr, &parent));
         }
         if let Some(left_node) = &left_image {
             if left_node.header.level == 1 {
                 self.cluster
                     .cache(self.cs_id)
-                    .insert_level1(Self::cached_from_internal(left_addr, left_node));
+                    .insert_level1(ops::cached_from_internal(left_addr, left_node));
             }
             self.cluster
-                .refresh_top_entry(Self::cached_from_internal(left_addr, left_node));
+                .refresh_top_entry(ops::cached_from_internal(left_addr, left_node));
         }
         // A merge of two tiny nodes can leave the survivor itself below the
         // floor with no delete ever landing on it again; chase it now so no
@@ -1416,149 +1215,18 @@ impl TreeClient {
     ///
     /// Like the paper (and FG), the scan is not atomic with respect to
     /// concurrent writers; each leaf is individually validated.
+    ///
+    /// Blocking form of the range-scan state machine: one verb (or one parallel leaf batch) in
+    /// flight at a time, exactly what a pipelined run at depth 1 executes.
     pub fn range(&mut self, start_key: u64, count: usize) -> TreeResult<(Vec<(u64, u64)>, OpStats)> {
         let before = self.ctx.stats();
         let t0 = self.ctx.now();
         let _pin = self.reader.pin();
         let mut meta = OpMeta::default();
-        let results = self.range_inner(start_key, count, &mut meta)?;
+        let mut cx = self.op_cx();
+        let mut sm = RangeSM::new(start_key, count);
+        let results = drive_blocking(&mut cx, &mut meta, |cx, meta, c| sm.step(cx, meta, c))?;
         Ok((results, self.finish(before, t0, meta)))
-    }
-
-    fn range_inner(
-        &mut self,
-        start_key: u64,
-        count: usize,
-        meta: &mut OpMeta,
-    ) -> TreeResult<Vec<(u64, u64)>> {
-        let layout = *self.layout();
-        let mut results: Vec<(u64, u64)> = Vec::with_capacity(count);
-        let mut visited: HashSet<u64> = HashSet::new();
-        let mut last_leaf: Option<LeafNode> = None;
-
-        // Phase 1: use the cached level-1 node to read several target leaves
-        // with one parallel batch (§4.4: "the client thread issues multiple
-        // RDMA_READ in parallel to fetch targeted leaf nodes").
-        let per_leaf = (layout.leaf_capacity() as f64 * self.cluster.config().leaf_fill) as usize;
-        let wanted_leaves = count / per_leaf.max(1) + 1;
-        // Set when a tombstoned (merged-away) leaf was encountered: its live
-        // entries moved to its left neighbour, so the scan must re-locate its
-        // resume point instead of trusting the batch / sibling chain.
-        let mut tombstoned = false;
-        if let Some(cached) = self.cluster.cache(self.cs_id).lookup_covering(start_key) {
-            meta.cache_hit = true;
-            let addrs: Vec<GlobalAddress> = cached
-                .children_in_range(start_key, u64::MAX)
-                .into_iter()
-                .take(wanted_leaves)
-                .collect();
-            if !addrs.is_empty() {
-                let mut bufs = vec![vec![0u8; layout.node_size()]; addrs.len()];
-                {
-                    let mut reqs: Vec<(GlobalAddress, &mut [u8])> = addrs
-                        .iter()
-                        .copied()
-                        .zip(bufs.iter_mut().map(|b| b.as_mut_slice()))
-                        .collect();
-                    self.ctx.read_batch(&mut reqs)?;
-                }
-                for (addr, buf) in addrs.iter().zip(bufs.iter()) {
-                    if !self.node_image_consistent(buf) {
-                        // Torn image: re-read this leaf individually.
-                        let fresh = self.read_node_consistent(*addr, meta)?;
-                        let leaf = layout.decode_leaf(&fresh);
-                        if leaf.header.free || !leaf.header.is_leaf {
-                            tombstoned = true;
-                            break;
-                        }
-                        Self::collect_leaf(&leaf, start_key, &mut results);
-                        visited.insert(addr.pack());
-                        last_leaf = Some(leaf);
-                        continue;
-                    }
-                    let leaf = layout.decode_leaf(buf);
-                    if leaf.header.free || !leaf.header.is_leaf {
-                        // A concurrent merge freed this cached child; its
-                        // entries now live in an earlier leaf whose pre-merge
-                        // image we may already have consumed.  Stop the batch
-                        // and re-locate below.
-                        tombstoned = true;
-                        break;
-                    }
-                    self.ctx.charge_scan(layout.node_size());
-                    Self::collect_leaf(&leaf, start_key, &mut results);
-                    visited.insert(addr.pack());
-                    last_leaf = Some(leaf);
-                }
-            }
-        }
-
-        // The smallest key the scan still needs (everything below is already
-        // collected — possibly from a pre-merge image, which de-duplication
-        // reconciles).
-        let resume_key = |results: &Vec<(u64, u64)>| {
-            results
-                .iter()
-                .map(|&(k, _)| k)
-                .max()
-                .map_or(start_key, |k| k.saturating_add(1))
-        };
-
-        // Phase 2: continue along sibling pointers until enough entries were
-        // gathered (also the fallback when the cache had nothing).
-        let mut next = if tombstoned && results.len() < count {
-            let (addr, _) = self.locate_leaf(resume_key(&results), meta)?;
-            visited.remove(&addr.pack());
-            Some(addr)
-        } else if tombstoned {
-            None
-        } else {
-            match &last_leaf {
-                Some(leaf) if results.len() < count => leaf.header.sibling,
-                Some(_) => None,
-                None => {
-                    let (addr, _) = self.locate_leaf(start_key, meta)?;
-                    Some(addr)
-                }
-            }
-        };
-        let mut hops = 0u32;
-        while let Some(addr) = next {
-            if results.len() >= count || hops > self.cluster.config().max_restarts {
-                break;
-            }
-            hops += 1;
-            if !visited.insert(addr.pack()) {
-                break;
-            }
-            let buf = self.read_node_consistent(addr, meta)?;
-            let leaf = layout.decode_leaf(&buf);
-            if leaf.header.free || !leaf.header.is_leaf {
-                // Tombstoned by a concurrent merge: its entries moved into a
-                // left neighbour.  Re-locate the resume point and re-read
-                // that leaf even if a pre-merge image of it was already
-                // consumed (bounded by the `hops` budget).
-                let (fresh, _) = self.locate_leaf(resume_key(&results), meta)?;
-                visited.remove(&fresh.pack());
-                next = Some(fresh);
-                continue;
-            }
-            Self::collect_leaf(&leaf, start_key, &mut results);
-            next = leaf.header.sibling;
-        }
-
-        results.sort_unstable_by_key(|&(k, _)| k);
-        results.dedup_by_key(|&mut (k, _)| k);
-        results.truncate(count);
-        Ok(results)
-    }
-
-    fn collect_leaf(leaf: &LeafNode, start_key: u64, out: &mut Vec<(u64, u64)>) {
-        for e in &leaf.entries {
-            if e.present && e.key >= start_key && e.versions_match() {
-                out.push((e.key, e.value));
-            }
-        }
     }
 
     // ------------------------------------------------------------------

@@ -320,11 +320,32 @@ impl Cluster {
     /// neighbour already at the floor with nothing to spare when the pair
     /// does not fit) are excluded — no local operation could help them.
     pub fn shape_audit(&self) -> TreeResult<ShapeAudit> {
+        self.shape_audit_sampled(usize::MAX, 0)
+    }
+
+    /// Per-level **sampled** variant of [`Cluster::shape_audit`]: on every
+    /// level, skip the first `skip` parents of the sibling chain, audit the
+    /// children of at most `max_parents_per_level` parents, then stop walking
+    /// the level.  Rotating `skip` across successive calls covers the whole
+    /// chain incrementally, which is what lets a running churn workload
+    /// report shape health continuously instead of paying a full god-mode
+    /// walk at quiesce (`shape_audit()` is this with an unbounded sample).
+    ///
+    /// Unlike the full audit, the sampled walk tolerates concurrent writers:
+    /// a node image that fails the node-level consistency check (a write was
+    /// in flight) ends the level's walk early rather than being decoded, so
+    /// mid-run samples are a conservative, advisory signal — gate on the
+    /// quiesced full audit, trend on the samples.
+    pub fn shape_audit_sampled(
+        &self,
+        max_parents_per_level: usize,
+        skip: usize,
+    ) -> TreeResult<ShapeAudit> {
         let mut audit = ShapeAudit::default();
         let Some(hint) = self.root_hint() else {
             return Ok(audit);
         };
-        if hint.level == 0 {
+        if hint.level == 0 || max_parents_per_level == 0 {
             return Ok(audit);
         }
         let node_size = self.layout.node_size();
@@ -338,10 +359,17 @@ impl Cluster {
         loop {
             let mut cursor = Some(level_head);
             let mut first_child = None;
+            let mut position = 0usize;
+            let mut audited = 0usize;
             let mut buf = vec![0u8; node_size];
             let mut child_buf = vec![0u8; node_size];
             while let Some(addr) = cursor {
                 self.fabric.god_read(addr, &mut buf)?;
+                if !self.node_image_ok(&buf) {
+                    // A concurrent write is mid-flight: end this level's walk
+                    // rather than decode a torn image.
+                    break;
+                }
                 let header = self.layout.decode_header(&buf);
                 if header.free || header.is_leaf {
                     break;
@@ -350,13 +378,30 @@ impl Cluster {
                 if first_child.is_none() {
                     first_child = parent.header.leftmost;
                 }
+                let sampled = position >= skip && audited < max_parents_per_level;
+                position += 1;
+                if !sampled {
+                    // Once past the sample window (and with the next level's
+                    // head in hand), the rest of the chain adds nothing.
+                    if audited >= max_parents_per_level && first_child.is_some() {
+                        break;
+                    }
+                    cursor = header.sibling;
+                    continue;
+                }
+                audited += 1;
                 audit.parents += 1;
 
                 // Occupancy of every child under this parent, in key order.
                 let children = parent.children();
                 let mut occupancy = Vec::with_capacity(children.len());
+                let mut torn_child = false;
                 for child in &children {
                     self.fabric.god_read(*child, &mut child_buf)?;
+                    if !self.node_image_ok(&child_buf) {
+                        torn_child = true;
+                        break;
+                    }
                     let ch = self.layout.decode_header(&child_buf);
                     let occ = if ch.is_leaf {
                         self.layout.decode_leaf(&child_buf).live_count()
@@ -364,6 +409,11 @@ impl Cluster {
                         self.layout.decode_internal(&child_buf).entries.len()
                     };
                     occupancy.push(occ);
+                }
+                if torn_child {
+                    // Skip this parent's verdict; its children are in motion.
+                    cursor = header.sibling;
+                    continue;
                 }
                 let children_are_leaves = header.level == 1;
                 let (floor, cap) = if children_are_leaves {
@@ -408,6 +458,16 @@ impl Cluster {
             }
         }
         Ok(audit)
+    }
+
+    /// Node-level consistency check on a node image: version pair, or
+    /// checksum for the FG baseline layout.  The read path's state machines
+    /// and the shape audit share this single dispatch.
+    pub(crate) fn node_image_ok(&self, buf: &[u8]) -> bool {
+        match self.options.leaf_format {
+            crate::config::LeafFormat::SortedChecksum => self.layout.checksum_matches(buf),
+            _ => self.layout.node_versions_match(buf),
+        }
     }
 }
 
@@ -728,6 +788,50 @@ mod tests {
         // Nothing has been deleted, so every carved node is reachable.
         assert_eq!(cluster.nodes_outstanding(), census.total());
         assert_eq!(cluster.space_stats(), Default::default());
+    }
+
+    #[test]
+    fn sampled_shape_audit_windows_tile_the_full_audit() {
+        let cluster = Cluster::new(ClusterConfig::small(), TreeOptions::sherman());
+        cluster.bulkload((0..4_000u64).map(|k| (k, k))).unwrap();
+        let full = cluster.shape_audit().unwrap();
+        assert!(full.parents > 8, "need a wide tree for sampling to matter");
+
+        // An unbounded sample is exactly the full audit.
+        assert_eq!(cluster.shape_audit_sampled(usize::MAX, 0).unwrap(), full);
+
+        // A bounded sample audits at most the window, and rotating the skip
+        // across calls tiles the whole parent set.
+        let window = 4usize;
+        let parent_levels = cluster.root_hint().unwrap().level as u64;
+        let first = cluster.shape_audit_sampled(window, 0).unwrap();
+        assert!(
+            first.parents <= parent_levels * window as u64,
+            "bounded per level: {} parents over {parent_levels} levels",
+            first.parents
+        );
+        assert!(first.parents > 0);
+        let mut covered = 0u64;
+        let mut skip = 0usize;
+        loop {
+            let sample = cluster.shape_audit_sampled(window, skip).unwrap();
+            if sample.parents == 0 {
+                break;
+            }
+            covered += sample.parents;
+            skip += window;
+        }
+        assert!(
+            covered >= full.parents,
+            "rotating windows must cover every parent: {covered} < {}",
+            full.parents
+        );
+
+        // A zero-parent window is an empty audit.
+        assert_eq!(
+            cluster.shape_audit_sampled(0, 0).unwrap(),
+            ShapeAudit::default()
+        );
     }
 
     #[test]

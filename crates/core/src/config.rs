@@ -209,12 +209,23 @@ pub struct TreeOptions {
     /// mode, where the loser merely tombstones the node and leaks its address
     /// (the paper's free-bit-only deallocation).
     pub reclaim_root_orphans: bool,
+    /// Default in-flight depth of the pipelined read scheduler
+    /// (`TreeClient::run_pipelined`): how many logical lookups/scans one
+    /// client thread multiplexes over its single fabric context.  `1` (the
+    /// default, and the paper's single-coroutine behaviour) serializes every
+    /// round trip; deeper pipelines overlap up to this many round trips per
+    /// thread.  Blocking entry points ignore the knob.
+    pub pipeline_depth: usize,
 }
 
 impl TreeOptions {
     /// Default [`TreeOptions::merge_threshold`]: merge a node once it drops
     /// below a quarter of its capacity.
     pub const DEFAULT_MERGE_THRESHOLD: f64 = 0.25;
+
+    /// Default [`TreeOptions::pipeline_depth`]: one operation in flight per
+    /// thread (the blocking behaviour).
+    pub const DEFAULT_PIPELINE_DEPTH: usize = 1;
 
     /// Original FG: checksummed sorted leaves, host-memory CAS/FAA locks, no
     /// command combination, (the index cache is always present in this
@@ -226,6 +237,7 @@ impl TreeOptions {
             leaf_format: LeafFormat::SortedChecksum,
             merge_threshold: Self::DEFAULT_MERGE_THRESHOLD,
             reclaim_root_orphans: true,
+            pipeline_depth: Self::DEFAULT_PIPELINE_DEPTH,
         }
     }
 
@@ -238,6 +250,7 @@ impl TreeOptions {
             leaf_format: LeafFormat::SortedNodeVersion,
             merge_threshold: Self::DEFAULT_MERGE_THRESHOLD,
             reclaim_root_orphans: true,
+            pipeline_depth: Self::DEFAULT_PIPELINE_DEPTH,
         }
     }
 
@@ -262,6 +275,14 @@ impl TreeOptions {
     pub fn with_paper_faithful_orphan_leak(self) -> Self {
         TreeOptions {
             reclaim_root_orphans: false,
+            ..self
+        }
+    }
+
+    /// Set the pipelined read scheduler's default in-flight depth.
+    pub fn with_pipeline_depth(self, depth: usize) -> Self {
+        TreeOptions {
+            pipeline_depth: depth.max(1),
             ..self
         }
     }
@@ -375,6 +396,7 @@ mod tests {
                 leaf_format: LeafFormat::SortedChecksum,
                 merge_threshold: TreeOptions::DEFAULT_MERGE_THRESHOLD,
                 reclaim_root_orphans: true,
+                pipeline_depth: TreeOptions::DEFAULT_PIPELINE_DEPTH,
             }
         );
         // FG+: only the lock release verb and the leaf consistency check change.
@@ -386,6 +408,7 @@ mod tests {
                 leaf_format: LeafFormat::SortedNodeVersion,
                 merge_threshold: TreeOptions::DEFAULT_MERGE_THRESHOLD,
                 reclaim_root_orphans: true,
+                pipeline_depth: TreeOptions::DEFAULT_PIPELINE_DEPTH,
             }
         );
         // Each ladder rung flips exactly one technique relative to its
@@ -459,6 +482,20 @@ mod tests {
         // Nothing else is touched.
         assert_eq!(faithful.merge_threshold, TreeOptions::sherman().merge_threshold);
         assert_eq!(faithful.leaf_format, TreeOptions::sherman().leaf_format);
+    }
+
+    #[test]
+    fn pipeline_depth_defaults_to_one_and_clamps() {
+        for (_, options) in TreeOptions::ablation_ladder() {
+            assert_eq!(options.pipeline_depth, 1, "presets stay blocking by default");
+        }
+        let deep = TreeOptions::sherman().with_pipeline_depth(8);
+        assert_eq!(deep.pipeline_depth, 8);
+        // Nothing else is touched.
+        assert_eq!(deep.leaf_format, TreeOptions::sherman().leaf_format);
+        assert_eq!(deep.merge_threshold, TreeOptions::sherman().merge_threshold);
+        // Zero is not a meaningful depth: the builder clamps to 1.
+        assert_eq!(TreeOptions::sherman().with_pipeline_depth(0).pipeline_depth, 1);
     }
 
     #[test]

@@ -70,6 +70,8 @@ pub mod config;
 pub mod error;
 pub mod layout;
 pub mod node;
+mod ops;
+pub mod scheduler;
 pub mod stats;
 
 pub use client::TreeClient;
@@ -78,6 +80,8 @@ pub use config::{LeafFormat, LockStrategy, ReclaimScheme, TreeConfig, TreeOption
 pub use error::TreeError;
 pub use layout::NodeLayout;
 pub use node::{InternalEntry, InternalNode, LeafEntry, LeafNode, NodeHeader};
+pub use ops::OpOutput;
+pub use scheduler::{overlap_from_stats, PipelineOp, PipelineReport, PipelinedResult};
 pub use stats::OpStats;
 
 /// Result alias for tree operations.

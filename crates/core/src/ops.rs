@@ -1,0 +1,877 @@
+//! Resumable state machines for the lock-free read path.
+//!
+//! The split-phase fabric (`sherman_sim`) lets one thread keep many verbs in
+//! flight; to exploit it, the read-side tree operations are expressed as
+//! explicit state machines that **yield** whenever they post a verb instead of
+//! blocking on it:
+//!
+//! * [`ReadNodeSM`] — the node-image consistency loop (post a node read,
+//!   validate versions/checksum on completion, repost on a torn image),
+//! * [`TraverseSM`] — the root/cache-seeded descent to a target level,
+//! * [`LookupSM`] — point lookup: locate the leaf, validate, chase siblings,
+//! * [`RangeSM`] — range scan: the cached parallel leaf batch plus the
+//!   sibling-chain walk with tombstone re-location,
+//! * [`OpSM`] — the tagged union the pipelined scheduler multiplexes.
+//!
+//! Every `step` call consumes at most one [`Completion`] (the result of the
+//! verb the machine posted last) and runs until it either posts the next verb
+//! ([`Step::Pending`]) or finishes ([`Step::Done`]).  The machines are the
+//! *only* implementation of the read path: the blocking `TreeClient` entry
+//! points drive them one verb at a time ([`drive_blocking`]), so a pipelined
+//! run at depth 1 and the classic blocking path execute byte-for-byte the
+//! same verbs in the same order.
+//!
+//! Rare control-path reads (the remote root pointer refresh on a distrusted
+//! restart) stay blocking inside a step: they occur only after a lost race
+//! under structural churn, and a blocking sub-poll merely observes other
+//! outstanding completions later — it never stalls the clock (completion
+//! times are fixed at post time).
+
+use crate::cluster::Cluster;
+use crate::config::LeafFormat;
+use crate::error::TreeError;
+use crate::node::{InternalNode, LeafNode};
+use crate::TreeResult;
+use sherman_cache::{CachedInternal, ChildRef};
+use sherman_memserver::ServerLayout;
+use sherman_sim::{ClientCtx, Completion, GlobalAddress, PendingVerb};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Where a leaf address came from (used for cache invalidation decisions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LeafSource {
+    /// Served by the type-❶ index cache; holds the cached node's lower fence
+    /// key so the entry can be invalidated on a mismatch.
+    Cache {
+        /// Lower fence of the cached parent (the cache's invalidation key).
+        fence_low: u64,
+    },
+    /// Found by traversing internal nodes.
+    Traversal,
+    /// Reached by following a sibling pointer.
+    Sibling,
+}
+
+/// Book-keeping accumulated while executing one operation.
+#[derive(Debug, Default)]
+pub(crate) struct OpMeta {
+    pub read_retries: u64,
+    pub lock_retries: u64,
+    pub handed_over: bool,
+    pub cache_hit: bool,
+}
+
+/// What one `step` call produced: either the token of a freshly posted verb
+/// (resume with its completion) or the operation's result.
+pub(crate) enum Step<T> {
+    /// A verb was posted; feed its [`Completion`] to the next `step` call.
+    Pending(PendingVerb),
+    /// The machine finished.
+    Done(T),
+}
+
+/// The shared-state window a state machine steps against: the cluster plus
+/// this logical thread's fabric context.  Multiple machines multiplexed on
+/// one thread all step against the *same* `OpCx` (that is the point).
+pub(crate) struct OpCx<'a> {
+    pub cluster: &'a Arc<Cluster>,
+    pub ctx: &'a mut ClientCtx,
+    pub cs_id: u16,
+}
+
+impl OpCx<'_> {
+    fn leaf_format(&self) -> LeafFormat {
+        self.cluster.options().leaf_format
+    }
+
+    pub(crate) fn node_image_consistent(&self, buf: &[u8]) -> bool {
+        self.cluster.node_image_ok(buf)
+    }
+
+    /// Current root address and level, from the local hint or the remote
+    /// superblock.
+    pub(crate) fn root(&mut self) -> TreeResult<(GlobalAddress, u8)> {
+        if let Some(hint) = self.cluster.root_hint() {
+            return Ok((hint.addr, hint.level));
+        }
+        self.root_remote()
+    }
+
+    /// Re-read the root pointer and level hint from the remote superblock,
+    /// refreshing the local hint (used when a restart suggests the hint may be
+    /// stale — e.g. after a racing root growth or root collapse).  Blocking:
+    /// restarts are rare and never on the pipelined hot path.
+    pub(crate) fn root_remote(&mut self) -> TreeResult<(GlobalAddress, u8)> {
+        let packed = self.ctx.read_u64(self.cluster.root_ptr_addr())?;
+        if packed == 0 {
+            return Err(TreeError::NotInitialized);
+        }
+        let level = self.ctx.read_u64(ServerLayout::level_hint_addr())? as u8;
+        let addr = GlobalAddress::unpack(packed);
+        self.cluster.set_root_hint(addr, level);
+        Ok((addr, level))
+    }
+}
+
+/// Build the cacheable image of a decoded internal node.
+pub(crate) fn cached_from_internal(addr: GlobalAddress, node: &InternalNode) -> CachedInternal {
+    CachedInternal {
+        addr,
+        fence_low: node.header.fence_low,
+        fence_high: node.header.fence_high,
+        level: node.header.level,
+        leftmost: node.header.leftmost.unwrap_or_else(GlobalAddress::null),
+        children: node
+            .entries
+            .iter()
+            .map(|e| ChildRef {
+                separator: e.key,
+                child: e.child,
+            })
+            .collect(),
+    }
+}
+
+/// Handle a leaf that turned out not to cover `key`: invalidate the stale
+/// cache entry and either follow the sibling pointer or ask for a fresh
+/// traversal.  Returns the next address to try, or `None` to re-locate.
+pub(crate) fn next_after_mismatch(
+    cx: &mut OpCx<'_>,
+    key: u64,
+    leaf: &LeafNode,
+    source: LeafSource,
+) -> Option<GlobalAddress> {
+    if let LeafSource::Cache { fence_low } = source {
+        cx.cluster.cache(cx.cs_id).invalidate(fence_low);
+    }
+    if !leaf.header.free && key >= leaf.header.fence_high {
+        if let Some(sib) = leaf.header.sibling {
+            return Some(sib);
+        }
+    }
+    None
+}
+
+/// Outcome of the synchronous half of leaf location: either the index cache
+/// answered immediately, or a traversal must run.
+pub(crate) enum LocateStart {
+    Cached(GlobalAddress, LeafSource),
+    Traverse(TraverseSM),
+}
+
+/// Begin locating the leaf that should hold `key`, preferring the index
+/// cache (no verb is posted here; a returned [`TraverseSM`] posts them).
+pub(crate) fn locate_start(cx: &mut OpCx<'_>, meta: &mut OpMeta, key: u64) -> LocateStart {
+    if let Some(cached) = cx.cluster.cache(cx.cs_id).lookup_covering(key) {
+        meta.cache_hit = true;
+        return LocateStart::Cached(
+            cached.child_for(key),
+            LeafSource::Cache {
+                fence_low: cached.fence_low,
+            },
+        );
+    }
+    LocateStart::Traverse(TraverseSM::new(cx, key, 0))
+}
+
+/// Drive a state-machine step function to completion with one verb in flight
+/// at a time: post, poll, resume.  This *is* the blocking path — and also
+/// exactly what a pipelined run at depth 1 executes, which is why the two are
+/// equivalent by construction.
+pub(crate) fn drive_blocking<T>(
+    cx: &mut OpCx<'_>,
+    meta: &mut OpMeta,
+    mut step: impl FnMut(&mut OpCx<'_>, &mut OpMeta, Option<Completion>) -> TreeResult<Step<T>>,
+) -> TreeResult<T> {
+    let mut completion = None;
+    loop {
+        match step(cx, meta, completion.take())? {
+            Step::Pending(token) => completion = Some(cx.ctx.poll_token(token)),
+            Step::Done(value) => return Ok(value),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Node-read consistency loop
+// ----------------------------------------------------------------------
+
+/// The lock-free node-image read: post `RDMA_READ`s of the node until an
+/// image passes the node-level consistency check (version pair or checksum),
+/// bounded by `max_read_retries`.
+pub(crate) struct ReadNodeSM {
+    addr: GlobalAddress,
+    attempts_left: u32,
+}
+
+impl ReadNodeSM {
+    pub(crate) fn new(cx: &OpCx<'_>, addr: GlobalAddress) -> Self {
+        ReadNodeSM {
+            addr,
+            attempts_left: cx.cluster.config().max_read_retries,
+        }
+    }
+
+    pub(crate) fn step(
+        &mut self,
+        cx: &mut OpCx<'_>,
+        meta: &mut OpMeta,
+        completion: Option<Completion>,
+    ) -> TreeResult<Step<Vec<u8>>> {
+        let node_size = cx.cluster.layout().node_size();
+        if let Some(c) = completion {
+            let buf = c.result.into_read();
+            if cx.node_image_consistent(&buf) {
+                cx.ctx.charge_scan(node_size);
+                return Ok(Step::Done(buf));
+            }
+            meta.read_retries += 1;
+            cx.ctx.note_retries(1);
+        }
+        if self.attempts_left == 0 {
+            return Err(TreeError::RetriesExhausted {
+                context: "node-level consistency check",
+                attempts: cx.cluster.config().max_read_retries,
+            });
+        }
+        self.attempts_left -= 1;
+        let token = cx.ctx.post_read(self.addr, node_size)?;
+        Ok(Step::Pending(token))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Traversal
+// ----------------------------------------------------------------------
+
+/// One traversal attempt's cursor (reset on every restart).
+struct TraverseAttempt {
+    root_level: u8,
+    /// Whether this attempt lazily repairs the type-❷ top set from the
+    /// internal nodes it reads anyway (set when the cache had no usable
+    /// answer).
+    repair_top: bool,
+    addr: GlobalAddress,
+    expect_level: u8,
+    read: Option<ReadNodeSM>,
+}
+
+/// Walk down from the root (or the cached top levels) to the node at
+/// `target_level` whose key interval contains `key` — the resumable form of
+/// the traversal loop, yielding one posted node read at a time.
+pub(crate) struct TraverseSM {
+    key: u64,
+    target_level: u8,
+    attempts_left: u32,
+    first_attempt: bool,
+    attempt: Option<TraverseAttempt>,
+}
+
+impl TraverseSM {
+    pub(crate) fn new(cx: &OpCx<'_>, key: u64, target_level: u8) -> Self {
+        TraverseSM {
+            key,
+            target_level,
+            attempts_left: cx.cluster.config().max_restarts,
+            first_attempt: true,
+            attempt: None,
+        }
+    }
+
+    /// Start a fresh attempt: pick the root or a cached top-level shortcut.
+    /// With structural deletes enabled, a restart may mean a local shortcut
+    /// went stale (a freed node or a collapsed root): after the first failed
+    /// attempt, re-read the root from the superblock and skip the type-❷
+    /// cache.  In grow-only mode (the paper's behaviour) neither can happen,
+    /// so restarts keep their shortcuts and cost profile.
+    fn begin_attempt(&mut self, cx: &mut OpCx<'_>) -> TreeResult<Option<GlobalAddress>> {
+        let distrust_shortcuts = cx.cluster.options().structural_deletes_enabled();
+        let use_shortcuts = self.first_attempt || !distrust_shortcuts;
+        self.first_attempt = false;
+        let (root_addr, root_level) = if use_shortcuts {
+            cx.root()?
+        } else {
+            cx.root_remote()?
+        };
+        let cached_top = if use_shortcuts {
+            cx.cluster.cache(cx.cs_id).search_top(self.key)
+        } else {
+            None
+        };
+        // Only an answer deep enough for this traversal counts as a hit:
+        // an entry above `target_level` still forces the root-first walk.
+        let usable_top =
+            matches!(cached_top, Some((_, child_level)) if child_level >= self.target_level);
+        if use_shortcuts {
+            let stats = cx.cluster.cache(cx.cs_id).stats();
+            if usable_top {
+                stats.record_top_hit();
+            } else {
+                stats.record_top_miss();
+            }
+        }
+        let (addr, expect_level) = match cached_top {
+            Some((child, child_level)) if usable_top => (child, child_level),
+            _ => (root_addr, root_level),
+        };
+        if expect_level < self.target_level {
+            // The tree is shallower than the requested level; the caller
+            // handles root growth.
+            return Ok(Some(root_addr));
+        }
+        self.attempt = Some(TraverseAttempt {
+            root_level,
+            // An unusable type-❷ answer means churn scrubbed the always-cached
+            // top set (or the root moved): repair it lazily from the internal
+            // nodes this root-first traversal is about to read anyway.
+            repair_top: !usable_top,
+            addr,
+            expect_level,
+            read: None,
+        });
+        Ok(None)
+    }
+
+    pub(crate) fn step(
+        &mut self,
+        cx: &mut OpCx<'_>,
+        meta: &mut OpMeta,
+        mut completion: Option<Completion>,
+    ) -> TreeResult<Step<GlobalAddress>> {
+        loop {
+            if self.attempt.is_none() {
+                if self.attempts_left == 0 {
+                    return Err(TreeError::RetriesExhausted {
+                        context: "tree traversal",
+                        attempts: cx.cluster.config().max_restarts,
+                    });
+                }
+                self.attempts_left -= 1;
+                if let Some(shallow) = self.begin_attempt(cx)? {
+                    return Ok(Step::Done(shallow));
+                }
+            }
+            let attempt = self.attempt.as_mut().expect("attempt just ensured");
+            if attempt.expect_level == self.target_level {
+                return Ok(Step::Done(attempt.addr));
+            }
+            let addr = attempt.addr;
+            let read = attempt
+                .read
+                .get_or_insert_with(|| ReadNodeSM::new(cx, addr));
+            match read.step(cx, meta, completion.take())? {
+                Step::Pending(token) => return Ok(Step::Pending(token)),
+                Step::Done(buf) => {
+                    attempt.read = None;
+                    let node = cx.cluster.layout().decode_internal(&buf);
+                    if node.header.free || node.header.is_leaf {
+                        self.attempt = None;
+                        continue;
+                    }
+                    if !node.header.covers(self.key) {
+                        if self.key >= node.header.fence_high {
+                            if let Some(sib) = node.header.sibling {
+                                attempt.addr = sib;
+                                continue;
+                            }
+                        }
+                        self.attempt = None;
+                        continue;
+                    }
+                    attempt.expect_level = node.header.level;
+                    if attempt.repair_top && node.header.level + 1 >= attempt.root_level.max(1) {
+                        cx.cluster
+                            .cache(cx.cs_id)
+                            .refresh_top(cached_from_internal(attempt.addr, &node), attempt.root_level);
+                    }
+                    if attempt.expect_level == self.target_level {
+                        return Ok(Step::Done(attempt.addr));
+                    }
+                    if node.header.level == 1 {
+                        cx.cluster
+                            .cache(cx.cs_id)
+                            .insert_level1(cached_from_internal(attempt.addr, &node));
+                    }
+                    attempt.addr = node.child_for(self.key);
+                    attempt.expect_level = node.header.level - 1;
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Lookup
+// ----------------------------------------------------------------------
+
+enum LookupPhase {
+    /// Decide where to read next (consume `pending`, consult the cache, or
+    /// start a traversal).
+    Restart,
+    Locate(TraverseSM),
+    Leaf {
+        addr: GlobalAddress,
+        source: LeafSource,
+        reads_left: u32,
+        read: ReadNodeSM,
+    },
+}
+
+/// Point lookup as a resumable machine: descend → leaf read posted →
+/// validate (node- and entry-level) / chase a sibling / retry → done.
+pub(crate) struct LookupSM {
+    key: u64,
+    restarts_left: u32,
+    pending: Option<(GlobalAddress, LeafSource)>,
+    phase: LookupPhase,
+}
+
+impl LookupSM {
+    pub(crate) fn new(cx: &OpCx<'_>, key: u64) -> Self {
+        LookupSM {
+            key,
+            restarts_left: cx.cluster.config().max_restarts,
+            pending: None,
+            phase: LookupPhase::Restart,
+        }
+    }
+
+    fn leaf_phase(&self, cx: &OpCx<'_>, addr: GlobalAddress, source: LeafSource) -> LookupPhase {
+        LookupPhase::Leaf {
+            addr,
+            source,
+            reads_left: cx.cluster.config().max_read_retries,
+            read: ReadNodeSM::new(cx, addr),
+        }
+    }
+
+    pub(crate) fn step(
+        &mut self,
+        cx: &mut OpCx<'_>,
+        meta: &mut OpMeta,
+        mut completion: Option<Completion>,
+    ) -> TreeResult<Step<Option<u64>>> {
+        loop {
+            match &mut self.phase {
+                LookupPhase::Restart => {
+                    if self.restarts_left == 0 {
+                        return Err(TreeError::RetriesExhausted {
+                            context: "lookup",
+                            attempts: cx.cluster.config().max_restarts,
+                        });
+                    }
+                    self.restarts_left -= 1;
+                    if let Some((addr, source)) = self.pending.take() {
+                        self.phase = self.leaf_phase(cx, addr, source);
+                        continue;
+                    }
+                    match locate_start(cx, meta, self.key) {
+                        LocateStart::Cached(addr, source) => {
+                            self.phase = self.leaf_phase(cx, addr, source);
+                        }
+                        LocateStart::Traverse(sm) => self.phase = LookupPhase::Locate(sm),
+                    }
+                }
+                LookupPhase::Locate(sm) => match sm.step(cx, meta, completion.take())? {
+                    Step::Pending(token) => return Ok(Step::Pending(token)),
+                    Step::Done(addr) => {
+                        self.phase = self.leaf_phase(cx, addr, LeafSource::Traversal);
+                    }
+                },
+                LookupPhase::Leaf {
+                    addr,
+                    source,
+                    reads_left,
+                    read,
+                } => match read.step(cx, meta, completion.take())? {
+                    Step::Pending(token) => return Ok(Step::Pending(token)),
+                    Step::Done(buf) => {
+                        let leaf = cx.cluster.layout().decode_leaf(&buf);
+                        if leaf.header.free || !leaf.header.is_leaf || !leaf.header.covers(self.key)
+                        {
+                            let source = *source;
+                            self.pending = next_after_mismatch(cx, self.key, &leaf, source)
+                                .map(|a| (a, LeafSource::Sibling));
+                            self.phase = LookupPhase::Restart;
+                            continue;
+                        }
+                        // Entry-level validation (two-level versions only).
+                        let found = leaf
+                            .entries
+                            .iter()
+                            .find(|e| e.present && e.key == self.key)
+                            .copied();
+                        match (cx.leaf_format(), found) {
+                            (LeafFormat::UnsortedTwoLevel, Some(e)) if !e.versions_match() => {
+                                meta.read_retries += 1;
+                                cx.ctx.note_retries(1);
+                                *reads_left -= 1;
+                                if *reads_left == 0 {
+                                    // The entry-validation budget is spent:
+                                    // restart the whole location attempt.
+                                    self.phase = LookupPhase::Restart;
+                                    continue;
+                                }
+                                *read = ReadNodeSM::new(cx, *addr);
+                            }
+                            (_, found) => return Ok(Step::Done(found.map(|e| e.value))),
+                        }
+                    }
+                },
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Range scan
+// ----------------------------------------------------------------------
+
+enum RangePhase {
+    /// Decide between the cached parallel batch and the sequential fallback.
+    Start,
+    /// The parallel leaf batch is in flight.
+    Batch { addrs: Vec<GlobalAddress> },
+    /// Scanning the fetched batch; `repair` re-reads a torn leaf in place.
+    BatchScan {
+        addrs: Vec<GlobalAddress>,
+        bufs: Vec<Vec<u8>>,
+        idx: usize,
+        repair: Option<ReadNodeSM>,
+    },
+    /// Decide where phase 2 (the sibling-chain walk) starts.
+    SeekStart,
+    /// Traversal toward the next leaf to scan; on completion the address is
+    /// removed from `visited` when `forget_visit` is set (tombstone resume).
+    Locate {
+        sm: TraverseSM,
+        forget_visit: bool,
+    },
+    /// Loop-condition check before reading the leaf at `addr`.
+    ChainNext { addr: GlobalAddress },
+    /// A chain leaf read is in flight.
+    Chain { read: ReadNodeSM },
+    /// Sort, de-duplicate, truncate.
+    Finish,
+}
+
+/// Range scan as a resumable machine.
+///
+/// Like the paper (and FG), the scan is not atomic with respect to concurrent
+/// writers; each leaf is individually validated.  Phase 1 uses the cached
+/// level-1 node to read several target leaves with one parallel batch (§4.4);
+/// phase 2 continues along sibling pointers, re-locating the resume point
+/// when a concurrent merge tombstones a leaf mid-scan.
+pub(crate) struct RangeSM {
+    start_key: u64,
+    count: usize,
+    results: Vec<(u64, u64)>,
+    visited: HashSet<u64>,
+    /// Sibling pointer of the last successfully scanned batch leaf, and
+    /// whether any batch leaf was scanned at all.
+    last_sibling: Option<GlobalAddress>,
+    last_seen: bool,
+    /// Set when a tombstoned (merged-away) leaf was encountered: its live
+    /// entries moved to its left neighbour, so the scan must re-locate its
+    /// resume point instead of trusting the batch / sibling chain.
+    tombstoned: bool,
+    hops: u32,
+    phase: RangePhase,
+}
+
+impl RangeSM {
+    pub(crate) fn new(start_key: u64, count: usize) -> Self {
+        RangeSM {
+            start_key,
+            count,
+            results: Vec::with_capacity(count),
+            visited: HashSet::new(),
+            last_sibling: None,
+            last_seen: false,
+            tombstoned: false,
+            hops: 0,
+            phase: RangePhase::Start,
+        }
+    }
+
+    /// The smallest key the scan still needs (everything below is already
+    /// collected — possibly from a pre-merge image, which de-duplication
+    /// reconciles).
+    fn resume_key(&self) -> u64 {
+        self.results
+            .iter()
+            .map(|&(k, _)| k)
+            .max()
+            .map_or(self.start_key, |k| k.saturating_add(1))
+    }
+
+    fn collect_leaf(&mut self, leaf: &LeafNode) {
+        for e in &leaf.entries {
+            if e.present && e.key >= self.start_key && e.versions_match() {
+                self.results.push((e.key, e.value));
+            }
+        }
+    }
+
+    /// Consume one scanned batch leaf (already consistency-checked).
+    /// Returns `false` when the leaf was tombstoned and phase 2 must
+    /// re-locate.
+    fn take_batch_leaf(&mut self, addr: GlobalAddress, leaf: &LeafNode) -> bool {
+        if leaf.header.free || !leaf.header.is_leaf {
+            // A concurrent merge freed this cached child; its entries now
+            // live in an earlier leaf whose pre-merge image we may already
+            // have consumed.  Stop the batch and re-locate.
+            self.tombstoned = true;
+            return false;
+        }
+        self.collect_leaf(leaf);
+        self.visited.insert(addr.pack());
+        self.last_sibling = leaf.header.sibling;
+        self.last_seen = true;
+        true
+    }
+
+    /// Begin locating the leaf covering `key`; transitions the phase.
+    fn start_locate(&mut self, cx: &mut OpCx<'_>, meta: &mut OpMeta, key: u64, forget_visit: bool) {
+        match locate_start(cx, meta, key) {
+            LocateStart::Cached(addr, _) => {
+                if forget_visit {
+                    self.visited.remove(&addr.pack());
+                }
+                self.phase = RangePhase::ChainNext { addr };
+            }
+            LocateStart::Traverse(sm) => self.phase = RangePhase::Locate { sm, forget_visit },
+        }
+    }
+
+    pub(crate) fn step(
+        &mut self,
+        cx: &mut OpCx<'_>,
+        meta: &mut OpMeta,
+        mut completion: Option<Completion>,
+    ) -> TreeResult<Step<Vec<(u64, u64)>>> {
+        let layout = *cx.cluster.layout();
+        loop {
+            match &mut self.phase {
+                RangePhase::Start => {
+                    let per_leaf = (layout.leaf_capacity() as f64
+                        * cx.cluster.config().leaf_fill) as usize;
+                    let wanted_leaves = self.count / per_leaf.max(1) + 1;
+                    if let Some(cached) =
+                        cx.cluster.cache(cx.cs_id).lookup_covering(self.start_key)
+                    {
+                        meta.cache_hit = true;
+                        let addrs: Vec<GlobalAddress> = cached
+                            .children_in_range(self.start_key, u64::MAX)
+                            .into_iter()
+                            .take(wanted_leaves)
+                            .collect();
+                        if !addrs.is_empty() {
+                            let reqs: Vec<(GlobalAddress, usize)> = addrs
+                                .iter()
+                                .map(|&a| (a, layout.node_size()))
+                                .collect();
+                            let token = cx.ctx.post_read_batch(&reqs)?;
+                            self.phase = RangePhase::Batch { addrs };
+                            return Ok(Step::Pending(token));
+                        }
+                    }
+                    self.phase = RangePhase::SeekStart;
+                }
+                RangePhase::Batch { addrs } => {
+                    let c = completion.take().expect("batch completion expected");
+                    let bufs = c.result.into_read_batch();
+                    let addrs = std::mem::take(addrs);
+                    self.phase = RangePhase::BatchScan {
+                        addrs,
+                        bufs,
+                        idx: 0,
+                        repair: None,
+                    };
+                }
+                RangePhase::BatchScan { .. } => {
+                    // Take the scan state out of the phase so the `&mut self`
+                    // helpers below can run; it is put back on every yield.
+                    let RangePhase::BatchScan {
+                        addrs,
+                        bufs,
+                        mut idx,
+                        mut repair,
+                    } = std::mem::replace(&mut self.phase, RangePhase::SeekStart)
+                    else {
+                        unreachable!("phase checked above");
+                    };
+                    if let Some(mut sm) = repair.take() {
+                        // Torn image: this leaf is being re-read individually.
+                        match sm.step(cx, meta, completion.take())? {
+                            Step::Pending(token) => {
+                                self.phase = RangePhase::BatchScan {
+                                    addrs,
+                                    bufs,
+                                    idx,
+                                    repair: Some(sm),
+                                };
+                                return Ok(Step::Pending(token));
+                            }
+                            Step::Done(fresh) => {
+                                let addr = addrs[idx];
+                                let leaf = layout.decode_leaf(&fresh);
+                                idx += 1;
+                                if !self.take_batch_leaf(addr, &leaf) {
+                                    // Tombstoned: fall to SeekStart (already set).
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                    loop {
+                        if idx >= addrs.len() {
+                            // Batch exhausted: phase is already SeekStart.
+                            break;
+                        }
+                        let addr = addrs[idx];
+                        let buf = &bufs[idx];
+                        if !cx.node_image_consistent(buf) {
+                            // Re-read this leaf individually: re-enter the arm
+                            // with no completion so the repair machine posts.
+                            self.phase = RangePhase::BatchScan {
+                                addrs,
+                                bufs,
+                                idx,
+                                repair: Some(ReadNodeSM::new(cx, addr)),
+                            };
+                            break;
+                        }
+                        let leaf = layout.decode_leaf(buf);
+                        idx += 1;
+                        if !self.take_batch_leaf(addr, &leaf) {
+                            // Tombstoned: no scan CPU charged for a freed
+                            // image (matching the blocking path), and phase
+                            // is already SeekStart.
+                            break;
+                        }
+                        cx.ctx.charge_scan(layout.node_size());
+                    }
+                }
+                RangePhase::SeekStart => {
+                    if self.tombstoned && self.results.len() < self.count {
+                        self.tombstoned = false;
+                        let key = self.resume_key();
+                        self.start_locate(cx, meta, key, true);
+                    } else if self.tombstoned {
+                        self.phase = RangePhase::Finish;
+                    } else if self.last_seen {
+                        if self.results.len() < self.count {
+                            match self.last_sibling {
+                                Some(sib) => self.phase = RangePhase::ChainNext { addr: sib },
+                                None => self.phase = RangePhase::Finish,
+                            }
+                        } else {
+                            self.phase = RangePhase::Finish;
+                        }
+                    } else {
+                        let key = self.start_key;
+                        self.start_locate(cx, meta, key, false);
+                    }
+                }
+                RangePhase::Locate { sm, forget_visit } => {
+                    let forget = *forget_visit;
+                    match sm.step(cx, meta, completion.take())? {
+                        Step::Pending(token) => return Ok(Step::Pending(token)),
+                        Step::Done(addr) => {
+                            if forget {
+                                self.visited.remove(&addr.pack());
+                            }
+                            self.phase = RangePhase::ChainNext { addr };
+                        }
+                    }
+                }
+                RangePhase::ChainNext { addr } => {
+                    let addr = *addr;
+                    if self.results.len() >= self.count
+                        || self.hops > cx.cluster.config().max_restarts
+                    {
+                        self.phase = RangePhase::Finish;
+                        continue;
+                    }
+                    self.hops += 1;
+                    if !self.visited.insert(addr.pack()) {
+                        self.phase = RangePhase::Finish;
+                        continue;
+                    }
+                    self.phase = RangePhase::Chain {
+                        read: ReadNodeSM::new(cx, addr),
+                    };
+                }
+                RangePhase::Chain { read } => match read.step(cx, meta, completion.take())? {
+                    Step::Pending(token) => return Ok(Step::Pending(token)),
+                    Step::Done(buf) => {
+                        let leaf = layout.decode_leaf(&buf);
+                        if leaf.header.free || !leaf.header.is_leaf {
+                            // Tombstoned by a concurrent merge: its entries
+                            // moved into a left neighbour.  Re-locate the
+                            // resume point and re-read that leaf even if a
+                            // pre-merge image of it was already consumed
+                            // (bounded by the `hops` budget).
+                            let key = self.resume_key();
+                            self.start_locate(cx, meta, key, true);
+                            continue;
+                        }
+                        self.collect_leaf(&leaf);
+                        match leaf.header.sibling {
+                            Some(sib) => self.phase = RangePhase::ChainNext { addr: sib },
+                            None => self.phase = RangePhase::Finish,
+                        }
+                    }
+                },
+                RangePhase::Finish => {
+                    let mut results = std::mem::take(&mut self.results);
+                    results.sort_unstable_by_key(|&(k, _)| k);
+                    results.dedup_by_key(|&mut (k, _)| k);
+                    results.truncate(self.count);
+                    return Ok(Step::Done(results));
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// The union the scheduler multiplexes
+// ----------------------------------------------------------------------
+
+/// One read operation's state machine.
+pub(crate) enum OpSM {
+    Lookup(LookupSM),
+    Range(RangeSM),
+}
+
+/// One read operation's result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutput {
+    /// Result of a lookup: the value, if the key was present.
+    Lookup(Option<u64>),
+    /// Result of a range scan: the collected `(key, value)` pairs.
+    Range(Vec<(u64, u64)>),
+}
+
+impl OpSM {
+    pub(crate) fn step(
+        &mut self,
+        cx: &mut OpCx<'_>,
+        meta: &mut OpMeta,
+        completion: Option<Completion>,
+    ) -> TreeResult<Step<OpOutput>> {
+        match self {
+            OpSM::Lookup(sm) => Ok(match sm.step(cx, meta, completion)? {
+                Step::Pending(t) => Step::Pending(t),
+                Step::Done(v) => Step::Done(OpOutput::Lookup(v)),
+            }),
+            OpSM::Range(sm) => Ok(match sm.step(cx, meta, completion)? {
+                Step::Pending(t) => Step::Pending(t),
+                Step::Done(v) => Step::Done(OpOutput::Range(v)),
+            }),
+        }
+    }
+}

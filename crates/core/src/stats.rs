@@ -72,6 +72,7 @@ mod tests {
             bytes_written: 100,
             bytes_read: 900,
             retries: 1,
+            ..ClientStats::default()
         };
         let after = ClientStats {
             reads: 12,
@@ -82,6 +83,7 @@ mod tests {
             bytes_written: 190,
             bytes_read: 1_900,
             retries: 1,
+            ..ClientStats::default()
         };
         let s = OpStats::from_delta(&before, &after, 5_000);
         assert_eq!(s.reads, 2);

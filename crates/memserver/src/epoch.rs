@@ -25,48 +25,77 @@
 //! reader defers exactly the addresses retired since it pinned, no more.
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Sentinel stored in a reader slot that is not currently pinned.
 pub const UNPINNED_EPOCH: u64 = u64::MAX;
 
-/// The per-deployment epoch registry: one global epoch counter plus one slot
-/// per registered reader.
-///
-/// Cheap to share (`Arc`); the memory pool owns one and every tree client
-/// registers a [`ReaderHandle`] with it.
-#[derive(Debug)]
-pub struct EpochRegistry {
-    /// The next epoch a retirement will be stamped with.
-    global: AtomicU64,
-    /// One pinned-epoch slot per registered reader (`UNPINNED_EPOCH` when the
-    /// reader is between operations).
+/// Default number of reader-group shards in an [`EpochRegistry`].
+pub const DEFAULT_EPOCH_SHARDS: usize = 8;
+
+/// One reader group: a subset of the registered readers plus its own cached
+/// minimum.  Sharding keeps the pin/unpin critical section — a few loads and
+/// stores, but previously serialized across *every* reader on one registry
+/// mutex — contended only among the readers of one group, which is what a
+/// very large client count needs.
+#[derive(Debug, Default)]
+struct ReaderShard {
+    /// The shard's registered readers (`UNPINNED_EPOCH` when a reader is
+    /// between operations).
     readers: Mutex<Vec<Arc<ReaderSlot>>>,
-    /// Cached result of the reader scan, so that the reclaim path's
-    /// [`EpochRegistry::min_pinned`] is O(1) instead of O(readers) per pass.
+    /// Cached result of this shard's reader scan, so that the reclaim path's
+    /// [`EpochRegistry::min_pinned`] is O(shards) instead of O(readers) per
+    /// pass.
     ///
     /// Maintenance is event-driven: an outermost **pin** at epoch `e` folds
     /// `min(cached, e)` into a valid cache (a new pin can only lower the
     /// minimum, and never below any existing pin, because pins always take
     /// the current global epoch); an outermost **unpin** or a reader
     /// deregistration *invalidates* the cache (removing the minimum cannot
-    /// be patched in O(1)), and the next `min_pinned` call rescans once and
-    /// revalidates.  Every slot `pinned` store happens *inside* this mutex
-    /// together with its cache transition, so a scan (which also holds it)
-    /// always sees slots and cache in agreement — that is what makes the
-    /// debug cross-check in `min_pinned` sound, and it keeps the boundary a
-    /// reclaim pass reads at or below every established pin.
+    /// be patched in O(1)), and the next `min_pinned` call rescans the shard
+    /// once and revalidates.  Every slot `pinned` store happens *inside* this
+    /// mutex together with its cache transition, so a shard scan (which also
+    /// holds it) always sees slots and cache in agreement — that is what
+    /// makes the debug cross-check in `min_pinned` sound.
     min_cache: Mutex<MinPinnedCache>,
 }
 
-/// See [`EpochRegistry::min_cache`].
+/// See [`ReaderShard::min_cache`].
 #[derive(Debug, Default)]
 struct MinPinnedCache {
-    /// Whether `min` reflects the current reader set.
+    /// Whether `min` reflects the shard's current reader set.
     valid: bool,
-    /// The oldest pinned epoch, `None` when no reader is pinned.
+    /// The shard's oldest pinned epoch, `None` when no reader is pinned.
     min: Option<u64>,
+}
+
+/// The per-deployment epoch registry: one global epoch counter plus one slot
+/// per registered reader, the readers partitioned into shards.
+///
+/// Cheap to share (`Arc`); the memory pool owns one and every tree client
+/// registers a [`ReaderHandle`] with it.
+///
+/// **Why the cross-shard minimum is safe without a global lock:** the pin
+/// protocol stores the pinned epoch into its slot (under its *own* shard's
+/// mutex, together with that shard's cache fold) and then re-checks that the
+/// global epoch has not moved — retrying the store if it has.  A successful
+/// re-check therefore orders every retirement stamped at or above the pinned
+/// epoch *after* the pin's store.  A reclaim pass only consults the boundary
+/// for an address *after* that address was retired, so its read of the pin's
+/// shard (cached or scanned, under the same shard mutex the store used)
+/// happens after the store and must observe the pin.  The argument is
+/// per-slot and per-shard; no atomicity across shards is needed, so taking
+/// the minimum over shard minima read one at a time is sound.
+#[derive(Debug)]
+pub struct EpochRegistry {
+    /// The next epoch a retirement will be stamped with.
+    global: AtomicU64,
+    /// The reader groups; a reader's shard is fixed at registration
+    /// (round-robin assignment keeps the groups balanced).
+    shards: Box<[ReaderShard]>,
+    /// Round-robin cursor for shard assignment.
+    next_shard: AtomicUsize,
 }
 
 #[derive(Debug)]
@@ -79,14 +108,27 @@ struct ReaderSlot {
 }
 
 impl EpochRegistry {
-    /// Create a registry.  Epochs start at 1 so that epoch 0 never appears as
-    /// a retirement stamp.
+    /// Create a registry with [`DEFAULT_EPOCH_SHARDS`] reader groups.
+    /// Epochs start at 1 so that epoch 0 never appears as a retirement stamp.
     pub fn new() -> Arc<Self> {
+        Self::with_shards(DEFAULT_EPOCH_SHARDS)
+    }
+
+    /// Create a registry with `shards` reader groups (at least 1).
+    pub fn with_shards(shards: usize) -> Arc<Self> {
+        let shards = shards.max(1);
+        let mut groups = Vec::with_capacity(shards);
+        groups.resize_with(shards, ReaderShard::default);
         Arc::new(EpochRegistry {
             global: AtomicU64::new(1),
-            readers: Mutex::new(Vec::new()),
-            min_cache: Mutex::new(MinPinnedCache::default()),
+            shards: groups.into_boxed_slice(),
+            next_shard: AtomicUsize::new(0),
         })
+    }
+
+    /// Number of reader-group shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// The epoch the next retirement will be stamped with.
@@ -100,51 +142,63 @@ impl EpochRegistry {
         self.global.fetch_add(1, Ordering::SeqCst)
     }
 
-    /// Register a new reader with an unpinned slot.
+    /// Register a new reader with an unpinned slot, assigning it to the next
+    /// shard round-robin.
     pub fn register(self: &Arc<Self>) -> ReaderHandle {
         let slot = Arc::new(ReaderSlot {
             pinned: AtomicU64::new(UNPINNED_EPOCH),
             depth: AtomicU64::new(0),
         });
-        self.readers.lock().push(Arc::clone(&slot));
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shards[shard].readers.lock().push(Arc::clone(&slot));
         ReaderHandle {
             registry: Arc::clone(self),
             slot,
+            shard,
         }
     }
 
     /// The oldest epoch any registered reader is currently pinned at, or
     /// `None` when no reader is pinned.
     ///
-    /// O(1) between unpins: the answer is served from the cached minimum and
-    /// the reader vector is only rescanned after an invalidation (outermost
-    /// unpin or deregistration, or a pin that had to retry its epoch).
-    /// Debug builds re-scan on the fast path too and assert that the cached
-    /// and scanned values agree — sound because every slot store happens
-    /// under the same mutex this scan holds.
+    /// O(shards) between unpins: each shard serves its cached minimum and is
+    /// only rescanned after an invalidation (outermost unpin or
+    /// deregistration in that shard, or a pin that had to retry its epoch).
+    /// Debug builds re-scan each shard on the fast path too and assert that
+    /// the cached and scanned values agree — sound because every slot store
+    /// happens under the same shard mutex the scan holds.
     pub fn min_pinned(&self) -> Option<u64> {
-        let mut cache = self.min_cache.lock();
+        self.shards
+            .iter()
+            .filter_map(|shard| self.shard_min(shard))
+            .min()
+    }
+
+    /// One shard's oldest pinned epoch (cached, revalidating on demand).
+    fn shard_min(&self, shard: &ReaderShard) -> Option<u64> {
+        let mut cache = shard.min_cache.lock();
         if cache.valid {
             let cached = cache.min;
             #[cfg(debug_assertions)]
             {
-                let scanned = self.scan_min_pinned();
+                let scanned = Self::scan_shard(shard);
                 debug_assert_eq!(
                     cached, scanned,
-                    "cached min-pinned epoch diverged from the reader scan"
+                    "cached min-pinned epoch diverged from the shard's reader scan"
                 );
             }
             return cached;
         }
-        let scanned = self.scan_min_pinned();
+        let scanned = Self::scan_shard(shard);
         cache.min = scanned;
         cache.valid = true;
         scanned
     }
 
-    /// Full O(readers) scan of the pinned-epoch slots.
-    fn scan_min_pinned(&self) -> Option<u64> {
-        self.readers
+    /// Full O(shard readers) scan of one shard's pinned-epoch slots.
+    fn scan_shard(shard: &ReaderShard) -> Option<u64> {
+        shard
+            .readers
             .lock()
             .iter()
             .map(|s| s.pinned.load(Ordering::SeqCst))
@@ -152,14 +206,14 @@ impl EpochRegistry {
             .min()
     }
 
-    /// Store `epoch` into `slot` and update the cached minimum in the same
-    /// critical section.  A first (outermost) pin only ever *lowers* the
+    /// Store `epoch` into `slot` and update its shard's cached minimum in the
+    /// same critical section.  A first (outermost) pin only ever *lowers* the
     /// minimum, so it folds in O(1); a retry raises this slot's own earlier
     /// store, which cannot be patched in O(1) — invalidate and let the next
-    /// `min_pinned` rescan (retries only happen when a retirement raced the
-    /// pin, so this stays off the common path).
-    fn store_pin(&self, slot: &ReaderSlot, epoch: u64, first_attempt: bool) {
-        let mut cache = self.min_cache.lock();
+    /// `min_pinned` rescan the shard (retries only happen when a retirement
+    /// raced the pin, so this stays off the common path).
+    fn store_pin(&self, shard: usize, slot: &ReaderSlot, epoch: u64, first_attempt: bool) {
+        let mut cache = self.shards[shard].min_cache.lock();
         slot.pinned.store(epoch, Ordering::SeqCst);
         if cache.valid {
             if first_attempt {
@@ -170,17 +224,17 @@ impl EpochRegistry {
         }
     }
 
-    /// Clear `slot` (outermost unpin) and invalidate the cached minimum in
-    /// the same critical section.
-    fn store_unpin(&self, slot: &ReaderSlot) {
-        let mut cache = self.min_cache.lock();
+    /// Clear `slot` (outermost unpin) and invalidate its shard's cached
+    /// minimum in the same critical section.
+    fn store_unpin(&self, shard: usize, slot: &ReaderSlot) {
+        let mut cache = self.shards[shard].min_cache.lock();
         slot.pinned.store(UNPINNED_EPOCH, Ordering::SeqCst);
         cache.valid = false;
     }
 
-    /// Invalidate the cached minimum (reader deregistration).
-    fn invalidate_min(&self) {
-        self.min_cache.lock().valid = false;
+    /// Invalidate one shard's cached minimum (reader deregistration).
+    fn invalidate_min(&self, shard: usize) {
+        self.shards[shard].min_cache.lock().valid = false;
     }
 
     /// First epoch that is **not** safe to recycle: every address stamped
@@ -191,16 +245,22 @@ impl EpochRegistry {
 
     /// Number of registered readers.
     pub fn registered_readers(&self) -> usize {
-        self.readers.lock().len()
+        self.shards.iter().map(|s| s.readers.lock().len()).sum()
     }
 
     /// Number of readers currently inside a pinned section.
     pub fn pinned_readers(&self) -> usize {
-        self.readers
-            .lock()
+        self.shards
             .iter()
-            .filter(|s| s.pinned.load(Ordering::SeqCst) != UNPINNED_EPOCH)
-            .count()
+            .map(|shard| {
+                shard
+                    .readers
+                    .lock()
+                    .iter()
+                    .filter(|s| s.pinned.load(Ordering::SeqCst) != UNPINNED_EPOCH)
+                    .count()
+            })
+            .sum()
     }
 }
 
@@ -213,6 +273,7 @@ impl EpochRegistry {
 pub struct ReaderHandle {
     registry: Arc<EpochRegistry>,
     slot: Arc<ReaderSlot>,
+    shard: usize,
 }
 
 impl ReaderHandle {
@@ -238,7 +299,8 @@ impl ReaderHandle {
             let mut first_attempt = true;
             loop {
                 let e = self.registry.current();
-                self.registry.store_pin(&self.slot, e, first_attempt);
+                self.registry
+                    .store_pin(self.shard, &self.slot, e, first_attempt);
                 first_attempt = false;
                 if self.registry.current() == e {
                     break;
@@ -248,6 +310,7 @@ impl ReaderHandle {
         EpochPin {
             registry: Arc::clone(&self.registry),
             slot: Arc::clone(&self.slot),
+            shard: self.shard,
         }
     }
 
@@ -268,14 +331,14 @@ impl ReaderHandle {
 impl Drop for ReaderHandle {
     fn drop(&mut self) {
         {
-            let mut readers = self.registry.readers.lock();
+            let mut readers = self.registry.shards[self.shard].readers.lock();
             if let Some(i) = readers.iter().position(|s| Arc::ptr_eq(s, &self.slot)) {
                 readers.swap_remove(i);
             }
         }
-        // The departed slot may have carried the cached minimum (its pin, if
-        // any, no longer counts once deregistered); rescan on next demand.
-        self.registry.invalidate_min();
+        // The departed slot may have carried its shard's cached minimum (its
+        // pin, if any, no longer counts once deregistered); rescan on demand.
+        self.registry.invalidate_min(self.shard);
     }
 }
 
@@ -289,15 +352,16 @@ impl Drop for ReaderHandle {
 pub struct EpochPin {
     registry: Arc<EpochRegistry>,
     slot: Arc<ReaderSlot>,
+    shard: usize,
 }
 
 impl Drop for EpochPin {
     fn drop(&mut self) {
         if self.slot.depth.fetch_sub(1, Ordering::SeqCst) == 1 {
-            // Clearing the slot and invalidating the cached minimum happen in
-            // one critical section; removing a pin can only *raise* the true
-            // minimum, and the next `min_pinned` rescan catches it up.
-            self.registry.store_unpin(&self.slot);
+            // Clearing the slot and invalidating its shard's cached minimum
+            // happen in one critical section; removing a pin can only *raise*
+            // the true minimum, and the next `min_pinned` rescan catches up.
+            self.registry.store_unpin(self.shard, &self.slot);
         }
     }
 }
@@ -428,6 +492,49 @@ mod tests {
         assert_eq!(reg.registered_readers(), 0);
         assert_eq!(reg.min_pinned(), None);
         drop(pin);
+    }
+
+    #[test]
+    fn readers_spread_across_shards_and_minimum_spans_them() {
+        let reg = EpochRegistry::with_shards(2);
+        assert_eq!(reg.shards(), 2);
+        // Four readers land two per shard (round-robin).
+        let readers: Vec<_> = (0..4).map(|_| reg.register()).collect();
+        assert_eq!(reg.registered_readers(), 4);
+        for shard in reg.shards.iter() {
+            assert_eq!(shard.readers.lock().len(), 2);
+        }
+        // Pins in different shards all feed the cross-shard minimum.
+        let pin_a = readers[0].pin(); // shard 0, epoch 1
+        reg.retire_epoch();
+        let pin_b = readers[1].pin(); // shard 1, epoch 2
+        reg.retire_epoch();
+        let pin_c = readers[2].pin(); // shard 0, epoch 3
+        assert_eq!(reg.min_pinned(), Some(1));
+        assert_eq!(reg.pinned_readers(), 3);
+        // Unpinning the oldest promotes the next-oldest across shards.
+        drop(pin_a);
+        assert_eq!(reg.min_pinned(), Some(2));
+        drop(pin_b);
+        assert_eq!(reg.min_pinned(), Some(3));
+        drop(pin_c);
+        assert_eq!(reg.min_pinned(), None);
+    }
+
+    #[test]
+    fn single_shard_registry_still_works() {
+        let reg = EpochRegistry::with_shards(1);
+        let a = reg.register();
+        let b = reg.register();
+        let pin_a = a.pin();
+        reg.retire_epoch();
+        let pin_b = b.pin();
+        assert_eq!(reg.min_pinned(), Some(1));
+        drop(pin_a);
+        assert_eq!(reg.min_pinned(), Some(2));
+        drop(pin_b);
+        // Zero-shard requests clamp to one.
+        assert_eq!(EpochRegistry::with_shards(0).shards(), 1);
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * [`ThroughputAggregator`] and [`RunSummary`] — combine per-thread
 //!   measurements into the rows the paper's tables print,
 //! * [`EpochGauges`] — observability for the epoch-based reclamation
-//!   subsystem (epoch lag, pinned readers, pinned buckets).
+//!   subsystem (epoch lag, pinned readers, pinned buckets),
+//! * [`OverlapGauges`] — observability for the split-phase fabric: in-flight
+//!   verb depth and overlapped-vs-serial virtual time under the pipelined
+//!   scheduler.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -22,11 +25,13 @@
 pub mod counts;
 pub mod epoch;
 pub mod latency;
+pub mod overlap;
 pub mod space;
 pub mod summary;
 
 pub use counts::{CountHistogram, SizeHistogram};
 pub use epoch::EpochGauges;
 pub use latency::LatencyHistogram;
+pub use overlap::OverlapGauges;
 pub use space::{SpaceCounters, SpaceSnapshot};
 pub use summary::{RunSummary, ThreadReport, ThroughputAggregator};

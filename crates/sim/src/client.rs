@@ -3,9 +3,29 @@
 //! A [`ClientCtx`] owns a virtual-clock participant and exposes the one-sided
 //! verb set Sherman relies on, plus the doorbell-batched command list used by
 //! the command-combination technique (§4.5) and a two-sided RPC used only for
-//! chunk allocation (§4.2.4).  Every call blocks the calling thread until the
-//! verb's virtual completion time and updates both the global fabric counters
-//! and the per-client [`ClientStats`].
+//! chunk allocation (§4.2.4).
+//!
+//! ## Split-phase post/poll
+//!
+//! The fabric is **split-phase**: every verb is *posted* (`post_read`,
+//! [`ClientCtx::post_write_batch`], `post_cas`, …), which charges the
+//! request-side port time, applies the memory effect, fixes the verb's virtual
+//! completion time and enqueues a [`Completion`] on the client's completion
+//! queue — without blocking the calling thread.  The caller later *polls*:
+//! [`ClientCtx::poll`] waits for the **earliest** outstanding completion (the
+//! clock's multi-completion rule, see
+//! [`Participant::wait_until_earliest`](crate::clock::Participant::wait_until_earliest)),
+//! while [`ClientCtx::poll_token`] waits for one specific verb.  One thread can
+//! therefore keep many verbs in flight and overlap their round trips — the
+//! latency-hiding lever behind the pipelined tree-operation scheduler.
+//!
+//! The classic blocking verbs ([`ClientCtx::read`], [`ClientCtx::post_writes`],
+//! [`ClientCtx::cas`], …) are thin wrappers — post one verb, poll it — so a
+//! blocking caller gets exactly the pre-split-phase behaviour and timing.
+//!
+//! Posting applies the verb's memory effect immediately (at the virtual *post*
+//! instant), just as the blocking path always did; the completion only carries
+//! the time at which the response arrives back at the client.
 
 use crate::addr::{GlobalAddress, MemSpace};
 use crate::clock::Participant;
@@ -44,6 +64,24 @@ pub struct ClientStats {
     pub rpcs: u64,
     /// Network round trips (a doorbell batch or parallel read batch counts once).
     pub round_trips: u64,
+    /// Round trips posted while at least one other verb of this client was
+    /// still in flight — i.e. whose service window overlapped another
+    /// outstanding verb's window on the virtual clock.  Blocking callers
+    /// (post + poll per verb) never overlap; a pipelined caller's overlap
+    /// ratio is the direct measure of how much latency it is hiding.
+    pub overlapped_round_trips: u64,
+    /// High-water mark of simultaneously outstanding verbs.  Not a
+    /// monotonically accumulating counter: [`ClientStats::delta_since`]
+    /// reports the later snapshot's high-water mark verbatim.
+    pub max_in_flight: u64,
+    /// Sum over posted round trips of the in-flight depth right after the
+    /// post (including the new verb): `in_flight_posts / round_trips` is the
+    /// mean in-flight depth seen by this client's verbs.
+    pub in_flight_posts: u64,
+    /// Sum of every verb's post→completion window in virtual nanoseconds:
+    /// the *serial* time the verbs would have cost end-to-end.  Comparing it
+    /// with the elapsed virtual time of a run quantifies the overlap.
+    pub verb_ns: u64,
     /// Payload bytes written.
     pub bytes_written: u64,
     /// Payload bytes read.
@@ -54,6 +92,9 @@ pub struct ClientStats {
 
 impl ClientStats {
     /// Difference between two snapshots (`self` taken after `earlier`).
+    ///
+    /// `max_in_flight` is a high-water mark, not a counter; the delta carries
+    /// the later snapshot's value.
     pub fn delta_since(&self, earlier: &ClientStats) -> ClientStats {
         ClientStats {
             reads: self.reads - earlier.reads,
@@ -61,6 +102,10 @@ impl ClientStats {
             atomics: self.atomics - earlier.atomics,
             rpcs: self.rpcs - earlier.rpcs,
             round_trips: self.round_trips - earlier.round_trips,
+            overlapped_round_trips: self.overlapped_round_trips - earlier.overlapped_round_trips,
+            max_in_flight: self.max_in_flight,
+            in_flight_posts: self.in_flight_posts - earlier.in_flight_posts,
+            verb_ns: self.verb_ns - earlier.verb_ns,
             bytes_written: self.bytes_written - earlier.bytes_written,
             bytes_read: self.bytes_read - earlier.bytes_read,
             retries: self.retries - earlier.retries,
@@ -77,6 +122,76 @@ pub struct CasResult {
     pub previous: u64,
 }
 
+/// Token identifying one outstanding posted verb on a client's completion
+/// queue.  Returned by the `post_*` verbs; redeemed with
+/// [`ClientCtx::poll_token`] or matched against [`Completion::token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PendingVerb(u64);
+
+impl PendingVerb {
+    /// The raw token id (stable within one `ClientCtx`).
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
+/// What a completed verb produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerbResult {
+    /// Data fetched by a `post_read`.
+    Read(Vec<u8>),
+    /// Data fetched by a `post_read_batch`, in request order.
+    ReadBatch(Vec<Vec<u8>>),
+    /// A write or doorbell write batch (only the last command is signalled).
+    Write,
+    /// Outcome of a `post_cas` / `post_masked_cas`.
+    Cas(CasResult),
+    /// Previous value returned by a `post_faa`.
+    Faa(u64),
+    /// A two-sided RPC round trip.
+    Rpc,
+}
+
+impl VerbResult {
+    /// Unwrap a read completion's data.
+    ///
+    /// # Panics
+    /// Panics when the completion is not a [`VerbResult::Read`] — polling a
+    /// token with the wrong expectation is a harness bug, not a runtime
+    /// condition.
+    pub fn into_read(self) -> Vec<u8> {
+        match self {
+            VerbResult::Read(data) => data,
+            other => panic!("expected a read completion, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a read-batch completion's data.
+    ///
+    /// # Panics
+    /// Panics when the completion is not a [`VerbResult::ReadBatch`].
+    pub fn into_read_batch(self) -> Vec<Vec<u8>> {
+        match self {
+            VerbResult::ReadBatch(bufs) => bufs,
+            other => panic!("expected a read-batch completion, got {other:?}"),
+        }
+    }
+}
+
+/// One completion-queue entry: the verb's token, its service window on the
+/// virtual clock, and its result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// Token returned by the `post_*` call.
+    pub token: PendingVerb,
+    /// Virtual time at which the verb was posted.
+    pub posted_at: u64,
+    /// Virtual time at which the response arrived back at the client.
+    pub completed_at: u64,
+    /// The verb's result payload.
+    pub result: VerbResult,
+}
+
 /// The compute-server-side handle used by one simulated client thread.
 #[derive(Debug)]
 pub struct ClientCtx {
@@ -84,6 +199,10 @@ pub struct ClientCtx {
     cs_id: u16,
     participant: Arc<Participant>,
     stats: ClientStats,
+    next_token: u64,
+    /// Outstanding completions, unordered; every entry's `completed_at` was
+    /// fixed at post time.
+    cq: Vec<Completion>,
 }
 
 impl ClientCtx {
@@ -94,6 +213,8 @@ impl ClientCtx {
             cs_id,
             participant,
             stats: ClientStats::default(),
+            next_token: 0,
+            cq: Vec::new(),
         }
     }
 
@@ -158,16 +279,124 @@ impl ClientCtx {
     }
 
     // ------------------------------------------------------------------
+    // Completion queue
+    // ------------------------------------------------------------------
+
+    /// Round-trip and overlap accounting shared by every posted verb — both
+    /// the ones parked on the CQ and the blocking wrappers that complete
+    /// inline.  One call = one network round trip (a doorbell batch or a
+    /// parallel read batch posts once).
+    fn account_post(&mut self, posted_at: u64, completed_at: u64) {
+        let overlapped = self.cq.iter().any(|e| e.completed_at > posted_at);
+        self.stats.round_trips += 1;
+        let m = self.fabric.metrics();
+        m.round_trips.fetch_add(1, Ordering::Relaxed);
+        if overlapped {
+            self.stats.overlapped_round_trips += 1;
+            m.overlapped_round_trips.fetch_add(1, Ordering::Relaxed);
+        }
+        let in_flight = self.cq.len() as u64 + 1;
+        self.stats.max_in_flight = self.stats.max_in_flight.max(in_flight);
+        self.stats.in_flight_posts += in_flight;
+        self.stats.verb_ns += completed_at.saturating_sub(posted_at);
+    }
+
+    /// Enqueue a completed-at-post verb on the CQ (accounting included).
+    fn enqueue(&mut self, posted_at: u64, completed_at: u64, result: VerbResult) -> PendingVerb {
+        self.account_post(posted_at, completed_at);
+        self.next_token += 1;
+        let token = PendingVerb(self.next_token);
+        self.cq.push(Completion {
+            token,
+            posted_at,
+            completed_at,
+            result,
+        });
+        token
+    }
+
+    /// Reset the in-flight high-water mark to the current outstanding count.
+    /// `ClientStats::max_in_flight` is a lifetime high-water otherwise, so a
+    /// driver that reuses one client across runs calls this at run start to
+    /// make the gauge per-run.
+    pub fn reset_max_in_flight(&mut self) {
+        self.stats.max_in_flight = self.cq.len() as u64;
+    }
+
+    /// Number of verbs currently outstanding (posted, not yet polled).
+    pub fn outstanding(&self) -> usize {
+        self.cq.len()
+    }
+
+    /// Wait for the **earliest** outstanding completion and dequeue it.
+    ///
+    /// With `deadline: Some(t)` the wait is bounded: when the earliest
+    /// completion lies beyond `t` the clock advances to `t` and `None` is
+    /// returned with the queue untouched.  Returns `None` immediately when
+    /// nothing is outstanding.
+    pub fn poll(&mut self, deadline: Option<u64>) -> Option<Completion> {
+        let earliest = self.cq.iter().map(|e| e.completed_at).min()?;
+        if let Some(d) = deadline {
+            if earliest > d {
+                self.participant.wait_until(d);
+                return None;
+            }
+        }
+        // The clock's multi-completion rule: hand *every* outstanding
+        // completion time to the clock and wake at the earliest.
+        let reached = self
+            .participant
+            .wait_until_earliest(self.cq.iter().map(|e| e.completed_at))
+            .expect("queue checked non-empty above");
+        let idx = self
+            .cq
+            .iter()
+            .position(|e| e.completed_at == reached)
+            .expect("reached time belongs to an outstanding completion");
+        Some(self.cq.swap_remove(idx))
+    }
+
+    /// Wait for one specific outstanding verb and dequeue its completion.
+    ///
+    /// Polling a token whose completion time lies beyond other outstanding
+    /// completions is allowed (their times are already fixed; they are simply
+    /// observed in the past when polled later).
+    ///
+    /// # Panics
+    /// Panics when `token` is not outstanding on this client — double-polling
+    /// or polling a foreign token is a harness bug.
+    pub fn poll_token(&mut self, token: PendingVerb) -> Completion {
+        let idx = self
+            .cq
+            .iter()
+            .position(|e| e.token == token)
+            .unwrap_or_else(|| panic!("verb {token:?} is not outstanding on this client"));
+        self.participant.wait_until(self.cq[idx].completed_at);
+        self.cq.swap_remove(idx)
+    }
+
+    /// Poll every outstanding completion and discard the results (error-path
+    /// cleanup for pipelined drivers: leaves the queue empty and the clock at
+    /// the latest completion).
+    pub fn drain(&mut self) {
+        while self.poll(None).is_some() {}
+    }
+
+    // ------------------------------------------------------------------
     // One-sided verbs
     // ------------------------------------------------------------------
 
-    /// `RDMA_READ` of `buf.len()` bytes from `addr` into `buf`.
-    pub fn read(&mut self, addr: GlobalAddress, buf: &mut [u8]) -> SimResult<()> {
+    /// Timing + data movement of one `RDMA_READ` into `buf`: charges the
+    /// request path, serializes the response through the MS port, copies the
+    /// bytes, and returns the verb's `(posted_at, completed_at)` window —
+    /// without waiting and without the round-trip accounting.
+    fn read_verb(&mut self, addr: GlobalAddress, buf: &mut [u8]) -> SimResult<(u64, u64)> {
         if buf.is_empty() {
             return Err(SimError::EmptyBatch);
         }
         let server = Arc::clone(self.fabric.server(addr.ms)?);
         let cfg = self.fabric.config().clone();
+        let posted_at = self.participant.now();
         let arrival = self.request_path(0);
         // Response payload serializes through the MS NIC port.
         let ms_done = server.inbound.serve(arrival, cfg.nic_service_ns(buf.len()));
@@ -179,16 +408,31 @@ impl ClientCtx {
                 len: oob.len,
                 region_len: oob.region_len,
             })?;
-        let completion = ms_done + self.half_rtt();
-        self.participant.wait_until(completion);
+        let completed_at = ms_done + self.half_rtt();
 
         self.stats.reads += 1;
-        self.stats.round_trips += 1;
         self.stats.bytes_read += buf.len() as u64;
         let m = self.fabric.metrics();
         m.reads.fetch_add(1, Ordering::Relaxed);
-        m.round_trips.fetch_add(1, Ordering::Relaxed);
         m.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok((posted_at, completed_at))
+    }
+
+    /// Post an `RDMA_READ` of `len` bytes from `addr`; the completion carries
+    /// the data as [`VerbResult::Read`].
+    pub fn post_read(&mut self, addr: GlobalAddress, len: usize) -> SimResult<PendingVerb> {
+        let mut buf = vec![0u8; len];
+        let (posted_at, completed_at) = self.read_verb(addr, &mut buf)?;
+        Ok(self.enqueue(posted_at, completed_at, VerbResult::Read(buf)))
+    }
+
+    /// Blocking `RDMA_READ` of `buf.len()` bytes from `addr` into `buf`.
+    /// Equivalent to post + poll, but reads straight into the caller's
+    /// buffer — the blocking hot path pays no allocation or extra copy.
+    pub fn read(&mut self, addr: GlobalAddress, buf: &mut [u8]) -> SimResult<()> {
+        let (posted_at, completed_at) = self.read_verb(addr, buf)?;
+        self.account_post(posted_at, completed_at);
+        self.participant.wait_until(completed_at);
         Ok(())
     }
 
@@ -198,14 +442,14 @@ impl ClientCtx {
     }
 
     /// Post a doorbell batch of dependent `RDMA_WRITE` commands on one queue
-    /// pair (command combination, §4.5).
+    /// pair (command combination, §4.5) without waiting for the completion.
     ///
     /// All commands must target the same memory server — in Sherman a node and
     /// the lock protecting it are co-located precisely so this is possible.
     /// The writes are applied in post order (RC in-order delivery) and the
     /// whole batch costs a single round trip; only the last command is
-    /// signalled.
-    pub fn post_writes(&mut self, cmds: &[WriteCmd]) -> SimResult<()> {
+    /// signalled, so the batch completes as one [`VerbResult::Write`].
+    pub fn post_write_batch(&mut self, cmds: &[WriteCmd]) -> SimResult<PendingVerb> {
         if cmds.is_empty() {
             return Err(SimError::EmptyBatch);
         }
@@ -215,9 +459,10 @@ impl ClientCtx {
         }
         let server = Arc::clone(self.fabric.server(ms_id)?);
         let cfg = self.fabric.config().clone();
+        let posted_at = self.participant.now();
 
         // Request-side serialization of every command through the CS port.
-        let mut cs_t = self.participant.now() + cfg.cs_post_overhead_ns;
+        let mut cs_t = posted_at + cfg.cs_post_overhead_ns;
         for cmd in cmds {
             cs_t = self
                 .fabric
@@ -241,60 +486,79 @@ impl ClientCtx {
                 })?;
             total_bytes += cmd.data.len() as u64;
         }
-        // Only the last command is signalled: one completion, one round trip.
-        let completion = ms_t + self.half_rtt();
-        self.participant.wait_until(completion);
+        let completed_at = ms_t + self.half_rtt();
 
         self.stats.writes += cmds.len() as u64;
-        self.stats.round_trips += 1;
         self.stats.bytes_written += total_bytes;
         let m = self.fabric.metrics();
         m.writes.fetch_add(cmds.len() as u64, Ordering::Relaxed);
-        m.round_trips.fetch_add(1, Ordering::Relaxed);
         m.bytes_written.fetch_add(total_bytes, Ordering::Relaxed);
+        Ok(self.enqueue(posted_at, completed_at, VerbResult::Write))
+    }
+
+    /// Blocking doorbell batch (post + poll); see
+    /// [`ClientCtx::post_write_batch`].
+    pub fn post_writes(&mut self, cmds: &[WriteCmd]) -> SimResult<()> {
+        let token = self.post_write_batch(cmds)?;
+        self.poll_token(token);
         Ok(())
     }
 
-    /// Issue several independent `RDMA_READ`s in parallel (used by range
-    /// queries, §4.4) and wait for all of them; costs one round-trip of
-    /// latency plus the queueing of the individual responses.
-    pub fn read_batch(&mut self, reqs: &mut [(GlobalAddress, &mut [u8])]) -> SimResult<()> {
+    /// Post several independent `RDMA_READ`s in parallel (used by range
+    /// queries, §4.4) as one token; costs one round trip of latency plus the
+    /// queueing of the individual responses.  The completion carries every
+    /// buffer in request order as [`VerbResult::ReadBatch`].
+    pub fn post_read_batch(&mut self, reqs: &[(GlobalAddress, usize)]) -> SimResult<PendingVerb> {
         if reqs.is_empty() {
             return Err(SimError::EmptyBatch);
         }
         let cfg = self.fabric.config().clone();
-        let mut cs_t = self.participant.now() + cfg.cs_post_overhead_ns;
+        let posted_at = self.participant.now();
+        let mut cs_t = posted_at + cfg.cs_post_overhead_ns;
         let mut latest = 0u64;
         let mut total_bytes = 0u64;
         let count = reqs.len() as u64;
-        for (addr, buf) in reqs.iter_mut() {
+        let mut bufs = Vec::with_capacity(reqs.len());
+        for &(addr, len) in reqs {
             let server = Arc::clone(self.fabric.server(addr.ms)?);
             cs_t = self
                 .fabric
                 .cs_port(self.cs_id)
                 .serve(cs_t, cfg.nic_service_ns(0));
             let arrival = cs_t + self.half_rtt();
-            let ms_done = server.inbound.serve(arrival, cfg.nic_service_ns(buf.len()));
+            let ms_done = server.inbound.serve(arrival, cfg.nic_service_ns(len));
+            let mut buf = vec![0u8; len];
             server
                 .region(addr.space)
-                .read_bytes(addr.offset, buf)
+                .read_bytes(addr.offset, &mut buf)
                 .map_err(|oob| SimError::OutOfBounds {
-                    addr: *addr,
+                    addr,
                     len: oob.len,
                     region_len: oob.region_len,
                 })?;
+            bufs.push(buf);
             latest = latest.max(ms_done + self.half_rtt());
-            total_bytes += buf.len() as u64;
+            total_bytes += len as u64;
         }
-        self.participant.wait_until(latest);
 
         self.stats.reads += count;
-        self.stats.round_trips += 1;
         self.stats.bytes_read += total_bytes;
         let m = self.fabric.metrics();
         m.reads.fetch_add(count, Ordering::Relaxed);
-        m.round_trips.fetch_add(1, Ordering::Relaxed);
         m.bytes_read.fetch_add(total_bytes, Ordering::Relaxed);
+        Ok(self.enqueue(posted_at, latest, VerbResult::ReadBatch(bufs)))
+    }
+
+    /// Blocking parallel read batch (post + poll); see
+    /// [`ClientCtx::post_read_batch`].
+    pub fn read_batch(&mut self, reqs: &mut [(GlobalAddress, &mut [u8])]) -> SimResult<()> {
+        let lens: Vec<(GlobalAddress, usize)> =
+            reqs.iter().map(|(addr, buf)| (*addr, buf.len())).collect();
+        let token = self.post_read_batch(&lens)?;
+        let bufs = self.poll_token(token).result.into_read_batch();
+        for ((_, dst), src) in reqs.iter_mut().zip(bufs) {
+            dst.copy_from_slice(&src);
+        }
         Ok(())
     }
 
@@ -320,13 +584,15 @@ impl ClientCtx {
         addr.offset | space_bit
     }
 
-    fn atomic_common<T>(
+    fn post_atomic<T>(
         &mut self,
         addr: GlobalAddress,
         apply: impl FnOnce(&crate::region::Region) -> Result<T, crate::region::RegionAccessError>,
-    ) -> SimResult<T> {
+        wrap: impl FnOnce(T) -> VerbResult,
+    ) -> SimResult<PendingVerb> {
         let server = Arc::clone(self.fabric.server(addr.ms)?);
         let cfg = self.fabric.config().clone();
+        let posted_at = self.participant.now();
         let arrival = self.request_path(8);
         let ms_done = server.inbound.serve(arrival, cfg.nic_service_ns(8));
         let exec_ns = self.atomic_exec_ns(addr.space);
@@ -338,38 +604,84 @@ impl ClientCtx {
                     apply(server.region(addr.space))
                 });
         let value = result.map_err(|e| e.into_sim_error(addr, region_len))?;
-        let completion = exec_end + self.half_rtt();
-        self.participant.wait_until(completion);
+        let completed_at = exec_end + self.half_rtt();
 
         self.stats.atomics += 1;
-        self.stats.round_trips += 1;
         let m = self.fabric.metrics();
         m.atomics.fetch_add(1, Ordering::Relaxed);
-        m.round_trips.fetch_add(1, Ordering::Relaxed);
         if addr.space == MemSpace::OnChip {
             m.onchip_atomics.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(value)
+        Ok(self.enqueue(posted_at, completed_at, wrap(value)))
     }
 
-    /// `RDMA_CAS`: atomically swap the 8-byte word at `addr` from `expected`
-    /// to `new`.
+    /// Post an `RDMA_CAS`; the completion carries [`VerbResult::Cas`].
+    pub fn post_cas(
+        &mut self,
+        addr: GlobalAddress,
+        expected: u64,
+        new: u64,
+    ) -> SimResult<PendingVerb> {
+        self.post_atomic(
+            addr,
+            |r| r.cas_u64(addr.offset, expected, new),
+            |previous| {
+                VerbResult::Cas(CasResult {
+                    succeeded: previous == expected,
+                    previous,
+                })
+            },
+        )
+    }
+
+    /// Blocking `RDMA_CAS`: atomically swap the 8-byte word at `addr` from
+    /// `expected` to `new` (post + poll).
     pub fn cas(&mut self, addr: GlobalAddress, expected: u64, new: u64) -> SimResult<CasResult> {
-        let previous = self.atomic_common(addr, |r| r.cas_u64(addr.offset, expected, new))?;
-        Ok(CasResult {
-            succeeded: previous == expected,
-            previous,
-        })
+        let token = self.post_cas(addr, expected, new)?;
+        match self.poll_token(token).result {
+            VerbResult::Cas(r) => Ok(r),
+            other => panic!("expected a CAS completion, got {other:?}"),
+        }
     }
 
-    /// `RDMA_FAA`: atomically add `add` to the 8-byte word at `addr`, returning
-    /// the previous value.
+    /// Post an `RDMA_FAA`; the completion carries the previous value as
+    /// [`VerbResult::Faa`].
+    pub fn post_faa(&mut self, addr: GlobalAddress, add: u64) -> SimResult<PendingVerb> {
+        self.post_atomic(addr, |r| r.faa_u64(addr.offset, add), VerbResult::Faa)
+    }
+
+    /// Blocking `RDMA_FAA`: atomically add `add` to the 8-byte word at `addr`,
+    /// returning the previous value (post + poll).
     pub fn faa(&mut self, addr: GlobalAddress, add: u64) -> SimResult<u64> {
-        self.atomic_common(addr, |r| r.faa_u64(addr.offset, add))
+        let token = self.post_faa(addr, add)?;
+        match self.poll_token(token).result {
+            VerbResult::Faa(prev) => Ok(prev),
+            other => panic!("expected an FAA completion, got {other:?}"),
+        }
     }
 
-    /// Masked `RDMA_CAS` (Mellanox "enhanced atomics"): only the bits selected
-    /// by `mask` participate in the comparison and the swap.
+    /// Post a masked `RDMA_CAS` (Mellanox "enhanced atomics"): only the bits
+    /// selected by `mask` participate in the comparison and the swap.
+    pub fn post_masked_cas(
+        &mut self,
+        addr: GlobalAddress,
+        expected: u64,
+        new: u64,
+        mask: u64,
+    ) -> SimResult<PendingVerb> {
+        self.post_atomic(
+            addr,
+            |r| r.masked_cas_u64(addr.offset, expected, new, mask),
+            |(succeeded, previous)| {
+                VerbResult::Cas(CasResult {
+                    succeeded,
+                    previous,
+                })
+            },
+        )
+    }
+
+    /// Blocking masked `RDMA_CAS` (post + poll).
     pub fn masked_cas(
         &mut self,
         addr: GlobalAddress,
@@ -377,12 +689,11 @@ impl ClientCtx {
         new: u64,
         mask: u64,
     ) -> SimResult<CasResult> {
-        let (succeeded, previous) =
-            self.atomic_common(addr, |r| r.masked_cas_u64(addr.offset, expected, new, mask))?;
-        Ok(CasResult {
-            succeeded,
-            previous,
-        })
+        let token = self.post_masked_cas(addr, expected, new, mask)?;
+        match self.poll_token(token).result {
+            VerbResult::Cas(r) => Ok(r),
+            other => panic!("expected a CAS completion, got {other:?}"),
+        }
     }
 
     /// `RDMA_READ` of a single aligned 8-byte word.
@@ -401,26 +712,41 @@ impl ClientCtx {
     // Two-sided RPC (control path only)
     // ------------------------------------------------------------------
 
-    /// Charge the fabric cost of a two-sided RPC to memory server `ms` and
-    /// return after the virtual round trip.  The actual request handling is
-    /// performed synchronously by the caller (see `sherman-memserver`), which
-    /// keeps the wimpy MS management core off the simulated data path.
-    pub fn rpc_round_trip(&mut self, ms: u16, request_bytes: usize, response_bytes: usize) -> SimResult<()> {
+    /// Post the fabric cost of a two-sided RPC to memory server `ms`.  The
+    /// actual request handling is performed synchronously by the caller (see
+    /// `sherman-memserver`), which keeps the wimpy MS management core off the
+    /// simulated data path.
+    pub fn post_rpc(
+        &mut self,
+        ms: u16,
+        request_bytes: usize,
+        response_bytes: usize,
+    ) -> SimResult<PendingVerb> {
         let server = Arc::clone(self.fabric.server(ms)?);
         let cfg = self.fabric.config().clone();
+        let posted_at = self.participant.now();
         let arrival = self.request_path(request_bytes);
         let served = server.inbound.serve(
             arrival,
             cfg.nic_service_ns(request_bytes.max(response_bytes)) + cfg.rpc_service_ns,
         );
-        let completion = served + self.half_rtt();
-        self.participant.wait_until(completion);
+        let completed_at = served + self.half_rtt();
 
         self.stats.rpcs += 1;
-        self.stats.round_trips += 1;
         let m = self.fabric.metrics();
         m.rpcs.fetch_add(1, Ordering::Relaxed);
-        m.round_trips.fetch_add(1, Ordering::Relaxed);
+        Ok(self.enqueue(posted_at, completed_at, VerbResult::Rpc))
+    }
+
+    /// Blocking two-sided RPC round trip (post + poll).
+    pub fn rpc_round_trip(
+        &mut self,
+        ms: u16,
+        request_bytes: usize,
+        response_bytes: usize,
+    ) -> SimResult<()> {
+        let token = self.post_rpc(ms, request_bytes, response_bytes)?;
+        self.poll_token(token);
         Ok(())
     }
 }
@@ -454,6 +780,12 @@ mod tests {
         assert_eq!(s.round_trips, 2);
         assert_eq!(s.bytes_written, 64);
         assert_eq!(s.bytes_read, 64);
+        // Blocking wrappers never overlap: each verb is polled before the
+        // next posts.
+        assert_eq!(s.overlapped_round_trips, 0);
+        assert_eq!(s.max_in_flight, 1);
+        assert_eq!(s.in_flight_posts, 2);
+        assert!(s.verb_ns >= 2 * fabric.config().base_rtt_ns);
     }
 
     #[test]
@@ -606,5 +938,109 @@ mod tests {
             .read(GlobalAddress::host(0, len as u64 - 4), &mut buf)
             .unwrap_err();
         assert!(matches!(err, SimError::OutOfBounds { .. }));
+    }
+
+    // ------------------------------------------------------------------
+    // Split-phase post/poll
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn split_phase_reads_overlap_their_round_trips() {
+        let fabric = test_fabric();
+        let mut client = fabric.client(0);
+        for i in 0..4u64 {
+            fabric
+                .god_write_u64(GlobalAddress::host(0, 16 * 1024 + i * 1024), i + 10)
+                .unwrap();
+        }
+        let t0 = client.now();
+        let tokens: Vec<PendingVerb> = (0..4u64)
+            .map(|i| {
+                client
+                    .post_read(GlobalAddress::host(0, 16 * 1024 + i * 1024), 8)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(client.outstanding(), 4);
+        // Posting does not advance the posting thread's virtual time.
+        assert_eq!(client.now(), t0);
+
+        let mut seen = Vec::new();
+        while let Some(c) = client.poll(None) {
+            seen.push(c);
+        }
+        assert_eq!(client.outstanding(), 0);
+        // poll(None) delivers completions in completion-time order.
+        assert!(seen.windows(2).all(|w| w[0].completed_at <= w[1].completed_at));
+        // Every token came back with its data.
+        for (i, token) in tokens.iter().enumerate() {
+            let c = seen.iter().find(|c| c.token == *token).unwrap();
+            let data = c.result.clone().into_read();
+            assert_eq!(u64::from_le_bytes(data.try_into().unwrap()), i as u64 + 10);
+        }
+        // Four overlapped reads cost far less than four serial round trips.
+        let elapsed = client.now() - t0;
+        assert!(elapsed < 2 * fabric.config().base_rtt_ns);
+
+        let s = client.stats();
+        assert_eq!(s.round_trips, 4);
+        assert_eq!(s.overlapped_round_trips, 3, "posts 2..4 overlap post 1");
+        assert_eq!(s.max_in_flight, 4);
+        assert_eq!(s.in_flight_posts, 1 + 2 + 3 + 4);
+        assert!(
+            s.verb_ns > elapsed,
+            "serial verb time {} must exceed the overlapped elapsed {}",
+            s.verb_ns,
+            elapsed
+        );
+    }
+
+    #[test]
+    fn poll_token_out_of_order_is_allowed() {
+        let fabric = test_fabric();
+        let mut client = fabric.client(0);
+        let a = client.post_read(GlobalAddress::host(0, 0), 8).unwrap();
+        let b = client.post_read(GlobalAddress::host(0, 1024), 8).unwrap();
+        // Poll the *later* verb first: the earlier completion is then observed
+        // in the past.
+        let cb = client.poll_token(b);
+        let ca = client.poll_token(a);
+        assert!(ca.completed_at <= cb.completed_at);
+        assert!(client.now() >= cb.completed_at);
+        assert_eq!(client.outstanding(), 0);
+    }
+
+    #[test]
+    fn poll_deadline_bounds_the_wait() {
+        let fabric = test_fabric();
+        let mut client = fabric.client(0);
+        assert!(client.poll(None).is_none(), "empty queue polls nothing");
+        let t0 = client.now();
+        let token = client.post_read(GlobalAddress::host(0, 0), 8).unwrap();
+        // A deadline before the completion advances only to the deadline.
+        let deadline = t0 + 10;
+        assert!(client.poll(Some(deadline)).is_none());
+        assert_eq!(client.now(), deadline);
+        assert_eq!(client.outstanding(), 1);
+        // Without a deadline the completion is delivered.
+        let c = client.poll(None).unwrap();
+        assert_eq!(c.token, token);
+        assert_eq!(client.now(), c.completed_at);
+    }
+
+    #[test]
+    fn post_errors_surface_at_post_time() {
+        let fabric = test_fabric();
+        let mut client = fabric.client(0);
+        let len = fabric.config().host_bytes_per_ms;
+        let err = client
+            .post_read(GlobalAddress::host(0, len as u64 - 4), 16)
+            .unwrap_err();
+        assert!(matches!(err, SimError::OutOfBounds { .. }));
+        assert_eq!(client.outstanding(), 0, "failed posts enqueue nothing");
+        assert!(matches!(
+            client.post_read(GlobalAddress::host(0, 0), 0).unwrap_err(),
+            SimError::EmptyBatch
+        ));
     }
 }

@@ -24,6 +24,9 @@ pub struct FabricMetrics {
     pub rpcs: AtomicU64,
     /// Network round trips (a doorbell batch counts once).
     pub round_trips: AtomicU64,
+    /// Round trips posted while another verb of the same client was still in
+    /// flight (split-phase overlap; see `ClientStats::overlapped_round_trips`).
+    pub overlapped_round_trips: AtomicU64,
     /// Payload bytes written to memory servers.
     pub bytes_written: AtomicU64,
     /// Payload bytes read from memory servers.
@@ -45,6 +48,9 @@ pub struct MetricsSnapshot {
     pub rpcs: u64,
     /// Network round trips.
     pub round_trips: u64,
+    /// Round trips whose service window overlapped another in-flight verb of
+    /// the same client.
+    pub overlapped_round_trips: u64,
     /// Bytes written.
     pub bytes_written: u64,
     /// Bytes read.
@@ -61,6 +67,7 @@ impl FabricMetrics {
             onchip_atomics: self.onchip_atomics.load(Ordering::Relaxed),
             rpcs: self.rpcs.load(Ordering::Relaxed),
             round_trips: self.round_trips.load(Ordering::Relaxed),
+            overlapped_round_trips: self.overlapped_round_trips.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
         }
@@ -77,6 +84,7 @@ impl MetricsSnapshot {
             onchip_atomics: self.onchip_atomics - earlier.onchip_atomics,
             rpcs: self.rpcs - earlier.rpcs,
             round_trips: self.round_trips - earlier.round_trips,
+            overlapped_round_trips: self.overlapped_round_trips - earlier.overlapped_round_trips,
             bytes_written: self.bytes_written - earlier.bytes_written,
             bytes_read: self.bytes_read - earlier.bytes_read,
         }

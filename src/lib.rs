@@ -21,12 +21,14 @@ pub use sherman_workload;
 /// Convenience prelude for examples and integration tests.
 pub mod prelude {
     pub use sherman::{
-        Cluster, ClusterConfig, LeafFormat, LockStrategy, NodeCensus, OpStats, ReclaimScheme,
-        ShapeAudit, TreeClient, TreeConfig, TreeError, TreeOptions,
+        Cluster, ClusterConfig, LeafFormat, LockStrategy, NodeCensus, OpOutput, OpStats,
+        PipelineOp, PipelineReport, PipelinedResult, ReclaimScheme, ShapeAudit, TreeClient,
+        TreeConfig, TreeError, TreeOptions,
     };
     pub use sherman_memserver::{EpochRegistry, ReaderHandle};
     pub use sherman_metrics::{
-        EpochGauges, LatencyHistogram, RunSummary, ThreadReport, ThroughputAggregator,
+        EpochGauges, LatencyHistogram, OverlapGauges, RunSummary, ThreadReport,
+        ThroughputAggregator,
     };
     pub use sherman_sim::FabricConfig;
     pub use sherman_workload::{ChurnSpec, KeyDistribution, Mix, Op, WorkloadSpec};

@@ -12,14 +12,18 @@
 //!
 //! ```text
 //! cargo run --release -p sherman_bench --bin pipeline [-- --quick] [--smoke]
-//!     [--threads N] [--keys N] [--ops N] [--range-pct P] [--depths 1,2,4,8]
+//!     [--threads N] [--keys N] [--ops N] [--range-pct P] [--insert-pct P]
+//!     [--depths 1,2,4,8]
 //! ```
 //!
 //! `--smoke` runs the CI gate at `--quick` scale and exits non-zero when
 //! depth 1 deviates from the blocking path by more than 5%, when depth 4
 //! fails to beat depth 1 by at least 1.5× on uniform lookups, or when the
 //! overlap gauges show the pipeline never went concurrent (mean in-flight
-//! ≤ 1.5 at depth 4).
+//! ≤ 1.5 at depth 4).  The gate then repeats the sweep on a 50%-insert
+//! uniform workload — write pipelining with lock-atomic critical sections —
+//! requiring depth-1 equivalence within 5% and a depth-4 speedup of at
+//! least 1.3×.
 
 use sherman_bench::{fmt_mops, fmt_us, print_table, run_pipeline_experiment, Args, PipelineExperiment};
 
@@ -69,6 +73,7 @@ fn configure(args: &Args, name: &str, depth: usize) -> PipelineExperiment {
     exp.ops_per_thread = args.get_usize("ops", exp.ops_per_thread);
     exp.range_pct = args.get_u64("range-pct", exp.range_pct as u64) as u8;
     exp.range_size = args.get_u64("range-size", exp.range_size);
+    exp.insert_pct = args.get_u64("insert-pct", exp.insert_pct as u64) as u8;
     if args.quick() || args.flag("smoke") {
         exp = exp.quick();
     }
@@ -89,17 +94,43 @@ fn row(result: &sherman_bench::PipelineResult, base: f64) -> Vec<String> {
     ]
 }
 
-/// CI gate: depth-1 equivalence and the depth-4 speedup, at quick scale.
+/// CI gate: depth-1 equivalence and the depth-4 speedup, at quick scale —
+/// once on uniform lookups (≥ 1.5×) and once on a 50%-insert mixed workload
+/// (≥ 1.3×, critical sections bound the attainable overlap).
 fn smoke(args: &Args) {
-    let blocking = run_pipeline_experiment(&configure(args, "blocking", 0));
-    let depth1 = run_pipeline_experiment(&configure(args, "depth-1", 1));
-    let depth4 = run_pipeline_experiment(&configure(args, "depth-4", 4));
+    let mut failures = Vec::new();
+    smoke_case(args, "reads", 0, 1.5, &mut failures);
+    smoke_case(args, "mixed-50i", 50, 1.3, &mut failures);
+    if failures.is_empty() {
+        println!("pipeline smoke: OK");
+    } else {
+        for f in &failures {
+            eprintln!("pipeline smoke FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn smoke_case(
+    args: &Args,
+    case: &str,
+    insert_pct: u8,
+    min_speedup: f64,
+    failures: &mut Vec<String>,
+) {
+    let with_writes = |mut exp: PipelineExperiment| {
+        exp.insert_pct = insert_pct;
+        exp
+    };
+    let blocking = run_pipeline_experiment(&with_writes(configure(args, "blocking", 0)));
+    let depth1 = run_pipeline_experiment(&with_writes(configure(args, "depth-1", 1)));
+    let depth4 = run_pipeline_experiment(&with_writes(configure(args, "depth-4", 4)));
 
     let equivalence = depth1.summary.throughput_ops / blocking.summary.throughput_ops;
     let speedup = depth4.summary.throughput_ops / depth1.summary.throughput_ops;
     println!(
-        "pipeline smoke: blocking={} depth1={} depth4={} equivalence={:.3} speedup={:.2}x \
-         mean_inflight(d4)={:.2} max_inflight(d4)={} overlapped(d4)={:.0}%",
+        "pipeline smoke [{case}]: blocking={} depth1={} depth4={} equivalence={:.3} \
+         speedup={:.2}x mean_inflight(d4)={:.2} max_inflight(d4)={} overlapped(d4)={:.0}%",
         fmt_mops(blocking.summary.throughput_ops),
         fmt_mops(depth1.summary.throughput_ops),
         fmt_mops(depth4.summary.throughput_ops),
@@ -109,29 +140,21 @@ fn smoke(args: &Args) {
         depth4.overlap.max_in_flight,
         depth4.overlap.overlapped_fraction() * 100.0,
     );
-    let mut failures = Vec::new();
     if !(0.95..=1.05).contains(&equivalence) {
         failures.push(format!(
-            "depth-1 deviates from the blocking path by more than 5% (ratio {equivalence:.3})"
+            "[{case}] depth-1 deviates from the blocking path by more than 5% \
+             (ratio {equivalence:.3})"
         ));
     }
-    if speedup < 1.5 {
+    if speedup < min_speedup {
         failures.push(format!(
-            "depth-4 read throughput only {speedup:.2}x depth-1 (needs >= 1.5x)"
+            "[{case}] depth-4 throughput only {speedup:.2}x depth-1 (needs >= {min_speedup}x)"
         ));
     }
     if depth4.overlap.mean_in_flight() <= 1.5 {
         failures.push(format!(
-            "depth-4 mean in-flight {:.2} shows no real overlap (needs > 1.5)",
+            "[{case}] depth-4 mean in-flight {:.2} shows no real overlap (needs > 1.5)",
             depth4.overlap.mean_in_flight()
         ));
-    }
-    if failures.is_empty() {
-        println!("pipeline smoke: OK");
-    } else {
-        for f in &failures {
-            eprintln!("pipeline smoke FAILED: {f}");
-        }
-        std::process::exit(1);
     }
 }

@@ -38,6 +38,6 @@ pub use fabricbench::{run_write_size_sweep, WriteSizePoint};
 pub use lockbench::{run_lock_experiment, LockExperiment, LockVariant};
 pub use report::{fmt_mops, fmt_us, print_table};
 pub use runner::{
-    run_pipeline_experiment, run_tree_experiment, ExperimentResult, PipelineExperiment,
-    PipelineResult, TreeExperiment,
+    run_pipeline_experiment, run_tree_experiment, DrivePath, ExperimentResult,
+    PipelineExperiment, PipelineResult, TreeExperiment,
 };

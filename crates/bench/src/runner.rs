@@ -1,8 +1,11 @@
 //! End-to-end tree experiments: bulkload, multi-threaded workload drive,
-//! aggregation — plus the **pipelined** read experiments that sweep the
-//! split-phase scheduler's in-flight depth.
+//! aggregation — plus the **pipelined** experiments that sweep the
+//! split-phase scheduler's in-flight depth over read-only and mixed
+//! read/write workloads.
 
-use sherman::{Cluster, ClusterConfig, OpStats, PipelineOp, TreeConfig, TreeOptions};
+use sherman::{
+    Cluster, ClusterConfig, OpStats, PipelineOp, PipelinedResult, TreeConfig, TreeOptions,
+};
 use sherman_metrics::{
     CountHistogram, LatencyHistogram, OverlapGauges, RunSummary, SizeHistogram, ThreadReport,
     ThroughputAggregator,
@@ -88,11 +91,35 @@ impl TreeExperiment {
     }
 }
 
+/// Which execution path `run_tree_experiment`'s measured phase used — the
+/// result reports it so a depth that silently degraded to blocking (the old
+/// behaviour for any workload containing writes) can no longer hide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrivePath {
+    /// One blocking operation at a time (pipeline depth 1).
+    Blocking,
+    /// The split-phase scheduler with the given in-flight depth.
+    Pipelined(usize),
+}
+
+impl std::fmt::Display for DrivePath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DrivePath::Blocking => write!(f, "blocking"),
+            DrivePath::Pipelined(d) => write!(f, "pipelined(depth={d})"),
+        }
+    }
+}
+
 /// What one tree experiment produced.
 #[derive(Debug)]
 pub struct ExperimentResult {
     /// Experiment label.
     pub name: String,
+    /// How the measured phase drove the workload (blocking loop or the
+    /// pipelined scheduler) — writes pipeline like reads, so
+    /// `TreeOptions::pipeline_depth > 1` always selects the scheduler.
+    pub drive: DrivePath,
     /// Throughput / latency summary.
     pub summary: RunSummary,
     /// Round trips per *write* operation (Figure 14(b)).
@@ -141,6 +168,44 @@ impl ThreadOutcome {
             self.read_retries.record(stats.read_retries);
         }
     }
+
+    /// Fold one scheduler result in — the pipelined twin of [`Self::record`],
+    /// fed from the op-id-tagged per-operation counters instead of a
+    /// blocking stats delta.
+    fn record_pipelined(&mut self, r: &PipelinedResult) {
+        self.ops += 1;
+        self.latency.record(r.latency_ns);
+        self.cache_lookups += 1;
+        if r.cache_hit {
+            self.cache_hits += 1;
+        }
+        match r.op {
+            PipelineOp::Insert { .. } | PipelineOp::Delete { .. } => {
+                self.writes += 1;
+                self.write_round_trips.record(r.round_trips);
+                self.write_sizes.record(r.bytes_written);
+                if r.handed_over {
+                    self.handovers += 1;
+                }
+            }
+            PipelineOp::Lookup { .. } | PipelineOp::Range { .. } => {
+                self.read_retries.record(r.read_retries);
+            }
+        }
+    }
+}
+
+/// Map a workload operation onto its pipelined-scheduler form.
+fn to_pipeline_op(op: Op) -> PipelineOp {
+    match op {
+        Op::Lookup { key } => PipelineOp::Lookup { key },
+        Op::Insert { key, value } => PipelineOp::Insert { key, value },
+        Op::Delete { key } => PipelineOp::Delete { key },
+        Op::Range { start_key, count } => PipelineOp::Range {
+            start_key,
+            count: count as usize,
+        },
+    }
 }
 
 /// Run one tree experiment to completion and aggregate the results.
@@ -174,24 +239,40 @@ pub fn run_tree_experiment(exp: &TreeExperiment) -> ExperimentResult {
         let barrier = Arc::clone(&barrier);
         let cs = (t % exp.compute_servers) as u16;
         let ops_per_thread = exp.ops_per_thread;
+        let pipeline_depth = exp.options.pipeline_depth;
         handles.push(thread::spawn(move || {
             let mut client = cluster.client(cs);
             barrier.wait();
             let mut gen = spec.generator(t as u64);
             let mut outcome = ThreadOutcome::default();
-            for _ in 0..ops_per_thread {
-                let op = gen.next_op();
-                let stats = match op {
-                    Op::Lookup { key } => client.lookup(key).map(|(_, s)| s),
-                    Op::Insert { key, value } => client.insert(key, value),
-                    Op::Delete { key } => client.delete(key).map(|(_, s)| s),
-                    Op::Range { start_key, count } => {
-                        client.range(start_key, count as usize).map(|(_, s)| s)
+            if pipeline_depth > 1 {
+                // Mixed read/write workloads go through the split-phase
+                // scheduler like everything else — no silent fallback to the
+                // blocking loop just because the mix contains writes.
+                let ops: Vec<PipelineOp> = (0..ops_per_thread)
+                    .map(|_| to_pipeline_op(gen.next_op()))
+                    .collect();
+                let report = client
+                    .run_pipelined(ops, pipeline_depth)
+                    .expect("pipelined run");
+                for r in &report.results {
+                    outcome.record_pipelined(r);
+                }
+            } else {
+                for _ in 0..ops_per_thread {
+                    let op = gen.next_op();
+                    let stats = match op {
+                        Op::Lookup { key } => client.lookup(key).map(|(_, s)| s),
+                        Op::Insert { key, value } => client.insert(key, value),
+                        Op::Delete { key } => client.delete(key).map(|(_, s)| s),
+                        Op::Range { start_key, count } => {
+                            client.range(start_key, count as usize).map(|(_, s)| s)
+                        }
+                    };
+                    match stats {
+                        Ok(stats) => outcome.record(&op, &stats),
+                        Err(e) => panic!("operation failed: {e}"),
                     }
-                };
-                match stats {
-                    Ok(stats) => outcome.record(&op, &stats),
-                    Err(e) => panic!("operation failed: {e}"),
                 }
             }
             outcome
@@ -233,6 +314,11 @@ pub fn run_tree_experiment(exp: &TreeExperiment) -> ExperimentResult {
 
     ExperimentResult {
         name: exp.name.clone(),
+        drive: if exp.options.pipeline_depth > 1 {
+            DrivePath::Pipelined(exp.options.pipeline_depth)
+        } else {
+            DrivePath::Blocking
+        },
         summary: agg.finish(elapsed),
         write_round_trips,
         read_retries,
@@ -252,15 +338,16 @@ pub fn run_tree_experiment(exp: &TreeExperiment) -> ExperimentResult {
 }
 
 // ----------------------------------------------------------------------
-// Pipelined read experiments
+// Pipelined experiments
 // ----------------------------------------------------------------------
 
-/// A read-only experiment driven through the pipelined scheduler: every
-/// thread multiplexes `depth` logical lookups/scans over one fabric context.
+/// An experiment driven through the pipelined scheduler: every thread
+/// multiplexes `depth` logical operations (uniform lookups, scans, and —
+/// when `insert_pct > 0` — inserts) over one fabric context.
 ///
 /// `depth == 0` selects the **blocking reference** implementation (the plain
-/// `TreeClient::lookup`/`range` loop) so the depth-1 scheduler can be
-/// validated against it; `depth >= 1` runs `TreeClient::run_pipelined` at
+/// `TreeClient::lookup`/`range`/`insert` loop) so the depth-1 scheduler can
+/// be validated against it; `depth >= 1` runs `TreeClient::run_pipelined` at
 /// that depth (carried into the cluster via `TreeOptions::pipeline_depth`).
 #[derive(Debug, Clone)]
 pub struct PipelineExperiment {
@@ -281,6 +368,9 @@ pub struct PipelineExperiment {
     /// Percentage of operations that are range scans (the rest are uniform
     /// lookups; the acceptance workload uses 0).
     pub range_pct: u8,
+    /// Percentage of operations that are inserts (half of them updates of
+    /// bulkloaded keys).  The write-path pipelining gate uses 50.
+    pub insert_pct: u8,
     /// Entries per range scan.
     pub range_size: u64,
     /// In-flight depth (0 = blocking reference, see type docs).
@@ -305,6 +395,7 @@ impl PipelineExperiment {
             bulkload_fraction: 0.8,
             ops_per_thread: 2_000,
             range_pct: 0,
+            insert_pct: 0,
             range_size: 50,
             depth,
             options: TreeOptions::sherman(),
@@ -322,21 +413,21 @@ impl PipelineExperiment {
         self
     }
 
-    /// The read-only workload specification this experiment draws keys from.
+    /// The workload specification this experiment draws keys from.
     pub fn workload(&self) -> WorkloadSpec {
         WorkloadSpec {
             key_space: self.key_space,
             bulkload_keys: (self.key_space as f64 * self.bulkload_fraction) as u64,
             mix: Mix {
-                insert_pct: 0,
-                lookup_pct: 100 - self.range_pct,
+                insert_pct: self.insert_pct,
+                lookup_pct: 100 - self.range_pct - self.insert_pct,
                 delete_pct: 0,
                 range_pct: self.range_pct,
             },
             distribution: KeyDistribution::Uniform,
             range_size: self.range_size,
             seed: self.seed,
-            update_fraction: 0.0,
+            update_fraction: if self.insert_pct > 0 { 0.5 } else { 0.0 },
         }
     }
 }
@@ -392,14 +483,7 @@ pub fn run_pipeline_experiment(exp: &PipelineExperiment) -> PipelineResult {
             let depth = cluster.options().pipeline_depth;
             let mut gen = spec.generator(t as u64);
             let ops: Vec<PipelineOp> = (0..ops_per_thread)
-                .map(|_| match gen.next_op() {
-                    Op::Lookup { key } => PipelineOp::Lookup { key },
-                    Op::Range { start_key, count } => PipelineOp::Range {
-                        start_key,
-                        count: count as usize,
-                    },
-                    other => panic!("read-only workload produced {other:?}"),
-                })
+                .map(|_| to_pipeline_op(gen.next_op()))
                 .collect();
             barrier.wait();
 
@@ -414,6 +498,10 @@ pub fn run_pipeline_experiment(exp: &PipelineExperiment) -> PipelineResult {
                         PipelineOp::Range { start_key, count } => {
                             client.range(start_key, count).expect("range").1
                         }
+                        PipelineOp::Insert { key, value } => {
+                            client.insert(key, value).expect("insert")
+                        }
+                        PipelineOp::Delete { key } => client.delete(key).expect("delete").1,
                     };
                     latency.record(stats.latency_ns);
                     if stats.cache_hit {
@@ -561,6 +649,43 @@ mod tests {
         );
         assert!(depth4.overlap.overlapped_round_trips > 0);
         assert!(depth4.overlap.overlap_factor() > depth1.overlap.overlap_factor());
+    }
+
+    #[test]
+    fn tree_experiment_reports_its_drive_path_and_pipelines_writes() {
+        let blocking = run_tree_experiment(&tiny(TreeOptions::sherman()));
+        assert_eq!(blocking.drive, DrivePath::Blocking);
+
+        let piped = run_tree_experiment(&tiny(TreeOptions::sherman().with_pipeline_depth(4)));
+        assert_eq!(piped.drive, DrivePath::Pipelined(4));
+        // The mixed write-intensive workload really ran (and through the
+        // scheduler): same op count, write histograms populated.
+        assert_eq!(piped.summary.ops, 80);
+        assert!(piped.write_sizes.total() > 0);
+        assert!(piped.write_round_trips.total() > 0);
+    }
+
+    #[test]
+    fn mixed_pipeline_depth_one_matches_blocking_and_depth_four_overlaps() {
+        let mixed = |depth: usize| {
+            let mut exp = tiny_pipeline(depth);
+            exp.insert_pct = 50;
+            exp
+        };
+        let blocking = run_pipeline_experiment(&mixed(0));
+        let depth1 = run_pipeline_experiment(&mixed(1));
+        let ratio = depth1.summary.throughput_ops / blocking.summary.throughput_ops;
+        assert!(
+            (0.95..=1.05).contains(&ratio),
+            "depth-1 mixed must reproduce the blocking path within 5%, ratio {ratio:.3}"
+        );
+        let depth4 = run_pipeline_experiment(&mixed(4));
+        let speedup = depth4.summary.throughput_ops / depth1.summary.throughput_ops;
+        assert!(
+            speedup >= 1.3,
+            "depth 4 should beat depth 1 by 1.3x on 50% inserts, got {speedup:.2}x"
+        );
+        assert!(depth4.overlap.overlapped_round_trips > 0);
     }
 
     #[test]

@@ -22,13 +22,15 @@ use crate::error::TreeError;
 use crate::layout::NodeLayout;
 use crate::node::{InternalEntry, InternalNode, LeafNode};
 use crate::ops::{
-    self, drive_blocking, LeafSource, LocateStart, LookupSM, OpCx, OpMeta, RangeSM, ReadNodeSM,
-    TraverseSM,
+    self, drive_blocking, DeleteSM, InsertSM, LeafSource, LookupSM, OpCx, OpMeta, RangeSM,
+    ReadNodeSM, Step, TraverseSM, WriteCommit,
 };
 use crate::stats::OpStats;
 use crate::TreeResult;
 use sherman_memserver::{ClientAllocator, ReaderHandle, ServerLayout};
-use sherman_sim::{ClientCtx, ClientStats, GlobalAddress, WriteCmd};
+use sherman_sim::{
+    ClientCtx, ClientStats, Completion, GlobalAddress, PendingVerb, TraceEvent, WriteCmd,
+};
 use std::sync::Arc;
 
 /// Which sibling a structural delete pairs the underfull node with.
@@ -148,6 +150,18 @@ impl TreeClient {
         self.ctx.stats()
     }
 
+    /// Start recording a verb trace: every posted verb (tagged with its
+    /// operation id and whether it was posted inside a lock critical
+    /// section) plus the critical-section begin/end markers.
+    pub fn enable_verb_trace(&mut self) {
+        self.ctx.enable_trace();
+    }
+
+    /// Drain the verb trace recorded since [`Self::enable_verb_trace`].
+    pub fn take_verb_trace(&mut self) -> Vec<TraceEvent> {
+        self.ctx.take_trace()
+    }
+
     fn layout(&self) -> &NodeLayout {
         self.cluster.layout()
     }
@@ -161,21 +175,45 @@ impl TreeClient {
     }
 
     /// Acquire the exclusive lock on `addr`, folding the outcome into `meta`.
+    /// Marks the context as inside a critical section from the moment the
+    /// lock is held (the fabric trace pins down that no other operation's
+    /// verbs interleave until the matching release).
     fn acquire_lock(&mut self, addr: GlobalAddress, meta: &mut OpMeta) -> TreeResult<()> {
         let mgr = Arc::clone(self.cluster.lock_manager());
         let acq = mgr.acquire(&mut self.ctx, addr)?;
         meta.lock_retries += acq.remote_retries;
         meta.handed_over |= acq.handed_over;
+        self.ctx.begin_critical();
         Ok(())
     }
 
     /// Release the exclusive lock on `addr`, flushing `writes` according to
-    /// the command-combination setting.
+    /// the command-combination setting.  Blocking: the release completion is
+    /// observed before returning.
     fn release_lock(&mut self, addr: GlobalAddress, writes: Vec<WriteCmd>) -> TreeResult<()> {
         let combine = self.combine();
         let mgr = Arc::clone(self.cluster.lock_manager());
         mgr.release(&mut self.ctx, addr, writes, combine)?;
+        self.ctx.end_critical();
         Ok(())
+    }
+
+    /// Release the exclusive lock on `addr` with the *final* release verb
+    /// posted split-phase: its memory effect (lock word cleared, write-backs
+    /// applied) lands at post time, so the critical section ends here even
+    /// though the completion is still outstanding.  Returns the deferred verb
+    /// to park on (`None` when a local handover made the release purely
+    /// local).
+    fn release_lock_deferred(
+        &mut self,
+        addr: GlobalAddress,
+        writes: Vec<WriteCmd>,
+    ) -> TreeResult<Option<PendingVerb>> {
+        let combine = self.combine();
+        let mgr = Arc::clone(self.cluster.lock_manager());
+        let (_, deferred) = mgr.release_deferred(&mut self.ctx, addr, writes, combine, true)?;
+        self.ctx.end_critical();
+        Ok(deferred)
     }
 
     /// The state-machine stepping context for this client's thread.
@@ -238,18 +276,6 @@ impl TreeClient {
         drive_blocking(&mut cx, meta, |cx, meta, c| sm.step(cx, meta, c))
     }
 
-    /// Find the leaf that should hold `key`, preferring the index cache.
-    fn locate_leaf(&mut self, key: u64, meta: &mut OpMeta) -> TreeResult<(GlobalAddress, LeafSource)> {
-        let mut cx = self.op_cx();
-        match ops::locate_start(&mut cx, meta, key) {
-            LocateStart::Cached(addr, source) => Ok((addr, source)),
-            LocateStart::Traverse(mut sm) => {
-                let addr = drive_blocking(&mut cx, meta, |cx, meta, c| sm.step(cx, meta, c))?;
-                Ok((addr, LeafSource::Traversal))
-            }
-        }
-    }
-
     /// Handle a leaf that turned out not to cover `key`: invalidate the stale
     /// cache entry and either follow the sibling pointer or ask for a fresh
     /// traversal.  Returns the next address to try, or `None` to re-locate.
@@ -286,52 +312,83 @@ impl TreeClient {
     // Insert / update
     // ------------------------------------------------------------------
 
+    /// Drive a write state machine's step function to completion with one
+    /// verb in flight at a time — the write-path twin of [`drive_blocking`],
+    /// taking the whole client because the commit step needs the allocator
+    /// and lock manager.  A pipelined run at depth 1 executes exactly this.
+    fn drive_write<T>(
+        &mut self,
+        meta: &mut OpMeta,
+        mut step: impl FnMut(&mut TreeClient, &mut OpMeta, Option<Completion>) -> TreeResult<Step<T>>,
+    ) -> TreeResult<T> {
+        let mut completion = None;
+        loop {
+            match step(self, meta, completion.take())? {
+                Step::Pending(token) => completion = Some(self.ctx.poll_token(token)),
+                Step::Done(value) => return Ok(value),
+            }
+        }
+    }
+
     /// Insert `key → value`, overwriting any existing value.
+    ///
+    /// Blocking form of the insert state machine: one verb in flight at a
+    /// time, which is exactly what a pipelined run at depth 1 executes.
     pub fn insert(&mut self, key: u64, value: u64) -> TreeResult<OpStats> {
         let before = self.ctx.stats();
         let t0 = self.ctx.now();
         let _pin = self.reader.pin();
         let mut meta = OpMeta::default();
-        self.insert_inner(key, value, &mut meta)?;
+        let mut sm = InsertSM::new(&self.op_cx(), key, value);
+        self.drive_write(&mut meta, |client, meta, c| sm.step(client, meta, c))?;
         Ok(self.finish(before, t0, meta))
     }
 
-    fn insert_inner(&mut self, key: u64, value: u64, meta: &mut OpMeta) -> TreeResult<()> {
-        let restarts = self.cluster.config().max_restarts;
-        let mut pending: Option<(GlobalAddress, LeafSource)> = None;
-        for _ in 0..restarts {
-            let (addr, source) = match pending.take() {
-                Some(next) => next,
-                None => self.locate_leaf(key, meta)?,
-            };
-            self.acquire_lock(addr, meta)?;
+    /// The insert critical section, run synchronously against the leaf at
+    /// `addr`: acquire its lock, read and revalidate it, install the entry
+    /// (or split), and release.  On the fast path the combined
+    /// write-back + release verb is posted split-phase and returned for the
+    /// caller to park on; every other exit observes its release inline so
+    /// depth-1 pipelining stays verb-for-verb identical to blocking.
+    pub(crate) fn insert_commit(
+        &mut self,
+        addr: GlobalAddress,
+        source: LeafSource,
+        key: u64,
+        value: u64,
+        meta: &mut OpMeta,
+    ) -> TreeResult<WriteCommit> {
+        self.acquire_lock(addr, meta)?;
 
-            let buf = self.read_node_locked(addr)?;
-            let mut leaf = self.layout().decode_leaf(&buf);
-            if leaf.header.free || !leaf.header.is_leaf || !leaf.header.covers(key) {
-                self.release_lock(addr, Vec::new())?;
-                pending = self
-                    .next_after_mismatch(key, &leaf, source)
-                    .map(|a| (a, LeafSource::Sibling));
-                continue;
-            }
-
-            // Update in place or take a vacant slot.
-            let slot = leaf.slot_of(key).or_else(|| leaf.vacant_slot());
-            if let Some(slot) = slot {
-                leaf.entries[slot].install(key, value);
-                let writes = self.leaf_writeback(addr, &mut leaf, slot);
-                self.release_lock(addr, writes)?;
-                return Ok(());
-            }
-
-            // Leaf full: split.
-            self.split_leaf(addr, leaf, key, value, meta)?;
-            return Ok(());
+        let buf = self.read_node_locked(addr)?;
+        let mut leaf = self.layout().decode_leaf(&buf);
+        if leaf.header.free || !leaf.header.is_leaf || !leaf.header.covers(key) {
+            self.release_lock(addr, Vec::new())?;
+            let next = self
+                .next_after_mismatch(key, &leaf, source)
+                .map(|a| (a, LeafSource::Sibling));
+            return Ok(WriteCommit::Retry { next });
         }
-        Err(TreeError::RetriesExhausted {
-            context: "insert",
-            attempts: restarts,
+
+        // Update in place or take a vacant slot.
+        let slot = leaf.slot_of(key).or_else(|| leaf.vacant_slot());
+        if let Some(slot) = slot {
+            leaf.entries[slot].install(key, value);
+            let writes = self.leaf_writeback(addr, &mut leaf, slot);
+            let release = self.release_lock_deferred(addr, writes)?;
+            return Ok(WriteCommit::Committed {
+                found: true,
+                release,
+            });
+        }
+
+        // Leaf full: the split and its separator propagation run to
+        // completion inside this step (further locks are taken, so nothing
+        // may stay deferred across them).
+        self.split_leaf(addr, leaf, key, value, meta)?;
+        Ok(WriteCommit::Committed {
+            found: true,
+            release: None,
         })
     }
 
@@ -608,76 +665,91 @@ impl TreeClient {
     // ------------------------------------------------------------------
 
     /// Delete `key`.  Returns whether the key was present.
+    ///
+    /// Blocking form of the delete state machine: one verb in flight at a
+    /// time, which is exactly what a pipelined run at depth 1 executes.
     pub fn delete(&mut self, key: u64) -> TreeResult<(bool, OpStats)> {
         let before = self.ctx.stats();
         let t0 = self.ctx.now();
         let _pin = self.reader.pin();
         let mut meta = OpMeta::default();
-        let deleted = self.delete_inner(key, &mut meta)?;
+        let mut sm = DeleteSM::new(&self.op_cx(), key);
+        let deleted = self.drive_write(&mut meta, |client, meta, c| sm.step(client, meta, c))?;
         Ok((deleted, self.finish(before, t0, meta)))
     }
 
-    fn delete_inner(&mut self, key: u64, meta: &mut OpMeta) -> TreeResult<bool> {
-        let restarts = self.cluster.config().max_restarts;
-        let mut pending: Option<(GlobalAddress, LeafSource)> = None;
-        for _ in 0..restarts {
-            let (addr, source) = match pending.take() {
-                Some(next) => next,
-                None => self.locate_leaf(key, meta)?,
-            };
-            self.acquire_lock(addr, meta)?;
+    /// The delete critical section, run synchronously against the leaf at
+    /// `addr` — the write-path twin of [`TreeClient::insert_commit`].  A
+    /// delete that leaves the leaf underfull runs the structural-merge
+    /// machinery inside this same step (after observing the leaf release
+    /// inline), so no deferral crosses the merge's own critical sections.
+    pub(crate) fn delete_commit(
+        &mut self,
+        addr: GlobalAddress,
+        source: LeafSource,
+        key: u64,
+        meta: &mut OpMeta,
+    ) -> TreeResult<WriteCommit> {
+        self.acquire_lock(addr, meta)?;
 
-            let buf = self.read_node_locked(addr)?;
-            let mut leaf = self.layout().decode_leaf(&buf);
-            if leaf.header.free || !leaf.header.is_leaf || !leaf.header.covers(key) {
-                self.release_lock(addr, Vec::new())?;
-                pending = self
-                    .next_after_mismatch(key, &leaf, source)
-                    .map(|a| (a, LeafSource::Sibling));
-                continue;
-            }
-
-            let Some(slot) = leaf.slot_of(key) else {
-                self.release_lock(addr, Vec::new())?;
-                return Ok(false);
-            };
-            leaf.entries[slot].clear();
-            let writes = match self.leaf_format() {
-                LeafFormat::UnsortedTwoLevel => {
-                    let entry_bytes = self.layout().encode_leaf_entry(&leaf.entries[slot]);
-                    let entry_addr = addr.add(self.layout().leaf_entry_offset(slot) as u64);
-                    vec![WriteCmd::new(entry_addr, entry_bytes)]
-                }
-                _ => {
-                    let pairs = leaf.sorted_pairs();
-                    leaf.repack_sorted(&pairs);
-                    leaf.header.bump_versions();
-                    vec![WriteCmd::new(addr, self.encode_leaf_for_write(&leaf))]
-                }
-            };
-            self.release_lock(addr, writes)?;
-
-            // Structural deletes (§ beyond the paper): once the leaf drops
-            // below the merge threshold, pair it with a sibling — its right
-            // B-link sibling when one exists under the same parent, its left
-            // sibling otherwise (direction-complete) — and merge or
-            // rebalance.  Best-effort — the delete itself has already
-            // committed, so a merge that loses its races (retry budgets
-            // included) must not fail the operation; a later delete will
-            // retry it.
-            if self.cluster.options().structural_deletes_enabled()
-                && leaf.live_count() < self.leaf_merge_floor()
-            {
-                match self.try_merge(addr, 0, Some(&leaf.header), meta) {
-                    Ok(()) | Err(TreeError::RetriesExhausted { .. }) => {}
-                    Err(e) => return Err(e),
-                }
-            }
-            return Ok(true);
+        let buf = self.read_node_locked(addr)?;
+        let mut leaf = self.layout().decode_leaf(&buf);
+        if leaf.header.free || !leaf.header.is_leaf || !leaf.header.covers(key) {
+            self.release_lock(addr, Vec::new())?;
+            let next = self
+                .next_after_mismatch(key, &leaf, source)
+                .map(|a| (a, LeafSource::Sibling));
+            return Ok(WriteCommit::Retry { next });
         }
-        Err(TreeError::RetriesExhausted {
-            context: "delete",
-            attempts: restarts,
+
+        let Some(slot) = leaf.slot_of(key) else {
+            let release = self.release_lock_deferred(addr, Vec::new())?;
+            return Ok(WriteCommit::Committed {
+                found: false,
+                release,
+            });
+        };
+        leaf.entries[slot].clear();
+        let writes = match self.leaf_format() {
+            LeafFormat::UnsortedTwoLevel => {
+                let entry_bytes = self.layout().encode_leaf_entry(&leaf.entries[slot]);
+                let entry_addr = addr.add(self.layout().leaf_entry_offset(slot) as u64);
+                vec![WriteCmd::new(entry_addr, entry_bytes)]
+            }
+            _ => {
+                let pairs = leaf.sorted_pairs();
+                leaf.repack_sorted(&pairs);
+                leaf.header.bump_versions();
+                vec![WriteCmd::new(addr, self.encode_leaf_for_write(&leaf))]
+            }
+        };
+
+        // Structural deletes (§ beyond the paper): once the leaf drops
+        // below the merge threshold, pair it with a sibling — its right
+        // B-link sibling when one exists under the same parent, its left
+        // sibling otherwise (direction-complete) — and merge or
+        // rebalance.  Best-effort — the delete itself has already
+        // committed, so a merge that loses its races (retry budgets
+        // included) must not fail the operation; a later delete will
+        // retry it.  The merge takes further locks, so the leaf release is
+        // observed inline instead of deferred.
+        if self.cluster.options().structural_deletes_enabled()
+            && leaf.live_count() < self.leaf_merge_floor()
+        {
+            self.release_lock(addr, writes)?;
+            match self.try_merge(addr, 0, Some(&leaf.header), meta) {
+                Ok(()) | Err(TreeError::RetriesExhausted { .. }) => {}
+                Err(e) => return Err(e),
+            }
+            return Ok(WriteCommit::Committed {
+                found: true,
+                release: None,
+            });
+        }
+        let release = self.release_lock_deferred(addr, writes)?;
+        Ok(WriteCommit::Committed {
+            found: true,
+            release,
         })
     }
 
@@ -710,6 +782,9 @@ impl TreeClient {
             let acq = mgr.acquire(&mut self.ctx, rep)?;
             meta.lock_retries += acq.remote_retries;
             meta.handed_over |= acq.handed_over;
+            // Critical-section depth nests: the section opens with the first
+            // lock of the plan and closes with the last release.
+            self.ctx.begin_critical();
         }
         Ok(plan)
     }
@@ -734,6 +809,7 @@ impl TreeClient {
                 }
             });
             mgr.release(&mut self.ctx, rep, batch, combine)?;
+            self.ctx.end_critical();
         }
         debug_assert!(writes.is_empty(), "write-back without a guarding lock");
         Ok(())

@@ -1,9 +1,9 @@
-//! Resumable state machines for the lock-free read path.
+//! Resumable state machines for the tree operations.
 //!
 //! The split-phase fabric (`sherman_sim`) lets one thread keep many verbs in
-//! flight; to exploit it, the read-side tree operations are expressed as
-//! explicit state machines that **yield** whenever they post a verb instead of
-//! blocking on it:
+//! flight; to exploit it, the tree operations are expressed as explicit state
+//! machines that **yield** whenever they post a verb instead of blocking on
+//! it:
 //!
 //! * [`ReadNodeSM`] — the node-image consistency loop (post a node read,
 //!   validate versions/checksum on completion, repost on a torn image),
@@ -11,15 +11,33 @@
 //! * [`LookupSM`] — point lookup: locate the leaf, validate, chase siblings,
 //! * [`RangeSM`] — range scan: the cached parallel leaf batch plus the
 //!   sibling-chain walk with tombstone re-location,
+//! * [`InsertSM`] / [`DeleteSM`] — the write paths: locate the leaf (yielding
+//!   freely, like a lookup), then run the whole lock critical section
+//!   *synchronously* inside one step and yield only on the deferred final
+//!   release verb,
 //! * [`OpSM`] — the tagged union the pipelined scheduler multiplexes.
 //!
 //! Every `step` call consumes at most one [`Completion`] (the result of the
 //! verb the machine posted last) and runs until it either posts the next verb
 //! ([`Step::Pending`]) or finishes ([`Step::Done`]).  The machines are the
-//! *only* implementation of the read path: the blocking `TreeClient` entry
-//! points drive them one verb at a time ([`drive_blocking`]), so a pipelined
-//! run at depth 1 and the classic blocking path execute byte-for-byte the
-//! same verbs in the same order.
+//! *only* implementation of the operations: the blocking `TreeClient` entry
+//! points drive them one verb at a time ([`drive_blocking`] and its write-path
+//! twin), so a pipelined run at depth 1 and the classic blocking path execute
+//! byte-for-byte the same verbs in the same order.
+//!
+//! ## Lock critical sections never park
+//!
+//! A write operation must not be suspended while it holds a node lock: the
+//! scheduler multiplexes operations on **one** context, so an op parked on a
+//! lock-holder's context could spin on that very lock (livelock), and its
+//! verbs would interleave into the critical section.  The write machines
+//! therefore treat acquire → locked read → modify → write-back + release as
+//! one atomic segment executed inside a single `step` call; only the *final*
+//! release verb — whose memory effect applies at post time — may remain
+//! outstanding when the step returns ([`WriteCommit::Committed`]).  Between
+//! the acquire and the release post, every verb on the context belongs to the
+//! lock holder by construction (`sherman_sim`'s critical-section trace can
+//! assert this).
 //!
 //! Rare control-path reads (the remote root pointer refresh on a distrusted
 //! restart) stay blocking inside a step: they occur only after a lost race
@@ -27,6 +45,7 @@
 //! outstanding completions later — it never stalls the clock (completion
 //! times are fixed at post time).
 
+use crate::client::TreeClient;
 use crate::cluster::Cluster;
 use crate::config::LeafFormat;
 use crate::error::TreeError;
@@ -69,6 +88,26 @@ pub(crate) enum Step<T> {
     Pending(PendingVerb),
     /// The machine finished.
     Done(T),
+}
+
+/// What one synchronous leaf-commit attempt (the whole lock critical section,
+/// executed inside a single `step` call) produced.
+pub(crate) enum WriteCommit {
+    /// The modification committed.  `found` reports whether the key was
+    /// present (meaningful for deletes).  `release` carries the deferred
+    /// final lock-release verb when the fast path posted it split-phase —
+    /// the machine parks on it as its last yield; `None` means the release
+    /// was already observed inline (lock handover, or a split/merge followed
+    /// and had to run after a polled release).
+    Committed {
+        found: bool,
+        release: Option<PendingVerb>,
+    },
+    /// The locked leaf did not cover the key; the lock was released untouched
+    /// and the operation must retry at `next` (re-locate when `None`).
+    Retry {
+        next: Option<(GlobalAddress, LeafSource)>,
+    },
 }
 
 /// The shared-state window a state machine steps against: the cluster plus
@@ -838,39 +877,273 @@ impl RangeSM {
 }
 
 // ----------------------------------------------------------------------
+// Write paths: insert and delete
+// ----------------------------------------------------------------------
+
+/// The common phase ladder of the write machines.  Location yields freely
+/// (it is the same lock-free descent a lookup uses); the commit runs the
+/// whole critical section synchronously and at most leaves the deferred
+/// release verb outstanding.
+enum WritePhase {
+    /// Decide where to commit next (consume `pending`, consult the cache, or
+    /// start a traversal).
+    Restart,
+    Locate(TraverseSM),
+    Commit {
+        addr: GlobalAddress,
+        source: LeafSource,
+    },
+    /// The deferred final release verb is in flight; its completion finishes
+    /// the operation (the memory effect already applied at post time).
+    AwaitRelease,
+}
+
+/// Insert (or update) as a resumable machine: locate the leaf → one
+/// synchronous locked commit ([`TreeClient::insert_commit`]) → park on the
+/// deferred release.  Splits run to completion inside the commit step.
+pub(crate) struct InsertSM {
+    key: u64,
+    value: u64,
+    restarts_left: u32,
+    pending: Option<(GlobalAddress, LeafSource)>,
+    phase: WritePhase,
+}
+
+impl InsertSM {
+    pub(crate) fn new(cx: &OpCx<'_>, key: u64, value: u64) -> Self {
+        InsertSM {
+            key,
+            value,
+            restarts_left: cx.cluster.config().max_restarts,
+            pending: None,
+            phase: WritePhase::Restart,
+        }
+    }
+
+    pub(crate) fn step(
+        &mut self,
+        client: &mut TreeClient,
+        meta: &mut OpMeta,
+        mut completion: Option<Completion>,
+    ) -> TreeResult<Step<()>> {
+        loop {
+            match &mut self.phase {
+                WritePhase::Restart => {
+                    if self.restarts_left == 0 {
+                        return Err(TreeError::RetriesExhausted {
+                            context: "insert",
+                            attempts: client.cluster.config().max_restarts,
+                        });
+                    }
+                    self.restarts_left -= 1;
+                    if let Some((addr, source)) = self.pending.take() {
+                        self.phase = WritePhase::Commit { addr, source };
+                        continue;
+                    }
+                    let mut cx = client.op_cx();
+                    match locate_start(&mut cx, meta, self.key) {
+                        LocateStart::Cached(addr, source) => {
+                            self.phase = WritePhase::Commit { addr, source };
+                        }
+                        LocateStart::Traverse(sm) => self.phase = WritePhase::Locate(sm),
+                    }
+                }
+                WritePhase::Locate(sm) => {
+                    let mut cx = client.op_cx();
+                    match sm.step(&mut cx, meta, completion.take())? {
+                        Step::Pending(token) => return Ok(Step::Pending(token)),
+                        Step::Done(addr) => {
+                            self.phase = WritePhase::Commit {
+                                addr,
+                                source: LeafSource::Traversal,
+                            };
+                        }
+                    }
+                }
+                WritePhase::Commit { addr, source } => {
+                    let (addr, source) = (*addr, *source);
+                    match client.insert_commit(addr, source, self.key, self.value, meta)? {
+                        WriteCommit::Committed {
+                            release: Some(token),
+                            ..
+                        } => {
+                            self.phase = WritePhase::AwaitRelease;
+                            return Ok(Step::Pending(token));
+                        }
+                        WriteCommit::Committed { release: None, .. } => {
+                            return Ok(Step::Done(()));
+                        }
+                        WriteCommit::Retry { next } => {
+                            self.pending = next;
+                            self.phase = WritePhase::Restart;
+                        }
+                    }
+                }
+                WritePhase::AwaitRelease => {
+                    debug_assert!(
+                        completion.take().is_some(),
+                        "AwaitRelease resumes on the release completion"
+                    );
+                    return Ok(Step::Done(()));
+                }
+            }
+        }
+    }
+}
+
+/// Delete as a resumable machine, same shape as [`InsertSM`]; structural
+/// merges (when enabled and triggered) run to completion inside the commit
+/// step, after the leaf release was polled inline.
+pub(crate) struct DeleteSM {
+    key: u64,
+    /// Whether the key was present, recorded at commit time (the machine may
+    /// still park on the deferred release afterwards).
+    found: bool,
+    restarts_left: u32,
+    pending: Option<(GlobalAddress, LeafSource)>,
+    phase: WritePhase,
+}
+
+impl DeleteSM {
+    pub(crate) fn new(cx: &OpCx<'_>, key: u64) -> Self {
+        DeleteSM {
+            key,
+            found: false,
+            restarts_left: cx.cluster.config().max_restarts,
+            pending: None,
+            phase: WritePhase::Restart,
+        }
+    }
+
+    pub(crate) fn step(
+        &mut self,
+        client: &mut TreeClient,
+        meta: &mut OpMeta,
+        mut completion: Option<Completion>,
+    ) -> TreeResult<Step<bool>> {
+        loop {
+            match &mut self.phase {
+                WritePhase::Restart => {
+                    if self.restarts_left == 0 {
+                        return Err(TreeError::RetriesExhausted {
+                            context: "delete",
+                            attempts: client.cluster.config().max_restarts,
+                        });
+                    }
+                    self.restarts_left -= 1;
+                    if let Some((addr, source)) = self.pending.take() {
+                        self.phase = WritePhase::Commit { addr, source };
+                        continue;
+                    }
+                    let mut cx = client.op_cx();
+                    match locate_start(&mut cx, meta, self.key) {
+                        LocateStart::Cached(addr, source) => {
+                            self.phase = WritePhase::Commit { addr, source };
+                        }
+                        LocateStart::Traverse(sm) => self.phase = WritePhase::Locate(sm),
+                    }
+                }
+                WritePhase::Locate(sm) => {
+                    let mut cx = client.op_cx();
+                    match sm.step(&mut cx, meta, completion.take())? {
+                        Step::Pending(token) => return Ok(Step::Pending(token)),
+                        Step::Done(addr) => {
+                            self.phase = WritePhase::Commit {
+                                addr,
+                                source: LeafSource::Traversal,
+                            };
+                        }
+                    }
+                }
+                WritePhase::Commit { addr, source } => {
+                    let (addr, source) = (*addr, *source);
+                    match client.delete_commit(addr, source, self.key, meta)? {
+                        WriteCommit::Committed {
+                            found,
+                            release: Some(token),
+                        } => {
+                            self.found = found;
+                            self.phase = WritePhase::AwaitRelease;
+                            return Ok(Step::Pending(token));
+                        }
+                        WriteCommit::Committed {
+                            found,
+                            release: None,
+                        } => {
+                            return Ok(Step::Done(found));
+                        }
+                        WriteCommit::Retry { next } => {
+                            self.pending = next;
+                            self.phase = WritePhase::Restart;
+                        }
+                    }
+                }
+                WritePhase::AwaitRelease => {
+                    debug_assert!(
+                        completion.take().is_some(),
+                        "AwaitRelease resumes on the release completion"
+                    );
+                    return Ok(Step::Done(self.found));
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
 // The union the scheduler multiplexes
 // ----------------------------------------------------------------------
 
-/// One read operation's state machine.
+/// One operation's state machine.
 pub(crate) enum OpSM {
     Lookup(LookupSM),
     Range(RangeSM),
+    Insert(InsertSM),
+    Delete(DeleteSM),
 }
 
-/// One read operation's result.
+/// One operation's result.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OpOutput {
     /// Result of a lookup: the value, if the key was present.
     Lookup(Option<u64>),
     /// Result of a range scan: the collected `(key, value)` pairs.
     Range(Vec<(u64, u64)>),
+    /// An insert (or update) committed.
+    Insert,
+    /// Result of a delete: whether the key was present.
+    Delete(bool),
 }
 
 impl OpSM {
     pub(crate) fn step(
         &mut self,
-        cx: &mut OpCx<'_>,
+        client: &mut TreeClient,
         meta: &mut OpMeta,
         completion: Option<Completion>,
     ) -> TreeResult<Step<OpOutput>> {
         match self {
-            OpSM::Lookup(sm) => Ok(match sm.step(cx, meta, completion)? {
+            OpSM::Lookup(sm) => {
+                let mut cx = client.op_cx();
+                Ok(match sm.step(&mut cx, meta, completion)? {
+                    Step::Pending(t) => Step::Pending(t),
+                    Step::Done(v) => Step::Done(OpOutput::Lookup(v)),
+                })
+            }
+            OpSM::Range(sm) => {
+                let mut cx = client.op_cx();
+                Ok(match sm.step(&mut cx, meta, completion)? {
+                    Step::Pending(t) => Step::Pending(t),
+                    Step::Done(v) => Step::Done(OpOutput::Range(v)),
+                })
+            }
+            OpSM::Insert(sm) => Ok(match sm.step(client, meta, completion)? {
                 Step::Pending(t) => Step::Pending(t),
-                Step::Done(v) => Step::Done(OpOutput::Lookup(v)),
+                Step::Done(()) => Step::Done(OpOutput::Insert),
             }),
-            OpSM::Range(sm) => Ok(match sm.step(cx, meta, completion)? {
+            OpSM::Delete(sm) => Ok(match sm.step(client, meta, completion)? {
                 Step::Pending(t) => Step::Pending(t),
-                Step::Done(v) => Step::Done(OpOutput::Range(v)),
+                Step::Done(found) => Step::Done(OpOutput::Delete(found)),
             }),
         }
     }

@@ -1,5 +1,5 @@
-//! The pipelined tree-operation scheduler: N logical read operations
-//! multiplexed round-robin over **one** fabric context.
+//! The pipelined tree-operation scheduler: N logical operations multiplexed
+//! round-robin over **one** fabric context.
 //!
 //! The split-phase fabric fixes a verb's completion time at post time and
 //! lets the poster keep going, but a single tree operation is inherently
@@ -16,20 +16,47 @@
 //! the shared completion queue decides which operation runs next, a finished
 //! operation's slot immediately pulls the next operation from the feed, and
 //! a `depth` of 1 degenerates to exactly the blocking path (post one verb,
-//! poll it) — the equivalence the `pipelined_equivalence` suite pins down.
+//! poll it) — the equivalence the `pipelined_equivalence` and
+//! `write_pipelining` suites pin down.
+//!
+//! ## Writes pipeline too — with atomic critical sections
+//!
+//! Inserts and deletes join the pipeline: their *location* phase is the same
+//! lock-free descent a lookup uses and overlaps freely with every other
+//! in-flight operation.  Their lock critical section, however, is executed
+//! atomically inside a single state-machine step (see `ops`): between the
+//! lock acquire and the release post no other operation is stepped, so no
+//! foreign verb can interleave into the critical section on this context —
+//! and no operation is ever parked while holding a lock (which could
+//! otherwise livelock the single thread against its own lock).  On the fast
+//! path only the combined write-back + release verb remains outstanding when
+//! the step returns; its memory effect applied at post time, so other
+//! operations resume immediately while the release completion is still in
+//! flight (DEX-style lock-conscious pipelining).
+//!
+//! ## Attributing completions to operations
+//!
+//! All in-flight operations share one completion queue.  Every posted verb
+//! is tagged with its operation's id (`ClientCtx::set_current_op`), so the
+//! fabric can attribute each completion's round trip and wait to the op that
+//! posted it.  A [`PipelinedResult::latency_ns`] is the sum of the op's own
+//! verb waits and CPU charges — its serial service demand — which at depth 1
+//! equals wall-clock latency exactly and at depth > 1 excludes time spent
+//! advancing *other* operations (the bug the untagged wall-clock measurement
+//! had).
 //!
 //! The driver is single-threaded and deterministic: two runs over the same
 //! cluster state, operation feed and depth execute the same verbs in the
 //! same order and report identical virtual-time totals.
 
 use crate::client::TreeClient;
-use crate::ops::{LookupSM, OpMeta, OpOutput, OpSM, RangeSM, Step};
+use crate::ops::{DeleteSM, InsertSM, LookupSM, OpMeta, OpOutput, OpSM, RangeSM, Step};
 use crate::TreeResult;
 use sherman_memserver::EpochPin;
 use sherman_metrics::OverlapGauges;
 use sherman_sim::{ClientStats, Completion, PendingVerb};
 
-/// One read operation for the pipelined driver.
+/// One operation for the pipelined driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PipelineOp {
     /// Point lookup of `key`.
@@ -44,6 +71,18 @@ pub enum PipelineOp {
         /// Number of entries requested.
         count: usize,
     },
+    /// Insert (or update) `key → value`.
+    Insert {
+        /// Target key.
+        key: u64,
+        /// Value to install.
+        value: u64,
+    },
+    /// Delete `key`.
+    Delete {
+        /// Target key.
+        key: u64,
+    },
 }
 
 /// One completed pipelined operation.
@@ -53,12 +92,20 @@ pub struct PipelinedResult {
     pub op: PipelineOp,
     /// Its result.
     pub output: OpOutput,
-    /// Virtual time from the operation's start (its first step) to its
-    /// completion.  Under overlap this includes time spent advancing *other*
-    /// operations — it is the latency the caller observed, not the verb time.
+    /// This operation's own service time: the verb waits and CPU charges
+    /// attributed to it through its op-id-tagged completions.  At depth 1
+    /// this equals the wall-clock latency of the blocking path; at depth > 1
+    /// it deliberately excludes time spent advancing other in-flight
+    /// operations (which the old wall-clock measurement wrongly included).
     pub latency_ns: u64,
+    /// Round trips this operation's tagged verbs completed.
+    pub round_trips: u64,
+    /// Bytes this operation's tagged verbs wrote to remote memory.
+    pub bytes_written: u64,
     /// Consistency-check retries this operation performed.
     pub read_retries: u64,
+    /// Whether a write operation obtained its lock via local handover.
+    pub handed_over: bool,
     /// Whether the operation's leaf address came from the index cache.
     pub cache_hit: bool,
 }
@@ -105,10 +152,12 @@ pub fn overlap_from_stats(stats: &ClientStats, elapsed_ns: u64) -> OverlapGauges
 /// One in-flight operation: its machine, bookkeeping, and the token of the
 /// verb it is waiting on (`None` only transiently, between steps).
 struct Slot {
+    /// Scheduler-assigned operation id; every verb the op posts carries it,
+    /// which is how the shared completion queue attributes completions.
+    id: u64,
     op: PipelineOp,
     sm: OpSM,
     meta: OpMeta,
-    started_at: u64,
     /// Token of the verb this operation is parked on (`None` only while the
     /// slot is being stepped).
     waiting_on: Option<PendingVerb>,
@@ -123,9 +172,10 @@ impl TreeClient {
     /// single fabric context, returning every result plus the run's overlap
     /// gauges.  `depth == 1` executes exactly the blocking path.
     ///
-    /// Only read operations pipeline (lookups and scans are lock-free);
-    /// writes keep the blocking path, whose lock critical sections must not
-    /// interleave with other work on the same context.
+    /// All four operation kinds pipeline.  Reads are lock-free throughout;
+    /// writes overlap during their location phase and execute their lock
+    /// critical section atomically within one step, leaving at most the
+    /// deferred write-back + release verb outstanding (see the module docs).
     pub fn run_pipelined(
         &mut self,
         ops: impl IntoIterator<Item = PipelineOp>,
@@ -141,6 +191,7 @@ impl TreeClient {
         let mut slots: Vec<Option<Slot>> = Vec::new();
         slots.resize_with(depth, || None);
         let mut results = Vec::new();
+        let mut next_id: u64 = 0;
 
         // Drive one slot until it parks on a posted verb or completes; a
         // completed slot immediately pulls the next operation from the feed.
@@ -149,6 +200,7 @@ impl TreeClient {
             client: &mut TreeClient,
             slot: &mut Option<Slot>,
             feed: &mut impl Iterator<Item = PipelineOp>,
+            next_id: &mut u64,
             results: &mut Vec<PipelinedResult>,
             mut completion: Option<Completion>,
         ) -> TreeResult<()> {
@@ -158,39 +210,52 @@ impl TreeClient {
                     let Some(op) = feed.next() else {
                         return Ok(());
                     };
+                    let id = *next_id;
+                    *next_id += 1;
                     let pin = client.reader.pin();
-                    let started_at = client.ctx.now();
                     let cx = client.op_cx();
                     let sm = match op {
                         PipelineOp::Lookup { key } => OpSM::Lookup(LookupSM::new(&cx, key)),
                         PipelineOp::Range { start_key, count } => {
                             OpSM::Range(RangeSM::new(start_key, count))
                         }
+                        PipelineOp::Insert { key, value } => {
+                            OpSM::Insert(InsertSM::new(&cx, key, value))
+                        }
+                        PipelineOp::Delete { key } => OpSM::Delete(DeleteSM::new(&cx, key)),
                     };
                     *slot = Some(Slot {
+                        id,
                         op,
                         sm,
                         meta: OpMeta::default(),
-                        started_at,
                         waiting_on: None,
                         _pin: pin,
                     });
                     completion = None;
                     continue;
                 };
-                let mut cx = client.op_cx();
-                match active.sm.step(&mut cx, &mut active.meta, completion.take())? {
+                // Tag every verb (and CPU charge) of this step with the op's
+                // id so the shared completion queue can attribute it.
+                client.ctx.set_current_op(Some(active.id));
+                let step = active.sm.step(client, &mut active.meta, completion.take());
+                client.ctx.set_current_op(None);
+                match step? {
                     Step::Pending(token) => {
                         active.waiting_on = Some(token);
                         return Ok(());
                     }
                     Step::Done(output) => {
                         let finished = slot.take().expect("active slot");
+                        let op_stats = client.ctx.take_op_stats(finished.id);
                         results.push(PipelinedResult {
                             op: finished.op,
                             output,
-                            latency_ns: client.ctx.now().saturating_sub(finished.started_at),
+                            latency_ns: op_stats.latency_ns(),
+                            round_trips: op_stats.round_trips,
+                            bytes_written: op_stats.bytes_written,
                             read_retries: finished.meta.read_retries,
+                            handed_over: finished.meta.handed_over,
                             cache_hit: finished.meta.cache_hit,
                         });
                         // The slot is free: pull the next operation.
@@ -203,7 +268,7 @@ impl TreeClient {
         let run = (|| -> TreeResult<()> {
             // Fill every slot.
             for slot in slots.iter_mut() {
-                advance(self, slot, &mut feed, &mut results, None)?;
+                advance(self, slot, &mut feed, &mut next_id, &mut results, None)?;
             }
             // Completion-driven loop: the earliest outstanding verb decides
             // which operation advances.
@@ -219,7 +284,14 @@ impl TreeClient {
                             .is_some_and(|slot| slot.waiting_on == Some(completion.token))
                     })
                     .expect("completion token belongs to an in-flight operation");
-                advance(self, &mut slots[idx], &mut feed, &mut results, Some(completion))?;
+                advance(
+                    self,
+                    &mut slots[idx],
+                    &mut feed,
+                    &mut next_id,
+                    &mut results,
+                    Some(completion),
+                )?;
             }
             Ok(())
         })();
@@ -232,7 +304,15 @@ impl TreeClient {
 
         let elapsed_ns = self.ctx.now().saturating_sub(t0);
         let stats = self.ctx.stats().delta_since(&before);
-        let overlap = overlap_from_stats(&stats, elapsed_ns);
+        // The overlap window ends at the run's *last completion*, not at the
+        // current clock: the tail between the final completion and the
+        // driver's return (result bookkeeping, trailing CPU charges) has no
+        // verbs in flight by definition and used to dilute the gauges.
+        let window_ns = stats
+            .last_completion_at
+            .clamp(t0, self.ctx.now())
+            .saturating_sub(t0);
+        let overlap = overlap_from_stats(&stats, window_ns);
         Ok(PipelineReport {
             results,
             elapsed_ns,
@@ -378,6 +458,44 @@ mod tests {
         let shallow = client.run_pipelined(lookups(keys), 1).unwrap();
         assert_eq!(shallow.overlap.max_in_flight, 1);
         assert_eq!(shallow.overlap.overlapped_round_trips, 0);
+    }
+
+    #[test]
+    fn pipelined_writes_commit_at_every_depth() {
+        for depth in [1usize, 4, 8] {
+            let cluster = loaded_cluster(2_000);
+            let mut client = cluster.client(0);
+            let mut ops = Vec::new();
+            for i in 0..120u64 {
+                ops.push(PipelineOp::Insert {
+                    key: 10_000 + i,
+                    value: i + 1,
+                });
+                ops.push(PipelineOp::Delete { key: i * 3 });
+                ops.push(PipelineOp::Lookup { key: i * 5 + 1 });
+            }
+            let report = client.run_pipelined(ops, depth).unwrap();
+            assert_eq!(report.results.len(), 360);
+            for r in &report.results {
+                match (&r.op, &r.output) {
+                    (PipelineOp::Insert { .. }, OpOutput::Insert) => {}
+                    (PipelineOp::Delete { key }, OpOutput::Delete(found)) => {
+                        assert!(*found, "depth {depth}: delete {key} missed its key");
+                    }
+                    (PipelineOp::Lookup { .. }, OpOutput::Lookup(_)) => {}
+                    other => panic!("mismatched op/output {other:?}"),
+                }
+                assert!(r.round_trips > 0, "depth {depth}: untagged op {:?}", r.op);
+            }
+            // Every tagged round trip is attributed to exactly one result.
+            let attributed: u64 = report.results.iter().map(|r| r.round_trips).sum();
+            assert_eq!(attributed, report.stats.round_trips, "depth {depth}");
+            // Post-state: inserts visible, deleted keys gone.
+            for i in 0..120u64 {
+                assert_eq!(client.lookup(10_000 + i).unwrap().0, Some(i + 1), "depth {depth}");
+                assert_eq!(client.lookup(i * 3).unwrap().0, None, "depth {depth}");
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::slot_hash;
 use sherman_memserver::{MemoryPool, ServerLayout};
-use sherman_sim::{ClientCtx, GlobalAddress, SimResult, WriteCmd};
+use sherman_sim::{ClientCtx, GlobalAddress, PendingVerb, SimResult, WriteCmd};
 
 /// Which physical realization of the global lock table is in use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -229,18 +229,32 @@ impl GlobalLockTable {
         loc: LockLocation,
         owner: u16,
     ) -> SimResult<()> {
+        let token = self.post_release_at(client, loc, owner)?;
+        client.poll_token(token);
+        Ok(())
+    }
+
+    /// Post the standalone release verb for the lock at `loc` without polling
+    /// its completion (split-phase).  The lock's memory effect applies at the
+    /// post instant — exactly as in the blocking path — so the word is free to
+    /// other clients immediately; the returned token carries only the time at
+    /// which the acknowledgement arrives back.
+    pub fn post_release_at(
+        &self,
+        client: &mut ClientCtx,
+        loc: LockLocation,
+        owner: u16,
+    ) -> SimResult<PendingVerb> {
         match self.kind {
             GlobalLockKind::HostCasFaa => {
                 // FG releases by adding the two's complement of the owner tag,
                 // bringing the word back to zero.
                 let value = Self::owner_value(&loc, owner);
-                client.faa(loc.word, value.wrapping_neg())?;
-                Ok(())
+                client.post_faa(loc.word, value.wrapping_neg())
             }
             _ => {
                 let cmd = self.release_write_cmd(loc);
-                client.post_writes(&[cmd])?;
-                Ok(())
+                client.post_write_batch(&[cmd])
             }
         }
     }

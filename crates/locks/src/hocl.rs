@@ -15,7 +15,7 @@
 use crate::global::GlobalLockTable;
 use crate::manager::{flush_writes_and_release, AcquireOutcome, NodeLockManager, ReleaseOutcome};
 use parking_lot::Mutex;
-use sherman_sim::{ClientCtx, GlobalAddress, SimResult, WriteCmd};
+use sherman_sim::{ClientCtx, GlobalAddress, PendingVerb, SimResult, WriteCmd};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -242,7 +242,8 @@ impl HoclManager {
         slot: u64,
         writes: Vec<WriteCmd>,
         combine: bool,
-    ) -> SimResult<ReleaseOutcome> {
+        defer: bool,
+    ) -> SimResult<(ReleaseOutcome, Option<PendingVerb>)> {
         let llt = self.local_table(client.cs_id());
         let local = llt.lock_for(ms, slot);
 
@@ -275,27 +276,38 @@ impl HoclManager {
         let owner = client.cs_id();
         let must_release_remote = !handover && !self.glt.kind().release_is_write();
         let glt = &self.glt;
-        flush_writes_and_release(
+        let deferred = flush_writes_and_release(
             client,
             writes,
             combine,
             release_cmd,
-            |c| {
-                if must_release_remote {
-                    glt.release_at(c, loc, owner)
+            |c, post_only| {
+                if !must_release_remote {
+                    return Ok(None);
+                }
+                if post_only {
+                    Ok(Some(glt.post_release_at(c, loc, owner)?))
                 } else {
-                    Ok(())
+                    glt.release_at(c, loc, owner)?;
+                    Ok(None)
                 }
             },
             ms,
+            defer,
         )?;
 
         // Finally release the local lock; the handed-over waiter (if any) will
-        // find the grant when it takes the local lock.
+        // find the grant when it takes the local lock.  A deferred release is
+        // safe here: its memory effect (freeing the global word) applied at
+        // the post instant, so the next owner — local or remote — already
+        // observes the lock free.
         local.state.lock().held = false;
-        Ok(ReleaseOutcome {
-            released_global: !handover,
-        })
+        Ok((
+            ReleaseOutcome {
+                released_global: !handover,
+            },
+            deferred,
+        ))
     }
 
     /// Acquire lock `slot` on memory server `ms` directly (used by the lock
@@ -316,7 +328,9 @@ impl HoclManager {
         ms: u16,
         slot: u64,
     ) -> SimResult<ReleaseOutcome> {
-        self.release_slot(client, ms, slot, Vec::new(), true)
+        let (outcome, deferred) = self.release_slot(client, ms, slot, Vec::new(), true, false)?;
+        debug_assert!(deferred.is_none());
+        Ok(outcome)
     }
 }
 
@@ -334,15 +348,16 @@ impl NodeLockManager for HoclManager {
         self.acquire_slot(client, node.ms, slot)
     }
 
-    fn release(
+    fn release_deferred(
         &self,
         client: &mut ClientCtx,
         node: GlobalAddress,
         writes: Vec<WriteCmd>,
         combine: bool,
-    ) -> SimResult<ReleaseOutcome> {
+        defer: bool,
+    ) -> SimResult<(ReleaseOutcome, Option<PendingVerb>)> {
         let slot = self.glt.slot_of(node);
-        self.release_slot(client, node.ms, slot, writes, combine)
+        self.release_slot(client, node.ms, slot, writes, combine, defer)
     }
 }
 

@@ -3,7 +3,7 @@
 //! steps use.
 
 use crate::global::GlobalLockTable;
-use sherman_sim::{ClientCtx, GlobalAddress, SimResult, WriteCmd};
+use sherman_sim::{ClientCtx, GlobalAddress, PendingVerb, SimResult, WriteCmd};
 
 /// Result of acquiring a node lock.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -44,7 +44,35 @@ pub trait NodeLockManager: Send + Sync {
         node: GlobalAddress,
         writes: Vec<WriteCmd>,
         combine: bool,
-    ) -> SimResult<ReleaseOutcome>;
+    ) -> SimResult<ReleaseOutcome> {
+        let (outcome, deferred) = self.release_deferred(client, node, writes, combine, false)?;
+        debug_assert!(
+            deferred.is_none(),
+            "non-deferred release must not leave a verb outstanding"
+        );
+        Ok(outcome)
+    }
+
+    /// Like [`NodeLockManager::release`], but when `defer` is set the **final**
+    /// remote verb of the release sequence — the combined doorbell batch that
+    /// carries the release command, the standalone release write, or the FAA —
+    /// is posted split-phase and its token returned for the caller to poll.
+    ///
+    /// Every memory effect (including freeing the lock word) still applies at
+    /// the post instant, exactly as in the blocking path; only the wait for
+    /// the acknowledgement moves to the caller.  A pipelined scheduler uses
+    /// this to overlap the release round trip of one operation with other
+    /// operations' traversal verbs.  Earlier verbs of the sequence
+    /// (cross-server write-backs, uncombined write-backs) stay blocking, and a
+    /// local handover that needs no remote release returns `None`.
+    fn release_deferred(
+        &self,
+        client: &mut ClientCtx,
+        node: GlobalAddress,
+        writes: Vec<WriteCmd>,
+        combine: bool,
+        defer: bool,
+    ) -> SimResult<(ReleaseOutcome, Option<PendingVerb>)>;
 
     /// Whether `a` and `b` are guarded by the same lock word.  Hash-sharded
     /// lock tables map many nodes onto few lock slots, so two distinct node
@@ -114,15 +142,20 @@ impl RemoteLockManager {
 /// Shared by [`RemoteLockManager`] and the hierarchical manager.  `release_cmd`
 /// is `None` when the global lock must not be released (handover) or when the
 /// release cannot be expressed as a write (FAA release), in which case
-/// `fallback_release` performs it.
+/// `fallback_release` performs it (posting split-phase and returning the token
+/// when handed `true`, blocking and returning `None` otherwise).
+///
+/// When `defer` is set, the final remote verb of the sequence is posted
+/// split-phase and its token returned; every earlier verb stays blocking.
 pub(crate) fn flush_writes_and_release(
     client: &mut ClientCtx,
     writes: Vec<WriteCmd>,
     combine: bool,
     release_cmd: Option<WriteCmd>,
-    mut fallback_release: impl FnMut(&mut ClientCtx) -> SimResult<()>,
+    mut fallback_release: impl FnMut(&mut ClientCtx, bool) -> SimResult<Option<PendingVerb>>,
     lock_ms: u16,
-) -> SimResult<()> {
+    defer: bool,
+) -> SimResult<Option<PendingVerb>> {
     // Writes that ended up on a different memory server than the lock can
     // never ride in the lock's doorbell batch; they are posted first, each as
     // its own verb (this is the cross-server sibling case of a node split).
@@ -136,13 +169,16 @@ pub(crate) fn flush_writes_and_release(
         let mut batch = same_ms;
         if let Some(cmd) = release_cmd {
             batch.push(cmd);
+            if defer {
+                return Ok(Some(client.post_write_batch(&batch)?));
+            }
             client.post_writes(&batch)?;
-            return Ok(());
+            return Ok(None);
         }
         if !batch.is_empty() {
             client.post_writes(&batch)?;
         }
-        return fallback_release(client);
+        return fallback_release(client, defer);
     }
 
     // No combination: every command is its own round trip, exactly like the
@@ -153,10 +189,13 @@ pub(crate) fn flush_writes_and_release(
     }
     match release_cmd {
         Some(cmd) => {
+            if defer {
+                return Ok(Some(client.post_write_batch(&[cmd])?));
+            }
             client.post_writes(&[cmd])?;
-            Ok(())
+            Ok(None)
         }
-        None => fallback_release(client),
+        None => fallback_release(client, defer),
     }
 }
 
@@ -185,13 +224,14 @@ impl NodeLockManager for RemoteLockManager {
         })
     }
 
-    fn release(
+    fn release_deferred(
         &self,
         client: &mut ClientCtx,
         node: GlobalAddress,
         writes: Vec<WriteCmd>,
         combine: bool,
-    ) -> SimResult<ReleaseOutcome> {
+        defer: bool,
+    ) -> SimResult<(ReleaseOutcome, Option<PendingVerb>)> {
         let loc = self.table.location_of(node);
         let owner = client.cs_id();
         let release_cmd = if self.table.kind().release_is_write() {
@@ -200,17 +240,28 @@ impl NodeLockManager for RemoteLockManager {
             None
         };
         let table = &self.table;
-        flush_writes_and_release(
+        let deferred = flush_writes_and_release(
             client,
             writes,
             combine,
             release_cmd,
-            |c| table.release_at(c, loc, owner),
+            |c, post_only| {
+                if post_only {
+                    Ok(Some(table.post_release_at(c, loc, owner)?))
+                } else {
+                    table.release_at(c, loc, owner)?;
+                    Ok(None)
+                }
+            },
             node.ms,
+            defer,
         )?;
-        Ok(ReleaseOutcome {
-            released_global: true,
-        })
+        Ok((
+            ReleaseOutcome {
+                released_global: true,
+            },
+            deferred,
+        ))
     }
 }
 
@@ -296,6 +347,46 @@ mod tests {
             .unwrap();
         assert_eq!(c0.stats().round_trips - before, 2);
         // Lock is actually free again.
+        let loc = mgr.table().location_of(node);
+        let mut c1 = pool.fabric().client(1);
+        assert!(mgr.table().try_acquire_at(&mut c1, loc, 1).unwrap());
+    }
+
+    #[test]
+    fn deferred_release_posts_the_final_verb_split_phase() {
+        // Combined write-back + release: the whole batch is the final verb,
+        // posted without polling; the lock word is already free at post time.
+        let (pool, mgr) = setup(GlobalLockKind::OnChipMasked);
+        let node = GlobalAddress::host(0, 40 << 10);
+        let loc = mgr.table().location_of(node);
+        let mut c0 = pool.fabric().client(0);
+        mgr.acquire(&mut c0, node).unwrap();
+        let (out, token) = mgr
+            .release_deferred(&mut c0, node, vec![WriteCmd::new(node, vec![3u8; 64])], true, true)
+            .unwrap();
+        assert!(out.released_global);
+        let token = token.expect("combined release defers its batch");
+        assert_eq!(c0.outstanding(), 1);
+        // Memory effect applied at post: another client can acquire now.
+        let mut c1 = pool.fabric().client(1);
+        assert!(mgr.table().try_acquire_at(&mut c1, loc, 1).unwrap());
+        c0.poll_token(token);
+        assert_eq!(c0.outstanding(), 0);
+
+        // FAA release: the atomic itself is the deferred final verb, and the
+        // preceding write-back still blocks.
+        let (pool, mgr) = setup(GlobalLockKind::HostCasFaa);
+        let node = GlobalAddress::host(1, 40 << 10);
+        let mut c0 = pool.fabric().client(0);
+        mgr.acquire(&mut c0, node).unwrap();
+        let before = c0.stats();
+        let (_, token) = mgr
+            .release_deferred(&mut c0, node, vec![WriteCmd::new(node, vec![4u8; 64])], true, true)
+            .unwrap();
+        let token = token.expect("FAA release defers the atomic");
+        assert_eq!(c0.stats().round_trips - before.round_trips, 2);
+        assert_eq!(c0.outstanding(), 1);
+        c0.poll_token(token);
         let loc = mgr.table().location_of(node);
         let mut c1 = pool.fabric().client(1);
         assert!(mgr.table().try_acquire_at(&mut c1, loc, 1).unwrap());

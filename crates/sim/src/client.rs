@@ -31,6 +31,7 @@ use crate::addr::{GlobalAddress, MemSpace};
 use crate::clock::Participant;
 use crate::fabric::Fabric;
 use crate::{SimError, SimResult};
+use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -88,6 +89,12 @@ pub struct ClientStats {
     pub bytes_read: u64,
     /// Retries recorded by higher layers (failed CAS, version mismatch, …).
     pub retries: u64,
+    /// Latest `completed_at` over every verb posted so far (virtual ns).
+    /// Like `max_in_flight` this is a high-water mark, not a counter:
+    /// [`ClientStats::delta_since`] carries the later snapshot's value.  A
+    /// pipelined driver uses it to end its overlap window at the moment the
+    /// last verb completed, excluding any post-drain scheduler time.
+    pub last_completion_at: u64,
 }
 
 impl ClientStats {
@@ -109,8 +116,64 @@ impl ClientStats {
             bytes_written: self.bytes_written - earlier.bytes_written,
             bytes_read: self.bytes_read - earlier.bytes_read,
             retries: self.retries - earlier.retries,
+            last_completion_at: self.last_completion_at,
         }
     }
+}
+
+/// Per-operation verb accounting, keyed by the op id a pipelined driver set
+/// with [`ClientCtx::set_current_op`] before posting.  `verb_ns + cpu_ns` is
+/// the operation's serial service demand: at depth 1 it equals the op's
+/// wall-clock latency exactly (every clock advance in a blocking op is either
+/// a verb window or a CPU charge), and at depth > 1 it stays the op's own
+/// time — overlapping ops no longer double-count each other's round trips.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpVerbStats {
+    /// Round trips posted while this op was current.
+    pub round_trips: u64,
+    /// Sum of this op's verbs' post→completion windows (virtual ns).
+    pub verb_ns: u64,
+    /// Client-side CPU time charged while this op was current (virtual ns).
+    pub cpu_ns: u64,
+    /// Payload bytes read by this op's verbs.
+    pub bytes_read: u64,
+    /// Payload bytes written by this op's verbs.
+    pub bytes_written: u64,
+}
+
+impl OpVerbStats {
+    /// The op's serial service demand: verb time plus CPU time.
+    pub fn latency_ns(&self) -> u64 {
+        self.verb_ns + self.cpu_ns
+    }
+}
+
+/// One entry of the verb trace recorded by [`ClientCtx::enable_trace`]:
+/// every post is tagged with the op id that issued it and whether it fell
+/// inside a lock critical section, so a test (or a reader of the
+/// ARCHITECTURE diagram) can replay exactly how the shared completion queue
+/// routed completions back to in-flight operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A verb was posted (blocking wrappers record their post too).
+    Post {
+        /// Op id current at post time (`None` for untagged/blocking drivers).
+        op: Option<u64>,
+        /// CQ token id; `0` for blocking reads that never park on the CQ.
+        token: u64,
+        /// Whether the post happened inside a lock critical section.
+        critical: bool,
+    },
+    /// A lock critical section opened (outermost acquire only).
+    CriticalBegin {
+        /// Op id current when the section opened.
+        op: Option<u64>,
+    },
+    /// A lock critical section closed (outermost release only).
+    CriticalEnd {
+        /// Op id current when the section closed.
+        op: Option<u64>,
+    },
 }
 
 /// Outcome of an atomic compare-and-swap verb.
@@ -125,13 +188,23 @@ pub struct CasResult {
 /// Token identifying one outstanding posted verb on a client's completion
 /// queue.  Returned by the `post_*` verbs; redeemed with
 /// [`ClientCtx::poll_token`] or matched against [`Completion::token`].
+///
+/// Every token carries the op id that was current (via
+/// [`ClientCtx::set_current_op`]) when the verb posted, so a pipelined
+/// driver sharing one CQ across many in-flight operations can attribute
+/// each completion to its operation without a side table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct PendingVerb(u64);
+pub struct PendingVerb(u64, Option<u64>);
 
 impl PendingVerb {
     /// The raw token id (stable within one `ClientCtx`).
     pub fn id(&self) -> u64 {
         self.0
+    }
+
+    /// The op id current when this verb posted, if any.
+    pub fn op(&self) -> Option<u64> {
+        self.1
     }
 }
 
@@ -203,6 +276,14 @@ pub struct ClientCtx {
     /// Outstanding completions, unordered; every entry's `completed_at` was
     /// fixed at post time.
     cq: Vec<Completion>,
+    /// Op id stamped onto every post until changed (pipelined drivers).
+    current_op: Option<u64>,
+    /// Per-op verb accounting, populated only while `current_op` is set.
+    op_stats: HashMap<u64, OpVerbStats>,
+    /// Nesting depth of lock critical sections (see `begin_critical`).
+    critical_depth: u32,
+    /// Verb/critical-section trace, recorded only when enabled.
+    trace: Option<Vec<TraceEvent>>,
 }
 
 impl ClientCtx {
@@ -215,6 +296,10 @@ impl ClientCtx {
             stats: ClientStats::default(),
             next_token: 0,
             cq: Vec::new(),
+            current_op: None,
+            op_stats: HashMap::new(),
+            critical_depth: 0,
+            trace: None,
         }
     }
 
@@ -247,13 +332,102 @@ impl ClientCtx {
     /// Charge `ns` of client-side CPU time.
     pub fn charge_cpu(&mut self, ns: u64) {
         self.participant.advance(ns);
+        if let Some(op) = self.current_op {
+            self.op_stats.entry(op).or_default().cpu_ns += ns;
+        }
     }
 
     /// Charge CPU time proportional to scanning `bytes` of fetched data.
     pub fn charge_scan(&mut self, bytes: usize) {
         let ns = self.fabric.config().cpu_scan_ns(bytes);
         if ns > 0 {
-            self.participant.advance(ns);
+            self.charge_cpu(ns);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-op attribution, critical sections and tracing
+    // ------------------------------------------------------------------
+
+    /// Tag every subsequent post (and CPU charge) with `op` until changed.
+    /// Pipelined drivers set this before stepping each in-flight operation so
+    /// the shared completion queue can attribute completions per op; pass
+    /// `None` to stop tagging (the blocking entry points never tag).
+    pub fn set_current_op(&mut self, op: Option<u64>) {
+        self.current_op = op;
+    }
+
+    /// The op id posts are currently tagged with, if any.
+    pub fn current_op(&self) -> Option<u64> {
+        self.current_op
+    }
+
+    /// Remove and return the accumulated per-op accounting for `op`
+    /// (zeroes when the op never posted a tagged verb).
+    pub fn take_op_stats(&mut self, op: u64) -> OpVerbStats {
+        self.op_stats.remove(&op).unwrap_or_default()
+    }
+
+    /// Mark the opening of a lock critical section.  Sections nest (a merge
+    /// holds several node locks); only the outermost transition is traced.
+    pub fn begin_critical(&mut self) {
+        self.critical_depth += 1;
+        if self.critical_depth == 1 {
+            if let Some(trace) = self.trace.as_mut() {
+                trace.push(TraceEvent::CriticalBegin {
+                    op: self.current_op,
+                });
+            }
+        }
+    }
+
+    /// Mark the closing of a lock critical section (outermost transition is
+    /// traced; unbalanced calls saturate at zero rather than underflow).
+    pub fn end_critical(&mut self) {
+        if self.critical_depth == 1 {
+            if let Some(trace) = self.trace.as_mut() {
+                trace.push(TraceEvent::CriticalEnd {
+                    op: self.current_op,
+                });
+            }
+        }
+        self.critical_depth = self.critical_depth.saturating_sub(1);
+    }
+
+    /// Whether a lock critical section is currently open on this client.
+    pub fn in_critical(&self) -> bool {
+        self.critical_depth > 0
+    }
+
+    /// Start recording a [`TraceEvent`] per post and per critical-section
+    /// transition (drops any previously recorded trace).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Stop tracing and return the recorded events.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take().unwrap_or_default()
+    }
+
+    /// Record one post in the trace; `token` is `0` for blocking reads that
+    /// complete inline without ever parking on the CQ.
+    fn trace_post(&mut self, token: u64) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(TraceEvent::Post {
+                op: self.current_op,
+                token,
+                critical: self.critical_depth > 0,
+            });
+        }
+    }
+
+    /// Attribute payload bytes to the current op, if one is set.
+    fn attribute_bytes(&mut self, read: u64, written: u64) {
+        if let Some(op) = self.current_op {
+            let e = self.op_stats.entry(op).or_default();
+            e.bytes_read += read;
+            e.bytes_written += written;
         }
     }
 
@@ -299,13 +473,20 @@ impl ClientCtx {
         self.stats.max_in_flight = self.stats.max_in_flight.max(in_flight);
         self.stats.in_flight_posts += in_flight;
         self.stats.verb_ns += completed_at.saturating_sub(posted_at);
+        self.stats.last_completion_at = self.stats.last_completion_at.max(completed_at);
+        if let Some(op) = self.current_op {
+            let e = self.op_stats.entry(op).or_default();
+            e.round_trips += 1;
+            e.verb_ns += completed_at.saturating_sub(posted_at);
+        }
     }
 
     /// Enqueue a completed-at-post verb on the CQ (accounting included).
     fn enqueue(&mut self, posted_at: u64, completed_at: u64, result: VerbResult) -> PendingVerb {
         self.account_post(posted_at, completed_at);
         self.next_token += 1;
-        let token = PendingVerb(self.next_token);
+        let token = PendingVerb(self.next_token, self.current_op);
+        self.trace_post(token.id());
         self.cq.push(Completion {
             token,
             posted_at,
@@ -412,6 +593,7 @@ impl ClientCtx {
 
         self.stats.reads += 1;
         self.stats.bytes_read += buf.len() as u64;
+        self.attribute_bytes(buf.len() as u64, 0);
         let m = self.fabric.metrics();
         m.reads.fetch_add(1, Ordering::Relaxed);
         m.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
@@ -432,6 +614,7 @@ impl ClientCtx {
     pub fn read(&mut self, addr: GlobalAddress, buf: &mut [u8]) -> SimResult<()> {
         let (posted_at, completed_at) = self.read_verb(addr, buf)?;
         self.account_post(posted_at, completed_at);
+        self.trace_post(0);
         self.participant.wait_until(completed_at);
         Ok(())
     }
@@ -490,6 +673,7 @@ impl ClientCtx {
 
         self.stats.writes += cmds.len() as u64;
         self.stats.bytes_written += total_bytes;
+        self.attribute_bytes(0, total_bytes);
         let m = self.fabric.metrics();
         m.writes.fetch_add(cmds.len() as u64, Ordering::Relaxed);
         m.bytes_written.fetch_add(total_bytes, Ordering::Relaxed);
@@ -543,6 +727,7 @@ impl ClientCtx {
 
         self.stats.reads += count;
         self.stats.bytes_read += total_bytes;
+        self.attribute_bytes(total_bytes, 0);
         let m = self.fabric.metrics();
         m.reads.fetch_add(count, Ordering::Relaxed);
         m.bytes_read.fetch_add(total_bytes, Ordering::Relaxed);
@@ -1026,6 +1211,78 @@ mod tests {
         let c = client.poll(None).unwrap();
         assert_eq!(c.token, token);
         assert_eq!(client.now(), c.completed_at);
+    }
+
+    #[test]
+    fn op_tagging_attributes_verbs_cpu_and_trace() {
+        let fabric = test_fabric();
+        let mut client = fabric.client(0);
+        client.enable_trace();
+
+        // Op 7 posts two overlapping reads; op 9 posts one inside a critical
+        // section; an untagged blocking read runs in between.
+        client.set_current_op(Some(7));
+        let a = client.post_read(GlobalAddress::host(0, 0), 8).unwrap();
+        let b = client.post_read(GlobalAddress::host(0, 1024), 16).unwrap();
+        assert_eq!(a.op(), Some(7));
+        assert_eq!(b.op(), Some(7));
+        client.charge_cpu(50);
+
+        client.set_current_op(None);
+        let mut buf = [0u8; 8];
+        client.read(GlobalAddress::host(0, 2048), &mut buf).unwrap();
+
+        client.set_current_op(Some(9));
+        client.begin_critical();
+        assert!(client.in_critical());
+        let c = client.post_read(GlobalAddress::host(0, 4096), 8).unwrap();
+        client.end_critical();
+        assert!(!client.in_critical());
+        client.set_current_op(None);
+
+        let last = [a, b, c]
+            .iter()
+            .map(|t| client.poll_token(*t).completed_at)
+            .max()
+            .unwrap();
+        assert_eq!(client.stats().last_completion_at, last);
+
+        let s7 = client.take_op_stats(7);
+        assert_eq!(s7.round_trips, 2);
+        assert_eq!(s7.bytes_read, 24);
+        assert_eq!(s7.cpu_ns, 50);
+        assert!(s7.verb_ns > 0);
+        let s9 = client.take_op_stats(9);
+        assert_eq!(s9.round_trips, 1);
+        // Untagged verbs attribute to no op.
+        assert_eq!(client.take_op_stats(0), OpVerbStats::default());
+
+        let trace = client.take_trace();
+        let expect = [
+            TraceEvent::Post {
+                op: Some(7),
+                token: a.id(),
+                critical: false,
+            },
+            TraceEvent::Post {
+                op: Some(7),
+                token: b.id(),
+                critical: false,
+            },
+            TraceEvent::Post {
+                op: None,
+                token: 0,
+                critical: false,
+            },
+            TraceEvent::CriticalBegin { op: Some(9) },
+            TraceEvent::Post {
+                op: Some(9),
+                token: c.id(),
+                critical: true,
+            },
+            TraceEvent::CriticalEnd { op: Some(9) },
+        ];
+        assert_eq!(trace, expect);
     }
 
     #[test]

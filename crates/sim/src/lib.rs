@@ -46,7 +46,10 @@ pub mod region;
 pub mod server;
 
 pub use addr::{GlobalAddress, MemSpace};
-pub use client::{CasResult, ClientCtx, ClientStats, Completion, PendingVerb, VerbResult, WriteCmd};
+pub use client::{
+    CasResult, ClientCtx, ClientStats, Completion, OpVerbStats, PendingVerb, TraceEvent,
+    VerbResult, WriteCmd,
+};
 pub use clock::{Participant, VirtualClock};
 pub use config::FabricConfig;
 pub use fabric::Fabric;

@@ -30,6 +30,6 @@ pub mod prelude {
         EpochGauges, LatencyHistogram, OverlapGauges, RunSummary, ThreadReport,
         ThroughputAggregator,
     };
-    pub use sherman_sim::FabricConfig;
+    pub use sherman_sim::{FabricConfig, OpVerbStats, TraceEvent};
     pub use sherman_workload::{ChurnSpec, KeyDistribution, Mix, Op, WorkloadSpec};
 }

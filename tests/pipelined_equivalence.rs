@@ -49,6 +49,7 @@ fn pipelined_reads_match_blocking_and_model_at_every_depth() {
             PipelineOp::Range { start_key, count } => {
                 OpOutput::Range(blocking.range(start_key, count).unwrap().0)
             }
+            _ => unreachable!("read-only workload"),
         })
         .collect();
     drop(blocking);
@@ -89,6 +90,7 @@ fn pipelined_reads_match_blocking_and_model_at_every_depth() {
         let key = |op: &PipelineOp| match *op {
             PipelineOp::Lookup { key } => (0u8, key, 0usize),
             PipelineOp::Range { start_key, count } => (1u8, start_key, count),
+            _ => unreachable!("read-only workload"),
         };
         got.sort_by_key(|(op, _)| key(op));
         want.sort_by_key(|(op, _)| key(op));
@@ -113,6 +115,7 @@ fn depth_one_reproduces_blocking_virtual_time() {
             PipelineOp::Range { start_key, count } => {
                 blocking.range(start_key, count).unwrap();
             }
+            _ => unreachable!("read-only workload"),
         }
     }
     let blocking_elapsed = blocking.now() - t0;

@@ -27,6 +27,7 @@ fn main() {
         "fig16_hocl",
         "churn",
         "pipeline",
+        "scenario",
     ];
     for bin in binaries {
         println!("\n================ {bin} ================");

@@ -11,6 +11,10 @@
 //! * [`churnbench`] — sliding-window churn runs measuring structural deletes,
 //!   reclamation and space amplification (beyond the paper, which never
 //!   shrinks the tree),
+//! * [`scenariobench`] — hostile-scenario runs (shifting hot spots, flash
+//!   crowds, sequential appends, scans racing churn) under adaptive memory
+//!   pressure: pool exhaustion with typed backpressure, and mid-run
+//!   index-cache re-budgeting (the `scenario` binary),
 //! * [`lockbench`] — the lock-service microbenchmarks behind Figure 2 and
 //!   Figure 16 (no tree involved),
 //! * [`fabricbench`] — raw `RDMA_WRITE` throughput versus IO size (Figure 3),
@@ -31,9 +35,13 @@ pub mod fabricbench;
 pub mod lockbench;
 pub mod report;
 pub mod runner;
+pub mod scenariobench;
 
 pub use args::Args;
 pub use churnbench::{run_churn_experiment, ChurnExperiment, ChurnResult};
+pub use scenariobench::{
+    hostile_suite, run_scenario_experiment, MemoryPressure, ScenarioExperiment, ScenarioResult,
+};
 pub use fabricbench::{run_write_size_sweep, WriteSizePoint};
 pub use lockbench::{run_lock_experiment, LockExperiment, LockVariant};
 pub use report::{fmt_mops, fmt_us, print_table};

@@ -196,7 +196,7 @@ impl ThreadOutcome {
 }
 
 /// Map a workload operation onto its pipelined-scheduler form.
-fn to_pipeline_op(op: Op) -> PipelineOp {
+pub(crate) fn to_pipeline_op(op: Op) -> PipelineOp {
     match op {
         Op::Lookup { key } => PipelineOp::Lookup { key },
         Op::Insert { key, value } => PipelineOp::Insert { key, value },

@@ -105,7 +105,12 @@ struct CacheEntry {
 /// The per-compute-server index cache.
 #[derive(Debug)]
 pub struct IndexCache {
-    config: IndexCacheConfig,
+    /// Per-entry cost used for capacity accounting (fixed at construction).
+    entry_bytes: usize,
+    /// The **live** capacity budget in bytes.  Atomic so that an external
+    /// memory-pressure controller can re-budget the cache mid-run
+    /// ([`IndexCache::set_capacity_bytes`]) while lookups proceed.
+    capacity_bytes: AtomicUsize,
     /// Type-❶ entries keyed by their lower fence key.
     entries: RwLock<BTreeMap<u64, Arc<CacheEntry>>>,
     /// Type-❷ entries: the highest levels of the tree, always cached.
@@ -119,7 +124,8 @@ impl IndexCache {
     /// Create an empty cache.
     pub fn new(config: IndexCacheConfig) -> Self {
         IndexCache {
-            config,
+            entry_bytes: config.entry_bytes,
+            capacity_bytes: AtomicUsize::new(config.capacity_bytes),
             entries: RwLock::new(BTreeMap::new()),
             top: RwLock::new(Vec::new()),
             clock: AtomicU64::new(0),
@@ -128,9 +134,31 @@ impl IndexCache {
         }
     }
 
-    /// The configuration this cache was created with.
+    /// The cache's current configuration: the fixed per-entry cost plus the
+    /// **live** capacity budget (which [`IndexCache::set_capacity_bytes`] may
+    /// have changed since construction).
     pub fn config(&self) -> IndexCacheConfig {
-        self.config
+        IndexCacheConfig {
+            capacity_bytes: self.capacity_bytes(),
+            entry_bytes: self.entry_bytes,
+        }
+    }
+
+    /// The live capacity budget in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Re-budget the type-❶ cache at runtime ("Breaking Down Memory Walls"
+    /// style adaptive memory management): install the new byte budget, then
+    /// — if it shrank below the current working set — evict down to it with
+    /// the same power-of-two-choices rule the insert path uses, recording
+    /// each forced removal as a **pressure eviction**
+    /// ([`CacheStats::pressure_evictions`]) on top of the ordinary eviction
+    /// tally.  Growing the budget is instantaneous (entries refill lazily).
+    pub fn set_capacity_bytes(&self, capacity_bytes: usize) {
+        self.capacity_bytes.store(capacity_bytes, Ordering::Relaxed);
+        self.evict_to_budget(true);
     }
 
     /// Hit/miss/eviction counters.
@@ -198,11 +226,15 @@ impl IndexCache {
                 self.stats.record_insert();
             }
         }
-        self.maybe_evict();
+        self.evict_to_budget(false);
     }
 
-    fn maybe_evict(&self) {
-        let max = self.config.max_entries();
+    /// Evict with the power-of-two-choices rule until the entry count fits
+    /// the live budget.  `pressure` marks evictions forced by a runtime
+    /// budget shrink (they are tallied as *both* ordinary evictions and
+    /// [`CacheStats::pressure_evictions`]).
+    fn evict_to_budget(&self, pressure: bool) {
+        let max = self.config().max_entries();
         while self.count.load(Ordering::Relaxed) > max {
             let victim = {
                 let entries = self.entries.read();
@@ -230,6 +262,9 @@ impl IndexCache {
             if entries.remove(&key).is_some() {
                 self.count.fetch_sub(1, Ordering::Relaxed);
                 self.stats.record_eviction();
+                if pressure {
+                    self.stats.record_pressure_eviction();
+                }
             }
         }
     }
@@ -521,6 +556,56 @@ mod tests {
             "the stale level-3 root is pruned, the level-2 refresh is kept"
         );
         assert!(cache.search_top(5).is_some());
+    }
+
+    #[test]
+    fn runtime_shrink_evicts_down_to_the_new_budget() {
+        // Room for 16 entries, filled exactly to capacity.
+        let cache = IndexCache::new(IndexCacheConfig::new(16 * 1024, 1024));
+        for i in 0..16u64 {
+            cache.insert_level1(level1(i * 100, (i + 1) * 100, &[(i * 100 + 50, i)]));
+        }
+        assert_eq!(cache.len(), 16);
+        assert_eq!(cache.stats().evictions(), 0);
+
+        // A 4x budget shrink forces the working set down immediately.
+        cache.set_capacity_bytes(4 * 1024);
+        assert_eq!(cache.capacity_bytes(), 4 * 1024);
+        assert_eq!(cache.config().max_entries(), 4);
+        assert!(cache.len() <= 4, "cache holds {} entries", cache.len());
+        assert_eq!(cache.stats().pressure_evictions(), 12);
+        assert_eq!(
+            cache.stats().evictions(),
+            12,
+            "pressure evictions are also ordinary evictions"
+        );
+
+        // Later inserts keep honouring the shrunken budget, and those
+        // evictions are *not* pressure evictions.
+        for i in 16..24u64 {
+            cache.insert_level1(level1(i * 100, (i + 1) * 100, &[(i * 100 + 50, i)]));
+        }
+        assert!(cache.len() <= 4);
+        assert_eq!(cache.stats().pressure_evictions(), 12);
+        assert!(cache.stats().evictions() >= 20);
+    }
+
+    #[test]
+    fn runtime_grow_is_instant_and_evicts_nothing() {
+        let cache = IndexCache::new(IndexCacheConfig::new(4 * 1024, 1024));
+        for i in 0..4u64 {
+            cache.insert_level1(level1(i * 100, (i + 1) * 100, &[(i * 100 + 50, i)]));
+        }
+        cache.set_capacity_bytes(64 * 1024);
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().evictions(), 0);
+        assert_eq!(cache.stats().pressure_evictions(), 0);
+        // The enlarged budget admits more entries without eviction.
+        for i in 4..32u64 {
+            cache.insert_level1(level1(i * 100, (i + 1) * 100, &[(i * 100 + 50, i)]));
+        }
+        assert_eq!(cache.len(), 32);
+        assert_eq!(cache.stats().evictions(), 0);
     }
 
     #[test]

@@ -14,6 +14,7 @@ pub struct CacheStats {
     top_hits: AtomicU64,
     top_misses: AtomicU64,
     refreshes: AtomicU64,
+    pressure_evictions: AtomicU64,
 }
 
 impl CacheStats {
@@ -35,6 +36,14 @@ impl CacheStats {
     /// Record a capacity eviction.
     pub fn record_eviction(&self) {
         self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an eviction forced by a runtime budget shrink
+    /// (`IndexCache::set_capacity_bytes` re-budgeting) rather than by
+    /// ordinary insert-time capacity enforcement.  Pressure evictions are a
+    /// *subset* of [`CacheStats::evictions`].
+    pub fn record_pressure_eviction(&self) {
+        self.pressure_evictions.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record an insertion of a fresh entry.
@@ -99,6 +108,12 @@ impl CacheStats {
         self.refreshes.load(Ordering::Relaxed)
     }
 
+    /// Evictions forced by runtime budget shrinks (a subset of
+    /// [`CacheStats::evictions`]).
+    pub fn pressure_evictions(&self) -> u64 {
+        self.pressure_evictions.load(Ordering::Relaxed)
+    }
+
     /// Hit ratio in `[0, 1]` (0 when no lookups were recorded).
     pub fn hit_ratio(&self) -> f64 {
         let h = self.hits() as f64;
@@ -151,9 +166,12 @@ mod tests {
         s.record_top_hit();
         s.record_top_miss();
         s.record_refresh();
+        s.record_pressure_eviction();
         assert_eq!(s.top_hits(), 2);
         assert_eq!(s.top_misses(), 1);
         assert_eq!(s.refreshes(), 1);
+        assert_eq!(s.pressure_evictions(), 1);
+        assert_eq!(s.evictions(), 0, "pressure counter is its own tally");
         assert!((s.top_hit_ratio() - 2.0 / 3.0).abs() < 1e-9);
         // Type-❶ counters are untouched.
         assert_eq!(s.hits() + s.misses(), 0);

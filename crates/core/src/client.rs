@@ -145,6 +145,20 @@ impl TreeClient {
         self.ctx.now()
     }
 
+    /// Let `ns` of virtual time pass without issuing any fabric work.
+    ///
+    /// This parks the client on the conservative virtual clock
+    /// (`Participant::wait_until`), so other threads' operations keep
+    /// making progress while this client sits idle.  Harnesses use it to
+    /// build mid-run rendezvous points: blocking on an OS primitive instead
+    /// would freeze the clock for every other participant (see the clock's
+    /// module docs), so polling a shared flag with `idle` between checks is
+    /// the only safe way to wait for another simulated thread.
+    pub fn idle(&mut self, ns: u64) {
+        let target = self.ctx.now().saturating_add(ns);
+        self.ctx.wait_until(target);
+    }
+
     /// Raw fabric counters of this client (cumulative).
     pub fn fabric_stats(&self) -> ClientStats {
         self.ctx.stats()

@@ -175,6 +175,18 @@ impl Cluster {
         &self.caches[cs as usize % self.caches.len()]
     }
 
+    /// Re-budget **every** compute server's index cache to `capacity_bytes`
+    /// at runtime.  Shrinking evicts each cache down to the new budget with
+    /// the usual two-choice rule (tallied as pressure evictions); growing
+    /// takes effect lazily as traversals refill.  This is the hook a
+    /// memory-pressure controller (or the hostile-scenario harness) uses to
+    /// squeeze the type-❶ cache mid-run without restarting clients.
+    pub fn set_cache_budget(&self, capacity_bytes: usize) {
+        for cache in &self.caches {
+            cache.set_capacity_bytes(capacity_bytes);
+        }
+    }
+
     /// Current locally-cached root hint, if the tree has been initialized.
     pub(crate) fn root_hint(&self) -> Option<RootHint> {
         *self.root_hint.read()

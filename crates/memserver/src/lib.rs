@@ -38,4 +38,4 @@ pub use alloc::{ChunkAllocator, FreeListStats, NodeFreeList, ReclaimPolicy, Reus
 pub use client_alloc::{AllocatedNode, ClientAllocator};
 pub use epoch::{EpochPin, EpochRegistry, ReaderHandle, DEFAULT_EPOCH_SHARDS, UNPINNED_EPOCH};
 pub use layout::{ServerLayout, ALLOC_START_OFFSET, ROOT_PTR_OFFSET, SUPERBLOCK_MAGIC};
-pub use pool::{MemoryPool, PoolError, DEFAULT_RECLAIM_GRACE_NS};
+pub use pool::{AllocError, MemoryPool, PoolError, DEFAULT_RECLAIM_GRACE_NS};

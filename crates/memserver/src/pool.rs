@@ -12,7 +12,7 @@ use crate::alloc::{ChunkAllocator, FreeListStats, NodeFreeList, ReclaimPolicy, R
 use crate::epoch::EpochRegistry;
 use crate::layout::{ServerLayout, ROOT_PTR_OFFSET, SUPERBLOCK_MAGIC, TREE_LEVEL_HINT_OFFSET};
 use parking_lot::Mutex;
-use sherman_metrics::EpochGauges;
+use sherman_metrics::{BackpressureCounters, EpochGauges};
 use sherman_sim::{ClientCtx, Fabric, GlobalAddress};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -30,6 +30,11 @@ pub enum PoolError {
         /// Offending id.
         ms: u16,
     },
+    /// The whole pool is exhausted: every server denied a chunk request *and*
+    /// no retired address was reusable.  Unlike [`PoolError::OutOfMemory`]
+    /// (one server, one request) this is the terminal backpressure signal a
+    /// caller should surface to the operation that needed the node.
+    Exhausted(AllocError),
     /// The underlying fabric reported an error.
     Fabric(sherman_sim::SimError),
 }
@@ -39,10 +44,40 @@ impl std::fmt::Display for PoolError {
         match self {
             PoolError::OutOfMemory { ms } => write!(f, "memory server {ms} is out of chunks"),
             PoolError::NoSuchServer { ms } => write!(f, "memory server {ms} does not exist"),
+            PoolError::Exhausted(e) => write!(f, "{e}"),
             PoolError::Fabric(e) => write!(f, "fabric error: {e}"),
         }
     }
 }
+
+/// The typed description of a pool-wide allocation failure: how much of the
+/// cluster was tried and what (if anything) is still quarantined.  Carried by
+/// [`PoolError::Exhausted`] so callers can turn exhaustion into backpressure
+/// (reject the operation, keep serving reads) instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocError {
+    /// Memory servers that denied a chunk request.
+    pub servers_tried: usize,
+    /// Retired addresses still waiting for the reclamation policy to clear
+    /// them (a later retry may succeed once readers unpin).
+    pub quarantined: u64,
+    /// Retired addresses nominally available (all quarantined or racing other
+    /// allocators at the time of the failure).
+    pub reusable: u64,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "memory pool exhausted: {} servers out of chunks, {} addresses quarantined, \
+             {} retired-but-unreusable",
+            self.servers_tried, self.quarantined, self.reusable
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
 
 impl std::error::Error for PoolError {}
 
@@ -78,6 +113,9 @@ pub struct MemoryPool {
     /// the free-list scan entirely while this is zero, keeping the common
     /// insert/split path free of per-server lock traffic).
     retired_available: AtomicU64,
+    /// Allocation-backpressure counters (chunk denials, rescue reuses,
+    /// exhaustion events), shared by every client allocator.
+    backpressure: BackpressureCounters,
 }
 
 impl MemoryPool {
@@ -123,6 +161,7 @@ impl MemoryPool {
             epochs,
             nodes_carved: AtomicU64::new(0),
             retired_available: AtomicU64::new(0),
+            backpressure: BackpressureCounters::default(),
         })
     }
 
@@ -161,10 +200,10 @@ impl MemoryPool {
             .get(ms as usize)
             .ok_or(PoolError::NoSuchServer { ms })?;
         client.rpc_round_trip(ms, ALLOC_RPC_REQ_BYTES, ALLOC_RPC_RESP_BYTES)?;
-        let offset = allocator
-            .lock()
-            .alloc()
-            .ok_or(PoolError::OutOfMemory { ms })?;
+        let offset = allocator.lock().alloc().ok_or_else(|| {
+            self.backpressure.record_chunk_denial();
+            PoolError::OutOfMemory { ms }
+        })?;
         Ok(GlobalAddress::host(ms, offset))
     }
 
@@ -174,10 +213,10 @@ impl MemoryPool {
             .allocators
             .get(ms as usize)
             .ok_or(PoolError::NoSuchServer { ms })?;
-        let offset = allocator
-            .lock()
-            .alloc()
-            .ok_or(PoolError::OutOfMemory { ms })?;
+        let offset = allocator.lock().alloc().ok_or_else(|| {
+            self.backpressure.record_chunk_denial();
+            PoolError::OutOfMemory { ms }
+        })?;
         Ok(GlobalAddress::host(ms, offset))
     }
 
@@ -275,6 +314,29 @@ impl MemoryPool {
             pinned_buckets,
             quarantined,
         )
+    }
+
+    /// Allocation-backpressure counters: chunk denials, free-list rescue
+    /// reuses under pressure, and typed exhaustion events.
+    pub fn backpressure(&self) -> &BackpressureCounters {
+        &self.backpressure
+    }
+
+    /// Build the typed exhaustion error describing the pool's state right
+    /// now (how many servers are dry, what is still quarantined).  Called by
+    /// client allocators when every fallback failed.
+    pub fn alloc_error(&self) -> AllocError {
+        let (mut quarantined, mut total) = (0u64, 0u64);
+        for fl in &self.free_nodes {
+            let s = fl.lock().stats();
+            quarantined += s.quarantined;
+            total += s.retired.saturating_sub(s.reused);
+        }
+        AllocError {
+            servers_tried: self.servers(),
+            quarantined,
+            reusable: total,
+        }
     }
 
     /// Record that a client allocator carved one fresh node out of a chunk.

@@ -17,11 +17,15 @@
 //!   subsystem (epoch lag, pinned readers, pinned buckets),
 //! * [`OverlapGauges`] — observability for the split-phase fabric: in-flight
 //!   verb depth and overlapped-vs-serial virtual time under the pipelined
-//!   scheduler.
+//!   scheduler,
+//! * [`BackpressureCounters`] — observability for allocation under memory
+//!   pressure: chunk denials, free-list rescue reuses, and typed exhaustion
+//!   events instead of panics.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod backpressure;
 pub mod counts;
 pub mod epoch;
 pub mod latency;
@@ -29,6 +33,7 @@ pub mod overlap;
 pub mod space;
 pub mod summary;
 
+pub use backpressure::{BackpressureCounters, BackpressureSnapshot};
 pub use counts::{CountHistogram, SizeHistogram};
 pub use epoch::EpochGauges;
 pub use latency::LatencyHistogram;

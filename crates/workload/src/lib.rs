@@ -14,17 +14,22 @@
 //!   operation streams,
 //! * [`ChurnSpec`] and [`ChurnGenerator`] — sliding-window insert/delete
 //!   churn, the delete-heavy family the paper's mixes cannot express (drives
-//!   structural deletes and memory reclamation).
+//!   structural deletes and memory reclamation),
+//! * [`ScenarioSpec`] and [`ScenarioGenerator`] — hostile scenarios the
+//!   stationary YCSB driver cannot express: shifting hot spots, flash crowds,
+//!   right-edge sequential appends and scans racing churn.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod churn;
 pub mod mix;
+pub mod scenario;
 pub mod spec;
 pub mod zipf;
 
 pub use churn::{ChurnGenerator, ChurnSpec};
 pub use mix::{Mix, OpKind};
+pub use scenario::{ScenarioGenerator, ScenarioShape, ScenarioSpec};
 pub use spec::{KeyDistribution, Op, WorkloadGenerator, WorkloadSpec};
 pub use zipf::ZipfianGenerator;

@@ -25,11 +25,14 @@ pub mod prelude {
         PipelineOp, PipelineReport, PipelinedResult, ReclaimScheme, ShapeAudit, TreeClient,
         TreeConfig, TreeError, TreeOptions,
     };
-    pub use sherman_memserver::{EpochRegistry, ReaderHandle};
+    pub use sherman_memserver::{AllocError, EpochRegistry, ReaderHandle};
     pub use sherman_metrics::{
-        EpochGauges, LatencyHistogram, OverlapGauges, RunSummary, ThreadReport,
-        ThroughputAggregator,
+        BackpressureSnapshot, EpochGauges, LatencyHistogram, OverlapGauges, RunSummary,
+        ThreadReport, ThroughputAggregator,
     };
     pub use sherman_sim::{FabricConfig, OpVerbStats, TraceEvent};
-    pub use sherman_workload::{ChurnSpec, KeyDistribution, Mix, Op, WorkloadSpec};
+    pub use sherman_workload::{
+        ChurnSpec, KeyDistribution, Mix, Op, ScenarioGenerator, ScenarioShape, ScenarioSpec,
+        WorkloadSpec,
+    };
 }

@@ -20,7 +20,10 @@
 //! `--smoke` runs only the merges-on/epochs system at `--quick` scale and
 //! exits non-zero when a structural regression is detected: space
 //! amplification above 2×, zero left merges (the rightmost-child shape leak),
-//! or a persistently underfull child that a same-parent partner could fix.
+//! a persistently underfull child that a same-parent partner could fix, or a
+//! cache-coherence regression — merges that posted zero invalidations (the
+//! typestate publish path bypassed), messages still pending after every
+//! server quiesced, or stale cache hits served after the drain.
 
 use sherman::{ReclaimScheme, TreeOptions};
 use sherman_bench::{fmt_mops, print_table, run_churn_experiment, Args, ChurnExperiment};
@@ -64,6 +67,9 @@ fn main() {
             format!("{:.2}", r.space_amplification),
             format!("{:.0}%", r.top_hit_ratio * 100.0),
             r.cache_refreshes.to_string(),
+            r.coherence.invalidations_posted.to_string(),
+            format!("{:.0}", r.coherence.mean_apply_lag_ns()),
+            r.stale_hits_after_drain.to_string(),
         ]);
     }
     print_table(
@@ -83,6 +89,9 @@ fn main() {
             "space amp",
             "top-hit",
             "refreshes",
+            "inval",
+            "coh-lag mean(ns)",
+            "stale-after-drain",
         ],
         &rows,
     );
@@ -106,6 +115,10 @@ fn main() {
         );
     }
     println!("\nspace amp = node addresses carved from chunks / nodes reachable at the end");
+    println!("inval     = coherence invalidations posted to other compute servers; coh-lag");
+    println!("            is the mean post->apply delay of the fabric-delivered messages");
+    println!("stale-after-drain = stale cache hits served by a full re-read AFTER every");
+    println!("            server quiesced its coherence inbox (must be zero)");
     println!("left-mrg  = merges that folded a rightmost child into its left sibling");
     println!("elig-lat  = retirement -> policy clears the address (isolates the scheme)");
     println!("reuse-lat = retirement -> an allocator takes it (includes demand waits)");
@@ -144,7 +157,8 @@ fn smoke(args: &Args) {
     println!(
         "churn smoke: turnovers={:.1} space_amp={:.2} merges={} left_merges={} \
          rebalances={}+{} underfull_rightmost_fixable={} underfull_internals_fixable={} \
-         top_hit={:.0}% refreshes={}",
+         top_hit={:.0}% refreshes={} inval_posted={} coh_applied={} \
+         coh_lag_mean_ns={:.0} stale_after_drain={}",
         r.turnovers,
         r.space_amplification,
         r.space.merges(),
@@ -155,6 +169,10 @@ fn smoke(args: &Args) {
         r.audit.underfull_internals_fixable,
         r.top_hit_ratio * 100.0,
         r.cache_refreshes,
+        r.coherence.invalidations_posted,
+        r.coherence.applied,
+        r.coherence.mean_apply_lag_ns(),
+        r.stale_hits_after_drain,
     );
     let mut failures = Vec::new();
     if r.turnovers < exp.turnover {
@@ -179,6 +197,25 @@ fn smoke(args: &Args) {
         failures.push(format!(
             "{} internal nodes stayed underfull with a viable rebalance partner",
             r.audit.underfull_internals_fixable
+        ));
+    }
+    if r.space.merges() > 0 && r.coherence.invalidations_posted == 0 {
+        failures.push(
+            "merges retired nodes but posted zero coherence invalidations: \
+             the typestate publish path is being bypassed"
+                .into(),
+        );
+    }
+    if r.coherence.pending() > 0 {
+        failures.push(format!(
+            "{} coherence messages still pending after every server quiesced",
+            r.coherence.pending()
+        ));
+    }
+    if r.stale_hits_after_drain > 0 {
+        failures.push(format!(
+            "{} stale cache hits served after all coherence inboxes drained",
+            r.stale_hits_after_drain
         ));
     }
     if failures.is_empty() {

@@ -21,7 +21,10 @@
 
 use sherman::{Cluster, ClusterConfig, NodeCensus, ShapeAudit, TreeConfig, TreeOptions};
 use sherman_memserver::FreeListStats;
-use sherman_metrics::{LatencyHistogram, RunSummary, SpaceSnapshot, ThreadReport, ThroughputAggregator};
+use sherman_metrics::{
+    CoherenceGauges, LatencyHistogram, RunSummary, SpaceSnapshot, ThreadReport,
+    ThroughputAggregator,
+};
 use sherman_sim::FabricConfig;
 use sherman_workload::{ChurnSpec, Op};
 use std::sync::Arc;
@@ -144,6 +147,14 @@ pub struct ChurnResult {
     pub cache_refreshes: u64,
     /// Aggregate type-❷ hit ratio across every compute server's cache.
     pub top_hit_ratio: f64,
+    /// Fabric-delivered cache-coherence gauges, snapshotted after every
+    /// compute server quiesced its inbox: posted/applied message counts, the
+    /// post→apply stale-window lag, and stale hits served mid-run.
+    pub coherence: CoherenceGauges,
+    /// Stale cache hits recorded during the post-quiesce verification pass
+    /// (a full-window read sweep after every inbox drained).  Any nonzero
+    /// value means a coherence message failed to scrub its route.
+    pub stale_hits_after_drain: u64,
 }
 
 /// Run one churn experiment to completion and aggregate the results.
@@ -232,6 +243,25 @@ pub fn run_churn_experiment(exp: &ChurnExperiment) -> ChurnResult {
     }
     let elapsed = cluster.fabric().now().saturating_sub(start_time).max(1);
 
+    // Close the stale window: every compute server waits out and applies its
+    // in-flight coherence backlog, then re-reads the whole key space.  Stale
+    // hits recorded during this pass mean an `Invalidate` failed to scrub a
+    // route — the smoke gate turns that into a failure.  Clients are created
+    // one at a time so each advances the virtual clock alone.
+    for cs in 0..exp.compute_servers as u16 {
+        let mut settle = cluster.client(cs);
+        settle.quiesce_coherence();
+    }
+    let stale_before_verify = cluster.coherence_stats().stale_hits;
+    for cs in 0..exp.compute_servers as u16 {
+        let mut verifier = cluster.client(cs);
+        let (_, _) = verifier
+            .range(0, exp.window as usize * 2)
+            .expect("post-drain verification scan");
+    }
+    let stale_hits_after_drain =
+        cluster.coherence_stats().stale_hits - stale_before_verify;
+
     let census = cluster.node_census().expect("census");
     let nodes_carved = cluster.pool().nodes_carved();
     let audit = cluster.shape_audit().expect("shape audit");
@@ -260,6 +290,8 @@ pub fn run_churn_experiment(exp: &ChurnExperiment) -> ChurnResult {
         } else {
             top_hits as f64 / (top_hits + top_misses) as f64
         },
+        coherence: cluster.coherence_stats(),
+        stale_hits_after_drain,
     }
 }
 
@@ -309,6 +341,19 @@ mod tests {
         assert!(
             !on.shape_timeline.is_empty(),
             "thread 0 must collect mid-run shape samples"
+        );
+        // Merges publish coherence messages toward the other compute server,
+        // the post-run quiesce drains them all, and the verification sweep
+        // finds no route left pointing at a retired node.
+        assert!(
+            on.coherence.invalidations_posted > 0,
+            "merges must post invalidations: {:?}",
+            on.coherence
+        );
+        assert_eq!(on.coherence.pending(), 0, "quiesce left messages in flight");
+        assert_eq!(
+            on.stale_hits_after_drain, 0,
+            "post-drain verification sweep served a stale route"
         );
 
         // The same churn without structural deletes leaks without bound: its

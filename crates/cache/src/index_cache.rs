@@ -4,7 +4,7 @@ use crate::stats::CacheStats;
 use parking_lot::RwLock;
 use rand::Rng;
 use sherman_sim::GlobalAddress;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -32,9 +32,22 @@ pub struct CachedInternal {
     pub leftmost: GlobalAddress,
     /// Separator keys with their children, sorted by separator.
     pub children: Vec<ChildRef>,
+    /// Node-level version (`front_version`) of the remote image this copy was
+    /// made from.  Cache admission compares it against the tombstone version
+    /// carried by coherence invalidations: a copy read *before* a retire must
+    /// not be re-inserted *after* the invalidation was applied.
+    pub version: u8,
 }
 
 impl CachedInternal {
+    /// Whether `version` is strictly newer than `floor` under the node
+    /// header's wrapping `u8` version arithmetic (serial-number comparison:
+    /// newer means `version - floor` lands in `1..=127` mod 256).
+    pub fn version_newer(version: u8, floor: u8) -> bool {
+        let d = version.wrapping_sub(floor);
+        (1..=127).contains(&d)
+    }
+
     /// Whether `key` falls inside this node's fence interval.
     pub fn covers(&self, key: u64) -> bool {
         key >= self.fence_low && (self.fence_high == u64::MAX || key < self.fence_high)
@@ -113,8 +126,17 @@ pub struct IndexCache {
     capacity_bytes: AtomicUsize,
     /// Type-❶ entries keyed by their lower fence key.
     entries: RwLock<BTreeMap<u64, Arc<CacheEntry>>>,
-    /// Type-❷ entries: the highest levels of the tree, always cached.
-    top: RwLock<Vec<CachedInternal>>,
+    /// Type-❷ entries: the highest levels of the tree, always cached.  Shared
+    /// immutable images — a structural commit builds one `Arc` and every
+    /// compute server's refresh points at it.
+    top: RwLock<Vec<Arc<CachedInternal>>>,
+    /// Addresses invalidated by a coherence message, with the tombstone's
+    /// node-level version.  Admission ([`IndexCache::insert_level1`] /
+    /// [`IndexCache::refresh_top`]) rejects copies not strictly newer than
+    /// the tombstone, closing the race where a traversal that read the node
+    /// *before* the retire re-inserts it *after* the scrub.  A legitimately
+    /// recycled address arrives with a newer version and clears its entry.
+    tombstones: RwLock<HashMap<GlobalAddress, u8>>,
     clock: AtomicU64,
     count: AtomicUsize,
     stats: CacheStats,
@@ -128,6 +150,7 @@ impl IndexCache {
             capacity_bytes: AtomicUsize::new(config.capacity_bytes),
             entries: RwLock::new(BTreeMap::new()),
             top: RwLock::new(Vec::new()),
+            tombstones: RwLock::new(HashMap::new()),
             clock: AtomicU64::new(0),
             count: AtomicUsize::new(0),
             stats: CacheStats::default(),
@@ -210,10 +233,41 @@ impl IndexCache {
         }
     }
 
+    /// Whether a copy of `addr` stamped `version` may enter the cache, given
+    /// any tombstone recorded by [`IndexCache::apply_invalidate`].  A copy
+    /// strictly newer than the tombstone clears it (the address was
+    /// legitimately recycled); anything else is the retire/re-cache race and
+    /// is rejected (recorded as a stale rejection).
+    fn admits(&self, addr: GlobalAddress, version: u8) -> bool {
+        let floor = self.tombstones.read().get(&addr).copied();
+        match floor {
+            None => true,
+            Some(floor) if CachedInternal::version_newer(version, floor) => {
+                self.tombstones.write().remove(&addr);
+                true
+            }
+            Some(_) => {
+                self.stats.record_stale_rejection();
+                false
+            }
+        }
+    }
+
+    /// The tombstone version recorded against `addr`, if it is currently
+    /// barred from admission.
+    pub fn tombstoned(&self, addr: GlobalAddress) -> Option<u8> {
+        self.tombstones.read().get(&addr).copied()
+    }
+
     /// Insert (or refresh) a level-1 node copy, evicting with the
     /// power-of-two-choices rule if the capacity budget is exceeded.
+    /// Copies at or below a recorded tombstone version are rejected (the
+    /// retire/re-cache race; see [`IndexCache::apply_invalidate`]).
     pub fn insert_level1(&self, node: CachedInternal) {
         debug_assert_eq!(node.level, 1, "type-1 cache stores level-1 nodes");
+        if !self.admits(node.addr, node.version) {
+            return;
+        }
         let entry = Arc::new(CacheEntry {
             last_used: AtomicU64::new(self.tick()),
             node,
@@ -305,12 +359,39 @@ impl IndexCache {
         self.top.write().retain(|n| !refers(n));
     }
 
+    /// Apply a coherence `Invalidate(addr, tombstone_version)` message:
+    /// record the tombstone so the admission gate rejects any copy of `addr`
+    /// at or below `tombstone_version`, then scrub every entry referencing
+    /// the address (exactly [`IndexCache::invalidate_addr`]).  Recording the
+    /// tombstone *before* scrubbing closes the retire/re-cache race — once
+    /// this returns, a traversal that read the node before the retire can no
+    /// longer re-insert it.
+    pub fn apply_invalidate(&self, addr: GlobalAddress, tombstone_version: u8) {
+        let mut tombstones = self.tombstones.write();
+        match tombstones.entry(addr) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                // Keep the newest floor: a later retire of a recycled address
+                // supersedes the older tombstone.
+                if CachedInternal::version_newer(tombstone_version, *e.get()) {
+                    e.insert(tombstone_version);
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(tombstone_version);
+            }
+        }
+        drop(tombstones);
+        self.invalidate_addr(addr);
+    }
+
     // ------------------------------------------------------------------
     // Type-❷: the highest levels
     // ------------------------------------------------------------------
 
-    /// Replace the always-cached copy of the tree's top levels.
-    pub fn set_top_levels(&self, nodes: Vec<CachedInternal>) {
+    /// Replace the always-cached copy of the tree's top levels.  The images
+    /// are shared (`Arc`): a warm-up builds each node once and every compute
+    /// server's cache points at the same allocation.
+    pub fn set_top_levels(&self, nodes: Vec<Arc<CachedInternal>>) {
         *self.top.write() = nodes;
     }
 
@@ -341,8 +422,16 @@ impl IndexCache {
     /// nodes within one level of the root are kept (the same predicate the
     /// bulkload warm-up uses), and stale entries *above* the root — left
     /// behind by a root collapse — are pruned on the way.
-    pub fn refresh_top(&self, node: CachedInternal, root_level: u8) {
+    ///
+    /// The image is shared: a structural commit builds one `Arc` and every
+    /// subscriber's refresh stores the same allocation.  Copies at or below a
+    /// recorded tombstone version are rejected (the retire/re-cache race; see
+    /// [`IndexCache::apply_invalidate`]).
+    pub fn refresh_top(&self, node: Arc<CachedInternal>, root_level: u8) {
         if node.level + 1 < root_level.max(1) || node.level > root_level {
+            return;
+        }
+        if !self.admits(node.addr, node.version) {
             return;
         }
         let mut top = self.top.write();
@@ -383,6 +472,7 @@ mod tests {
                     child: addr(a),
                 })
                 .collect(),
+            version: 1,
         }
     }
 
@@ -472,6 +562,7 @@ mod tests {
                 separator: 1_000,
                 child: addr(200),
             }],
+            version: 1,
         };
         let mid = CachedInternal {
             addr: addr(100),
@@ -483,8 +574,9 @@ mod tests {
                 separator: 500,
                 child: addr(20),
             }],
+            version: 1,
         };
-        cache.set_top_levels(vec![root, mid]);
+        cache.set_top_levels(vec![Arc::new(root), Arc::new(mid)]);
         assert_eq!(cache.top_len(), 2);
         // The deepest covering node (level 2) routes the traversal.
         assert_eq!(cache.search_top(600), Some((addr(20), 1)));
@@ -503,6 +595,7 @@ mod tests {
             level: 3,
             leftmost: addr(50),
             children: vec![],
+            version: 1,
         };
         let mid = CachedInternal {
             addr: addr(100),
@@ -511,43 +604,46 @@ mod tests {
             level: 2,
             leftmost: addr(10),
             children: vec![],
+            version: 1,
         };
-        cache.set_top_levels(vec![root.clone(), mid.clone()]);
+        cache.set_top_levels(vec![Arc::new(root.clone()), Arc::new(mid.clone())]);
 
         // A structural change scrubs the mid node, then refreshes it with the
-        // updated image: the hole heals instead of persisting.
-        cache.invalidate_addr(addr(100));
+        // updated (version-bumped) image: the hole heals instead of
+        // persisting.
+        cache.apply_invalidate(addr(100), 1);
         assert_eq!(cache.top_len(), 1);
         let updated = CachedInternal {
             leftmost: addr(11),
+            version: 2,
             ..mid.clone()
         };
-        cache.refresh_top(updated, 3);
+        cache.refresh_top(Arc::new(updated.clone()), 3);
         assert_eq!(cache.top_len(), 2);
         assert_eq!(cache.search_top(5), Some((addr(11), 1)));
         assert_eq!(cache.stats().refreshes(), 1);
 
         // Refreshing the same address replaces in place (no duplicates).
-        cache.refresh_top(mid.clone(), 3);
+        cache.refresh_top(Arc::new(updated), 3);
         assert_eq!(cache.top_len(), 2);
 
         // Nodes below the top window are rejected; a refresh under a lowered
         // root prunes entries stranded above it.
         cache.refresh_top(
-            CachedInternal {
+            Arc::new(CachedInternal {
                 addr: addr(7),
                 level: 1,
                 ..mid.clone()
-            },
+            }),
             3,
         );
         assert_eq!(cache.top_len(), 2, "level-1 node is below the 3-level top window");
         cache.refresh_top(
-            CachedInternal {
+            Arc::new(CachedInternal {
                 addr: addr(8),
                 level: 2,
                 ..mid
-            },
+            }),
             2,
         );
         assert_eq!(
@@ -556,6 +652,57 @@ mod tests {
             "the stale level-3 root is pruned, the level-2 refresh is kept"
         );
         assert!(cache.search_top(5).is_some());
+    }
+
+    #[test]
+    fn tombstones_reject_stale_reinserts_until_a_newer_version_arrives() {
+        let cache = IndexCache::new(IndexCacheConfig::new(1 << 20, 1024));
+        let node = level1(0, 100, &[(50, 1)]);
+        cache.insert_level1(node.clone());
+        assert_eq!(cache.len(), 1);
+
+        // A coherence invalidation scrubs the entry and records the
+        // tombstone's version (the retired image bumped to 2).
+        cache.apply_invalidate(node.addr, 2);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.tombstoned(node.addr), Some(2));
+
+        // The retire/re-cache race: a traversal that read the node before
+        // the retire tries to re-insert its stale copy — rejected.
+        cache.insert_level1(node.clone());
+        assert_eq!(cache.len(), 0, "stale copy must not re-enter the cache");
+        assert_eq!(cache.stats().stale_rejections(), 1);
+
+        // A stale top-level refresh is rejected by the same gate.
+        cache.refresh_top(
+            Arc::new(CachedInternal {
+                level: 2,
+                ..node.clone()
+            }),
+            2,
+        );
+        assert_eq!(cache.top_len(), 0);
+        assert_eq!(cache.stats().stale_rejections(), 2);
+
+        // The address is recycled: the first image written there is stamped
+        // above the tombstone and is admitted, clearing the tombstone.
+        let recycled = CachedInternal {
+            version: 3,
+            ..node
+        };
+        cache.insert_level1(recycled.clone());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.tombstoned(recycled.addr), None);
+    }
+
+    #[test]
+    fn version_comparison_wraps_like_the_node_header() {
+        assert!(CachedInternal::version_newer(3, 2));
+        assert!(!CachedInternal::version_newer(2, 2));
+        assert!(!CachedInternal::version_newer(1, 2));
+        // Wrap-around: 0 is newer than 255, 255 is not newer than 0.
+        assert!(CachedInternal::version_newer(0, 255));
+        assert!(!CachedInternal::version_newer(255, 0));
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub struct CacheStats {
     top_misses: AtomicU64,
     refreshes: AtomicU64,
     pressure_evictions: AtomicU64,
+    stale_rejections: AtomicU64,
 }
 
 impl CacheStats {
@@ -49,6 +50,19 @@ impl CacheStats {
     /// Record an insertion of a fresh entry.
     pub fn record_insert(&self) {
         self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an insert or top-level refresh rejected by the tombstone
+    /// admission gate: the offered copy was not strictly newer than a
+    /// coherence invalidation's tombstone version (the retire/re-cache race,
+    /// caught).
+    pub fn record_stale_rejection(&self) {
+        self.stale_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Inserts/refreshes rejected by the tombstone admission gate.
+    pub fn stale_rejections(&self) -> u64 {
+        self.stale_rejections.load(Ordering::Relaxed)
     }
 
     /// Lookups served from the cache.

@@ -17,6 +17,7 @@
 //!   (growing a new root when the split reaches the top).
 
 use crate::cluster::Cluster;
+use crate::coherence::{self, PublishedCommit, StructuralCommit};
 use crate::config::LeafFormat;
 use crate::error::TreeError;
 use crate::layout::NodeLayout;
@@ -296,10 +297,11 @@ impl TreeClient {
     fn next_after_mismatch(
         &mut self,
         key: u64,
+        addr: GlobalAddress,
         leaf: &LeafNode,
         source: LeafSource,
     ) -> Option<GlobalAddress> {
-        ops::next_after_mismatch(&mut self.op_cx(), key, leaf, source)
+        ops::next_after_mismatch(&mut self.op_cx(), key, addr, leaf, source)
     }
 
     // ------------------------------------------------------------------
@@ -311,6 +313,7 @@ impl TreeClient {
     /// Blocking form of the lookup state machine: one verb in flight at a time, which is
     /// exactly what a pipelined run at depth 1 executes.
     pub fn lookup(&mut self, key: u64) -> TreeResult<(Option<u64>, OpStats)> {
+        self.drain_coherence();
         let before = self.ctx.stats();
         let t0 = self.ctx.now();
         let _pin = self.reader.pin();
@@ -349,6 +352,7 @@ impl TreeClient {
     /// Blocking form of the insert state machine: one verb in flight at a
     /// time, which is exactly what a pipelined run at depth 1 executes.
     pub fn insert(&mut self, key: u64, value: u64) -> TreeResult<OpStats> {
+        self.drain_coherence();
         let before = self.ctx.stats();
         let t0 = self.ctx.now();
         let _pin = self.reader.pin();
@@ -377,9 +381,16 @@ impl TreeClient {
         let buf = self.read_node_locked(addr)?;
         let mut leaf = self.layout().decode_leaf(&buf);
         if leaf.header.free || !leaf.header.is_leaf || !leaf.header.covers(key) {
+            if leaf.header.free
+                && matches!(source, LeafSource::Cache { .. } | LeafSource::TopCache)
+            {
+                // The cache routed this write to a retired leaf: its
+                // invalidation is still in flight.
+                self.cluster.coherence_counters().record_stale_hit();
+            }
             self.release_lock(addr, Vec::new())?;
             let next = self
-                .next_after_mismatch(key, &leaf, source)
+                .next_after_mismatch(key, addr, &leaf, source)
                 .map(|a| (a, LeafSource::Sibling));
             return Ok(WriteCommit::Retry { next });
         }
@@ -667,9 +678,14 @@ impl TreeClient {
         // `TreeOptions::reclaim_root_orphans` escape hatch restores the
         // paper's leak-on-loss behaviour).
         if self.cluster.options().reclaim_root_orphans {
-            let version = new_root.header.front_version;
-            self.cluster
-                .retire_node(new_root_addr, version, self.ctx.now());
+            // Even a never-reachable orphan goes through the publish →
+            // retire protocol: a racing reader may have cached the stale
+            // root pointer's target, and the invariant "every retirement
+            // posted its invalidations" stays uniform.
+            let mut commit = StructuralCommit::new();
+            commit.invalidate(new_root_addr, new_root.header.front_version);
+            let published = self.publish_commit(commit);
+            published.retire_all(&self.cluster, self.ctx.now());
         }
         Ok(false)
     }
@@ -683,6 +699,7 @@ impl TreeClient {
     /// Blocking form of the delete state machine: one verb in flight at a
     /// time, which is exactly what a pipelined run at depth 1 executes.
     pub fn delete(&mut self, key: u64) -> TreeResult<(bool, OpStats)> {
+        self.drain_coherence();
         let before = self.ctx.stats();
         let t0 = self.ctx.now();
         let _pin = self.reader.pin();
@@ -709,9 +726,16 @@ impl TreeClient {
         let buf = self.read_node_locked(addr)?;
         let mut leaf = self.layout().decode_leaf(&buf);
         if leaf.header.free || !leaf.header.is_leaf || !leaf.header.covers(key) {
+            if leaf.header.free
+                && matches!(source, LeafSource::Cache { .. } | LeafSource::TopCache)
+            {
+                // The cache routed this write to a retired leaf: its
+                // invalidation is still in flight.
+                self.cluster.coherence_counters().record_stale_hit();
+            }
             self.release_lock(addr, Vec::new())?;
             let next = self
-                .next_after_mismatch(key, &leaf, source)
+                .next_after_mismatch(key, addr, &leaf, source)
                 .map(|a| (a, LeafSource::Sibling));
             return Ok(WriteCommit::Retry { next });
         }
@@ -805,10 +829,16 @@ impl TreeClient {
 
     /// Release every lock of `plan` (in reverse acquisition order), flushing
     /// each node's write-backs with the release of the lock word guarding it.
+    ///
+    /// Demands proof that the commit's coherence messages were posted: a
+    /// [`PublishedCommit`] only exists after [`coherence::publish`] ran, so a
+    /// commit path that skips publishing does not compile (see the
+    /// `crate::coherence` module docs for the protocol).
     fn release_plan(
         &mut self,
         plan: &[GlobalAddress],
         mut writes: Vec<(GlobalAddress, WriteCmd)>,
+        _published: &PublishedCommit,
     ) -> TreeResult<()> {
         let mgr = Arc::clone(self.cluster.lock_manager());
         let combine = self.combine();
@@ -1006,7 +1036,9 @@ impl TreeClient {
             && parent.header.covers(sep)
             && parent.entries.iter().any(|e| e.key == sep && e.child == right_addr);
         if !structure_ok {
-            self.release_plan(&plan, Vec::new())?;
+            let published = self.publish_commit(StructuralCommit::new());
+            self.release_plan(&plan, Vec::new(), &published)?;
+            published.retire_all(&self.cluster, self.ctx.now());
             return Ok(false);
         }
 
@@ -1017,7 +1049,9 @@ impl TreeClient {
             self.plan_internal_merge(&left_buf, &right_buf, direction)
         };
         let Some(outcome) = outcome else {
-            self.release_plan(&plan, Vec::new())?;
+            let published = self.publish_commit(StructuralCommit::new());
+            self.release_plan(&plan, Vec::new(), &published)?;
+            published.retire_all(&self.cluster, self.ctx.now());
             return Ok(false);
         };
 
@@ -1025,9 +1059,12 @@ impl TreeClient {
         // removal (merge), separator retargeting (rebalance) and root
         // collapse; every write rides its lock's release.
         let mut writes: Vec<(GlobalAddress, WriteCmd)> = Vec::new();
-        // Addresses to retire post-commit, with their tombstone's node-level
-        // version (the eventual reuser stamps its first image above it).
-        let mut retired: Vec<(GlobalAddress, u8)> = Vec::new();
+        // The coherence side of the commit: every freed address becomes an
+        // `Invalidate` message and, once published, a retirement; the
+        // tombstone's node-level version rides along (the eventual reuser
+        // stamps its first image above it, and subscribers reject any
+        // cached copy at or below it).
+        let mut commit = StructuralCommit::new();
         // The surviving left node's decoded image (internal levels only,
         // produced by the planner), kept for the type-2 cache refresh; the
         // occupancy drives the still-underfull chase after a merge.
@@ -1049,7 +1086,7 @@ impl TreeClient {
                 assert!(parent.remove_separator(sep, right_addr));
                 writes.push((left_addr, WriteCmd::new(left_addr, left_bytes)));
                 writes.push((right_addr, WriteCmd::new(right_addr, right_bytes)));
-                retired.push((right_addr, right_version));
+                commit.invalidate(right_addr, right_version);
 
                 let collapsed = parent.entries.is_empty()
                     && self.try_collapse_root(parent_addr, &parent, level)?;
@@ -1060,7 +1097,7 @@ impl TreeClient {
                 }
                 parent.header.bump_versions();
                 if collapsed {
-                    retired.push((parent_addr, parent.header.front_version));
+                    commit.invalidate(parent_addr, parent.header.front_version);
                 }
                 let parent_bytes = self.encode_internal_for_write(&parent);
                 writes.push((parent_addr, WriteCmd::new(parent_addr, parent_bytes)));
@@ -1089,34 +1126,45 @@ impl TreeClient {
                 }
             }
         }
-        self.release_plan(&plan, writes)?;
+        // Phase 4½ (still under the locks): build each surviving image
+        // **once** — the same `Arc` fans out to every subscriber's message
+        // and the own-cache heal, no per-server deep clones — and publish
+        // the commit.  The typestate makes the release below uncompilable
+        // without this step, and retirement is only reachable through the
+        // proof it returns.
+        let parent_image = (!parent.header.free)
+            .then(|| Arc::new(ops::cached_from_internal(parent_addr, &parent)));
+        if let Some(image) = &parent_image {
+            commit.refresh(Arc::clone(image));
+        }
+        let left_arc = left_image
+            .as_ref()
+            .map(|node| Arc::new(ops::cached_from_internal(left_addr, node)));
+        if let Some(image) = &left_arc {
+            commit.refresh(Arc::clone(image));
+        }
+        let published = self.publish_commit(commit);
+        self.release_plan(&plan, writes, &published)?;
 
-        // Phase 5: post-commit bookkeeping (no locks held).  Retiring scrubs
-        // every compute server's cached pointers to the freed nodes; the
-        // refresh calls below immediately replace the scrubbed type-2
-        // entries with the surviving images, so the always-cached top set
-        // self-heals instead of decaying under churn.
-        let now = self.ctx.now();
-        for (addr, tombstone_version) in retired {
-            self.cluster.retire_node(addr, tombstone_version, now);
-        }
-        if !parent.header.free {
-            if level == 0 {
+        // Phase 5: post-commit bookkeeping (no locks held).  Retirement
+        // consumes the published commit, so the freed addresses are exactly
+        // the invalidations that were posted; remote type-❷ sets heal when
+        // the `RefreshTop` messages are drained, the committer's own cache
+        // was healed synchronously at publish.
+        published.retire_all(&self.cluster, self.ctx.now());
+        if level == 0 {
+            if let Some(image) = &parent_image {
                 self.cluster
                     .cache(self.cs_id)
-                    .insert_level1(ops::cached_from_internal(parent_addr, &parent));
+                    .insert_level1((**image).clone());
             }
-            self.cluster
-                .refresh_top_entry(ops::cached_from_internal(parent_addr, &parent));
         }
-        if let Some(left_node) = &left_image {
-            if left_node.header.level == 1 {
+        if let Some(image) = &left_arc {
+            if image.level == 1 {
                 self.cluster
                     .cache(self.cs_id)
-                    .insert_level1(ops::cached_from_internal(left_addr, left_node));
+                    .insert_level1((**image).clone());
             }
-            self.cluster
-                .refresh_top_entry(ops::cached_from_internal(left_addr, left_node));
         }
         // A merge of two tiny nodes can leave the survivor itself below the
         // floor with no delete ever landing on it again; chase it now so no
@@ -1309,6 +1357,7 @@ impl TreeClient {
     /// Blocking form of the range-scan state machine: one verb (or one parallel leaf batch) in
     /// flight at a time, exactly what a pipelined run at depth 1 executes.
     pub fn range(&mut self, start_key: u64, count: usize) -> TreeResult<(Vec<(u64, u64)>, OpStats)> {
+        self.drain_coherence();
         let before = self.ctx.stats();
         let t0 = self.ctx.now();
         let _pin = self.reader.pin();
@@ -1317,6 +1366,42 @@ impl TreeClient {
         let mut sm = RangeSM::new(start_key, count);
         let results = drive_blocking(&mut cx, &mut meta, |cx, meta, c| sm.step(cx, meta, c))?;
         Ok((results, self.finish(before, t0, meta)))
+    }
+
+    // ------------------------------------------------------------------
+    // Cache coherence (see `crate::coherence` for the protocol)
+    // ------------------------------------------------------------------
+
+    /// Publish a structural commit's coherence messages, trading the
+    /// builder for the [`PublishedCommit`] proof that `release_plan` and
+    /// retirement demand.  Runs under the commit's locks.
+    fn publish_commit(&mut self, commit: StructuralCommit) -> PublishedCommit {
+        coherence::publish(&self.cluster, &mut self.ctx, self.cs_id, commit)
+    }
+
+    /// Drain this compute server's coherence inbox and apply every message
+    /// whose delivery time has been reached.  Called at operation
+    /// boundaries — the blocking entry points and the pipelined scheduler's
+    /// slot admission, the same points, which keeps depth-1 pipelining
+    /// byte-for-byte identical to blocking.  Costs no virtual time.
+    pub(crate) fn drain_coherence(&mut self) {
+        let msgs = self.ctx.drain_coherence();
+        if !msgs.is_empty() {
+            let now = self.ctx.now();
+            coherence::apply(&self.cluster, self.cs_id, now, &msgs);
+        }
+    }
+
+    /// Wait (in virtual time) until every coherence message already posted
+    /// toward this compute server is deliverable, then drain and apply the
+    /// inbox.  After this returns — and provided no other client commits
+    /// concurrently — this server's cache serves no stale structural state.
+    pub fn quiesce_coherence(&mut self) {
+        let msgs = self.ctx.quiesce_coherence();
+        if !msgs.is_empty() {
+            let now = self.ctx.now();
+            coherence::apply(&self.cluster, self.cs_id, now, &msgs);
+        }
     }
 
     // ------------------------------------------------------------------

@@ -6,13 +6,13 @@ use crate::error::TreeError;
 use crate::layout::NodeLayout;
 use crate::node::{InternalNode, LeafEntry, LeafNode, NodeHeader};
 use crate::TreeResult;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use sherman_cache::{CachedInternal, ChildRef, IndexCache, IndexCacheConfig};
 use sherman_locks::{
     GlobalLockKind, GlobalLockTable, HoclManager, NodeLockManager, RemoteLockManager,
 };
 use sherman_memserver::{EpochRegistry, FreeListStats, MemoryPool, ServerLayout};
-use sherman_metrics::{EpochGauges, SpaceCounters, SpaceSnapshot};
+use sherman_metrics::{CoherenceCounters, CoherenceGauges, EpochGauges, SpaceCounters, SpaceSnapshot};
 use sherman_sim::{Fabric, FabricConfig, GlobalAddress};
 use std::sync::Arc;
 
@@ -71,6 +71,11 @@ pub struct Cluster {
     caches: Vec<Arc<IndexCache>>,
     root_hint: RwLock<Option<RootHint>>,
     space: SpaceCounters,
+    coherence: CoherenceCounters,
+    /// Type-❷ heals whose publish found no root hint (mid root-collapse):
+    /// queued here instead of dropped, drained by the next publish that
+    /// observes a hint (see `crate::coherence::publish`).
+    pending_refreshes: Mutex<Vec<Arc<CachedInternal>>>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -113,6 +118,8 @@ impl Cluster {
             caches,
             root_hint: RwLock::new(None),
             space: SpaceCounters::new(),
+            coherence: CoherenceCounters::default(),
+            pending_refreshes: Mutex::new(Vec::new()),
         })
     }
 
@@ -248,32 +255,38 @@ impl Cluster {
         self.pool.nodes_outstanding()
     }
 
-    /// Retire a node freed by a structural delete: drop every compute
-    /// server's cached pointers to it, then quarantine the address on its
-    /// memory server's free list until the reclamation scheme clears it.
-    /// `tombstone_version` is the node-level version of the tombstone image
-    /// written at the address; the eventual reuser stamps its first image
-    /// above it so versions always bump across reuse.
-    pub(crate) fn retire_node(&self, addr: GlobalAddress, tombstone_version: u8, now: u64) {
-        for cache in &self.caches {
-            cache.invalidate_addr(addr);
-        }
-        self.pool.retire_node(addr, tombstone_version, now);
+    // ------------------------------------------------------------------
+    // Cache coherence (see `crate::coherence` for the protocol)
+    // ------------------------------------------------------------------
+
+    /// Number of compute servers (= per-CS index caches and coherence
+    /// inboxes) in this deployment.
+    pub(crate) fn compute_servers(&self) -> usize {
+        self.caches.len()
     }
 
-    /// Refresh every compute server's always-cached type-❷ copy of `node`
-    /// (insert or replace in place).  Called by the merge path with the
-    /// surviving sibling/parent images right after [`Cluster::retire_node`]
-    /// scrubbed the freed addresses, so structural changes *heal* the top
-    /// set instead of eroding it; the per-cache level window is bounded by
-    /// the current root level.
-    pub(crate) fn refresh_top_entry(&self, node: CachedInternal) {
-        let Some(hint) = self.root_hint() else {
-            return;
-        };
-        for cache in &self.caches {
-            cache.refresh_top(node.clone(), hint.level);
-        }
+    /// Shared counters behind [`Cluster::coherence_stats`], bumped by the
+    /// publish (post) and drain (apply) paths.
+    pub(crate) fn coherence_counters(&self) -> &CoherenceCounters {
+        &self.coherence
+    }
+
+    /// Snapshot of the coherence channel's gauges: messages posted/applied,
+    /// post→apply lag in virtual ns, and stale hits served while messages
+    /// were in flight.
+    pub fn coherence_stats(&self) -> CoherenceGauges {
+        self.coherence.snapshot()
+    }
+
+    /// Take every type-❷ heal queued while the root hint was unavailable.
+    pub(crate) fn take_pending_refreshes(&self) -> Vec<Arc<CachedInternal>> {
+        std::mem::take(&mut *self.pending_refreshes.lock())
+    }
+
+    /// Queue a type-❷ heal that could not publish (no root hint to bound
+    /// the cache window, mid root-collapse); the next publish retries it.
+    pub(crate) fn queue_pending_refresh(&self, node: Arc<CachedInternal>) {
+        self.pending_refreshes.lock().push(node);
     }
 
     /// Count the nodes reachable from the current root by walking each level's
@@ -660,6 +673,8 @@ impl Cluster {
             fence_low: n.fence_low,
             fence_high: n.fence_high,
             level: n.level,
+            // Bulkloaded images are written at the version-pair seed.
+            version: 1,
             leftmost: n.leftmost.unwrap_or_else(GlobalAddress::null),
             children: n
                 .separators
@@ -670,10 +685,12 @@ impl Cluster {
                 })
                 .collect(),
         };
-        let top: Vec<CachedInternal> = internals
+        // One shared image per top-level node: every compute server's type-❷
+        // set holds the same `Arc`, not a per-server deep clone.
+        let top: Vec<Arc<CachedInternal>> = internals
             .iter()
             .filter(|n| n.level + 1 >= root.level.max(1))
-            .map(to_cached)
+            .map(|n| Arc::new(to_cached(n)))
             .collect();
         let level1: Vec<CachedInternal> = internals
             .iter()

@@ -66,6 +66,7 @@
 
 pub mod client;
 pub mod cluster;
+mod coherence;
 pub mod config;
 pub mod error;
 pub mod layout;

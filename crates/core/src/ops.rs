@@ -66,6 +66,10 @@ pub(crate) enum LeafSource {
         /// Lower fence of the cached parent (the cache's invalidation key).
         fence_low: u64,
     },
+    /// Served directly by a type-❷ always-cached level-1 image (the
+    /// traversal shortcut bottomed out in the cache without reading a single
+    /// node); invalidated by address on a mismatch.
+    TopCache,
     /// Found by traversing internal nodes.
     Traversal,
     /// Reached by following a sibling pointer.
@@ -160,6 +164,7 @@ pub(crate) fn cached_from_internal(addr: GlobalAddress, node: &InternalNode) -> 
         fence_low: node.header.fence_low,
         fence_high: node.header.fence_high,
         level: node.header.level,
+        version: node.header.front_version,
         leftmost: node.header.leftmost.unwrap_or_else(GlobalAddress::null),
         children: node
             .entries
@@ -175,16 +180,30 @@ pub(crate) fn cached_from_internal(addr: GlobalAddress, node: &InternalNode) -> 
 /// Handle a leaf that turned out not to cover `key`: invalidate the stale
 /// cache entry and either follow the sibling pointer or ask for a fresh
 /// traversal.  Returns the next address to try, or `None` to re-locate.
+///
+/// Observing a tombstone always scrubs every local cached route to it
+/// (`invalidate_addr`), whatever routed the operation here: with coherence
+/// messages in flight rather than applied synchronously, this local
+/// self-heal is what keeps a stale route from being retried forever before
+/// the `Invalidate` message lands.
 pub(crate) fn next_after_mismatch(
     cx: &mut OpCx<'_>,
     key: u64,
+    addr: GlobalAddress,
     leaf: &LeafNode,
     source: LeafSource,
 ) -> Option<GlobalAddress> {
-    if let LeafSource::Cache { fence_low } = source {
-        cx.cluster.cache(cx.cs_id).invalidate(fence_low);
+    let cache = cx.cluster.cache(cx.cs_id);
+    match source {
+        LeafSource::Cache { fence_low } => cache.invalidate(fence_low),
+        LeafSource::TopCache => cache.invalidate_addr(addr),
+        LeafSource::Traversal | LeafSource::Sibling => {}
     }
-    if !leaf.header.free && key >= leaf.header.fence_high {
+    if leaf.header.free {
+        cache.invalidate_addr(addr);
+        return None;
+    }
+    if key >= leaf.header.fence_high {
         if let Some(sib) = leaf.header.sibling {
             return Some(sib);
         }
@@ -292,6 +311,11 @@ struct TraverseAttempt {
     /// answer).
     repair_top: bool,
     addr: GlobalAddress,
+    /// Whether `addr` was routed by the type-❷ cache (vs the root pointer
+    /// or a freshly read parent).  Landing on a freed node through a cached
+    /// route is a *stale hit*: an in-flight coherence invalidation had
+    /// already retired it.
+    addr_from_cache: bool,
     expect_level: u8,
     read: Option<ReadNodeSM>,
 }
@@ -366,10 +390,19 @@ impl TraverseSM {
             // nodes this root-first traversal is about to read anyway.
             repair_top: !usable_top,
             addr,
+            addr_from_cache: usable_top,
             expect_level,
             read: None,
         });
         Ok(None)
+    }
+
+    /// Whether the address the traversal finished on came straight out of
+    /// the type-❷ cache — the shortcut bottomed out at `target_level`
+    /// without reading a node, so the caller must treat the address as
+    /// cache-routed (invalidate by address on a mismatch).
+    pub(crate) fn route_from_cache(&self) -> bool {
+        self.attempt.as_ref().is_some_and(|a| a.addr_from_cache)
     }
 
     pub(crate) fn step(
@@ -405,6 +438,17 @@ impl TraverseSM {
                     attempt.read = None;
                     let node = cx.cluster.layout().decode_internal(&buf);
                     if node.header.free || node.header.is_leaf {
+                        if node.header.free {
+                            // Local self-heal: drop every cached route to
+                            // the observed tombstone (the fabric-delivered
+                            // `Invalidate` may still be in flight).
+                            cx.cluster.cache(cx.cs_id).invalidate_addr(addr);
+                            if attempt.addr_from_cache {
+                                // A cached type-❷ route led to a retired
+                                // node before its invalidation was drained.
+                                cx.cluster.coherence_counters().record_stale_hit();
+                            }
+                        }
                         self.attempt = None;
                         continue;
                     }
@@ -412,6 +456,7 @@ impl TraverseSM {
                         if self.key >= node.header.fence_high {
                             if let Some(sib) = node.header.sibling {
                                 attempt.addr = sib;
+                                attempt.addr_from_cache = false;
                                 continue;
                             }
                         }
@@ -420,9 +465,10 @@ impl TraverseSM {
                     }
                     attempt.expect_level = node.header.level;
                     if attempt.repair_top && node.header.level + 1 >= attempt.root_level.max(1) {
-                        cx.cluster
-                            .cache(cx.cs_id)
-                            .refresh_top(cached_from_internal(attempt.addr, &node), attempt.root_level);
+                        cx.cluster.cache(cx.cs_id).refresh_top(
+                            Arc::new(cached_from_internal(attempt.addr, &node)),
+                            attempt.root_level,
+                        );
                     }
                     if attempt.expect_level == self.target_level {
                         return Ok(Step::Done(attempt.addr));
@@ -433,6 +479,7 @@ impl TraverseSM {
                             .insert_level1(cached_from_internal(attempt.addr, &node));
                     }
                     attempt.addr = node.child_for(self.key);
+                    attempt.addr_from_cache = false;
                     attempt.expect_level = node.header.level - 1;
                 }
             }
@@ -515,7 +562,12 @@ impl LookupSM {
                 LookupPhase::Locate(sm) => match sm.step(cx, meta, completion.take())? {
                     Step::Pending(token) => return Ok(Step::Pending(token)),
                     Step::Done(addr) => {
-                        self.phase = self.leaf_phase(cx, addr, LeafSource::Traversal);
+                        let source = if sm.route_from_cache() {
+                            LeafSource::TopCache
+                        } else {
+                            LeafSource::Traversal
+                        };
+                        self.phase = self.leaf_phase(cx, addr, source);
                     }
                 },
                 LookupPhase::Leaf {
@@ -529,8 +581,18 @@ impl LookupSM {
                         let leaf = cx.cluster.layout().decode_leaf(&buf);
                         if leaf.header.free || !leaf.header.is_leaf || !leaf.header.covers(self.key)
                         {
-                            let source = *source;
-                            self.pending = next_after_mismatch(cx, self.key, &leaf, source)
+                            let (addr, source) = (*addr, *source);
+                            if leaf.header.free
+                                && matches!(
+                                    source,
+                                    LeafSource::Cache { .. } | LeafSource::TopCache
+                                )
+                            {
+                                // The index cache routed to a retired leaf:
+                                // its invalidation is still in flight.
+                                cx.cluster.coherence_counters().record_stale_hit();
+                            }
+                            self.pending = next_after_mismatch(cx, self.key, addr, &leaf, source)
                                 .map(|a| (a, LeafSource::Sibling));
                             self.phase = LookupPhase::Restart;
                             continue;
@@ -656,11 +718,17 @@ impl RangeSM {
     /// Consume one scanned batch leaf (already consistency-checked).
     /// Returns `false` when the leaf was tombstoned and phase 2 must
     /// re-locate.
-    fn take_batch_leaf(&mut self, addr: GlobalAddress, leaf: &LeafNode) -> bool {
+    fn take_batch_leaf(&mut self, cx: &mut OpCx<'_>, addr: GlobalAddress, leaf: &LeafNode) -> bool {
         if leaf.header.free || !leaf.header.is_leaf {
             // A concurrent merge freed this cached child; its entries now
             // live in an earlier leaf whose pre-merge image we may already
-            // have consumed.  Stop the batch and re-locate.
+            // have consumed.  Drop every cached route to the tombstone (the
+            // fabric-delivered `Invalidate` may still be in flight — without
+            // the scrub the re-locate below could loop back here), then stop
+            // the batch and re-locate.
+            if leaf.header.free {
+                cx.cluster.cache(cx.cs_id).invalidate_addr(addr);
+            }
             self.tombstoned = true;
             return false;
         }
@@ -757,7 +825,7 @@ impl RangeSM {
                                 let addr = addrs[idx];
                                 let leaf = layout.decode_leaf(&fresh);
                                 idx += 1;
-                                if !self.take_batch_leaf(addr, &leaf) {
+                                if !self.take_batch_leaf(cx, addr, &leaf) {
                                     // Tombstoned: fall to SeekStart (already set).
                                     continue;
                                 }
@@ -784,7 +852,7 @@ impl RangeSM {
                         }
                         let leaf = layout.decode_leaf(buf);
                         idx += 1;
-                        if !self.take_batch_leaf(addr, &leaf) {
+                        if !self.take_batch_leaf(cx, addr, &leaf) {
                             // Tombstoned: no scan CPU charged for a freed
                             // image (matching the blocking path), and phase
                             // is already SeekStart.
@@ -846,13 +914,19 @@ impl RangeSM {
                 RangePhase::Chain { read } => match read.step(cx, meta, completion.take())? {
                     Step::Pending(token) => return Ok(Step::Pending(token)),
                     Step::Done(buf) => {
+                        let addr = read.addr;
                         let leaf = layout.decode_leaf(&buf);
                         if leaf.header.free || !leaf.header.is_leaf {
                             // Tombstoned by a concurrent merge: its entries
-                            // moved into a left neighbour.  Re-locate the
+                            // moved into a left neighbour.  Scrub any cached
+                            // route to the tombstone (its fabric `Invalidate`
+                            // may still be in flight), then re-locate the
                             // resume point and re-read that leaf even if a
                             // pre-merge image of it was already consumed
                             // (bounded by the `hops` budget).
+                            if leaf.header.free {
+                                cx.cluster.cache(cx.cs_id).invalidate_addr(addr);
+                            }
                             let key = self.resume_key();
                             self.start_locate(cx, meta, key, true);
                             continue;
@@ -953,10 +1027,12 @@ impl InsertSM {
                     match sm.step(&mut cx, meta, completion.take())? {
                         Step::Pending(token) => return Ok(Step::Pending(token)),
                         Step::Done(addr) => {
-                            self.phase = WritePhase::Commit {
-                                addr,
-                                source: LeafSource::Traversal,
+                            let source = if sm.route_from_cache() {
+                                LeafSource::TopCache
+                            } else {
+                                LeafSource::Traversal
                             };
+                            self.phase = WritePhase::Commit { addr, source };
                         }
                     }
                 }
@@ -1048,10 +1124,12 @@ impl DeleteSM {
                     match sm.step(&mut cx, meta, completion.take())? {
                         Step::Pending(token) => return Ok(Step::Pending(token)),
                         Step::Done(addr) => {
-                            self.phase = WritePhase::Commit {
-                                addr,
-                                source: LeafSource::Traversal,
+                            let source = if sm.route_from_cache() {
+                                LeafSource::TopCache
+                            } else {
+                                LeafSource::Traversal
                             };
+                            self.phase = WritePhase::Commit { addr, source };
                         }
                     }
                 }

@@ -212,6 +212,11 @@ impl TreeClient {
                     };
                     let id = *next_id;
                     *next_id += 1;
+                    // Operation boundary: apply any delivered coherence
+                    // messages before the op routes through the cache — the
+                    // same drain point the blocking entry points use, so
+                    // depth 1 stays byte-for-byte identical to blocking.
+                    client.drain_coherence();
                     let pin = client.reader.pin();
                     let cx = client.op_cx();
                     let sm = match op {

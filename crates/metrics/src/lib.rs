@@ -20,12 +20,16 @@
 //!   scheduler,
 //! * [`BackpressureCounters`] — observability for allocation under memory
 //!   pressure: chunk denials, free-list rescue reuses, and typed exhaustion
-//!   events instead of panics.
+//!   events instead of panics,
+//! * [`CoherenceGauges`] — observability for the fabric-delivered cache
+//!   coherence channel: messages posted/applied, apply lag in virtual ns,
+//!   and stale hits served during the window.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod backpressure;
+pub mod coherence;
 pub mod counts;
 pub mod epoch;
 pub mod latency;
@@ -34,6 +38,7 @@ pub mod space;
 pub mod summary;
 
 pub use backpressure::{BackpressureCounters, BackpressureSnapshot};
+pub use coherence::{CoherenceCounters, CoherenceGauges};
 pub use counts::{CountHistogram, SizeHistogram};
 pub use epoch::EpochGauges;
 pub use latency::LatencyHistogram;

@@ -29,6 +29,7 @@
 
 use crate::addr::{GlobalAddress, MemSpace};
 use crate::clock::Participant;
+use crate::coherence::CoherenceMsg;
 use crate::fabric::Fabric;
 use crate::{SimError, SimResult};
 use std::collections::HashMap;
@@ -561,6 +562,62 @@ impl ClientCtx {
     /// the latest completion).
     pub fn drain(&mut self) {
         while self.poll(None).is_some() {}
+    }
+
+    // ------------------------------------------------------------------
+    // Coherence channel
+    // ------------------------------------------------------------------
+
+    /// Post a one-way coherence message of `wire_bytes` toward compute server
+    /// `to_cs`'s inbox (see [`crate::coherence`]) and return its delivery
+    /// time.
+    ///
+    /// The send charges the request path — the sender's CS NIC port serializes
+    /// the message like any other outbound verb, delaying this client's next
+    /// post — and the message becomes visible to the target's drains half a
+    /// round trip later.  Being one-way, it produces **no** completion-queue
+    /// entry and no round-trip accounting: the committer does not wait for
+    /// remote caches to acknowledge, which is exactly the stale window the
+    /// coherence gauges measure.
+    pub fn post_coherence(
+        &mut self,
+        to_cs: u16,
+        wire_bytes: usize,
+        payload: Arc<dyn std::any::Any + Send + Sync>,
+    ) -> u64 {
+        let posted_at = self.participant.now();
+        let deliver_at = self.request_path(wire_bytes);
+        let hub = self.fabric.coherence();
+        let msg = CoherenceMsg {
+            seq: hub.next_seq(),
+            from_cs: self.cs_id,
+            posted_at,
+            deliver_at,
+            payload,
+        };
+        hub.deposit(to_cs, msg);
+        deliver_at
+    }
+
+    /// Remove and return every coherence message addressed to this client's
+    /// compute server whose delivery time has passed, in deterministic
+    /// `(deliver_at, seq)` order.  Costs no virtual time — checking the inbox
+    /// is a local memory read; the caller applies the messages itself.
+    pub fn drain_coherence(&mut self) -> Vec<CoherenceMsg> {
+        let now = self.participant.now();
+        self.fabric.coherence().drain_ready(self.cs_id, now)
+    }
+
+    /// Wait until every coherence message currently in flight toward this
+    /// compute server has been delivered, then drain them all.  Test and
+    /// shutdown helper: after this returns, the inbox is empty.
+    pub fn quiesce_coherence(&mut self) -> Vec<CoherenceMsg> {
+        if let Some(horizon) = self.fabric.coherence().pending_horizon(self.cs_id) {
+            if horizon > self.participant.now() {
+                self.participant.wait_until(horizon);
+            }
+        }
+        self.drain_coherence()
     }
 
     // ------------------------------------------------------------------

@@ -3,6 +3,7 @@
 
 use crate::addr::GlobalAddress;
 use crate::client::ClientCtx;
+use crate::coherence::CoherenceHub;
 use crate::config::FabricConfig;
 use crate::metrics::FabricMetrics;
 use crate::nic::NicPort;
@@ -19,6 +20,7 @@ pub struct Fabric {
     clock: Arc<VirtualClock>,
     servers: Vec<Arc<MemServerSim>>,
     cs_ports: Vec<Arc<NicPort>>,
+    coherence: CoherenceHub,
     metrics: FabricMetrics,
 }
 
@@ -39,11 +41,13 @@ impl Fabric {
         let cs_ports = (0..config.compute_servers)
             .map(|_| Arc::new(NicPort::new()))
             .collect();
+        let coherence = CoherenceHub::new(config.compute_servers);
         Arc::new(Fabric {
             config,
             clock: Arc::new(VirtualClock::new()),
             servers,
             cs_ports,
+            coherence,
             metrics: FabricMetrics::default(),
         })
     }
@@ -61,6 +65,11 @@ impl Fabric {
     /// Global fabric metrics.
     pub fn metrics(&self) -> &FabricMetrics {
         &self.metrics
+    }
+
+    /// The per-compute-server coherence inboxes (see [`crate::coherence`]).
+    pub fn coherence(&self) -> &CoherenceHub {
+        &self.coherence
     }
 
     /// Number of memory servers.

@@ -38,6 +38,7 @@
 pub mod addr;
 pub mod client;
 pub mod clock;
+pub mod coherence;
 pub mod config;
 pub mod fabric;
 pub mod metrics;
@@ -51,6 +52,7 @@ pub use client::{
     VerbResult, WriteCmd,
 };
 pub use clock::{Participant, VirtualClock};
+pub use coherence::{CoherenceHub, CoherenceMsg};
 pub use config::FabricConfig;
 pub use fabric::Fabric;
 pub use metrics::FabricMetrics;

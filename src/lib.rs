@@ -27,8 +27,8 @@ pub mod prelude {
     };
     pub use sherman_memserver::{AllocError, EpochRegistry, ReaderHandle};
     pub use sherman_metrics::{
-        BackpressureSnapshot, EpochGauges, LatencyHistogram, OverlapGauges, RunSummary,
-        ThreadReport, ThroughputAggregator,
+        BackpressureSnapshot, CoherenceGauges, EpochGauges, LatencyHistogram, OverlapGauges,
+        RunSummary, ThreadReport, ThroughputAggregator,
     };
     pub use sherman_sim::{FabricConfig, OpVerbStats, TraceEvent};
     pub use sherman_workload::{

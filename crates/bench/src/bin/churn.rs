@@ -15,6 +15,7 @@
 //! ```text
 //! cargo run --release -p sherman_bench --bin churn [-- --quick] [--smoke]
 //!     [--window N] [--turnover X] [--threads N] [--lookup-pct P] [--range-pct P]
+//!     [--backend sim|threaded]
 //! ```
 //!
 //! `--smoke` runs only the merges-on/epochs system at `--quick` scale and
@@ -26,7 +27,23 @@
 //! server quiesced, or stale cache hits served after the drain.
 
 use sherman::{ReclaimScheme, TreeOptions};
-use sherman_bench::{fmt_mops, print_table, run_churn_experiment, Args, ChurnExperiment};
+use sherman_bench::{
+    fmt_mops, print_table, run_churn_experiment, run_churn_experiment_on, Args, ChurnExperiment,
+    ChurnResult,
+};
+use sherman_sim::ThreadedFabric;
+
+/// Dispatch on `--backend sim|threaded` (default: the virtual-time simulator).
+fn run(args: &Args, exp: &ChurnExperiment) -> ChurnResult {
+    match args.get("backend").unwrap_or("sim") {
+        "sim" => run_churn_experiment(exp),
+        "threaded" => run_churn_experiment_on::<ThreadedFabric>(exp),
+        other => {
+            eprintln!("unknown --backend {other} (expected sim|threaded)");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args = Args::from_env();
@@ -49,7 +66,7 @@ fn main() {
     let mut timelines = Vec::new();
     for (name, options, scheme) in systems {
         let exp = configure(&args, name, options, scheme);
-        let r = run_churn_experiment(&exp);
+        let r = run(&args, &exp);
         timelines.push((r.name.clone(), r.shape_timeline.clone()));
         rows.push(vec![
             r.name.clone(),
@@ -153,7 +170,7 @@ fn configure(
 /// CI gate: one quick merges-on run; non-zero exit on structural regression.
 fn smoke(args: &Args) {
     let exp = configure(args, "smoke/epochs", TreeOptions::sherman(), ReclaimScheme::Epoch);
-    let r = run_churn_experiment(&exp);
+    let r = run(args, &exp);
     println!(
         "churn smoke: turnovers={:.1} space_amp={:.2} merges={} left_merges={} \
          rebalances={}+{} underfull_rightmost_fixable={} underfull_internals_fixable={} \
@@ -181,7 +198,12 @@ fn smoke(args: &Args) {
             r.turnovers, exp.turnover
         ));
     }
-    if r.space_amplification > 2.0 {
+    // Space amplification is timing-coupled: it gates how promptly merges and
+    // reclamation keep up with the churn, which the OS scheduler perturbs on
+    // the threaded backend.  Enforce it only where timing is modeled; on the
+    // threaded backend it is advisory and only the structural/coherence
+    // invariants below stay strict.
+    if args.get("backend").unwrap_or("sim") == "sim" && r.space_amplification > 2.0 {
         failures.push(format!("space amplification {:.2} exceeds 2x", r.space_amplification));
     }
     if r.space.left_merges == 0 {

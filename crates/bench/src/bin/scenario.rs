@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! cargo run --release -p sherman_bench --bin scenario [-- --quick] [--smoke]
-//!     [--threads N] [--ops N] [--depth D] [--key-space N]
+//!     [--threads N] [--ops N] [--depth D] [--key-space N] [--backend sim|threaded]
 //! ```
 //!
 //! `--smoke` runs the whole suite at `--quick` scale on both drive paths and
@@ -20,9 +20,22 @@
 //! shrink whose hit ratio fell off a cliff (more than 50 points absolute).
 
 use sherman_bench::{
-    fmt_mops, fmt_us, hostile_suite, print_table, run_scenario_experiment, Args, MemoryPressure,
-    ScenarioExperiment, ScenarioResult,
+    fmt_mops, fmt_us, hostile_suite, print_table, run_scenario_experiment,
+    run_scenario_experiment_on, Args, MemoryPressure, ScenarioExperiment, ScenarioResult,
 };
+use sherman_sim::ThreadedFabric;
+
+/// Dispatch on `--backend sim|threaded` (default: the virtual-time simulator).
+fn run(args: &Args, exp: &ScenarioExperiment) -> ScenarioResult {
+    match args.get("backend").unwrap_or("sim") {
+        "sim" => run_scenario_experiment(exp),
+        "threaded" => run_scenario_experiment_on::<ThreadedFabric>(exp),
+        other => {
+            eprintln!("unknown --backend {other} (expected sim|threaded)");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args = Args::from_env();
@@ -36,7 +49,7 @@ fn main() {
     for depth in [0usize, args.get_usize("depth", 4)] {
         for exp in hostile_suite(depth) {
             let exp = configure(&args, exp);
-            let r = run_scenario_experiment(&exp);
+            let r = run(&args, &exp);
             rows.push(row(&r));
         }
     }
@@ -157,7 +170,7 @@ fn smoke(args: &Args) {
     for depth in [0usize, 4] {
         for exp in hostile_suite(depth) {
             let exp = configure(args, exp);
-            let r = run_scenario_experiment(&exp);
+            let r = run(args, &exp);
             println!(
                 "scenario smoke: {:<18} [{:>9}] ops={} backpr={} exhaust={} \
                  press_evict={} hit={:.0}%->{:.0}% errs={}",

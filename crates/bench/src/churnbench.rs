@@ -25,7 +25,7 @@ use sherman_metrics::{
     CoherenceGauges, LatencyHistogram, RunSummary, SpaceSnapshot, ThreadReport,
     ThroughputAggregator,
 };
-use sherman_sim::FabricConfig;
+use sherman_sim::{Fabric, FabricBackend, FabricConfig};
 use sherman_workload::{ChurnSpec, Op};
 use std::sync::Arc;
 use std::thread;
@@ -157,8 +157,22 @@ pub struct ChurnResult {
     pub stale_hits_after_drain: u64,
 }
 
-/// Run one churn experiment to completion and aggregate the results.
+/// Run one churn experiment to completion and aggregate the results on the
+/// default virtual-time simulator backend.
 pub fn run_churn_experiment(exp: &ChurnExperiment) -> ChurnResult {
+    run_churn_experiment_on::<Fabric>(exp)
+}
+
+/// Run one churn experiment on an arbitrary [`FabricBackend`].
+///
+/// The harness itself is backend-agnostic: it spawns one OS thread per
+/// logical client, drives the churn generator to the turnover target, then
+/// quiesces coherence and audits the final tree.  On the simulator the
+/// latency figures are virtual nanoseconds; on [`sherman_sim::ThreadedFabric`]
+/// they are wall-clock nanoseconds, so compare throughput/latency rows only
+/// within one backend — the structural counters (merges, reclaim, census,
+/// space amplification, stale hits) are comparable across backends.
+pub fn run_churn_experiment_on<B: FabricBackend>(exp: &ChurnExperiment) -> ChurnResult {
     let spec = exp.workload();
     spec.validate().expect("invalid churn workload");
     let ops_per_thread = spec.ops_per_thread_for_turnover(exp.turnover);
@@ -171,7 +185,7 @@ pub fn run_churn_experiment(exp: &ChurnExperiment) -> ChurnResult {
         },
         tree: exp.tree.clone(),
     };
-    let cluster = Cluster::new(cluster_config, exp.options);
+    let cluster = Cluster::<B>::new_on(cluster_config, exp.options);
     // Churn starts from an empty tree: the warm-up phase of every generator
     // fills the window through the ordinary insert path.
     cluster.bulkload(std::iter::empty()).expect("bulkload");

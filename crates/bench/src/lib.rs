@@ -38,9 +38,10 @@ pub mod runner;
 pub mod scenariobench;
 
 pub use args::Args;
-pub use churnbench::{run_churn_experiment, ChurnExperiment, ChurnResult};
+pub use churnbench::{run_churn_experiment, run_churn_experiment_on, ChurnExperiment, ChurnResult};
 pub use scenariobench::{
-    hostile_suite, run_scenario_experiment, MemoryPressure, ScenarioExperiment, ScenarioResult,
+    hostile_suite, run_scenario_experiment, run_scenario_experiment_on, MemoryPressure,
+    ScenarioExperiment, ScenarioResult,
 };
 pub use fabricbench::{run_write_size_sweep, WriteSizePoint};
 pub use lockbench::{run_lock_experiment, LockExperiment, LockVariant};

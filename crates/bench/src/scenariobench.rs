@@ -28,7 +28,7 @@ use sherman_metrics::{
     BackpressureSnapshot, EpochGauges, LatencyHistogram, OverlapGauges, RunSummary,
     ThreadReport, ThroughputAggregator,
 };
-use sherman_sim::FabricConfig;
+use sherman_sim::{Fabric, FabricBackend, FabricConfig};
 use sherman_workload::{Mix, Op, ScenarioShape, ScenarioSpec};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
@@ -302,7 +302,7 @@ pub struct ScenarioResult {
 }
 
 /// Sum of (hits, misses) across every compute server's type-❶ cache.
-fn cache_counts(cluster: &Cluster, compute_servers: usize) -> (u64, u64) {
+fn cache_counts<B: FabricBackend>(cluster: &Cluster<B>, compute_servers: usize) -> (u64, u64) {
     let (mut hits, mut misses) = (0u64, 0u64);
     for cs in 0..compute_servers as u16 {
         let stats = cluster.cache(cs).stats();
@@ -342,9 +342,21 @@ impl WorkerOutcome {
 }
 
 /// Run one hostile-scenario experiment to completion and aggregate the
-/// results.  Allocation backpressure is *expected* under
-/// [`MemoryPressure::PoolExhaustion`] and never panics the run.
+/// results on the default virtual-time simulator backend.  Allocation
+/// backpressure is *expected* under [`MemoryPressure::PoolExhaustion`] and
+/// never panics the run.
 pub fn run_scenario_experiment(exp: &ScenarioExperiment) -> ScenarioResult {
+    run_scenario_experiment_on::<Fabric>(exp)
+}
+
+/// Run one hostile-scenario experiment on an arbitrary [`FabricBackend`].
+///
+/// The midpoint rendezvous polls with [`sherman::TreeClient::idle`], which
+/// works on both the virtual clock and a real one, so the whole suite runs
+/// unmodified on [`sherman_sim::ThreadedFabric`].  Latency/throughput rows
+/// are only comparable within one backend; the correctness gates (op errors,
+/// shape audit, census, backpressure accounting) hold on every backend.
+pub fn run_scenario_experiment_on<B: FabricBackend>(exp: &ScenarioExperiment) -> ScenarioResult {
     let spec = exp.spec();
     spec.validate().expect("invalid scenario");
 
@@ -361,7 +373,7 @@ pub fn run_scenario_experiment(exp: &ScenarioExperiment) -> ScenarioResult {
     } else {
         exp.options
     };
-    let cluster = Cluster::new(
+    let cluster = Cluster::<B>::new_on(
         ClusterConfig {
             fabric,
             tree: exp.tree.clone(),
@@ -510,8 +522,8 @@ pub fn run_scenario_experiment(exp: &ScenarioExperiment) -> ScenarioResult {
 /// Drive `budget` operations through the blocking client loop.  Allocation
 /// failures count as backpressure and the loop continues; any other error is
 /// recorded for the zero-errors gate.
-fn drive_blocking(
-    client: &mut sherman::TreeClient,
+fn drive_blocking<B: FabricBackend>(
+    client: &mut sherman::TreeClient<B>,
     gen: &mut sherman_workload::ScenarioGenerator,
     budget: usize,
     outcome: &mut WorkerOutcome,
@@ -542,8 +554,8 @@ fn drive_blocking(
 /// operation, so batches are kept small (`depth * 8`) — one allocation
 /// failure then costs at most one batch, which is tallied as backpressure
 /// rather than killing the run.
-fn drive_pipelined(
-    client: &mut sherman::TreeClient,
+fn drive_pipelined<B: FabricBackend>(
+    client: &mut sherman::TreeClient<B>,
     gen: &mut sherman_workload::ScenarioGenerator,
     budget: usize,
     depth: usize,

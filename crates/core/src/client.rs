@@ -30,7 +30,8 @@ use crate::stats::OpStats;
 use crate::TreeResult;
 use sherman_memserver::{ClientAllocator, ReaderHandle, ServerLayout};
 use sherman_sim::{
-    ClientCtx, ClientStats, Completion, GlobalAddress, PendingVerb, TraceEvent, WriteCmd,
+    ClientCtx, ClientStats, Completion, Fabric, FabricBackend, GlobalAddress, PendingVerb,
+    TraceEvent, WriteCmd,
 };
 use std::sync::Arc;
 
@@ -93,10 +94,10 @@ enum MergeOutcome {
 ///
 /// Create one with [`Cluster::client`] *on the thread that will use it*: the
 /// handle registers the calling thread with the simulation's virtual clock.
-pub struct TreeClient {
-    pub(crate) cluster: Arc<Cluster>,
-    pub(crate) ctx: ClientCtx,
-    allocator: ClientAllocator,
+pub struct TreeClient<B: FabricBackend = Fabric> {
+    pub(crate) cluster: Arc<Cluster<B>>,
+    pub(crate) ctx: ClientCtx<B::Channel>,
+    allocator: ClientAllocator<B>,
     /// This client's slot in the epoch registry: every public operation pins
     /// the global epoch on entry and unpins on exit, which is what lets
     /// epoch-based reclamation recycle freed node addresses the moment no
@@ -105,7 +106,7 @@ pub struct TreeClient {
     pub(crate) cs_id: u16,
 }
 
-impl std::fmt::Debug for TreeClient {
+impl<B: FabricBackend> std::fmt::Debug for TreeClient<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TreeClient")
             .field("cs_id", &self.cs_id)
@@ -113,8 +114,8 @@ impl std::fmt::Debug for TreeClient {
     }
 }
 
-impl TreeClient {
-    pub(crate) fn new(cluster: Arc<Cluster>, cs_id: u16) -> Self {
+impl<B: FabricBackend> TreeClient<B> {
+    pub(crate) fn new(cluster: Arc<Cluster<B>>, cs_id: u16) -> Self {
         let ctx = cluster.fabric().client(cs_id);
         let allocator = ClientAllocator::new(
             Arc::clone(cluster.pool()),
@@ -132,7 +133,7 @@ impl TreeClient {
     }
 
     /// The cluster this client operates on.
-    pub fn cluster(&self) -> &Arc<Cluster> {
+    pub fn cluster(&self) -> &Arc<Cluster<B>> {
         &self.cluster
     }
 
@@ -232,7 +233,7 @@ impl TreeClient {
     }
 
     /// The state-machine stepping context for this client's thread.
-    pub(crate) fn op_cx(&mut self) -> OpCx<'_> {
+    pub(crate) fn op_cx(&mut self) -> OpCx<'_, B> {
         OpCx {
             cluster: &self.cluster,
             ctx: &mut self.ctx,
@@ -336,7 +337,7 @@ impl TreeClient {
     fn drive_write<T>(
         &mut self,
         meta: &mut OpMeta,
-        mut step: impl FnMut(&mut TreeClient, &mut OpMeta, Option<Completion>) -> TreeResult<Step<T>>,
+        mut step: impl FnMut(&mut TreeClient<B>, &mut OpMeta, Option<Completion>) -> TreeResult<Step<T>>,
     ) -> TreeResult<T> {
         let mut completion = None;
         loop {
@@ -534,7 +535,12 @@ impl TreeClient {
     ) -> TreeResult<()> {
         let restarts = self.cluster.config().max_restarts;
         let mut pending: Option<GlobalAddress> = None;
-        for _ in 0..restarts {
+        for attempt in 0..restarts {
+            if attempt > 0 {
+                // Lost a race (root growth, a concurrent split moving the
+                // key range): pace the retry so the winner can finish.
+                self.ctx.contention_backoff(attempt);
+            }
             let (_, root_level) = self.root()?;
             if root_level < parent_level {
                 if self.try_grow_root(sep_key, child, parent_level)? {

@@ -13,7 +13,7 @@ use sherman_locks::{
 };
 use sherman_memserver::{EpochRegistry, FreeListStats, MemoryPool, ServerLayout};
 use sherman_metrics::{CoherenceCounters, CoherenceGauges, EpochGauges, SpaceCounters, SpaceSnapshot};
-use sherman_sim::{Fabric, FabricConfig, GlobalAddress};
+use sherman_sim::{Fabric, FabricBackend, FabricConfig, GlobalAddress};
 use std::sync::Arc;
 
 /// Everything needed to stand up a simulated Sherman deployment.
@@ -61,10 +61,10 @@ pub(crate) struct RootHint {
 /// The `Cluster` owns the shared state — fabric, memory pool, lock service and
 /// per-compute-server index caches — and hands out [`TreeClient`] handles, one
 /// per client thread.
-pub struct Cluster {
-    fabric: Arc<Fabric>,
-    pool: Arc<MemoryPool>,
-    lock_mgr: Arc<dyn NodeLockManager>,
+pub struct Cluster<B: FabricBackend = Fabric> {
+    fabric: Arc<B>,
+    pool: Arc<MemoryPool<B>>,
+    lock_mgr: Arc<dyn NodeLockManager<B::Channel>>,
     config: TreeConfig,
     options: TreeOptions,
     layout: NodeLayout,
@@ -78,7 +78,7 @@ pub struct Cluster {
     pending_refreshes: Mutex<Vec<Arc<CachedInternal>>>,
 }
 
-impl std::fmt::Debug for Cluster {
+impl<B: FabricBackend> std::fmt::Debug for Cluster<B> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
             .field("memory_servers", &self.fabric.memory_servers())
@@ -89,14 +89,26 @@ impl std::fmt::Debug for Cluster {
 }
 
 impl Cluster {
-    /// Build a cluster with the given configuration and technique selection.
+    /// Build a cluster on the default virtual-time simulator backend.
     ///
     /// # Panics
     /// Panics on invalid configuration (the same fail-fast policy as
     /// [`Fabric::new`]).
     pub fn new(config: ClusterConfig, options: TreeOptions) -> Arc<Self> {
+        Self::new_on(config, options)
+    }
+}
+
+impl<B: FabricBackend> Cluster<B> {
+    /// Build a cluster on backend `B` ([`Fabric`] for virtual time,
+    /// [`sherman_sim::ThreadedFabric`] for real threads on a real clock).
+    ///
+    /// # Panics
+    /// Panics on invalid configuration (the same fail-fast policy as
+    /// [`Fabric::new`]).
+    pub fn new_on(config: ClusterConfig, options: TreeOptions) -> Arc<Self> {
         config.tree.validate().expect("invalid tree configuration");
-        let fabric = Fabric::new(config.fabric.clone());
+        let fabric = B::build(config.fabric.clone());
         let pool = MemoryPool::new(Arc::clone(&fabric), config.tree.chunk_bytes);
         match config.tree.reclaim {
             ReclaimScheme::Epoch => pool.use_epoch_reclamation(),
@@ -124,10 +136,10 @@ impl Cluster {
     }
 
     fn build_lock_manager(
-        pool: &Arc<MemoryPool>,
+        pool: &Arc<MemoryPool<B>>,
         fabric_cfg: &FabricConfig,
         options: &TreeOptions,
-    ) -> Arc<dyn NodeLockManager> {
+    ) -> Arc<dyn NodeLockManager<B::Channel>> {
         match options.lock_strategy {
             LockStrategy::HostCasFaa => Arc::new(RemoteLockManager::new(GlobalLockTable::new_host(
                 pool,
@@ -147,18 +159,18 @@ impl Cluster {
         }
     }
 
-    /// The simulated fabric.
-    pub fn fabric(&self) -> &Arc<Fabric> {
+    /// The fabric backend this deployment runs on.
+    pub fn fabric(&self) -> &Arc<B> {
         &self.fabric
     }
 
     /// The cluster-wide memory pool.
-    pub fn pool(&self) -> &Arc<MemoryPool> {
+    pub fn pool(&self) -> &Arc<MemoryPool<B>> {
         &self.pool
     }
 
     /// The exclusive-lock service.
-    pub fn lock_manager(&self) -> &Arc<dyn NodeLockManager> {
+    pub fn lock_manager(&self) -> &Arc<dyn NodeLockManager<B::Channel>> {
         &self.lock_mgr
     }
 
@@ -210,7 +222,7 @@ impl Cluster {
     }
 
     /// Create a client handle for a thread running on compute server `cs`.
-    pub fn client(self: &Arc<Self>, cs: u16) -> TreeClient {
+    pub fn client(self: &Arc<Self>, cs: u16) -> TreeClient<B> {
         TreeClient::new(Arc::clone(self), cs)
     }
 
@@ -537,7 +549,7 @@ pub struct ShapeAudit {
     pub underfull_internals: u64,
 }
 
-impl Cluster {
+impl<B: FabricBackend> Cluster<B> {
     // ------------------------------------------------------------------
     // Bulkload
     // ------------------------------------------------------------------
@@ -718,15 +730,15 @@ struct BuiltNode {
 }
 
 /// Minimal bump allocator over untimed pool chunks, used only by bulkload.
-struct BulkAllocator<'a> {
-    pool: &'a Arc<MemoryPool>,
+struct BulkAllocator<'a, B: FabricBackend> {
+    pool: &'a Arc<MemoryPool<B>>,
     node_bytes: u64,
     next_ms: u16,
     current: Option<(GlobalAddress, u64)>,
 }
 
-impl<'a> BulkAllocator<'a> {
-    fn new(pool: &'a Arc<MemoryPool>, node_bytes: u64) -> Self {
+impl<'a, B: FabricBackend> BulkAllocator<'a, B> {
+    fn new(pool: &'a Arc<MemoryPool<B>>, node_bytes: u64) -> Self {
         BulkAllocator {
             pool,
             node_bytes,

@@ -43,7 +43,7 @@
 
 use crate::cluster::Cluster;
 use sherman_cache::CachedInternal;
-use sherman_sim::{ClientCtx, CoherenceMsg, GlobalAddress};
+use sherman_sim::{ClientCtx, CoherenceMsg, FabricBackend, GlobalAddress};
 use std::sync::Arc;
 
 /// Wire size charged for an `Invalidate` message: a packed global address
@@ -134,7 +134,7 @@ impl PublishedCommit {
     /// Call *after* the lock plan is released: the tombstone images ride
     /// the release writes, and the address must not be reusable before its
     /// tombstone is visible.
-    pub(crate) fn retire_all(self, cluster: &Cluster, now: u64) {
+    pub(crate) fn retire_all<B: FabricBackend>(self, cluster: &Cluster<B>, now: u64) {
         for (addr, tombstone_version) in self.retired {
             cluster.pool().retire_node(addr, tombstone_version, now);
         }
@@ -152,9 +152,9 @@ impl PublishedCommit {
 /// unavailable (mid collapse), the refreshes are **queued** on the cluster
 /// instead of dropped, and the next publish that observes a root hint
 /// prepends them — the heal is deferred, never lost.
-pub(crate) fn publish(
-    cluster: &Cluster,
-    ctx: &mut ClientCtx,
+pub(crate) fn publish<B: FabricBackend>(
+    cluster: &Cluster<B>,
+    ctx: &mut ClientCtx<B::Channel>,
     cs_id: u16,
     commit: StructuralCommit,
 ) -> PublishedCommit {
@@ -232,7 +232,7 @@ pub(crate) fn publish(
 /// Apply a batch of drained coherence messages to compute server `cs`'s
 /// cache, recording each message's post→apply lag.  `now` is the drain
 /// time on the draining client's clock.
-pub(crate) fn apply(cluster: &Cluster, cs: u16, now: u64, msgs: &[CoherenceMsg]) {
+pub(crate) fn apply<B: FabricBackend>(cluster: &Cluster<B>, cs: u16, now: u64, msgs: &[CoherenceMsg]) {
     let cache = cluster.cache(cs);
     let counters = cluster.coherence_counters();
     for msg in msgs {

@@ -53,7 +53,7 @@ use crate::node::{InternalNode, LeafNode};
 use crate::TreeResult;
 use sherman_cache::{CachedInternal, ChildRef};
 use sherman_memserver::ServerLayout;
-use sherman_sim::{ClientCtx, Completion, GlobalAddress, PendingVerb};
+use sherman_sim::{ClientCtx, Completion, Fabric, FabricBackend, GlobalAddress, PendingVerb};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -117,13 +117,13 @@ pub(crate) enum WriteCommit {
 /// The shared-state window a state machine steps against: the cluster plus
 /// this logical thread's fabric context.  Multiple machines multiplexed on
 /// one thread all step against the *same* `OpCx` (that is the point).
-pub(crate) struct OpCx<'a> {
-    pub cluster: &'a Arc<Cluster>,
-    pub ctx: &'a mut ClientCtx,
+pub(crate) struct OpCx<'a, B: FabricBackend = Fabric> {
+    pub cluster: &'a Arc<Cluster<B>>,
+    pub ctx: &'a mut ClientCtx<B::Channel>,
     pub cs_id: u16,
 }
 
-impl OpCx<'_> {
+impl<B: FabricBackend> OpCx<'_, B> {
     fn leaf_format(&self) -> LeafFormat {
         self.cluster.options().leaf_format
     }
@@ -186,8 +186,8 @@ pub(crate) fn cached_from_internal(addr: GlobalAddress, node: &InternalNode) -> 
 /// messages in flight rather than applied synchronously, this local
 /// self-heal is what keeps a stale route from being retried forever before
 /// the `Invalidate` message lands.
-pub(crate) fn next_after_mismatch(
-    cx: &mut OpCx<'_>,
+pub(crate) fn next_after_mismatch<B: FabricBackend>(
+    cx: &mut OpCx<'_, B>,
     key: u64,
     addr: GlobalAddress,
     leaf: &LeafNode,
@@ -220,7 +220,7 @@ pub(crate) enum LocateStart {
 
 /// Begin locating the leaf that should hold `key`, preferring the index
 /// cache (no verb is posted here; a returned [`TraverseSM`] posts them).
-pub(crate) fn locate_start(cx: &mut OpCx<'_>, meta: &mut OpMeta, key: u64) -> LocateStart {
+pub(crate) fn locate_start<B: FabricBackend>(cx: &mut OpCx<'_, B>, meta: &mut OpMeta, key: u64) -> LocateStart {
     if let Some(cached) = cx.cluster.cache(cx.cs_id).lookup_covering(key) {
         meta.cache_hit = true;
         return LocateStart::Cached(
@@ -237,10 +237,10 @@ pub(crate) fn locate_start(cx: &mut OpCx<'_>, meta: &mut OpMeta, key: u64) -> Lo
 /// at a time: post, poll, resume.  This *is* the blocking path — and also
 /// exactly what a pipelined run at depth 1 executes, which is why the two are
 /// equivalent by construction.
-pub(crate) fn drive_blocking<T>(
-    cx: &mut OpCx<'_>,
+pub(crate) fn drive_blocking<B: FabricBackend, T>(
+    cx: &mut OpCx<'_, B>,
     meta: &mut OpMeta,
-    mut step: impl FnMut(&mut OpCx<'_>, &mut OpMeta, Option<Completion>) -> TreeResult<Step<T>>,
+    mut step: impl FnMut(&mut OpCx<'_, B>, &mut OpMeta, Option<Completion>) -> TreeResult<Step<T>>,
 ) -> TreeResult<T> {
     let mut completion = None;
     loop {
@@ -264,16 +264,16 @@ pub(crate) struct ReadNodeSM {
 }
 
 impl ReadNodeSM {
-    pub(crate) fn new(cx: &OpCx<'_>, addr: GlobalAddress) -> Self {
+    pub(crate) fn new<B: FabricBackend>(cx: &OpCx<'_, B>, addr: GlobalAddress) -> Self {
         ReadNodeSM {
             addr,
             attempts_left: cx.cluster.config().max_read_retries,
         }
     }
 
-    pub(crate) fn step(
+    pub(crate) fn step<B: FabricBackend>(
         &mut self,
-        cx: &mut OpCx<'_>,
+        cx: &mut OpCx<'_, B>,
         meta: &mut OpMeta,
         completion: Option<Completion>,
     ) -> TreeResult<Step<Vec<u8>>> {
@@ -286,6 +286,8 @@ impl ReadNodeSM {
             }
             meta.read_retries += 1;
             cx.ctx.note_retries(1);
+            let attempt = cx.cluster.config().max_read_retries - self.attempts_left;
+            cx.ctx.contention_backoff(attempt);
         }
         if self.attempts_left == 0 {
             return Err(TreeError::RetriesExhausted {
@@ -332,7 +334,7 @@ pub(crate) struct TraverseSM {
 }
 
 impl TraverseSM {
-    pub(crate) fn new(cx: &OpCx<'_>, key: u64, target_level: u8) -> Self {
+    pub(crate) fn new<B: FabricBackend>(cx: &OpCx<'_, B>, key: u64, target_level: u8) -> Self {
         TraverseSM {
             key,
             target_level,
@@ -348,7 +350,7 @@ impl TraverseSM {
     /// attempt, re-read the root from the superblock and skip the type-❷
     /// cache.  In grow-only mode (the paper's behaviour) neither can happen,
     /// so restarts keep their shortcuts and cost profile.
-    fn begin_attempt(&mut self, cx: &mut OpCx<'_>) -> TreeResult<Option<GlobalAddress>> {
+    fn begin_attempt<B: FabricBackend>(&mut self, cx: &mut OpCx<'_, B>) -> TreeResult<Option<GlobalAddress>> {
         let distrust_shortcuts = cx.cluster.options().structural_deletes_enabled();
         let use_shortcuts = self.first_attempt || !distrust_shortcuts;
         self.first_attempt = false;
@@ -405,9 +407,9 @@ impl TraverseSM {
         self.attempt.as_ref().is_some_and(|a| a.addr_from_cache)
     }
 
-    pub(crate) fn step(
+    pub(crate) fn step<B: FabricBackend>(
         &mut self,
-        cx: &mut OpCx<'_>,
+        cx: &mut OpCx<'_, B>,
         meta: &mut OpMeta,
         mut completion: Option<Completion>,
     ) -> TreeResult<Step<GlobalAddress>> {
@@ -418,6 +420,10 @@ impl TraverseSM {
                         context: "tree traversal",
                         attempts: cx.cluster.config().max_restarts,
                     });
+                }
+                let spent = cx.cluster.config().max_restarts - self.attempts_left;
+                if spent > 0 {
+                    cx.ctx.contention_backoff(spent);
                 }
                 self.attempts_left -= 1;
                 if let Some(shallow) = self.begin_attempt(cx)? {
@@ -514,7 +520,7 @@ pub(crate) struct LookupSM {
 }
 
 impl LookupSM {
-    pub(crate) fn new(cx: &OpCx<'_>, key: u64) -> Self {
+    pub(crate) fn new<B: FabricBackend>(cx: &OpCx<'_, B>, key: u64) -> Self {
         LookupSM {
             key,
             restarts_left: cx.cluster.config().max_restarts,
@@ -523,7 +529,7 @@ impl LookupSM {
         }
     }
 
-    fn leaf_phase(&self, cx: &OpCx<'_>, addr: GlobalAddress, source: LeafSource) -> LookupPhase {
+    fn leaf_phase<B: FabricBackend>(&self, cx: &OpCx<'_, B>, addr: GlobalAddress, source: LeafSource) -> LookupPhase {
         LookupPhase::Leaf {
             addr,
             source,
@@ -532,9 +538,9 @@ impl LookupSM {
         }
     }
 
-    pub(crate) fn step(
+    pub(crate) fn step<B: FabricBackend>(
         &mut self,
-        cx: &mut OpCx<'_>,
+        cx: &mut OpCx<'_, B>,
         meta: &mut OpMeta,
         mut completion: Option<Completion>,
     ) -> TreeResult<Step<Option<u64>>> {
@@ -546,6 +552,10 @@ impl LookupSM {
                             context: "lookup",
                             attempts: cx.cluster.config().max_restarts,
                         });
+                    }
+                    let spent = cx.cluster.config().max_restarts - self.restarts_left;
+                    if spent > 0 {
+                        cx.ctx.contention_backoff(spent);
                     }
                     self.restarts_left -= 1;
                     if let Some((addr, source)) = self.pending.take() {
@@ -718,7 +728,7 @@ impl RangeSM {
     /// Consume one scanned batch leaf (already consistency-checked).
     /// Returns `false` when the leaf was tombstoned and phase 2 must
     /// re-locate.
-    fn take_batch_leaf(&mut self, cx: &mut OpCx<'_>, addr: GlobalAddress, leaf: &LeafNode) -> bool {
+    fn take_batch_leaf<B: FabricBackend>(&mut self, cx: &mut OpCx<'_, B>, addr: GlobalAddress, leaf: &LeafNode) -> bool {
         if leaf.header.free || !leaf.header.is_leaf {
             // A concurrent merge freed this cached child; its entries now
             // live in an earlier leaf whose pre-merge image we may already
@@ -740,7 +750,7 @@ impl RangeSM {
     }
 
     /// Begin locating the leaf covering `key`; transitions the phase.
-    fn start_locate(&mut self, cx: &mut OpCx<'_>, meta: &mut OpMeta, key: u64, forget_visit: bool) {
+    fn start_locate<B: FabricBackend>(&mut self, cx: &mut OpCx<'_, B>, meta: &mut OpMeta, key: u64, forget_visit: bool) {
         match locate_start(cx, meta, key) {
             LocateStart::Cached(addr, _) => {
                 if forget_visit {
@@ -752,9 +762,9 @@ impl RangeSM {
         }
     }
 
-    pub(crate) fn step(
+    pub(crate) fn step<B: FabricBackend>(
         &mut self,
-        cx: &mut OpCx<'_>,
+        cx: &mut OpCx<'_, B>,
         meta: &mut OpMeta,
         mut completion: Option<Completion>,
     ) -> TreeResult<Step<Vec<(u64, u64)>>> {
@@ -984,7 +994,7 @@ pub(crate) struct InsertSM {
 }
 
 impl InsertSM {
-    pub(crate) fn new(cx: &OpCx<'_>, key: u64, value: u64) -> Self {
+    pub(crate) fn new<B: FabricBackend>(cx: &OpCx<'_, B>, key: u64, value: u64) -> Self {
         InsertSM {
             key,
             value,
@@ -994,9 +1004,9 @@ impl InsertSM {
         }
     }
 
-    pub(crate) fn step(
+    pub(crate) fn step<B: FabricBackend>(
         &mut self,
-        client: &mut TreeClient,
+        client: &mut TreeClient<B>,
         meta: &mut OpMeta,
         mut completion: Option<Completion>,
     ) -> TreeResult<Step<()>> {
@@ -1008,6 +1018,10 @@ impl InsertSM {
                             context: "insert",
                             attempts: client.cluster.config().max_restarts,
                         });
+                    }
+                    let spent = client.cluster.config().max_restarts - self.restarts_left;
+                    if spent > 0 {
+                        client.ctx.contention_backoff(spent);
                     }
                     self.restarts_left -= 1;
                     if let Some((addr, source)) = self.pending.take() {
@@ -1081,7 +1095,7 @@ pub(crate) struct DeleteSM {
 }
 
 impl DeleteSM {
-    pub(crate) fn new(cx: &OpCx<'_>, key: u64) -> Self {
+    pub(crate) fn new<B: FabricBackend>(cx: &OpCx<'_, B>, key: u64) -> Self {
         DeleteSM {
             key,
             found: false,
@@ -1091,9 +1105,9 @@ impl DeleteSM {
         }
     }
 
-    pub(crate) fn step(
+    pub(crate) fn step<B: FabricBackend>(
         &mut self,
-        client: &mut TreeClient,
+        client: &mut TreeClient<B>,
         meta: &mut OpMeta,
         mut completion: Option<Completion>,
     ) -> TreeResult<Step<bool>> {
@@ -1105,6 +1119,10 @@ impl DeleteSM {
                             context: "delete",
                             attempts: client.cluster.config().max_restarts,
                         });
+                    }
+                    let spent = client.cluster.config().max_restarts - self.restarts_left;
+                    if spent > 0 {
+                        client.ctx.contention_backoff(spent);
                     }
                     self.restarts_left -= 1;
                     if let Some((addr, source)) = self.pending.take() {
@@ -1194,9 +1212,9 @@ pub enum OpOutput {
 }
 
 impl OpSM {
-    pub(crate) fn step(
+    pub(crate) fn step<B: FabricBackend>(
         &mut self,
-        client: &mut TreeClient,
+        client: &mut TreeClient<B>,
         meta: &mut OpMeta,
         completion: Option<Completion>,
     ) -> TreeResult<Step<OpOutput>> {

@@ -54,7 +54,7 @@ use crate::ops::{DeleteSM, InsertSM, LookupSM, OpMeta, OpOutput, OpSM, RangeSM, 
 use crate::TreeResult;
 use sherman_memserver::EpochPin;
 use sherman_metrics::OverlapGauges;
-use sherman_sim::{ClientStats, Completion, PendingVerb};
+use sherman_sim::{ClientStats, Completion, FabricBackend, PendingVerb};
 
 /// One operation for the pipelined driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,7 +167,7 @@ struct Slot {
     _pin: EpochPin,
 }
 
-impl TreeClient {
+impl<B: FabricBackend> TreeClient<B> {
     /// Run `ops` with up to `depth` operations in flight on this client's
     /// single fabric context, returning every result plus the run's overlap
     /// gauges.  `depth == 1` executes exactly the blocking path.
@@ -196,8 +196,8 @@ impl TreeClient {
         // Drive one slot until it parks on a posted verb or completes; a
         // completed slot immediately pulls the next operation from the feed.
         // Returns Err on operation failure (the caller drains the queue).
-        fn advance(
-            client: &mut TreeClient,
+        fn advance<B: FabricBackend>(
+            client: &mut TreeClient<B>,
             slot: &mut Option<Slot>,
             feed: &mut impl Iterator<Item = PipelineOp>,
             next_id: &mut u64,

@@ -14,7 +14,7 @@
 
 use crate::slot_hash;
 use sherman_memserver::{MemoryPool, ServerLayout};
-use sherman_sim::{ClientCtx, GlobalAddress, PendingVerb, SimResult, WriteCmd};
+use sherman_sim::{ClientCtx, FabricBackend, FabricChannel, GlobalAddress, PendingVerb, SimResult, WriteCmd};
 
 /// Which physical realization of the global lock table is in use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,7 +72,7 @@ impl GlobalLockTable {
     /// Build an on-chip global lock table covering every memory server of
     /// `pool`.  The table occupies the NIC's device memory exclusively, so no
     /// allocation is needed.
-    pub fn new_on_chip(pool: &MemoryPool) -> Self {
+    pub fn new_on_chip<B: FabricBackend>(pool: &MemoryPool<B>) -> Self {
         let layouts: Vec<ServerLayout> = (0..pool.servers())
             .map(|ms| pool.layout(ms as u16).expect("layout exists"))
             .collect();
@@ -91,7 +91,7 @@ impl GlobalLockTable {
     /// time).
     ///
     /// `release_kind` selects FAA (original FG) or WRITE (FG+) release.
-    pub fn new_host(pool: &MemoryPool, release_kind: GlobalLockKind) -> Self {
+    pub fn new_host<B: FabricBackend>(pool: &MemoryPool<B>, release_kind: GlobalLockKind) -> Self {
         assert!(
             matches!(
                 release_kind,
@@ -169,9 +169,9 @@ impl GlobalLockTable {
 
     /// Attempt to acquire the lock at `loc` once for compute server `owner`.
     /// Returns whether the acquisition succeeded.
-    pub fn try_acquire_at(
+    pub fn try_acquire_at<C: FabricChannel>(
         &self,
-        client: &mut ClientCtx,
+        client: &mut ClientCtx<C>,
         loc: LockLocation,
         owner: u16,
     ) -> SimResult<bool> {
@@ -187,9 +187,9 @@ impl GlobalLockTable {
     /// Spin until the lock at `loc` is acquired; every failed attempt is a
     /// remote retry that burns NIC IOPS, exactly the behaviour Figure 2
     /// demonstrates.  Returns the number of failed attempts.
-    pub fn acquire_at(
+    pub fn acquire_at<C: FabricChannel>(
         &self,
-        client: &mut ClientCtx,
+        client: &mut ClientCtx<C>,
         loc: LockLocation,
         owner: u16,
     ) -> SimResult<u64> {
@@ -223,9 +223,9 @@ impl GlobalLockTable {
 
     /// Release the lock at `loc` as a standalone verb (WRITE or FAA depending
     /// on the flavour), for callers that do not combine commands.
-    pub fn release_at(
+    pub fn release_at<C: FabricChannel>(
         &self,
-        client: &mut ClientCtx,
+        client: &mut ClientCtx<C>,
         loc: LockLocation,
         owner: u16,
     ) -> SimResult<()> {
@@ -239,9 +239,9 @@ impl GlobalLockTable {
     /// post instant — exactly as in the blocking path — so the word is free to
     /// other clients immediately; the returned token carries only the time at
     /// which the acknowledgement arrives back.
-    pub fn post_release_at(
+    pub fn post_release_at<C: FabricChannel>(
         &self,
-        client: &mut ClientCtx,
+        client: &mut ClientCtx<C>,
         loc: LockLocation,
         owner: u16,
     ) -> SimResult<PendingVerb> {

@@ -15,7 +15,7 @@
 use crate::global::GlobalLockTable;
 use crate::manager::{flush_writes_and_release, AcquireOutcome, NodeLockManager, ReleaseOutcome};
 use parking_lot::Mutex;
-use sherman_sim::{ClientCtx, GlobalAddress, PendingVerb, SimResult, WriteCmd};
+use sherman_sim::{ClientCtx, FabricChannel, GlobalAddress, PendingVerb, SimResult, WriteCmd};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -181,9 +181,9 @@ impl HoclManager {
         self.local_table(cs).queued_waiters(node.ms, slot)
     }
 
-    fn acquire_slot(
+    fn acquire_slot<C: FabricChannel>(
         &self,
-        client: &mut ClientCtx,
+        client: &mut ClientCtx<C>,
         ms: u16,
         slot: u64,
     ) -> SimResult<AcquireOutcome> {
@@ -235,9 +235,9 @@ impl HoclManager {
         })
     }
 
-    fn release_slot(
+    fn release_slot<C: FabricChannel>(
         &self,
-        client: &mut ClientCtx,
+        client: &mut ClientCtx<C>,
         ms: u16,
         slot: u64,
         writes: Vec<WriteCmd>,
@@ -312,19 +312,38 @@ impl HoclManager {
 
     /// Acquire lock `slot` on memory server `ms` directly (used by the lock
     /// microbenchmarks, which exercise the lock service without a tree).
-    pub fn acquire_raw(
+    pub fn acquire_raw<C: FabricChannel>(
         &self,
-        client: &mut ClientCtx,
+        client: &mut ClientCtx<C>,
         ms: u16,
         slot: u64,
     ) -> SimResult<AcquireOutcome> {
         self.acquire_slot(client, ms, slot)
     }
 
+    /// Whether `a` and `b` are guarded by the same lock word (inherent
+    /// mirror of [`NodeLockManager::same_lock`], callable without fixing the
+    /// channel type).
+    pub fn same_lock(&self, a: GlobalAddress, b: GlobalAddress) -> bool {
+        self.glt.location_of(a) == self.glt.location_of(b)
+    }
+
+    /// Total order on lock words (inherent mirror of
+    /// [`NodeLockManager::lock_rank`]).
+    pub fn lock_rank(&self, node: GlobalAddress) -> u128 {
+        crate::manager::location_rank(&self.glt.location_of(node))
+    }
+
+    /// Deadlock-safe multi-node acquisition plan (inherent mirror of
+    /// [`NodeLockManager::lock_plan`]).
+    pub fn lock_plan(&self, nodes: &[GlobalAddress]) -> Vec<GlobalAddress> {
+        crate::manager::plan_locks(nodes, |a, b| self.same_lock(a, b), |n| self.lock_rank(n))
+    }
+
     /// Release lock `slot` on memory server `ms` directly.
-    pub fn release_raw(
+    pub fn release_raw<C: FabricChannel>(
         &self,
-        client: &mut ClientCtx,
+        client: &mut ClientCtx<C>,
         ms: u16,
         slot: u64,
     ) -> SimResult<ReleaseOutcome> {
@@ -334,23 +353,31 @@ impl HoclManager {
     }
 }
 
-impl NodeLockManager for HoclManager {
+impl<C: FabricChannel> NodeLockManager<C> for HoclManager {
     fn same_lock(&self, a: GlobalAddress, b: GlobalAddress) -> bool {
-        self.glt.location_of(a) == self.glt.location_of(b)
+        HoclManager::same_lock(self, a, b)
     }
 
     fn lock_rank(&self, node: GlobalAddress) -> u128 {
-        crate::manager::location_rank(&self.glt.location_of(node))
+        HoclManager::lock_rank(self, node)
     }
 
-    fn acquire(&self, client: &mut ClientCtx, node: GlobalAddress) -> SimResult<AcquireOutcome> {
+    fn lock_plan(&self, nodes: &[GlobalAddress]) -> Vec<GlobalAddress> {
+        HoclManager::lock_plan(self, nodes)
+    }
+
+    fn acquire(
+        &self,
+        client: &mut ClientCtx<C>,
+        node: GlobalAddress,
+    ) -> SimResult<AcquireOutcome> {
         let slot = self.glt.slot_of(node);
         self.acquire_slot(client, node.ms, slot)
     }
 
     fn release_deferred(
         &self,
-        client: &mut ClientCtx,
+        client: &mut ClientCtx<C>,
         node: GlobalAddress,
         writes: Vec<WriteCmd>,
         combine: bool,

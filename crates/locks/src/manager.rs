@@ -3,7 +3,7 @@
 //! steps use.
 
 use crate::global::GlobalLockTable;
-use sherman_sim::{ClientCtx, GlobalAddress, PendingVerb, SimResult, WriteCmd};
+use sherman_sim::{ClientCtx, FabricChannel, GlobalAddress, PendingVerb, SimChannel, SimResult, WriteCmd};
 
 /// Result of acquiring a node lock.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -31,16 +31,20 @@ pub struct ReleaseOutcome {
 /// `combine` is requested (command combination, §4.5).  When `combine` is
 /// `false`, every write-back and the release are posted as separate round
 /// trips, reproducing the baseline behaviour.
-pub trait NodeLockManager: Send + Sync {
+/// The trait is generic over the fabric channel the clients run on, so one
+/// manager instance serves every client of a deployment regardless of
+/// backend; it defaults to the virtual-time simulator's channel.
+pub trait NodeLockManager<C: FabricChannel = SimChannel>: Send + Sync {
     /// Acquire the exclusive lock protecting `node`.
-    fn acquire(&self, client: &mut ClientCtx, node: GlobalAddress) -> SimResult<AcquireOutcome>;
+    fn acquire(&self, client: &mut ClientCtx<C>, node: GlobalAddress)
+        -> SimResult<AcquireOutcome>;
 
     /// Release the lock protecting `node`, flushing `writes` (node
     /// write-backs on the same memory server) before or together with the
     /// release according to `combine`.
     fn release(
         &self,
-        client: &mut ClientCtx,
+        client: &mut ClientCtx<C>,
         node: GlobalAddress,
         writes: Vec<WriteCmd>,
         combine: bool,
@@ -67,7 +71,7 @@ pub trait NodeLockManager: Send + Sync {
     /// local handover that needs no remote release returns `None`.
     fn release_deferred(
         &self,
-        client: &mut ClientCtx,
+        client: &mut ClientCtx<C>,
         node: GlobalAddress,
         writes: Vec<WriteCmd>,
         combine: bool,
@@ -104,14 +108,11 @@ pub trait NodeLockManager: Send + Sync {
     /// clients merging in opposite directions still acquire in one global
     /// rank order.
     fn lock_plan(&self, nodes: &[GlobalAddress]) -> Vec<GlobalAddress> {
-        let mut plan: Vec<GlobalAddress> = Vec::with_capacity(nodes.len());
-        for &n in nodes {
-            if !plan.iter().any(|&p| self.same_lock(p, n)) {
-                plan.push(n);
-            }
-        }
-        plan.sort_by_key(|&n| self.lock_rank(n));
-        plan
+        plan_locks(
+            nodes,
+            |a, b| NodeLockManager::same_lock(self, a, b),
+            |n| NodeLockManager::lock_rank(self, n),
+        )
     }
 }
 
@@ -147,12 +148,12 @@ impl RemoteLockManager {
 ///
 /// When `defer` is set, the final remote verb of the sequence is posted
 /// split-phase and its token returned; every earlier verb stays blocking.
-pub(crate) fn flush_writes_and_release(
-    client: &mut ClientCtx,
+pub(crate) fn flush_writes_and_release<C: FabricChannel>(
+    client: &mut ClientCtx<C>,
     writes: Vec<WriteCmd>,
     combine: bool,
     release_cmd: Option<WriteCmd>,
-    mut fallback_release: impl FnMut(&mut ClientCtx, bool) -> SimResult<Option<PendingVerb>>,
+    mut fallback_release: impl FnMut(&mut ClientCtx<C>, bool) -> SimResult<Option<PendingVerb>>,
     lock_ms: u16,
     defer: bool,
 ) -> SimResult<Option<PendingVerb>> {
@@ -205,16 +206,62 @@ pub(crate) fn location_rank(loc: &crate::global::LockLocation) -> u128 {
     ((loc.word.pack() as u128) << 32) | loc.shift as u128
 }
 
-impl NodeLockManager for RemoteLockManager {
-    fn same_lock(&self, a: GlobalAddress, b: GlobalAddress) -> bool {
+/// The shared lock-plan algorithm: deduplicate by lock word, sort by rank
+/// (see [`NodeLockManager::lock_plan`] for the discipline it enables).
+pub(crate) fn plan_locks(
+    nodes: &[GlobalAddress],
+    same: impl Fn(GlobalAddress, GlobalAddress) -> bool,
+    rank: impl Fn(GlobalAddress) -> u128,
+) -> Vec<GlobalAddress> {
+    let mut plan: Vec<GlobalAddress> = Vec::with_capacity(nodes.len());
+    for &n in nodes {
+        if !plan.iter().any(|&p| same(p, n)) {
+            plan.push(n);
+        }
+    }
+    plan.sort_by_key(|&n| rank(n));
+    plan
+}
+
+impl RemoteLockManager {
+    /// Whether `a` and `b` are guarded by the same lock word (inherent
+    /// mirror of [`NodeLockManager::same_lock`], callable without fixing the
+    /// channel type).
+    pub fn same_lock(&self, a: GlobalAddress, b: GlobalAddress) -> bool {
         self.table.location_of(a) == self.table.location_of(b)
     }
 
-    fn lock_rank(&self, node: GlobalAddress) -> u128 {
+    /// Total order on lock words (inherent mirror of
+    /// [`NodeLockManager::lock_rank`]).
+    pub fn lock_rank(&self, node: GlobalAddress) -> u128 {
         location_rank(&self.table.location_of(node))
     }
 
-    fn acquire(&self, client: &mut ClientCtx, node: GlobalAddress) -> SimResult<AcquireOutcome> {
+    /// Deadlock-safe multi-node acquisition plan (inherent mirror of
+    /// [`NodeLockManager::lock_plan`]).
+    pub fn lock_plan(&self, nodes: &[GlobalAddress]) -> Vec<GlobalAddress> {
+        plan_locks(nodes, |a, b| self.same_lock(a, b), |n| self.lock_rank(n))
+    }
+}
+
+impl<C: FabricChannel> NodeLockManager<C> for RemoteLockManager {
+    fn same_lock(&self, a: GlobalAddress, b: GlobalAddress) -> bool {
+        RemoteLockManager::same_lock(self, a, b)
+    }
+
+    fn lock_rank(&self, node: GlobalAddress) -> u128 {
+        RemoteLockManager::lock_rank(self, node)
+    }
+
+    fn lock_plan(&self, nodes: &[GlobalAddress]) -> Vec<GlobalAddress> {
+        RemoteLockManager::lock_plan(self, nodes)
+    }
+
+    fn acquire(
+        &self,
+        client: &mut ClientCtx<C>,
+        node: GlobalAddress,
+    ) -> SimResult<AcquireOutcome> {
         let loc = self.table.location_of(node);
         let owner = client.cs_id();
         let remote_retries = self.table.acquire_at(client, loc, owner)?;
@@ -226,7 +273,7 @@ impl NodeLockManager for RemoteLockManager {
 
     fn release_deferred(
         &self,
-        client: &mut ClientCtx,
+        client: &mut ClientCtx<C>,
         node: GlobalAddress,
         writes: Vec<WriteCmd>,
         combine: bool,

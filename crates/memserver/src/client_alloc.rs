@@ -11,7 +11,7 @@
 //! footprint to the steady-state tree size under delete-heavy churn.
 
 use crate::pool::{MemoryPool, PoolError};
-use sherman_sim::{ClientCtx, GlobalAddress};
+use sherman_sim::{ClientCtx, Fabric, FabricBackend, GlobalAddress};
 use std::sync::Arc;
 
 /// One allocated node address plus the version floor the caller must respect
@@ -39,10 +39,11 @@ impl AllocatedNode {
     }
 }
 
-/// Per-client-thread node allocator.
+/// Per-client-thread node allocator, generic over the fabric backend like
+/// the [`MemoryPool`] it draws from.
 #[derive(Debug)]
-pub struct ClientAllocator {
-    pool: Arc<MemoryPool>,
+pub struct ClientAllocator<B: FabricBackend = Fabric> {
+    pool: Arc<MemoryPool<B>>,
     node_bytes: u64,
     next_ms: u16,
     current: Option<Chunk>,
@@ -55,11 +56,11 @@ struct Chunk {
     used: u64,
 }
 
-impl ClientAllocator {
+impl<B: FabricBackend> ClientAllocator<B> {
     /// Create an allocator carving nodes of `node_bytes` from `pool`'s chunks.
     /// `first_ms` staggers the round-robin start so that concurrent clients do
     /// not all hit memory server 0 first.
-    pub fn new(pool: Arc<MemoryPool>, node_bytes: u64, first_ms: u16) -> Self {
+    pub fn new(pool: Arc<MemoryPool<B>>, node_bytes: u64, first_ms: u16) -> Self {
         assert!(node_bytes > 0);
         assert!(
             node_bytes <= pool.chunk_bytes(),
@@ -85,7 +86,11 @@ impl ClientAllocator {
         self.chunks_acquired
     }
 
-    fn refill(&mut self, client: &mut ClientCtx, timed: bool) -> Result<(), PoolError> {
+    fn refill(
+        &mut self,
+        client: &mut ClientCtx<B::Channel>,
+        timed: bool,
+    ) -> Result<(), PoolError> {
         let servers = self.pool.servers() as u16;
         let mut last_err = None;
         // Try every server once before giving up: a full server is skipped in
@@ -156,21 +161,24 @@ impl ClientAllocator {
     /// rescue is what keeps a full cluster serving writes at its steady-state
     /// footprint.  Only when both fall through does the call surface the
     /// typed [`PoolError::Exhausted`] backpressure error.
-    pub fn alloc_node(&mut self, client: &mut ClientCtx) -> Result<AllocatedNode, PoolError> {
+    pub fn alloc_node(
+        &mut self,
+        client: &mut ClientCtx<B::Channel>,
+    ) -> Result<AllocatedNode, PoolError> {
         self.alloc_node_inner(client, true)
     }
 
     /// Allocate one node without charging fabric time (bulkload / setup).
     pub fn alloc_node_untimed(
         &mut self,
-        client: &mut ClientCtx,
+        client: &mut ClientCtx<B::Channel>,
     ) -> Result<AllocatedNode, PoolError> {
         self.alloc_node_inner(client, false)
     }
 
     fn alloc_node_inner(
         &mut self,
-        client: &mut ClientCtx,
+        client: &mut ClientCtx<B::Channel>,
         timed: bool,
     ) -> Result<AllocatedNode, PoolError> {
         if let Some(node) = self.reuse(client.now()) {

@@ -13,7 +13,7 @@ use crate::epoch::EpochRegistry;
 use crate::layout::{ServerLayout, ROOT_PTR_OFFSET, SUPERBLOCK_MAGIC, TREE_LEVEL_HINT_OFFSET};
 use parking_lot::Mutex;
 use sherman_metrics::{BackpressureCounters, EpochGauges};
-use sherman_sim::{ClientCtx, Fabric, GlobalAddress};
+use sherman_sim::{ClientCtx, Fabric, FabricBackend, GlobalAddress};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -96,9 +96,14 @@ const ALLOC_RPC_RESP_BYTES: usize = 16;
 pub const DEFAULT_RECLAIM_GRACE_NS: u64 = 100_000;
 
 /// The cluster-wide allocation service.
+///
+/// Generic over the fabric backend: the pool only needs configuration, god
+/// access for the superblock stamp, and a client to charge allocation RPCs
+/// on, all of which the [`FabricBackend`] trait provides.  Defaults to the
+/// virtual-time simulator.
 #[derive(Debug)]
-pub struct MemoryPool {
-    fabric: Arc<Fabric>,
+pub struct MemoryPool<B: FabricBackend = Fabric> {
+    fabric: Arc<B>,
     chunk_bytes: u64,
     allocators: Vec<Mutex<ChunkAllocator>>,
     layouts: Vec<ServerLayout>,
@@ -118,11 +123,11 @@ pub struct MemoryPool {
     backpressure: BackpressureCounters,
 }
 
-impl MemoryPool {
+impl<B: FabricBackend> MemoryPool<B> {
     /// Create the pool for `fabric`, using `chunk_bytes` chunks, and stamp the
     /// superblock (magic, null root pointer) on memory server 0.
-    pub fn new(fabric: Arc<Fabric>, chunk_bytes: u64) -> Arc<Self> {
-        let cfg = fabric.config();
+    pub fn new(fabric: Arc<B>, chunk_bytes: u64) -> Arc<Self> {
+        let cfg = fabric.config().clone();
         let mut allocators = Vec::new();
         let mut layouts = Vec::new();
         for ms in 0..cfg.memory_servers {
@@ -166,7 +171,7 @@ impl MemoryPool {
     }
 
     /// The fabric the pool is bound to.
-    pub fn fabric(&self) -> &Arc<Fabric> {
+    pub fn fabric(&self) -> &Arc<B> {
         &self.fabric
     }
 
@@ -192,7 +197,7 @@ impl MemoryPool {
     /// RPC, returning the chunk's starting address.
     pub fn alloc_chunk(
         &self,
-        client: &mut ClientCtx,
+        client: &mut ClientCtx<B::Channel>,
         ms: u16,
     ) -> Result<GlobalAddress, PoolError> {
         let allocator = self

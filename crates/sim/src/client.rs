@@ -1,15 +1,23 @@
 //! Per-thread client context: the compute-server side of the fabric.
 //!
-//! A [`ClientCtx`] owns a virtual-clock participant and exposes the one-sided
-//! verb set Sherman relies on, plus the doorbell-batched command list used by
-//! the command-combination technique (§4.5) and a two-sided RPC used only for
-//! chunk allocation (§4.2.4).
+//! A [`ClientCtx`] exposes the one-sided verb set Sherman relies on, plus the
+//! doorbell-batched command list used by the command-combination technique
+//! (§4.5) and a two-sided RPC used only for chunk allocation (§4.2.4).
+//!
+//! The context is generic over a [`FabricChannel`] — the per-backend verb
+//! executor (see [`crate::channel`]).  The channel applies memory effects and
+//! fixes each verb's post→completion window; everything else here — the
+//! completion queue, overlap accounting, per-op attribution, critical-section
+//! tracking, tracing, the blocking wrappers, the coherence drain/quiesce
+//! surface — is backend-independent and behaves identically on the
+//! virtual-time simulator ([`SimChannel`]) and the real-thread backend
+//! ([`ThreadedChannel`](crate::threaded::ThreadedChannel)).
 //!
 //! ## Split-phase post/poll
 //!
 //! The fabric is **split-phase**: every verb is *posted* (`post_read`,
 //! [`ClientCtx::post_write_batch`], `post_cas`, …), which charges the
-//! request-side port time, applies the memory effect, fixes the verb's virtual
+//! request-side port time, applies the memory effect, fixes the verb's
 //! completion time and enqueues a [`Completion`] on the client's completion
 //! queue — without blocking the calling thread.  The caller later *polls*:
 //! [`ClientCtx::poll`] waits for the **earliest** outstanding completion (the
@@ -23,17 +31,19 @@
 //! [`ClientCtx::cas`], …) are thin wrappers — post one verb, poll it — so a
 //! blocking caller gets exactly the pre-split-phase behaviour and timing.
 //!
-//! Posting applies the verb's memory effect immediately (at the virtual *post*
+//! Posting applies the verb's memory effect immediately (at the *post*
 //! instant), just as the blocking path always did; the completion only carries
 //! the time at which the response arrives back at the client.
 
 use crate::addr::{GlobalAddress, MemSpace};
+use crate::channel::{FabricBackend, FabricChannel, VerbWindow};
 use crate::clock::Participant;
 use crate::coherence::CoherenceMsg;
 use crate::fabric::Fabric;
 use crate::{SimError, SimResult};
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A single write command inside a doorbell batch.
@@ -80,9 +90,9 @@ pub struct ClientStats {
     /// post (including the new verb): `in_flight_posts / round_trips` is the
     /// mean in-flight depth seen by this client's verbs.
     pub in_flight_posts: u64,
-    /// Sum of every verb's post→completion window in virtual nanoseconds:
-    /// the *serial* time the verbs would have cost end-to-end.  Comparing it
-    /// with the elapsed virtual time of a run quantifies the overlap.
+    /// Sum of every verb's post→completion window in nanoseconds: the
+    /// *serial* time the verbs would have cost end-to-end.  Comparing it
+    /// with the elapsed time of a run quantifies the overlap.
     pub verb_ns: u64,
     /// Payload bytes written.
     pub bytes_written: u64,
@@ -90,7 +100,7 @@ pub struct ClientStats {
     pub bytes_read: u64,
     /// Retries recorded by higher layers (failed CAS, version mismatch, …).
     pub retries: u64,
-    /// Latest `completed_at` over every verb posted so far (virtual ns).
+    /// Latest `completed_at` over every verb posted so far (ns).
     /// Like `max_in_flight` this is a high-water mark, not a counter:
     /// [`ClientStats::delta_since`] carries the later snapshot's value.  A
     /// pipelined driver uses it to end its overlap window at the moment the
@@ -122,6 +132,64 @@ impl ClientStats {
     }
 }
 
+/// Lock-free cells behind a client's [`ClientStats`].
+///
+/// Every counter is an `AtomicU64` updated with relaxed read-modify-write
+/// operations, so the cells can be shared (`Arc`) with a concurrent observer
+/// — the threaded backend's poll path reads them from other OS threads
+/// without taking a lock, and a monitor thread can watch a live client's
+/// counters mid-run.  [`SharedClientStats::snapshot`] materializes the plain
+/// [`ClientStats`] view.
+#[derive(Debug, Default)]
+pub struct SharedClientStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    atomics: AtomicU64,
+    rpcs: AtomicU64,
+    round_trips: AtomicU64,
+    overlapped_round_trips: AtomicU64,
+    max_in_flight: AtomicU64,
+    in_flight_posts: AtomicU64,
+    verb_ns: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+    retries: AtomicU64,
+    last_completion_at: AtomicU64,
+}
+
+impl SharedClientStats {
+    /// A coherent-enough snapshot of every counter (individual loads are
+    /// relaxed; the snapshot is exact whenever the owning client is between
+    /// verbs, which is when drivers read it).
+    pub fn snapshot(&self) -> ClientStats {
+        ClientStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            atomics: self.atomics.load(Ordering::Relaxed),
+            rpcs: self.rpcs.load(Ordering::Relaxed),
+            round_trips: self.round_trips.load(Ordering::Relaxed),
+            overlapped_round_trips: self.overlapped_round_trips.load(Ordering::Relaxed),
+            max_in_flight: self.max_in_flight.load(Ordering::Relaxed),
+            in_flight_posts: self.in_flight_posts.load(Ordering::Relaxed),
+            verb_ns: self.verb_ns.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            last_completion_at: self.last_completion_at.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Current overlap counters `(in_flight_posts, overlapped_round_trips)` —
+    /// the pair the pipelined scheduler's gauges are built from, readable
+    /// without a lock from any thread.
+    pub fn overlap_counters(&self) -> (u64, u64) {
+        (
+            self.in_flight_posts.load(Ordering::Relaxed),
+            self.overlapped_round_trips.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// Per-operation verb accounting, keyed by the op id a pipelined driver set
 /// with [`ClientCtx::set_current_op`] before posting.  `verb_ns + cpu_ns` is
 /// the operation's serial service demand: at depth 1 it equals the op's
@@ -132,9 +200,9 @@ impl ClientStats {
 pub struct OpVerbStats {
     /// Round trips posted while this op was current.
     pub round_trips: u64,
-    /// Sum of this op's verbs' post→completion windows (virtual ns).
+    /// Sum of this op's verbs' post→completion windows (ns).
     pub verb_ns: u64,
-    /// Client-side CPU time charged while this op was current (virtual ns).
+    /// Client-side CPU time charged while this op was current (ns).
     pub cpu_ns: u64,
     /// Payload bytes read by this op's verbs.
     pub bytes_read: u64,
@@ -253,26 +321,327 @@ impl VerbResult {
 }
 
 /// One completion-queue entry: the verb's token, its service window on the
-/// virtual clock, and its result.
+/// backend's clock, and its result.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Completion {
     /// Token returned by the `post_*` call.
     pub token: PendingVerb,
-    /// Virtual time at which the verb was posted.
+    /// Time at which the verb was posted.
     pub posted_at: u64,
-    /// Virtual time at which the response arrived back at the client.
+    /// Time at which the response arrived back at the client.
     pub completed_at: u64,
     /// The verb's result payload.
     pub result: VerbResult,
 }
 
-/// The compute-server-side handle used by one simulated client thread.
-#[derive(Debug)]
-pub struct ClientCtx {
+// ======================================================================
+// SimChannel: the virtual-time simulator's verb executor
+// ======================================================================
+
+/// The virtual-time simulator's [`FabricChannel`]: one clock participant plus
+/// the queueing model (CS/MS NIC ports, PCIe vs on-chip atomics, wire time)
+/// that fixes each verb's completion instant at post time.
+pub struct SimChannel {
     fabric: Arc<Fabric>,
     cs_id: u16,
     participant: Arc<Participant>,
-    stats: ClientStats,
+}
+
+impl fmt::Debug for SimChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimChannel")
+            .field("cs_id", &self.cs_id)
+            .field("now", &self.participant.now())
+            .finish()
+    }
+}
+
+impl SimChannel {
+    pub(crate) fn new(fabric: Arc<Fabric>, cs_id: u16) -> Self {
+        let participant = fabric.clock().register_for_thread();
+        SimChannel {
+            fabric,
+            cs_id,
+            participant,
+        }
+    }
+
+    fn half_rtt(&self) -> u64 {
+        self.fabric.config().base_rtt_ns / 2
+    }
+
+    /// Issue one verb's worth of request-side timing and return the virtual
+    /// time at which the request arrives at the MS NIC, after the CS port.
+    fn request_path(&self, request_bytes: usize) -> u64 {
+        let cfg = self.fabric.config();
+        let t0 = self.participant.now() + cfg.cs_post_overhead_ns;
+        let cs_done = self
+            .fabric
+            .cs_port(self.cs_id)
+            .serve(t0, cfg.nic_service_ns(request_bytes));
+        cs_done + self.half_rtt()
+    }
+
+    fn atomic_exec_ns(&self, space: MemSpace) -> u64 {
+        let cfg = self.fabric.config();
+        match space {
+            MemSpace::Host => cfg.host_atomic_pcie_ns,
+            MemSpace::OnChip => cfg.onchip_atomic_ns,
+        }
+    }
+
+    fn bucket_key(addr: GlobalAddress) -> u64 {
+        // Host and on-chip offsets share the NIC's bucket array; keep them from
+        // aliasing by folding the space bit above the offset bits used below.
+        let space_bit = match addr.space {
+            MemSpace::Host => 0u64,
+            MemSpace::OnChip => 1u64 << 40,
+        };
+        addr.offset | space_bit
+    }
+
+    fn exec_atomic<T>(
+        &mut self,
+        addr: GlobalAddress,
+        apply: impl FnOnce(&crate::region::Region) -> Result<T, crate::region::RegionAccessError>,
+    ) -> SimResult<(VerbWindow, T)> {
+        let server = Arc::clone(self.fabric.server(addr.ms)?);
+        let cfg = self.fabric.config().clone();
+        let posted_at = self.participant.now();
+        let arrival = self.request_path(8);
+        let ms_done = server.inbound.serve(arrival, cfg.nic_service_ns(8));
+        let exec_ns = self.atomic_exec_ns(addr.space);
+        let region_len = server.region_len(addr);
+        let (exec_end, result) =
+            server
+                .atomic_buckets
+                .execute(Self::bucket_key(addr), ms_done, exec_ns, || {
+                    apply(server.region(addr.space))
+                });
+        let value = result.map_err(|e| e.into_sim_error(addr, region_len))?;
+        let completed_at = exec_end + self.half_rtt();
+        Ok((
+            VerbWindow {
+                posted_at,
+                completed_at,
+            },
+            value,
+        ))
+    }
+}
+
+impl FabricChannel for SimChannel {
+    type Backend = Fabric;
+
+    fn backend(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    fn cs_id(&self) -> u16 {
+        self.cs_id
+    }
+
+    fn now(&self) -> u64 {
+        self.participant.now()
+    }
+
+    fn wait_until(&self, t: u64) {
+        self.participant.wait_until(t);
+    }
+
+    fn wait_until_earliest(&self, targets: &[u64]) -> Option<u64> {
+        self.participant.wait_until_earliest(targets.iter().copied())
+    }
+
+    fn advance(&self, ns: u64) {
+        self.participant.advance(ns);
+    }
+
+    fn read(&mut self, addr: GlobalAddress, buf: &mut [u8]) -> SimResult<VerbWindow> {
+        if buf.is_empty() {
+            return Err(SimError::EmptyBatch);
+        }
+        let server = Arc::clone(self.fabric.server(addr.ms)?);
+        let cfg = self.fabric.config().clone();
+        let posted_at = self.participant.now();
+        let arrival = self.request_path(0);
+        // Response payload serializes through the MS NIC port.
+        let ms_done = server.inbound.serve(arrival, cfg.nic_service_ns(buf.len()));
+        server
+            .region(addr.space)
+            .read_bytes(addr.offset, buf)
+            .map_err(|oob| SimError::OutOfBounds {
+                addr,
+                len: oob.len,
+                region_len: oob.region_len,
+            })?;
+        let completed_at = ms_done + self.half_rtt();
+        Ok(VerbWindow {
+            posted_at,
+            completed_at,
+        })
+    }
+
+    fn write_batch(&mut self, cmds: &[WriteCmd]) -> SimResult<VerbWindow> {
+        if cmds.is_empty() {
+            return Err(SimError::EmptyBatch);
+        }
+        let ms_id = cmds[0].addr.ms;
+        if cmds.iter().any(|c| c.addr.ms != ms_id) {
+            return Err(SimError::MixedBatch);
+        }
+        let server = Arc::clone(self.fabric.server(ms_id)?);
+        let cfg = self.fabric.config().clone();
+        let posted_at = self.participant.now();
+
+        // Request-side serialization of every command through the CS port.
+        let mut cs_t = posted_at + cfg.cs_post_overhead_ns;
+        for cmd in cmds {
+            cs_t = self
+                .fabric
+                .cs_port(self.cs_id)
+                .serve(cs_t, cfg.nic_service_ns(cmd.data.len()));
+        }
+        // MS-side processing in post order.
+        let mut ms_t = cs_t + self.half_rtt();
+        for cmd in cmds {
+            ms_t = server
+                .inbound
+                .serve(ms_t, cfg.nic_service_ns(cmd.data.len()));
+            server
+                .region(cmd.addr.space)
+                .write_bytes(cmd.addr.offset, &cmd.data)
+                .map_err(|oob| SimError::OutOfBounds {
+                    addr: cmd.addr,
+                    len: oob.len,
+                    region_len: oob.region_len,
+                })?;
+        }
+        let completed_at = ms_t + self.half_rtt();
+        Ok(VerbWindow {
+            posted_at,
+            completed_at,
+        })
+    }
+
+    fn read_batch(
+        &mut self,
+        reqs: &[(GlobalAddress, usize)],
+    ) -> SimResult<(VerbWindow, Vec<Vec<u8>>)> {
+        if reqs.is_empty() {
+            return Err(SimError::EmptyBatch);
+        }
+        let cfg = self.fabric.config().clone();
+        let posted_at = self.participant.now();
+        let mut cs_t = posted_at + cfg.cs_post_overhead_ns;
+        let mut latest = 0u64;
+        let mut bufs = Vec::with_capacity(reqs.len());
+        for &(addr, len) in reqs {
+            let server = Arc::clone(self.fabric.server(addr.ms)?);
+            cs_t = self
+                .fabric
+                .cs_port(self.cs_id)
+                .serve(cs_t, cfg.nic_service_ns(0));
+            let arrival = cs_t + self.half_rtt();
+            let ms_done = server.inbound.serve(arrival, cfg.nic_service_ns(len));
+            let mut buf = vec![0u8; len];
+            server
+                .region(addr.space)
+                .read_bytes(addr.offset, &mut buf)
+                .map_err(|oob| SimError::OutOfBounds {
+                    addr,
+                    len: oob.len,
+                    region_len: oob.region_len,
+                })?;
+            bufs.push(buf);
+            latest = latest.max(ms_done + self.half_rtt());
+        }
+        Ok((
+            VerbWindow {
+                posted_at,
+                completed_at: latest,
+            },
+            bufs,
+        ))
+    }
+
+    fn cas(
+        &mut self,
+        addr: GlobalAddress,
+        expected: u64,
+        new: u64,
+    ) -> SimResult<(VerbWindow, u64)> {
+        self.exec_atomic(addr, |r| r.cas_u64(addr.offset, expected, new))
+    }
+
+    fn faa(&mut self, addr: GlobalAddress, add: u64) -> SimResult<(VerbWindow, u64)> {
+        self.exec_atomic(addr, |r| r.faa_u64(addr.offset, add))
+    }
+
+    fn masked_cas(
+        &mut self,
+        addr: GlobalAddress,
+        expected: u64,
+        new: u64,
+        mask: u64,
+    ) -> SimResult<(VerbWindow, (bool, u64))> {
+        self.exec_atomic(addr, |r| r.masked_cas_u64(addr.offset, expected, new, mask))
+    }
+
+    fn rpc(
+        &mut self,
+        ms: u16,
+        request_bytes: usize,
+        response_bytes: usize,
+    ) -> SimResult<VerbWindow> {
+        let server = Arc::clone(self.fabric.server(ms)?);
+        let cfg = self.fabric.config().clone();
+        let posted_at = self.participant.now();
+        let arrival = self.request_path(request_bytes);
+        let served = server.inbound.serve(
+            arrival,
+            cfg.nic_service_ns(request_bytes.max(response_bytes)) + cfg.rpc_service_ns,
+        );
+        let completed_at = served + self.half_rtt();
+        Ok(VerbWindow {
+            posted_at,
+            completed_at,
+        })
+    }
+
+    fn coherence_send(&mut self, wire_bytes: usize) -> VerbWindow {
+        let posted_at = self.participant.now();
+        let deliver_at = self.request_path(wire_bytes);
+        VerbWindow {
+            posted_at,
+            completed_at: deliver_at,
+        }
+    }
+
+    fn wait_for_coherence(&self, pending_horizon: Option<u64>) {
+        // Deterministic: wait exactly to the latest known delivery instant,
+        // which is the pre-trait quiesce behaviour.  Delivery is fixed at
+        // post time, so one wait always suffices on this backend.
+        if let Some(horizon) = pending_horizon {
+            if horizon > self.participant.now() {
+                self.participant.wait_until(horizon);
+            }
+        }
+    }
+}
+
+// ======================================================================
+// ClientCtx: the backend-independent client
+// ======================================================================
+
+/// The compute-server-side handle used by one client thread.
+///
+/// Generic over the backend's [`FabricChannel`]; defaults to the virtual-time
+/// simulator so existing `ClientCtx` mentions keep meaning the deterministic
+/// backend.
+pub struct ClientCtx<C: FabricChannel = SimChannel> {
+    chan: C,
+    stats: Arc<SharedClientStats>,
     next_token: u64,
     /// Outstanding completions, unordered; every entry's `completed_at` was
     /// fixed at post time.
@@ -287,14 +656,22 @@ pub struct ClientCtx {
     trace: Option<Vec<TraceEvent>>,
 }
 
-impl ClientCtx {
-    pub(crate) fn new(fabric: Arc<Fabric>, cs_id: u16) -> Self {
-        let participant = fabric.clock().register_for_thread();
+impl<C: FabricChannel> fmt::Debug for ClientCtx<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClientCtx")
+            .field("cs_id", &self.chan.cs_id())
+            .field("now", &self.chan.now())
+            .field("outstanding", &self.cq.len())
+            .finish()
+    }
+}
+
+impl<C: FabricChannel> ClientCtx<C> {
+    /// Wrap a backend channel in a full client context.
+    pub fn with_channel(chan: C) -> Self {
         ClientCtx {
-            fabric,
-            cs_id,
-            participant,
-            stats: ClientStats::default(),
+            chan,
+            stats: Arc::new(SharedClientStats::default()),
             next_token: 0,
             cq: Vec::new(),
             current_op: None,
@@ -304,35 +681,52 @@ impl ClientCtx {
         }
     }
 
-    /// The fabric this client belongs to.
-    pub fn fabric(&self) -> &Arc<Fabric> {
-        &self.fabric
+    /// The backend this client belongs to.
+    pub fn fabric(&self) -> &Arc<C::Backend> {
+        self.chan.backend()
+    }
+
+    /// The raw verb channel (mainly for backend-specific tests).
+    pub fn channel(&self) -> &C {
+        &self.chan
     }
 
     /// Compute-server id of this client.
     pub fn cs_id(&self) -> u16 {
-        self.cs_id
+        self.chan.cs_id()
     }
 
-    /// Current virtual time in nanoseconds.
+    /// Current time in nanoseconds on this backend's clock.
     pub fn now(&self) -> u64 {
-        self.participant.now()
+        self.chan.now()
     }
 
-    /// Per-client verb counters.
+    /// Per-client verb counters (a snapshot of the shared atomic cells).
     pub fn stats(&self) -> ClientStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// The lock-free cells behind [`ClientCtx::stats`]; clone the `Arc` to
+    /// watch a live client's counters from another thread.
+    pub fn shared_stats(&self) -> &Arc<SharedClientStats> {
+        &self.stats
     }
 
     /// Record `n` higher-level retries (failed lock acquisitions, version
     /// mismatches) against this client.
     pub fn note_retries(&mut self, n: u64) {
-        self.stats.retries += n;
+        self.stats.retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Back off before re-posting a verb that observed contention — see
+    /// [`FabricChannel::contention_backoff`].  A no-op on the simulator.
+    pub fn contention_backoff(&self, attempt: u32) {
+        self.chan.contention_backoff(attempt);
     }
 
     /// Charge `ns` of client-side CPU time.
     pub fn charge_cpu(&mut self, ns: u64) {
-        self.participant.advance(ns);
+        self.chan.advance(ns);
         if let Some(op) = self.current_op {
             self.op_stats.entry(op).or_default().cpu_ns += ns;
         }
@@ -340,7 +734,7 @@ impl ClientCtx {
 
     /// Charge CPU time proportional to scanning `bytes` of fetched data.
     pub fn charge_scan(&mut self, bytes: usize) {
-        let ns = self.fabric.config().cpu_scan_ns(bytes);
+        let ns = self.chan.backend().config().cpu_scan_ns(bytes);
         if ns > 0 {
             self.charge_cpu(ns);
         }
@@ -432,25 +826,9 @@ impl ClientCtx {
         }
     }
 
-    /// Block until virtual time `t`.
+    /// Block until time `t` on this backend's clock.
     pub fn wait_until(&self, t: u64) {
-        self.participant.wait_until(t);
-    }
-
-    fn half_rtt(&self) -> u64 {
-        self.fabric.config().base_rtt_ns / 2
-    }
-
-    /// Issue one verb's worth of request-side timing and return the virtual
-    /// time at which the request arrives at the MS NIC, after the CS port.
-    fn request_path(&self, request_bytes: usize) -> u64 {
-        let cfg = self.fabric.config();
-        let t0 = self.participant.now() + cfg.cs_post_overhead_ns;
-        let cs_done = self
-            .fabric
-            .cs_port(self.cs_id)
-            .serve(t0, cfg.nic_service_ns(request_bytes));
-        cs_done + self.half_rtt()
+        self.chan.wait_until(t);
     }
 
     // ------------------------------------------------------------------
@@ -463,18 +841,26 @@ impl ClientCtx {
     /// parallel read batch posts once).
     fn account_post(&mut self, posted_at: u64, completed_at: u64) {
         let overlapped = self.cq.iter().any(|e| e.completed_at > posted_at);
-        self.stats.round_trips += 1;
-        let m = self.fabric.metrics();
+        let m = self.chan.backend().metrics();
         m.round_trips.fetch_add(1, Ordering::Relaxed);
         if overlapped {
-            self.stats.overlapped_round_trips += 1;
             m.overlapped_round_trips.fetch_add(1, Ordering::Relaxed);
         }
+        self.stats.round_trips.fetch_add(1, Ordering::Relaxed);
+        if overlapped {
+            self.stats
+                .overlapped_round_trips
+                .fetch_add(1, Ordering::Relaxed);
+        }
         let in_flight = self.cq.len() as u64 + 1;
-        self.stats.max_in_flight = self.stats.max_in_flight.max(in_flight);
-        self.stats.in_flight_posts += in_flight;
-        self.stats.verb_ns += completed_at.saturating_sub(posted_at);
-        self.stats.last_completion_at = self.stats.last_completion_at.max(completed_at);
+        self.stats.max_in_flight.fetch_max(in_flight, Ordering::Relaxed);
+        self.stats.in_flight_posts.fetch_add(in_flight, Ordering::Relaxed);
+        self.stats
+            .verb_ns
+            .fetch_add(completed_at.saturating_sub(posted_at), Ordering::Relaxed);
+        self.stats
+            .last_completion_at
+            .fetch_max(completed_at, Ordering::Relaxed);
         if let Some(op) = self.current_op {
             let e = self.op_stats.entry(op).or_default();
             e.round_trips += 1;
@@ -483,15 +869,15 @@ impl ClientCtx {
     }
 
     /// Enqueue a completed-at-post verb on the CQ (accounting included).
-    fn enqueue(&mut self, posted_at: u64, completed_at: u64, result: VerbResult) -> PendingVerb {
-        self.account_post(posted_at, completed_at);
+    fn enqueue(&mut self, window: VerbWindow, result: VerbResult) -> PendingVerb {
+        self.account_post(window.posted_at, window.completed_at);
         self.next_token += 1;
         let token = PendingVerb(self.next_token, self.current_op);
         self.trace_post(token.id());
         self.cq.push(Completion {
             token,
-            posted_at,
-            completed_at,
+            posted_at: window.posted_at,
+            completed_at: window.completed_at,
             result,
         });
         token
@@ -502,7 +888,9 @@ impl ClientCtx {
     /// driver that reuses one client across runs calls this at run start to
     /// make the gauge per-run.
     pub fn reset_max_in_flight(&mut self) {
-        self.stats.max_in_flight = self.cq.len() as u64;
+        self.stats
+            .max_in_flight
+            .store(self.cq.len() as u64, Ordering::Relaxed);
     }
 
     /// Number of verbs currently outstanding (posted, not yet polled).
@@ -520,15 +908,16 @@ impl ClientCtx {
         let earliest = self.cq.iter().map(|e| e.completed_at).min()?;
         if let Some(d) = deadline {
             if earliest > d {
-                self.participant.wait_until(d);
+                self.chan.wait_until(d);
                 return None;
             }
         }
         // The clock's multi-completion rule: hand *every* outstanding
         // completion time to the clock and wake at the earliest.
+        let targets: Vec<u64> = self.cq.iter().map(|e| e.completed_at).collect();
         let reached = self
-            .participant
-            .wait_until_earliest(self.cq.iter().map(|e| e.completed_at))
+            .chan
+            .wait_until_earliest(&targets)
             .expect("queue checked non-empty above");
         let idx = self
             .cq
@@ -553,7 +942,7 @@ impl ClientCtx {
             .iter()
             .position(|e| e.token == token)
             .unwrap_or_else(|| panic!("verb {token:?} is not outstanding on this client"));
-        self.participant.wait_until(self.cq[idx].completed_at);
+        self.chan.wait_until(self.cq[idx].completed_at);
         self.cq.swap_remove(idx)
     }
 
@@ -585,94 +974,114 @@ impl ClientCtx {
         wire_bytes: usize,
         payload: Arc<dyn std::any::Any + Send + Sync>,
     ) -> u64 {
-        let posted_at = self.participant.now();
-        let deliver_at = self.request_path(wire_bytes);
-        let hub = self.fabric.coherence();
+        let window = self.chan.coherence_send(wire_bytes);
+        let hub = self.chan.backend().coherence();
         let msg = CoherenceMsg {
             seq: hub.next_seq(),
-            from_cs: self.cs_id,
-            posted_at,
-            deliver_at,
+            from_cs: self.chan.cs_id(),
+            posted_at: window.posted_at,
+            deliver_at: window.completed_at,
             payload,
         };
         hub.deposit(to_cs, msg);
-        deliver_at
+        window.completed_at
     }
 
     /// Remove and return every coherence message addressed to this client's
     /// compute server whose delivery time has passed, in deterministic
-    /// `(deliver_at, seq)` order.  Costs no virtual time — checking the inbox
+    /// `(deliver_at, seq)` order.  Costs no fabric time — checking the inbox
     /// is a local memory read; the caller applies the messages itself.
     pub fn drain_coherence(&mut self) -> Vec<CoherenceMsg> {
-        let now = self.participant.now();
-        self.fabric.coherence().drain_ready(self.cs_id, now)
+        let now = self.chan.now();
+        self.chan
+            .backend()
+            .coherence()
+            .drain_ready(self.chan.cs_id(), now)
     }
 
     /// Wait until every coherence message currently in flight toward this
     /// compute server has been delivered, then drain them all.  Test and
-    /// shutdown helper: after this returns, the inbox is empty.
+    /// shutdown helper: after this returns, the inbox is empty of everything
+    /// posted before the call.
+    ///
+    /// The wait is backend-agnostic: it targets the hub's **acked-delivery
+    /// count** (messages deposited vs. messages handed to a drain) rather
+    /// than any virtual-time horizon, so it terminates on backends with no
+    /// conservative clock.  Each backend only decides how to wait in between
+    /// ([`FabricChannel::wait_for_coherence`]): the simulator jumps to the
+    /// pending delivery horizon — deterministic, and timing-identical to the
+    /// pre-trait behaviour — while the threaded backend yields the OS thread.
     pub fn quiesce_coherence(&mut self) -> Vec<CoherenceMsg> {
-        if let Some(horizon) = self.fabric.coherence().pending_horizon(self.cs_id) {
-            if horizon > self.participant.now() {
-                self.participant.wait_until(horizon);
-            }
+        let cs = self.chan.cs_id();
+        let target = self.chan.backend().coherence().posted_count(cs);
+        let mut msgs = self.drain_coherence();
+        while self.chan.backend().coherence().acked_count(cs) < target {
+            let horizon = self.chan.backend().coherence().pending_horizon(cs);
+            self.chan.wait_for_coherence(horizon);
+            msgs.extend(self.drain_coherence());
         }
-        self.drain_coherence()
+        msgs
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting helpers shared by post and blocking paths
+    // ------------------------------------------------------------------
+
+    fn account_read(&mut self, count: u64, bytes: u64) {
+        self.stats.reads.fetch_add(count, Ordering::Relaxed);
+        self.stats.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.attribute_bytes(bytes, 0);
+        let m = self.chan.backend().metrics();
+        m.reads.fetch_add(count, Ordering::Relaxed);
+        m.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    fn account_write(&mut self, count: u64, bytes: u64) {
+        self.stats.writes.fetch_add(count, Ordering::Relaxed);
+        self.stats.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.attribute_bytes(0, bytes);
+        let m = self.chan.backend().metrics();
+        m.writes.fetch_add(count, Ordering::Relaxed);
+        m.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    fn account_atomic(&mut self, space: MemSpace) {
+        self.stats.atomics.fetch_add(1, Ordering::Relaxed);
+        let m = self.chan.backend().metrics();
+        m.atomics.fetch_add(1, Ordering::Relaxed);
+        if space == MemSpace::OnChip {
+            m.onchip_atomics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn account_rpc(&mut self) {
+        self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
+        let m = self.chan.backend().metrics();
+        m.rpcs.fetch_add(1, Ordering::Relaxed);
     }
 
     // ------------------------------------------------------------------
     // One-sided verbs
     // ------------------------------------------------------------------
 
-    /// Timing + data movement of one `RDMA_READ` into `buf`: charges the
-    /// request path, serializes the response through the MS port, copies the
-    /// bytes, and returns the verb's `(posted_at, completed_at)` window —
-    /// without waiting and without the round-trip accounting.
-    fn read_verb(&mut self, addr: GlobalAddress, buf: &mut [u8]) -> SimResult<(u64, u64)> {
-        if buf.is_empty() {
-            return Err(SimError::EmptyBatch);
-        }
-        let server = Arc::clone(self.fabric.server(addr.ms)?);
-        let cfg = self.fabric.config().clone();
-        let posted_at = self.participant.now();
-        let arrival = self.request_path(0);
-        // Response payload serializes through the MS NIC port.
-        let ms_done = server.inbound.serve(arrival, cfg.nic_service_ns(buf.len()));
-        server
-            .region(addr.space)
-            .read_bytes(addr.offset, buf)
-            .map_err(|oob| SimError::OutOfBounds {
-                addr,
-                len: oob.len,
-                region_len: oob.region_len,
-            })?;
-        let completed_at = ms_done + self.half_rtt();
-
-        self.stats.reads += 1;
-        self.stats.bytes_read += buf.len() as u64;
-        self.attribute_bytes(buf.len() as u64, 0);
-        let m = self.fabric.metrics();
-        m.reads.fetch_add(1, Ordering::Relaxed);
-        m.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
-        Ok((posted_at, completed_at))
-    }
-
     /// Post an `RDMA_READ` of `len` bytes from `addr`; the completion carries
     /// the data as [`VerbResult::Read`].
     pub fn post_read(&mut self, addr: GlobalAddress, len: usize) -> SimResult<PendingVerb> {
         let mut buf = vec![0u8; len];
-        let (posted_at, completed_at) = self.read_verb(addr, &mut buf)?;
-        Ok(self.enqueue(posted_at, completed_at, VerbResult::Read(buf)))
+        let window = self.chan.read(addr, &mut buf)?;
+        self.account_read(1, buf.len() as u64);
+        Ok(self.enqueue(window, VerbResult::Read(buf)))
     }
 
     /// Blocking `RDMA_READ` of `buf.len()` bytes from `addr` into `buf`.
     /// Equivalent to post + poll, but reads straight into the caller's
     /// buffer — the blocking hot path pays no allocation or extra copy.
     pub fn read(&mut self, addr: GlobalAddress, buf: &mut [u8]) -> SimResult<()> {
-        let (posted_at, completed_at) = self.read_verb(addr, buf)?;
-        self.account_post(posted_at, completed_at);
+        let window = self.chan.read(addr, buf)?;
+        self.account_read(1, buf.len() as u64);
+        self.account_post(window.posted_at, window.completed_at);
         self.trace_post(0);
-        self.participant.wait_until(completed_at);
+        self.chan.wait_until(window.completed_at);
         Ok(())
     }
 
@@ -690,51 +1099,10 @@ impl ClientCtx {
     /// whole batch costs a single round trip; only the last command is
     /// signalled, so the batch completes as one [`VerbResult::Write`].
     pub fn post_write_batch(&mut self, cmds: &[WriteCmd]) -> SimResult<PendingVerb> {
-        if cmds.is_empty() {
-            return Err(SimError::EmptyBatch);
-        }
-        let ms_id = cmds[0].addr.ms;
-        if cmds.iter().any(|c| c.addr.ms != ms_id) {
-            return Err(SimError::MixedBatch);
-        }
-        let server = Arc::clone(self.fabric.server(ms_id)?);
-        let cfg = self.fabric.config().clone();
-        let posted_at = self.participant.now();
-
-        // Request-side serialization of every command through the CS port.
-        let mut cs_t = posted_at + cfg.cs_post_overhead_ns;
-        for cmd in cmds {
-            cs_t = self
-                .fabric
-                .cs_port(self.cs_id)
-                .serve(cs_t, cfg.nic_service_ns(cmd.data.len()));
-        }
-        // MS-side processing in post order.
-        let mut ms_t = cs_t + self.half_rtt();
-        let mut total_bytes = 0u64;
-        for cmd in cmds {
-            ms_t = server
-                .inbound
-                .serve(ms_t, cfg.nic_service_ns(cmd.data.len()));
-            server
-                .region(cmd.addr.space)
-                .write_bytes(cmd.addr.offset, &cmd.data)
-                .map_err(|oob| SimError::OutOfBounds {
-                    addr: cmd.addr,
-                    len: oob.len,
-                    region_len: oob.region_len,
-                })?;
-            total_bytes += cmd.data.len() as u64;
-        }
-        let completed_at = ms_t + self.half_rtt();
-
-        self.stats.writes += cmds.len() as u64;
-        self.stats.bytes_written += total_bytes;
-        self.attribute_bytes(0, total_bytes);
-        let m = self.fabric.metrics();
-        m.writes.fetch_add(cmds.len() as u64, Ordering::Relaxed);
-        m.bytes_written.fetch_add(total_bytes, Ordering::Relaxed);
-        Ok(self.enqueue(posted_at, completed_at, VerbResult::Write))
+        let total_bytes: u64 = cmds.iter().map(|c| c.data.len() as u64).sum();
+        let window = self.chan.write_batch(cmds)?;
+        self.account_write(cmds.len() as u64, total_bytes);
+        Ok(self.enqueue(window, VerbResult::Write))
     }
 
     /// Blocking doorbell batch (post + poll); see
@@ -750,45 +1118,10 @@ impl ClientCtx {
     /// queueing of the individual responses.  The completion carries every
     /// buffer in request order as [`VerbResult::ReadBatch`].
     pub fn post_read_batch(&mut self, reqs: &[(GlobalAddress, usize)]) -> SimResult<PendingVerb> {
-        if reqs.is_empty() {
-            return Err(SimError::EmptyBatch);
-        }
-        let cfg = self.fabric.config().clone();
-        let posted_at = self.participant.now();
-        let mut cs_t = posted_at + cfg.cs_post_overhead_ns;
-        let mut latest = 0u64;
-        let mut total_bytes = 0u64;
-        let count = reqs.len() as u64;
-        let mut bufs = Vec::with_capacity(reqs.len());
-        for &(addr, len) in reqs {
-            let server = Arc::clone(self.fabric.server(addr.ms)?);
-            cs_t = self
-                .fabric
-                .cs_port(self.cs_id)
-                .serve(cs_t, cfg.nic_service_ns(0));
-            let arrival = cs_t + self.half_rtt();
-            let ms_done = server.inbound.serve(arrival, cfg.nic_service_ns(len));
-            let mut buf = vec![0u8; len];
-            server
-                .region(addr.space)
-                .read_bytes(addr.offset, &mut buf)
-                .map_err(|oob| SimError::OutOfBounds {
-                    addr,
-                    len: oob.len,
-                    region_len: oob.region_len,
-                })?;
-            bufs.push(buf);
-            latest = latest.max(ms_done + self.half_rtt());
-            total_bytes += len as u64;
-        }
-
-        self.stats.reads += count;
-        self.stats.bytes_read += total_bytes;
-        self.attribute_bytes(total_bytes, 0);
-        let m = self.fabric.metrics();
-        m.reads.fetch_add(count, Ordering::Relaxed);
-        m.bytes_read.fetch_add(total_bytes, Ordering::Relaxed);
-        Ok(self.enqueue(posted_at, latest, VerbResult::ReadBatch(bufs)))
+        let (window, bufs) = self.chan.read_batch(reqs)?;
+        let total_bytes: u64 = reqs.iter().map(|&(_, len)| len as u64).sum();
+        self.account_read(reqs.len() as u64, total_bytes);
+        Ok(self.enqueue(window, VerbResult::ReadBatch(bufs)))
     }
 
     /// Blocking parallel read batch (post + poll); see
@@ -808,55 +1141,6 @@ impl ClientCtx {
     // Atomic verbs
     // ------------------------------------------------------------------
 
-    fn atomic_exec_ns(&self, space: MemSpace) -> u64 {
-        let cfg = self.fabric.config();
-        match space {
-            MemSpace::Host => cfg.host_atomic_pcie_ns,
-            MemSpace::OnChip => cfg.onchip_atomic_ns,
-        }
-    }
-
-    fn bucket_key(addr: GlobalAddress) -> u64 {
-        // Host and on-chip offsets share the NIC's bucket array; keep them from
-        // aliasing by folding the space bit above the offset bits used below.
-        let space_bit = match addr.space {
-            MemSpace::Host => 0u64,
-            MemSpace::OnChip => 1u64 << 40,
-        };
-        addr.offset | space_bit
-    }
-
-    fn post_atomic<T>(
-        &mut self,
-        addr: GlobalAddress,
-        apply: impl FnOnce(&crate::region::Region) -> Result<T, crate::region::RegionAccessError>,
-        wrap: impl FnOnce(T) -> VerbResult,
-    ) -> SimResult<PendingVerb> {
-        let server = Arc::clone(self.fabric.server(addr.ms)?);
-        let cfg = self.fabric.config().clone();
-        let posted_at = self.participant.now();
-        let arrival = self.request_path(8);
-        let ms_done = server.inbound.serve(arrival, cfg.nic_service_ns(8));
-        let exec_ns = self.atomic_exec_ns(addr.space);
-        let region_len = server.region_len(addr);
-        let (exec_end, result) =
-            server
-                .atomic_buckets
-                .execute(Self::bucket_key(addr), ms_done, exec_ns, || {
-                    apply(server.region(addr.space))
-                });
-        let value = result.map_err(|e| e.into_sim_error(addr, region_len))?;
-        let completed_at = exec_end + self.half_rtt();
-
-        self.stats.atomics += 1;
-        let m = self.fabric.metrics();
-        m.atomics.fetch_add(1, Ordering::Relaxed);
-        if addr.space == MemSpace::OnChip {
-            m.onchip_atomics.fetch_add(1, Ordering::Relaxed);
-        }
-        Ok(self.enqueue(posted_at, completed_at, wrap(value)))
-    }
-
     /// Post an `RDMA_CAS`; the completion carries [`VerbResult::Cas`].
     pub fn post_cas(
         &mut self,
@@ -864,16 +1148,15 @@ impl ClientCtx {
         expected: u64,
         new: u64,
     ) -> SimResult<PendingVerb> {
-        self.post_atomic(
-            addr,
-            |r| r.cas_u64(addr.offset, expected, new),
-            |previous| {
-                VerbResult::Cas(CasResult {
-                    succeeded: previous == expected,
-                    previous,
-                })
-            },
-        )
+        let (window, previous) = self.chan.cas(addr, expected, new)?;
+        self.account_atomic(addr.space);
+        Ok(self.enqueue(
+            window,
+            VerbResult::Cas(CasResult {
+                succeeded: previous == expected,
+                previous,
+            }),
+        ))
     }
 
     /// Blocking `RDMA_CAS`: atomically swap the 8-byte word at `addr` from
@@ -889,7 +1172,9 @@ impl ClientCtx {
     /// Post an `RDMA_FAA`; the completion carries the previous value as
     /// [`VerbResult::Faa`].
     pub fn post_faa(&mut self, addr: GlobalAddress, add: u64) -> SimResult<PendingVerb> {
-        self.post_atomic(addr, |r| r.faa_u64(addr.offset, add), VerbResult::Faa)
+        let (window, previous) = self.chan.faa(addr, add)?;
+        self.account_atomic(addr.space);
+        Ok(self.enqueue(window, VerbResult::Faa(previous)))
     }
 
     /// Blocking `RDMA_FAA`: atomically add `add` to the 8-byte word at `addr`,
@@ -911,16 +1196,15 @@ impl ClientCtx {
         new: u64,
         mask: u64,
     ) -> SimResult<PendingVerb> {
-        self.post_atomic(
-            addr,
-            |r| r.masked_cas_u64(addr.offset, expected, new, mask),
-            |(succeeded, previous)| {
-                VerbResult::Cas(CasResult {
-                    succeeded,
-                    previous,
-                })
-            },
-        )
+        let (window, (succeeded, previous)) = self.chan.masked_cas(addr, expected, new, mask)?;
+        self.account_atomic(addr.space);
+        Ok(self.enqueue(
+            window,
+            VerbResult::Cas(CasResult {
+                succeeded,
+                previous,
+            }),
+        ))
     }
 
     /// Blocking masked `RDMA_CAS` (post + poll).
@@ -964,20 +1248,9 @@ impl ClientCtx {
         request_bytes: usize,
         response_bytes: usize,
     ) -> SimResult<PendingVerb> {
-        let server = Arc::clone(self.fabric.server(ms)?);
-        let cfg = self.fabric.config().clone();
-        let posted_at = self.participant.now();
-        let arrival = self.request_path(request_bytes);
-        let served = server.inbound.serve(
-            arrival,
-            cfg.nic_service_ns(request_bytes.max(response_bytes)) + cfg.rpc_service_ns,
-        );
-        let completed_at = served + self.half_rtt();
-
-        self.stats.rpcs += 1;
-        let m = self.fabric.metrics();
-        m.rpcs.fetch_add(1, Ordering::Relaxed);
-        Ok(self.enqueue(posted_at, completed_at, VerbResult::Rpc))
+        let window = self.chan.rpc(ms, request_bytes, response_bytes)?;
+        self.account_rpc();
+        Ok(self.enqueue(window, VerbResult::Rpc))
     }
 
     /// Blocking two-sided RPC round trip (post + poll).
@@ -1356,5 +1629,23 @@ mod tests {
             client.post_read(GlobalAddress::host(0, 0), 0).unwrap_err(),
             SimError::EmptyBatch
         ));
+    }
+
+    #[test]
+    fn shared_stats_are_readable_from_another_thread() {
+        let fabric = test_fabric();
+        let mut client = fabric.client(0);
+        let shared = Arc::clone(client.shared_stats());
+        client.write(GlobalAddress::host(0, 0), &[1u8; 16]).unwrap();
+        // A concurrent observer reads the same counters without a lock and
+        // without borrowing the client.
+        let observer = std::thread::spawn(move || shared.snapshot());
+        let snap = observer.join().unwrap();
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.bytes_written, 16);
+        assert_eq!(snap, client.stats());
+        let (in_flight_posts, overlapped) = client.shared_stats().overlap_counters();
+        assert_eq!(in_flight_posts, 1);
+        assert_eq!(overlapped, 0);
     }
 }

@@ -64,6 +64,10 @@ impl fmt::Debug for CoherenceMsg {
 pub struct CoherenceHub {
     seq: AtomicU64,
     inboxes: Vec<Mutex<Vec<CoherenceMsg>>>,
+    /// Messages ever deposited per inbox (lifetime counter).
+    posted: Vec<AtomicU64>,
+    /// Messages ever handed to a drain per inbox (lifetime counter).
+    acked: Vec<AtomicU64>,
 }
 
 impl fmt::Debug for CoherenceHub {
@@ -81,6 +85,8 @@ impl CoherenceHub {
         CoherenceHub {
             seq: AtomicU64::new(0),
             inboxes: (0..compute_servers).map(|_| Mutex::new(Vec::new())).collect(),
+            posted: (0..compute_servers).map(|_| AtomicU64::new(0)).collect(),
+            acked: (0..compute_servers).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -97,7 +103,12 @@ impl CoherenceHub {
     /// physically present immediately (memory effects apply at post time, as
     /// with every verb) but remains invisible to drains until `deliver_at`.
     pub fn deposit(&self, to_cs: u16, msg: CoherenceMsg) {
-        self.inbox(to_cs).lock().push(msg);
+        let idx = to_cs as usize % self.inboxes.len();
+        // Count under the inbox lock so `posted - acked == pending_len` holds
+        // at every instant an observer can acquire the lock.
+        let mut inbox = self.inboxes[idx].lock();
+        self.posted[idx].fetch_add(1, Ordering::Release);
+        inbox.push(msg);
     }
 
     /// Remove and return every message for `cs` whose delivery time has
@@ -114,6 +125,8 @@ impl CoherenceHub {
             }
         }
         ready.sort_by_key(|m| (m.deliver_at, m.seq));
+        let idx = cs as usize % self.inboxes.len();
+        self.acked[idx].fetch_add(ready.len() as u64, Ordering::Release);
         ready
     }
 
@@ -128,6 +141,21 @@ impl CoherenceHub {
     /// not).
     pub fn pending_len(&self, cs: u16) -> usize {
         self.inbox(cs).lock().len()
+    }
+
+    /// Lifetime count of messages ever deposited into `cs`'s inbox.
+    ///
+    /// Together with [`CoherenceHub::acked_count`] this gives a quiesce loop a
+    /// backend-agnostic termination condition: once `acked >= posted`-as-of-
+    /// quiesce-start, everything that was in flight at the start has been
+    /// handed to some drain — no virtual-time horizon required.
+    pub fn posted_count(&self, cs: u16) -> u64 {
+        self.posted[cs as usize % self.inboxes.len()].load(Ordering::Acquire)
+    }
+
+    /// Lifetime count of messages ever handed to a drain from `cs`'s inbox.
+    pub fn acked_count(&self, cs: u16) -> u64 {
+        self.acked[cs as usize % self.inboxes.len()].load(Ordering::Acquire)
     }
 }
 
@@ -173,6 +201,28 @@ mod tests {
         assert_eq!(hub.pending_len(1), 1);
         assert_eq!(hub.drain_ready(3, 10).len(), 1);
         assert_eq!(hub.pending_len(1), 0);
+    }
+
+    #[test]
+    fn posted_and_acked_counters_track_lifetime_flow() {
+        let hub = CoherenceHub::new(2);
+        assert_eq!(hub.posted_count(1), 0);
+        hub.deposit(1, msg(0, 100));
+        hub.deposit(1, msg(1, 200));
+        assert_eq!(hub.posted_count(1), 2);
+        assert_eq!(hub.acked_count(1), 0);
+        assert_eq!(hub.drain_ready(1, 100).len(), 1);
+        assert_eq!(hub.acked_count(1), 1);
+        assert_eq!(hub.drain_ready(1, 200).len(), 1);
+        assert_eq!(hub.acked_count(1), 2);
+        // The invariant a quiesce loop relies on.
+        assert_eq!(
+            hub.posted_count(1) - hub.acked_count(1),
+            hub.pending_len(1) as u64
+        );
+        // Counters are per-inbox, addressed modulo the inbox count.
+        assert_eq!(hub.posted_count(0), 0);
+        assert_eq!(hub.posted_count(3), 2);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! virtual clock and global metrics, and hands out per-thread client contexts.
 
 use crate::addr::GlobalAddress;
-use crate::client::ClientCtx;
+use crate::channel::FabricBackend;
+use crate::client::{ClientCtx, SimChannel};
 use crate::coherence::CoherenceHub;
 use crate::config::FabricConfig;
 use crate::metrics::FabricMetrics;
@@ -106,7 +107,7 @@ impl Fabric {
     /// thread must keep driving the context (or drop it) so that virtual time
     /// can progress for everyone else.
     pub fn client(self: &Arc<Self>, cs: u16) -> ClientCtx {
-        ClientCtx::new(Arc::clone(self), cs)
+        ClientCtx::with_channel(SimChannel::new(Arc::clone(self), cs))
     }
 
     // ----- zero-time ("god mode") accessors used for bulkload and test setup -----
@@ -153,6 +154,70 @@ impl Fabric {
             .region(addr.space)
             .write_u64(addr.offset, value)
             .map_err(|e| e.into_sim_error(addr, server.region_len(addr)))
+    }
+}
+
+/// The virtual-time simulator is the first [`FabricBackend`]: the determinism
+/// oracle every other backend is checked against.  The inherent methods above
+/// remain the primary API (existing call sites are monomorphic over `Fabric`);
+/// this impl delegates to them so generic drivers see identical behaviour.
+impl FabricBackend for Fabric {
+    type Channel = SimChannel;
+
+    fn build(config: FabricConfig) -> Arc<Self> {
+        Fabric::new(config)
+    }
+
+    fn channel(self: &Arc<Self>, cs: u16) -> SimChannel {
+        SimChannel::new(Arc::clone(self), cs)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn config(&self) -> &FabricConfig {
+        Fabric::config(self)
+    }
+
+    fn metrics(&self) -> &FabricMetrics {
+        Fabric::metrics(self)
+    }
+
+    fn coherence(&self) -> &CoherenceHub {
+        Fabric::coherence(self)
+    }
+
+    fn server(&self, ms: u16) -> SimResult<&Arc<MemServerSim>> {
+        Fabric::server(self, ms)
+    }
+
+    fn memory_servers(&self) -> usize {
+        Fabric::memory_servers(self)
+    }
+
+    fn compute_servers(&self) -> usize {
+        Fabric::compute_servers(self)
+    }
+
+    fn now(&self) -> u64 {
+        Fabric::now(self)
+    }
+
+    fn god_write(&self, addr: GlobalAddress, data: &[u8]) -> SimResult<()> {
+        Fabric::god_write(self, addr, data)
+    }
+
+    fn god_read(&self, addr: GlobalAddress, buf: &mut [u8]) -> SimResult<()> {
+        Fabric::god_read(self, addr, buf)
+    }
+
+    fn god_read_u64(&self, addr: GlobalAddress) -> SimResult<u64> {
+        Fabric::god_read_u64(self, addr)
+    }
+
+    fn god_write_u64(&self, addr: GlobalAddress, value: u64) -> SimResult<()> {
+        Fabric::god_write_u64(self, addr, value)
     }
 }
 

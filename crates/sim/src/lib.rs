@@ -36,6 +36,7 @@
 #![deny(unsafe_code)]
 
 pub mod addr;
+pub mod channel;
 pub mod client;
 pub mod clock;
 pub mod coherence;
@@ -45,11 +46,13 @@ pub mod metrics;
 pub mod nic;
 pub mod region;
 pub mod server;
+pub mod threaded;
 
 pub use addr::{GlobalAddress, MemSpace};
+pub use channel::{FabricBackend, FabricChannel, VerbWindow};
 pub use client::{
-    CasResult, ClientCtx, ClientStats, Completion, OpVerbStats, PendingVerb, TraceEvent,
-    VerbResult, WriteCmd,
+    CasResult, ClientCtx, ClientStats, Completion, OpVerbStats, PendingVerb, SharedClientStats,
+    SimChannel, TraceEvent, VerbResult, WriteCmd,
 };
 pub use clock::{Participant, VirtualClock};
 pub use coherence::{CoherenceHub, CoherenceMsg};
@@ -58,6 +61,7 @@ pub use fabric::Fabric;
 pub use metrics::FabricMetrics;
 pub use region::Region;
 pub use server::MemServerSim;
+pub use threaded::{ThreadedChannel, ThreadedFabric};
 
 /// Convenience result alias used throughout the simulator.
 pub type SimResult<T> = Result<T, SimError>;

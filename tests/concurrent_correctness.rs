@@ -1,13 +1,21 @@
 //! Cross-crate integration tests: correctness of the index under concurrent
-//! clients on the simulated fabric.
+//! clients, parameterized over both fabric backends.
+//!
+//! Every scenario is a generic body over [`FabricBackend`] with one `#[test]`
+//! per backend: the `_sim` variants run on the deterministic virtual-time
+//! simulator, the `_threaded` variants on real OS threads and a real clock —
+//! same assertions, genuinely different interleavings.  The grace-period
+//! reclamation variant stays simulator-only: its safety argument leans on the
+//! conservative virtual clock bounding how far a scanner can trail.
 
 use sherman_repro::prelude::*;
+use sherman_sim::{Fabric, FabricBackend, ThreadedFabric};
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::thread;
 
-fn cluster(options: TreeOptions) -> Arc<Cluster> {
-    let cluster = Cluster::new(ClusterConfig::paper_scaled(2, 2), options);
+fn cluster_on<B: FabricBackend>(options: TreeOptions) -> Arc<Cluster<B>> {
+    let cluster = Cluster::<B>::new_on(ClusterConfig::paper_scaled(2, 2), options);
     cluster
         .bulkload((0..10_000u64).map(|k| (k, k)))
         .expect("bulkload");
@@ -16,9 +24,8 @@ fn cluster(options: TreeOptions) -> Arc<Cluster> {
 
 /// Concurrent writers over disjoint key ranges: every write must be readable
 /// afterwards and no bulkloaded key outside the written ranges may change.
-#[test]
-fn disjoint_writers_never_lose_updates() {
-    let cluster = cluster(TreeOptions::sherman());
+fn disjoint_writers_never_lose_updates_on<B: FabricBackend>() {
+    let cluster = cluster_on::<B>(TreeOptions::sherman());
     let threads = 4;
     let per_thread = 400u64;
     let mut handles = Vec::new();
@@ -53,12 +60,21 @@ fn disjoint_writers_never_lose_updates() {
     }
 }
 
+#[test]
+fn disjoint_writers_never_lose_updates_sim() {
+    disjoint_writers_never_lose_updates_on::<Fabric>();
+}
+
+#[test]
+fn disjoint_writers_never_lose_updates_threaded() {
+    disjoint_writers_never_lose_updates_on::<ThreadedFabric>();
+}
+
 /// Contending writers on the same hot keys: the final value of each key must
 /// be one of the values some thread wrote (no torn or invented values), and
 /// every key must still be present.
-#[test]
-fn contended_writers_preserve_atomicity() {
-    let cluster = cluster(TreeOptions::sherman());
+fn contended_writers_preserve_atomicity_on<B: FabricBackend>() {
+    let cluster = cluster_on::<B>(TreeOptions::sherman());
     let threads = 4u64;
     let hot_keys: Vec<u64> = (0..32u64).collect();
     let rounds = 60u64;
@@ -94,11 +110,20 @@ fn contended_writers_preserve_atomicity() {
     }
 }
 
+#[test]
+fn contended_writers_preserve_atomicity_sim() {
+    contended_writers_preserve_atomicity_on::<Fabric>();
+}
+
+#[test]
+fn contended_writers_preserve_atomicity_threaded() {
+    contended_writers_preserve_atomicity_on::<ThreadedFabric>();
+}
+
 /// Readers running concurrently with writers never observe torn values:
 /// every value is either the bulkloaded one or one written by the writer.
-#[test]
-fn lock_free_readers_see_consistent_values() {
-    let cluster = cluster(TreeOptions::sherman());
+fn lock_free_readers_see_consistent_values_on<B: FabricBackend>() {
+    let cluster = cluster_on::<B>(TreeOptions::sherman());
     let stop_key = 5_000u64;
     let writer_cluster = Arc::clone(&cluster);
     let writer = thread::spawn(move || {
@@ -131,11 +156,20 @@ fn lock_free_readers_see_consistent_values() {
     assert!(reader.join().unwrap() > 0);
 }
 
+#[test]
+fn lock_free_readers_see_consistent_values_sim() {
+    lock_free_readers_see_consistent_values_on::<Fabric>();
+}
+
+#[test]
+fn lock_free_readers_see_consistent_values_threaded() {
+    lock_free_readers_see_consistent_values_on::<ThreadedFabric>();
+}
+
 /// Deletes and inserts interleaved across threads: a key deleted by its owner
 /// thread stays deleted; a key re-inserted stays present.
-#[test]
-fn delete_insert_interleaving() {
-    let cluster = cluster(TreeOptions::sherman());
+fn delete_insert_interleaving_on<B: FabricBackend>() {
+    let cluster = cluster_on::<B>(TreeOptions::sherman());
     let mut handles = Vec::new();
     for t in 0..3u64 {
         let cluster = Arc::clone(&cluster);
@@ -168,24 +202,39 @@ fn delete_insert_interleaving() {
     }
 }
 
+#[test]
+fn delete_insert_interleaving_sim() {
+    delete_insert_interleaving_on::<Fabric>();
+}
+
+#[test]
+fn delete_insert_interleaving_threaded() {
+    delete_insert_interleaving_on::<ThreadedFabric>();
+}
+
 /// Sliding-window churn across several writer threads while a reader thread
 /// continuously range-scans across the merge boundary: scans must stay
 /// sorted and free of torn values even as leaves merge, separators disappear
 /// and node addresses are retired underneath the scan.  Runs under both
-/// reclamation schemes: epoch-based reclamation recycles addresses as soon
-/// as the last pre-retirement scan finishes (the aggressive case), the
-/// deprecated grace-period fallback after a fixed virtual-time window.
+/// reclamation schemes on the simulator; on the threaded backend only under
+/// epoch-based reclamation (the grace-period fallback's safety argument
+/// needs the conservative virtual clock).
 #[test]
-fn churn_merges_under_concurrent_range_scans() {
-    churn_under_scans(ReclaimScheme::Epoch);
+fn churn_merges_under_concurrent_range_scans_sim() {
+    churn_under_scans::<Fabric>(ReclaimScheme::Epoch);
+}
+
+#[test]
+fn churn_merges_under_concurrent_range_scans_threaded() {
+    churn_under_scans::<ThreadedFabric>(ReclaimScheme::Epoch);
 }
 
 #[test]
 fn churn_merges_under_concurrent_range_scans_grace_fallback() {
-    churn_under_scans(ReclaimScheme::GracePeriod);
+    churn_under_scans::<Fabric>(ReclaimScheme::GracePeriod);
 }
 
-fn churn_under_scans(scheme: ReclaimScheme) {
+fn churn_under_scans<B: FabricBackend>(scheme: ReclaimScheme) {
     let mut config = ClusterConfig::paper_scaled(2, 2);
     config.tree = match scheme {
         ReclaimScheme::Epoch => config.tree,
@@ -197,7 +246,7 @@ fn churn_under_scans(scheme: ReclaimScheme) {
             config.tree.with_grace_reclamation(grace)
         }
     };
-    let cluster = Cluster::new(config, TreeOptions::sherman());
+    let cluster = Cluster::<B>::new_on(config, TreeOptions::sherman());
     cluster.bulkload(std::iter::empty()).expect("bulkload");
 
     let writers = 3u64;
@@ -274,9 +323,8 @@ fn churn_under_scans(scheme: ReclaimScheme) {
 
 /// Range scans running against concurrent inserts return sorted, de-duplicated
 /// results whose values satisfy the writers' invariant.
-#[test]
-fn range_scans_under_concurrent_inserts() {
-    let cluster = cluster(TreeOptions::sherman());
+fn range_scans_under_concurrent_inserts_on<B: FabricBackend>() {
+    let cluster = cluster_on::<B>(TreeOptions::sherman());
     let writer_cluster = Arc::clone(&cluster);
     let writer = thread::spawn(move || {
         let mut client = writer_cluster.client(0);
@@ -301,4 +349,14 @@ fn range_scans_under_concurrent_inserts() {
     });
     writer.join().unwrap();
     scanner.join().unwrap();
+}
+
+#[test]
+fn range_scans_under_concurrent_inserts_sim() {
+    range_scans_under_concurrent_inserts_on::<Fabric>();
+}
+
+#[test]
+fn range_scans_under_concurrent_inserts_threaded() {
+    range_scans_under_concurrent_inserts_on::<ThreadedFabric>();
 }

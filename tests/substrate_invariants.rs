@@ -3,29 +3,52 @@
 
 use proptest::prelude::*;
 use sherman_repro::prelude::*;
-use sherman_sim::{Fabric, GlobalAddress};
+use sherman_sim::{Fabric, FabricBackend, GlobalAddress, ThreadedFabric};
+
+/// Run a fabric property on one backend; the proptest bodies below call this
+/// for both the virtual-time simulator and the real-clock threaded backend so
+/// the verb-level memory semantics are pinned backend-independently.
+fn roundtrip_on<B: FabricBackend>(offset: u64, data: &[u8]) -> Vec<u8> {
+    let fabric = B::build(FabricConfig::small_test());
+    let mut client = fabric.client(0);
+    let addr = GlobalAddress::host(1, offset);
+    client.write(addr, data).unwrap();
+    let mut out = vec![0u8; data.len()];
+    client.read(addr, &mut out).unwrap();
+    out
+}
+
+/// (succeeded, value after) of one masked CAS against `initial` on backend `B`.
+fn masked_cas_on<B: FabricBackend>(
+    initial: u64,
+    expected: u64,
+    new: u64,
+    mask: u64,
+) -> (bool, u64) {
+    let fabric = B::build(FabricConfig::small_test());
+    let addr = GlobalAddress::on_chip(0, 256);
+    fabric.god_write_u64(addr, initial).unwrap();
+    let mut client = fabric.client(0);
+    let result = client.masked_cas(addr, expected, new, mask).unwrap();
+    (result.succeeded, fabric.god_read_u64(addr).unwrap())
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
 
     /// Bytes written through the fabric are read back identically for any
-    /// offset/length combination (including unaligned ones).
+    /// offset/length combination (including unaligned ones), on both backends.
     #[test]
     fn fabric_read_write_roundtrip(
         offset in 0u64..60_000,
         data in prop::collection::vec(any::<u8>(), 1..512),
     ) {
-        let fabric = Fabric::new(FabricConfig::small_test());
-        let mut client = fabric.client(0);
-        let addr = GlobalAddress::host(1, offset);
-        client.write(addr, &data).unwrap();
-        let mut out = vec![0u8; data.len()];
-        client.read(addr, &mut out).unwrap();
-        prop_assert_eq!(out, data);
+        prop_assert_eq!(roundtrip_on::<Fabric>(offset, &data), data.clone());
+        prop_assert_eq!(roundtrip_on::<ThreadedFabric>(offset, &data), data);
     }
 
     /// Masked CAS only ever modifies bits inside the mask, regardless of the
-    /// operands.
+    /// operands — and the two backends agree bit-for-bit.
     #[test]
     fn masked_cas_never_touches_unmasked_bits(
         initial in any::<u64>(),
@@ -33,19 +56,19 @@ proptest! {
         new in any::<u64>(),
         mask in any::<u64>(),
     ) {
-        let fabric = Fabric::new(FabricConfig::small_test());
-        let addr = GlobalAddress::on_chip(0, 256);
-        fabric.god_write_u64(addr, initial).unwrap();
-        let mut client = fabric.client(0);
-        let result = client.masked_cas(addr, expected, new, mask).unwrap();
-        let after = fabric.god_read_u64(addr).unwrap();
+        let (succeeded, after) = masked_cas_on::<Fabric>(initial, expected, new, mask);
         prop_assert_eq!(after & !mask, initial & !mask, "unmasked bits changed");
-        if result.succeeded {
+        if succeeded {
             prop_assert_eq!(initial & mask, expected & mask);
             prop_assert_eq!(after & mask, new & mask);
         } else {
             prop_assert_eq!(after, initial);
         }
+        prop_assert_eq!(
+            masked_cas_on::<ThreadedFabric>(initial, expected, new, mask),
+            (succeeded, after),
+            "threaded backend disagrees with the simulator"
+        );
     }
 
     /// The workload generator only ever emits keys inside the configured key

@@ -1,0 +1,299 @@
+//! Offload — the server-side traversal placement regime map (beyond the paper).
+//!
+//! Sherman traverses the tree from the client with one-sided READs; a cold
+//! index cache turns every lookup into a chain of dependent round trips, one
+//! per level.  This reproduction adds FlexKV/Outback-style index offloading:
+//! a cache-missed descent can instead ship one typed `TraverseStep` RPC to
+//! the home memory server, whose bounded interpreter walks its local node
+//! images and replies with the leaf — O(1) fabric round trips however deep
+//! the tree.  Offload is not free (the RPC is charged server-side work and
+//! loses to a warm cache hit that needs only one READ), so the interesting
+//! question is *where* each placement wins.  This binary sweeps the regime
+//! map — skew × cache budget × tree depth (plus a far-fabric variant of the
+//! deep point, since the RTT-to-service ratio is what moves the crossover)
+//! — for the three policies (`Never` = pure client-side, `Always`,
+//! `Adaptive`) and reports the crossover.
+//!
+//! ```text
+//! cargo run --release -p sherman_bench --bin offload [-- --quick] [--smoke]
+//!     [--threads N] [--ops N]
+//! ```
+//!
+//! `--smoke` runs the CI gate at quick scale and exits non-zero when
+//! (1) the adaptive policy falls more than 5% behind the best fixed policy
+//! on the cold-cache deep-tree far-fabric point, (2) a cold-cache lookup under `Always`
+//! costs anything other than exactly one fabric round trip — one RPC and
+//! zero one-sided READs — or (3) any lookup disagrees with a model of the
+//! tree after an insert/delete churn phase followed by a coherence quiesce
+//! (server-side replies must never smuggle stale state past the tombstone
+//! admission floor).
+
+use sherman_bench::{
+    fmt_mops, fmt_us, print_table, run_offload_experiment, Args, OffloadExperiment,
+};
+use sherman::{Cluster, ClusterConfig, OffloadPolicy, TreeConfig, TreeOptions};
+use sherman_sim::FabricConfig;
+use sherman_workload::KeyDistribution;
+
+const POLICIES: [OffloadPolicy; 3] = [
+    OffloadPolicy::Never,
+    OffloadPolicy::Always,
+    OffloadPolicy::Adaptive,
+];
+
+fn main() {
+    let args = Args::from_env();
+    if args.flag("smoke") {
+        smoke(&args);
+        return;
+    }
+
+    println!("Offload: server-side traversal placement regime map (100% lookups)");
+    let mut rows = Vec::new();
+    for &(depth_name, node_size, key_space, rtt) in &[
+        ("shallow", 1024usize, 1u64 << 13, None),
+        ("deep", 256, 1 << 16, None),
+        ("deep-far", 256, 1 << 16, Some(5_000u64)),
+    ] {
+        for &(skew_name, dist) in &[
+            ("uniform", KeyDistribution::Uniform),
+            ("zipf-0.99", KeyDistribution::ScrambledZipfian { theta: 0.99 }),
+        ] {
+            for &(cache_name, cold) in &[("warm", false), ("cold", true)] {
+                let mut results = Vec::new();
+                for &policy in &POLICIES {
+                    let mut exp = configure(
+                        &args, policy, node_size, key_space, dist, cold,
+                    );
+                    exp.base_rtt_ns = rtt;
+                    results.push(run_offload_experiment(&exp));
+                }
+                let best = results
+                    .iter()
+                    .max_by(|a, b| {
+                        a.summary
+                            .throughput_ops
+                            .total_cmp(&b.summary.throughput_ops)
+                    })
+                    .expect("three results");
+                let adaptive = &results[2];
+                rows.push(vec![
+                    format!("{depth_name}/{skew_name}/{cache_name}"),
+                    fmt_mops(results[0].summary.throughput_ops),
+                    fmt_mops(results[1].summary.throughput_ops),
+                    fmt_mops(results[2].summary.throughput_ops),
+                    format!("{:?}", best.policy),
+                    format!("{:.0}%", adaptive.offload.offload_ratio() * 100.0),
+                    format!("{:.2}", adaptive.mean_round_trips),
+                    fmt_us(adaptive.summary.p50_ns),
+                ]);
+            }
+        }
+    }
+    print_table(
+        &[
+            "regime",
+            "never",
+            "always",
+            "adaptive",
+            "winner",
+            "ad-offload",
+            "ad-rt/op",
+            "ad-p50",
+        ],
+        &rows,
+    );
+    println!("\nnever/always/adaptive = lookup throughput (Mops) under each placement policy");
+    println!("ad-offload = fraction of adaptive placement decisions that chose the RPC");
+    println!("ad-rt/op   = adaptive mean fabric round trips per lookup (1.0 = offload ideal)");
+}
+
+fn configure(
+    args: &Args,
+    policy: OffloadPolicy,
+    node_size: usize,
+    key_space: u64,
+    dist: KeyDistribution,
+    cold: bool,
+) -> OffloadExperiment {
+    let mut exp = OffloadExperiment::default_scaled(format!("{policy:?}"), policy);
+    exp.tree.node_size = node_size;
+    exp.key_space = key_space;
+    exp.distribution = dist;
+    exp.cold_start = cold;
+    if cold {
+        // The cold regime also starves the type-1 cache so it cannot rewarm
+        // past a handful of routes during the measured phase.
+        exp.tree.cache_bytes = 4 << 10;
+    }
+    exp.threads = args.get_usize("threads", exp.threads);
+    exp.ops_per_thread = args.get_usize("ops", exp.ops_per_thread);
+    if args.quick() || args.flag("smoke") {
+        exp = exp.quick();
+    }
+    exp
+}
+
+/// CI gate: the adaptive crossover, the O(1) cold lookup, and churn
+/// coherence — at quick scale.
+fn smoke(args: &Args) {
+    let mut failures = Vec::new();
+    smoke_adaptive_crossover(args, &mut failures);
+    smoke_cold_lookup_is_one_round_trip(&mut failures);
+    smoke_churn_serves_no_stale_results(&mut failures);
+    if failures.is_empty() {
+        println!("offload smoke: OK");
+    } else {
+        for f in &failures {
+            eprintln!("offload smoke FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Gate 1: on the cold-cache deep-tree point the adaptive policy must hold
+/// at least 95% of whichever fixed placement wins.
+fn smoke_adaptive_crossover(args: &Args, failures: &mut Vec<String>) {
+    let run = |policy| {
+        // Built by hand rather than through `configure`: the gate needs the
+        // full-depth tree (quick() caps the key space), just fewer ops.  The
+        // point sits on a far fabric — RPC offload's home regime, where one
+        // round trip plus server work clearly beats a chain of client RTTs.
+        let mut exp = OffloadExperiment::default_scaled("smoke", policy);
+        exp.cold_start = true;
+        exp.tree.cache_bytes = 4 << 10;
+        exp.base_rtt_ns = Some(5_000);
+        exp.threads = args.get_usize("threads", 2);
+        exp.ops_per_thread = args.get_usize("ops", 400);
+        run_offload_experiment(&exp)
+    };
+    let never = run(OffloadPolicy::Never);
+    let always = run(OffloadPolicy::Always);
+    let adaptive = run(OffloadPolicy::Adaptive);
+    let best = never
+        .summary
+        .throughput_ops
+        .max(always.summary.throughput_ops);
+    let ratio = adaptive.summary.throughput_ops / best.max(f64::MIN_POSITIVE);
+    println!(
+        "offload smoke [crossover]: never={} always={} adaptive={} ratio-vs-best={:.3} \
+         adaptive-offload={:.0}%",
+        fmt_mops(never.summary.throughput_ops),
+        fmt_mops(always.summary.throughput_ops),
+        fmt_mops(adaptive.summary.throughput_ops),
+        ratio,
+        adaptive.offload.offload_ratio() * 100.0,
+    );
+    if ratio < 0.95 {
+        failures.push(format!(
+            "[crossover] adaptive holds only {ratio:.3} of the best fixed policy \
+             (needs >= 0.95)"
+        ));
+    }
+}
+
+/// A small cluster whose tree is several levels deep: 256-byte nodes over a
+/// 12k-key bulkload.
+fn smoke_cluster(policy: OffloadPolicy) -> std::sync::Arc<Cluster> {
+    let config = ClusterConfig {
+        fabric: FabricConfig {
+            memory_servers: 2,
+            compute_servers: 2,
+            ..FabricConfig::default()
+        },
+        tree: TreeConfig {
+            node_size: 256,
+            chunk_bytes: 256 << 10,
+            ..TreeConfig::default()
+        },
+    };
+    let cluster = Cluster::new(config, TreeOptions::sherman().with_offload(policy));
+    cluster
+        .bulkload((0..12_000u64).map(|k| (k, k.wrapping_mul(7) + 1)))
+        .expect("bulkload");
+    cluster
+}
+
+/// Gate 2: with every cached route dropped, an `Always` lookup must collapse
+/// the whole multi-level descent into exactly one fabric round trip — one
+/// typed RPC, zero one-sided READs.
+fn smoke_cold_lookup_is_one_round_trip(failures: &mut Vec<String>) {
+    let cluster = smoke_cluster(OffloadPolicy::Always);
+    for cs in 0..2 {
+        cluster.cache(cs).clear();
+    }
+    let mut client = cluster.client(0);
+    let (value, stats) = client.lookup(6_000).expect("lookup");
+    println!(
+        "offload smoke [cold-lookup]: round_trips={} rpcs={} reads={} value={value:?}",
+        stats.round_trips, stats.rpcs, stats.reads
+    );
+    if value != Some(6_000u64.wrapping_mul(7) + 1) {
+        failures.push(format!("[cold-lookup] wrong value {value:?}"));
+    }
+    if stats.round_trips != 1 || stats.rpcs != 1 || stats.reads != 0 {
+        failures.push(format!(
+            "[cold-lookup] cost must be exactly one RPC round trip, got \
+             round_trips={} rpcs={} reads={}",
+            stats.round_trips, stats.rpcs, stats.reads
+        ));
+    }
+}
+
+/// Gate 3: drive insert/delete churn under `Always` offload while checking
+/// every lookup against an in-process model, then quiesce coherence and
+/// re-verify — a server-side reply must never surface a stale (freed or
+/// recycled) node past the client's tombstone admission floor.
+fn smoke_churn_serves_no_stale_results(failures: &mut Vec<String>) {
+    use rand::{Rng, SeedableRng};
+
+    let cluster = smoke_cluster(OffloadPolicy::Always);
+    let mut model: std::collections::HashMap<u64, u64> =
+        (0..12_000u64).map(|k| (k, k.wrapping_mul(7) + 1)).collect();
+    let mut client = cluster.client(0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x57A1E);
+    let mut wrong = 0u64;
+    for i in 0..2_000u64 {
+        let key = rng.gen_range(0..16_000u64);
+        match rng.gen_range(0..100u8) {
+            0..=39 => {
+                let value = i.wrapping_mul(13) + key;
+                client.insert(key, value).expect("insert");
+                model.insert(key, value);
+            }
+            40..=59 => {
+                let (deleted, _) = client.delete(key).expect("delete");
+                let expected = model.remove(&key).is_some();
+                if deleted != expected {
+                    wrong += 1;
+                }
+            }
+            _ => {
+                let (value, _) = client.lookup(key).expect("lookup");
+                if value != model.get(&key).copied() {
+                    wrong += 1;
+                }
+            }
+        }
+    }
+    client.quiesce_coherence();
+    for key in (0..16_000u64).step_by(7) {
+        let (value, _) = client.lookup(key).expect("lookup");
+        if value != model.get(&key).copied() {
+            wrong += 1;
+        }
+    }
+    let gauges = cluster.offload_stats();
+    println!(
+        "offload smoke [churn]: wrong={} offloaded={} wins={} losses={} stale_rejects={}",
+        wrong, gauges.offloaded, gauges.wins, gauges.losses, gauges.stale_rejects
+    );
+    if wrong > 0 {
+        failures.push(format!(
+            "[churn] {wrong} operations disagreed with the model after churn + quiesce"
+        ));
+    }
+    if gauges.offloaded == 0 {
+        failures.push("[churn] the churn phase never offloaded; gate proved nothing".into());
+    }
+}

@@ -17,6 +17,9 @@
 //!   index-cache re-budgeting (the `scenario` binary),
 //! * [`lockbench`] — the lock-service microbenchmarks behind Figure 2 and
 //!   Figure 16 (no tree involved),
+//! * [`offloadbench`] — the server-side traversal offload regime map
+//!   (skew × cache budget × tree depth, client-side vs always-offload vs
+//!   adaptive placement; the `offload` binary),
 //! * [`fabricbench`] — raw `RDMA_WRITE` throughput versus IO size (Figure 3),
 //! * [`report`] — plain-text table formatting,
 //! * [`args`] — the tiny `--key value` command-line parser shared by the
@@ -33,6 +36,7 @@ pub mod args;
 pub mod churnbench;
 pub mod fabricbench;
 pub mod lockbench;
+pub mod offloadbench;
 pub mod report;
 pub mod runner;
 pub mod scenariobench;
@@ -45,6 +49,7 @@ pub use scenariobench::{
 };
 pub use fabricbench::{run_write_size_sweep, WriteSizePoint};
 pub use lockbench::{run_lock_experiment, LockExperiment, LockVariant};
+pub use offloadbench::{run_offload_experiment, OffloadExperiment, OffloadResult};
 pub use report::{fmt_mops, fmt_us, print_table};
 pub use runner::{
     run_pipeline_experiment, run_tree_experiment, DrivePath, ExperimentResult,

@@ -199,6 +199,17 @@ impl IndexCache {
         self.len() == 0
     }
 
+    /// Drop every cached route — type-❶ entries, type-❷ top levels, and
+    /// tombstones — returning the cache to its freshly-constructed cold
+    /// state.  Benchmarks use this to measure cold-start traversal cost
+    /// without rebuilding the cluster; nothing on the hot path calls it.
+    pub fn clear(&self) {
+        self.entries.write().clear();
+        self.top.write().clear();
+        self.tombstones.write().clear();
+        self.count.store(0, Ordering::Relaxed);
+    }
+
     fn tick(&self) -> u64 {
         self.clock.fetch_add(1, Ordering::Relaxed)
     }

@@ -12,7 +12,10 @@ use sherman_locks::{
     GlobalLockKind, GlobalLockTable, HoclManager, NodeLockManager, RemoteLockManager,
 };
 use sherman_memserver::{EpochRegistry, FreeListStats, MemoryPool, ServerLayout};
-use sherman_metrics::{CoherenceCounters, CoherenceGauges, EpochGauges, SpaceCounters, SpaceSnapshot};
+use sherman_metrics::{
+    CoherenceCounters, CoherenceGauges, EpochGauges, OffloadCounters, OffloadGauges,
+    SpaceCounters, SpaceSnapshot,
+};
 use sherman_sim::{Fabric, FabricBackend, FabricConfig, GlobalAddress};
 use std::sync::Arc;
 
@@ -72,6 +75,7 @@ pub struct Cluster<B: FabricBackend = Fabric> {
     root_hint: RwLock<Option<RootHint>>,
     space: SpaceCounters,
     coherence: CoherenceCounters,
+    offload: Vec<OffloadCounters>,
     /// Type-❷ heals whose publish found no root hint (mid root-collapse):
     /// queued here instead of dropped, drained by the next publish that
     /// observes a hint (see `crate::coherence::publish`).
@@ -120,6 +124,17 @@ impl<B: FabricBackend> Cluster<B> {
         let caches = (0..config.fabric.compute_servers)
             .map(|_| Arc::new(IndexCache::new(cache_cfg)))
             .collect();
+        let offload = (0..config.fabric.compute_servers)
+            .map(|_| OffloadCounters::default())
+            .collect();
+        // The memory-side traversal interpreter is always registered —
+        // whether it runs is a per-client placement decision
+        // (`TreeOptions::offload`); under `Never` no index RPC is ever
+        // posted, so registration alone changes nothing.
+        fabric.set_rpc_handler(Arc::new(crate::offload::OffloadInterpreter::new(
+            layout,
+            options.leaf_format,
+        )));
         Arc::new(Cluster {
             fabric,
             pool,
@@ -131,6 +146,7 @@ impl<B: FabricBackend> Cluster<B> {
             root_hint: RwLock::new(None),
             space: SpaceCounters::new(),
             coherence: CoherenceCounters::default(),
+            offload,
             pending_refreshes: Mutex::new(Vec::new()),
         })
     }
@@ -288,6 +304,24 @@ impl<B: FabricBackend> Cluster<B> {
     /// were in flight.
     pub fn coherence_stats(&self) -> CoherenceGauges {
         self.coherence.snapshot()
+    }
+
+    /// The offload decision/outcome counters of compute server `cs` (wraps
+    /// around like [`Cluster::cache`]).
+    pub(crate) fn offload_counters(&self, cs: u16) -> &OffloadCounters {
+        &self.offload[cs as usize % self.offload.len()]
+    }
+
+    /// Snapshot of the server-side traversal-offload gauges, merged across
+    /// every compute server: placement decisions, win/loss outcomes,
+    /// interpreter declines, tombstone-floor rejections, and the
+    /// dependent-read latency EWMA the adaptive policy thresholds against.
+    pub fn offload_stats(&self) -> OffloadGauges {
+        let mut merged = OffloadGauges::default();
+        for counters in &self.offload {
+            merged.merge(&counters.snapshot());
+        }
+        merged
     }
 
     /// Take every type-❷ heal queued while the root hint was unavailable.

@@ -183,6 +183,38 @@ impl LockStrategy {
     }
 }
 
+/// When should a tree operation offload its traversal to the memory server's
+/// wimpy compute (typed RPCs interpreted server-side by the bounded
+/// interpreter in the crate's `offload` module)?
+///
+/// Offloading collapses a multi-level cache-miss traversal into a single
+/// round trip, but serializes through the memory server's slow management
+/// core — so it wins exactly when the client would otherwise pay several
+/// dependent round trips (cold caches, deep trees, congested fabric) and
+/// loses when the index cache already answers in one read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum OffloadPolicy {
+    /// Never offload: every traversal runs client-side with one-sided verbs
+    /// (the paper's behaviour, and the default).
+    #[default]
+    Never,
+    /// Offload every cache-missing traversal step unconditionally.
+    Always,
+    /// Offload only when it is likely to win: the index cache missed below
+    /// the always-cached top levels (a type-❷ miss would leave multiple
+    /// dependent round trips to pay) or the client's read-latency EWMA says
+    /// the fabric is congested enough that one serialized RPC beats several
+    /// round trips.
+    Adaptive,
+}
+
+impl OffloadPolicy {
+    /// Whether this policy can ever choose the offload arm.
+    pub fn may_offload(&self) -> bool {
+        !matches!(self, OffloadPolicy::Never)
+    }
+}
+
 /// Which of Sherman's techniques are enabled — the axis of the paper's
 /// ablation study (Figures 10 and 11).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -216,6 +248,10 @@ pub struct TreeOptions {
     /// round trip; deeper pipelines overlap up to this many round trips per
     /// thread.  Blocking entry points ignore the knob.
     pub pipeline_depth: usize,
+    /// When to offload cache-missing traversals to the memory server
+    /// (server-side typed RPCs).  [`OffloadPolicy::Never`] — the default and
+    /// the paper's behaviour — keeps every traversal client-side.
+    pub offload: OffloadPolicy,
 }
 
 impl TreeOptions {
@@ -238,6 +274,7 @@ impl TreeOptions {
             merge_threshold: Self::DEFAULT_MERGE_THRESHOLD,
             reclaim_root_orphans: true,
             pipeline_depth: Self::DEFAULT_PIPELINE_DEPTH,
+            offload: OffloadPolicy::Never,
         }
     }
 
@@ -251,6 +288,7 @@ impl TreeOptions {
             merge_threshold: Self::DEFAULT_MERGE_THRESHOLD,
             reclaim_root_orphans: true,
             pipeline_depth: Self::DEFAULT_PIPELINE_DEPTH,
+            offload: OffloadPolicy::Never,
         }
     }
 
@@ -285,6 +323,11 @@ impl TreeOptions {
             pipeline_depth: depth.max(1),
             ..self
         }
+    }
+
+    /// Set the server-side traversal offload policy.
+    pub fn with_offload(self, offload: OffloadPolicy) -> Self {
+        TreeOptions { offload, ..self }
     }
 
     /// FG+ plus command combination ("+Combine").
@@ -397,6 +440,7 @@ mod tests {
                 merge_threshold: TreeOptions::DEFAULT_MERGE_THRESHOLD,
                 reclaim_root_orphans: true,
                 pipeline_depth: TreeOptions::DEFAULT_PIPELINE_DEPTH,
+                offload: OffloadPolicy::Never,
             }
         );
         // FG+: only the lock release verb and the leaf consistency check change.
@@ -409,6 +453,7 @@ mod tests {
                 merge_threshold: TreeOptions::DEFAULT_MERGE_THRESHOLD,
                 reclaim_root_orphans: true,
                 pipeline_depth: TreeOptions::DEFAULT_PIPELINE_DEPTH,
+                offload: OffloadPolicy::Never,
             }
         );
         // Each ladder rung flips exactly one technique relative to its
@@ -496,6 +541,20 @@ mod tests {
         assert_eq!(deep.merge_threshold, TreeOptions::sherman().merge_threshold);
         // Zero is not a meaningful depth: the builder clamps to 1.
         assert_eq!(TreeOptions::sherman().with_pipeline_depth(0).pipeline_depth, 1);
+    }
+
+    #[test]
+    fn offload_defaults_to_never_across_presets() {
+        for (_, options) in TreeOptions::ablation_ladder() {
+            assert_eq!(options.offload, OffloadPolicy::Never);
+            assert!(!options.offload.may_offload());
+        }
+        let on = TreeOptions::sherman().with_offload(OffloadPolicy::Adaptive);
+        assert_eq!(on.offload, OffloadPolicy::Adaptive);
+        assert!(on.offload.may_offload());
+        // Nothing else is touched.
+        assert_eq!(on.leaf_format, TreeOptions::sherman().leaf_format);
+        assert_eq!(on.pipeline_depth, TreeOptions::sherman().pipeline_depth);
     }
 
     #[test]

@@ -71,13 +71,14 @@ pub mod config;
 pub mod error;
 pub mod layout;
 pub mod node;
+mod offload;
 mod ops;
 pub mod scheduler;
 pub mod stats;
 
 pub use client::TreeClient;
 pub use cluster::{Cluster, ClusterConfig, NodeCensus, ShapeAudit};
-pub use config::{LeafFormat, LockStrategy, ReclaimScheme, TreeConfig, TreeOptions};
+pub use config::{LeafFormat, LockStrategy, OffloadPolicy, ReclaimScheme, TreeConfig, TreeOptions};
 pub use error::TreeError;
 pub use layout::NodeLayout;
 pub use node::{InternalEntry, InternalNode, LeafEntry, LeafNode, NodeHeader};

@@ -47,13 +47,16 @@
 
 use crate::client::TreeClient;
 use crate::cluster::Cluster;
-use crate::config::LeafFormat;
+use crate::config::{LeafFormat, OffloadPolicy};
 use crate::error::TreeError;
 use crate::node::{InternalNode, LeafNode};
 use crate::TreeResult;
 use sherman_cache::{CachedInternal, ChildRef};
 use sherman_memserver::ServerLayout;
-use sherman_sim::{ClientCtx, Completion, Fabric, FabricBackend, GlobalAddress, PendingVerb};
+use sherman_sim::{
+    ClientCtx, Completion, Fabric, FabricBackend, GlobalAddress, PendingVerb, RpcLeafReply,
+    RpcLevel1Image, RpcNodeInfo, RpcRangeReply, RpcRequest, RpcResponse,
+};
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -155,6 +158,20 @@ impl<B: FabricBackend> OpCx<'_, B> {
         self.cluster.set_root_hint(addr, level);
         Ok((addr, level))
     }
+
+    /// Drain this compute server's coherence inbox and apply every
+    /// deliverable message (the same `TreeClient::drain_coherence` logic,
+    /// available to state machines mid-operation).  The offload arm calls
+    /// this right before its placement decision so the decision — and the
+    /// tombstone floor it validates replies against — sees the freshest
+    /// cache state.  Costs no virtual time.
+    pub(crate) fn drain_coherence(&mut self) {
+        let msgs = self.ctx.drain_coherence();
+        if !msgs.is_empty() {
+            let now = self.ctx.now();
+            crate::coherence::apply(self.cluster, self.cs_id, now, &msgs);
+        }
+    }
 }
 
 /// Build the cacheable image of a decoded internal node.
@@ -252,6 +269,188 @@ pub(crate) fn drive_blocking<B: FabricBackend, T>(
 }
 
 // ----------------------------------------------------------------------
+// Server-side traversal offload
+// ----------------------------------------------------------------------
+
+/// The placement decision for a cache-missed descent toward `key`: where an
+/// offloaded walk would start (the deepest covering type-❷ entry, or the
+/// root) and how many dependent reads the local path would need from there.
+/// Records the decision; returns `None` when the op should stay local.
+fn offload_decision<B: FabricBackend>(
+    cx: &mut OpCx<'_, B>,
+    key: u64,
+) -> Option<(GlobalAddress, u8)> {
+    let policy = cx.cluster.options().offload;
+    if !policy.may_offload() {
+        return None;
+    }
+    let (root_addr, root_level) = cx.root().ok()?;
+    let (from_addr, remaining) = match cx.cluster.cache(cx.cs_id).search_top(key) {
+        Some((child, child_level)) => (child, child_level.saturating_add(1)),
+        None => (root_addr, root_level.saturating_add(1)),
+    };
+    let counters = cx.cluster.offload_counters(cx.cs_id);
+    let offload = crate::offload::should_offload(
+        policy,
+        remaining,
+        counters.ewma_read_ns(),
+        counters.ewma_rpc_ns(),
+        cx.cluster.fabric().config(),
+    );
+    counters.record_decision(offload);
+    offload.then_some((from_addr, remaining))
+}
+
+/// The traverse RPC a cache-missed point op posts when the placement
+/// decision says to offload.
+fn offload_traverse_request<B: FabricBackend>(
+    cx: &mut OpCx<'_, B>,
+    key: u64,
+) -> Option<RpcRequest> {
+    let (from_addr, remaining) = offload_decision(cx, key)?;
+    Some(RpcRequest::TraverseStep {
+        from_addr,
+        key,
+        // Headroom over the estimate: the walk may chase B-link siblings,
+        // and the tree may have grown since the root hint was cached.
+        max_levels: remaining.saturating_add(3).min(16),
+    })
+}
+
+/// The range RPC a cache-missed scan posts when the placement decision says
+/// to offload.
+fn offload_range_request<B: FabricBackend>(
+    cx: &mut OpCx<'_, B>,
+    start_key: u64,
+    max_entries: u32,
+    max_leaves: u8,
+) -> Option<RpcRequest> {
+    let (from_addr, _) = offload_decision(cx, start_key)?;
+    Some(RpcRequest::LeafRange {
+        from_addr,
+        start_key,
+        max_entries,
+        max_leaves,
+    })
+}
+
+/// What an offloaded step resolved to.
+pub(crate) enum OffloadOutcome {
+    /// A validated leaf reply (traverse / leaf search).
+    Leaf(RpcLeafReply),
+    /// A validated range reply.
+    Range(RpcRangeReply),
+    /// Decline, unexpected payload, or a tombstone-floor rejection: the op
+    /// falls back to its local one-sided path.
+    Fallback,
+}
+
+/// One offloaded traversal step: post the typed RPC, yield, then validate
+/// the reply against the local tombstone admission floor before anyone
+/// trusts it.  The server's answer is a *hint* — a reply carrying a node
+/// image at or below a recorded tombstone version is a freed/recycled node
+/// and is rejected here, exactly the admission rule the index cache applies
+/// to its own fills.  Validated level-1 images warm the type-❶ cache (the
+/// insert re-checks the floor internally).
+pub(crate) struct OffloadSM {
+    req: RpcRequest,
+    posted: bool,
+}
+
+impl OffloadSM {
+    pub(crate) fn new(req: RpcRequest) -> Self {
+        OffloadSM { req, posted: false }
+    }
+
+    /// Tombstone-floor admission for one server-returned node image.
+    fn admit<B: FabricBackend>(cx: &mut OpCx<'_, B>, info: &RpcNodeInfo) -> bool {
+        let cache = cx.cluster.cache(cx.cs_id);
+        if let Some(floor) = cache.tombstoned(info.addr) {
+            if !CachedInternal::version_newer(info.version, floor) {
+                cx.cluster
+                    .offload_counters(cx.cs_id)
+                    .record_stale_reject();
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Warm the type-❶ cache from a level-1 image the server's walk passed
+    /// through, as a local traversal reading that node would have.
+    fn warm_level1<B: FabricBackend>(cx: &mut OpCx<'_, B>, img: &RpcLevel1Image) {
+        if img.info.level != 1 {
+            return;
+        }
+        cx.cluster.cache(cx.cs_id).insert_level1(CachedInternal {
+            addr: img.info.addr,
+            fence_low: img.info.fence_low,
+            fence_high: img.info.fence_high,
+            level: img.info.level,
+            version: img.info.version,
+            leftmost: img.leftmost,
+            children: img
+                .children
+                .iter()
+                .map(|&(separator, child)| ChildRef { separator, child })
+                .collect(),
+        });
+    }
+
+    pub(crate) fn step<B: FabricBackend>(
+        &mut self,
+        cx: &mut OpCx<'_, B>,
+        completion: Option<Completion>,
+    ) -> TreeResult<Step<OffloadOutcome>> {
+        let Some(c) = completion else {
+            debug_assert!(!self.posted, "an offload attempt posts exactly one RPC");
+            self.posted = true;
+            let token = cx.ctx.post_index_rpc(&self.req)?;
+            return Ok(Step::Pending(token));
+        };
+        // Feed the observed round trip — queueing at the home server's wimpy
+        // core included — back into the placement estimator.
+        cx.cluster
+            .offload_counters(cx.cs_id)
+            .observe_rpc_ns(c.completed_at.saturating_sub(c.posted_at));
+        let outcome = match c.result.into_rpc() {
+            RpcResponse::Leaf(reply) => {
+                if !Self::admit(cx, &reply.leaf) {
+                    // Scrub any cached route to the rejected address too:
+                    // the server just proved something lives there that our
+                    // floor says is stale.
+                    cx.cluster.cache(cx.cs_id).invalidate_addr(reply.leaf.addr);
+                    OffloadOutcome::Fallback
+                } else {
+                    if let Some(img) = &reply.level1 {
+                        Self::warm_level1(cx, img);
+                    }
+                    OffloadOutcome::Leaf(reply)
+                }
+            }
+            RpcResponse::Range(reply) => {
+                // Every scanned leaf must pass the floor before any of the
+                // collected entries are accepted.
+                if reply.leaves.iter().any(|l| !Self::admit(cx, l)) {
+                    OffloadOutcome::Fallback
+                } else {
+                    if let Some(img) = &reply.level1 {
+                        Self::warm_level1(cx, img);
+                    }
+                    OffloadOutcome::Range(reply)
+                }
+            }
+            RpcResponse::Declined { .. } => {
+                cx.cluster.offload_counters(cx.cs_id).record_declined();
+                OffloadOutcome::Fallback
+            }
+            RpcResponse::Ack => OffloadOutcome::Fallback,
+        };
+        Ok(Step::Done(outcome))
+    }
+}
+
+// ----------------------------------------------------------------------
 // Node-read consistency loop
 // ----------------------------------------------------------------------
 
@@ -279,6 +478,13 @@ impl ReadNodeSM {
     ) -> TreeResult<Step<Vec<u8>>> {
         let node_size = cx.cluster.layout().node_size();
         if let Some(c) = completion {
+            if cx.cluster.options().offload.may_offload() {
+                // Feed the adaptive placement policy's latency estimate from
+                // real completions of the reads it is trying to replace.
+                cx.cluster
+                    .offload_counters(cx.cs_id)
+                    .observe_read_ns(c.completed_at.saturating_sub(c.posted_at));
+            }
             let buf = c.result.into_read();
             if cx.node_image_consistent(&buf) {
                 cx.ctx.charge_scan(node_size);
@@ -502,6 +708,13 @@ enum LookupPhase {
     /// start a traversal).
     Restart,
     Locate(TraverseSM),
+    /// A server-side traversal RPC is in flight.  `fallback` holds the
+    /// cache-served leaf route the RPC replaced (`Always` on a warm cache);
+    /// on a decline the lookup resumes there instead of re-locating.
+    Offload {
+        sm: OffloadSM,
+        fallback: Option<(GlobalAddress, LeafSource)>,
+    },
     Leaf {
         addr: GlobalAddress,
         source: LeafSource,
@@ -516,6 +729,9 @@ pub(crate) struct LookupSM {
     key: u64,
     restarts_left: u32,
     pending: Option<(GlobalAddress, LeafSource)>,
+    /// One-shot: a lookup offloads at most once, so a declined or stale RPC
+    /// can never loop back into another RPC.
+    offload_done: bool,
     phase: LookupPhase,
 }
 
@@ -525,6 +741,7 @@ impl LookupSM {
             key,
             restarts_left: cx.cluster.config().max_restarts,
             pending: None,
+            offload_done: false,
             phase: LookupPhase::Restart,
         }
     }
@@ -562,11 +779,81 @@ impl LookupSM {
                         self.phase = self.leaf_phase(cx, addr, source);
                         continue;
                     }
+                    if !self.offload_done && cx.cluster.options().offload.may_offload() {
+                        // Apply in-flight invalidations before the cache
+                        // consult and the placement decision below.
+                        cx.drain_coherence();
+                    }
                     match locate_start(cx, meta, self.key) {
                         LocateStart::Cached(addr, source) => {
+                            if !self.offload_done
+                                && cx.cluster.options().offload == OffloadPolicy::Always
+                            {
+                                // `Always` trades even the warm single read
+                                // for an RPC (its loss region — the regime
+                                // the adaptive policy exists to avoid).
+                                self.offload_done = true;
+                                cx.cluster.offload_counters(cx.cs_id).record_decision(true);
+                                self.phase = LookupPhase::Offload {
+                                    sm: OffloadSM::new(RpcRequest::LeafSearch {
+                                        leaf_addr: addr,
+                                        key: self.key,
+                                    }),
+                                    fallback: Some((addr, source)),
+                                };
+                                continue;
+                            }
                             self.phase = self.leaf_phase(cx, addr, source);
                         }
-                        LocateStart::Traverse(sm) => self.phase = LookupPhase::Locate(sm),
+                        LocateStart::Traverse(sm) => {
+                            if !self.offload_done {
+                                if let Some(req) = offload_traverse_request(cx, self.key) {
+                                    self.offload_done = true;
+                                    self.phase = LookupPhase::Offload {
+                                        sm: OffloadSM::new(req),
+                                        fallback: None,
+                                    };
+                                    continue;
+                                }
+                            }
+                            self.phase = LookupPhase::Locate(sm);
+                        }
+                    }
+                }
+                LookupPhase::Offload { sm, fallback } => {
+                    let fallback = *fallback;
+                    match sm.step(cx, completion.take())? {
+                        Step::Pending(token) => return Ok(Step::Pending(token)),
+                        Step::Done(OffloadOutcome::Leaf(reply)) => {
+                            let counters = cx.cluster.offload_counters(cx.cs_id);
+                            if reply.chase_sibling {
+                                // The RPC still collapsed the descent; chase
+                                // the B-link locally like any other reader.
+                                counters.record_win();
+                                self.pending =
+                                    reply.leaf.sibling.map(|s| (s, LeafSource::Sibling));
+                                self.phase = LookupPhase::Restart;
+                            } else if reply.entry_conflict {
+                                // Entry-granular write mid-flight on the
+                                // server's image: re-read the leaf locally.
+                                counters.record_loss();
+                                meta.read_retries += 1;
+                                self.phase =
+                                    self.leaf_phase(cx, reply.leaf.addr, LeafSource::Traversal);
+                            } else {
+                                counters.record_win();
+                                return Ok(Step::Done(reply.found));
+                            }
+                        }
+                        Step::Done(_) => {
+                            cx.cluster.offload_counters(cx.cs_id).record_loss();
+                            match fallback {
+                                Some((addr, source)) => {
+                                    self.phase = self.leaf_phase(cx, addr, source);
+                                }
+                                None => self.phase = LookupPhase::Restart,
+                            }
+                        }
                     }
                 }
                 LookupPhase::Locate(sm) => match sm.step(cx, meta, completion.take())? {
@@ -642,6 +929,8 @@ impl LookupSM {
 enum RangePhase {
     /// Decide between the cached parallel batch and the sequential fallback.
     Start,
+    /// A server-side range RPC is in flight (cache-missed start only).
+    Offload(OffloadSM),
     /// The parallel leaf batch is in flight.
     Batch { addrs: Vec<GlobalAddress> },
     /// Scanning the fetched batch; `repair` re-reads a torn leaf in place.
@@ -688,6 +977,8 @@ pub(crate) struct RangeSM {
     /// resume point instead of trusting the batch / sibling chain.
     tombstoned: bool,
     hops: u32,
+    /// One-shot: a scan offloads at most once (see [`LookupSM`]).
+    offload_done: bool,
     phase: RangePhase,
 }
 
@@ -702,6 +993,7 @@ impl RangeSM {
             last_seen: false,
             tombstoned: false,
             hops: 0,
+            offload_done: false,
             phase: RangePhase::Start,
         }
     }
@@ -772,6 +1064,11 @@ impl RangeSM {
         loop {
             match &mut self.phase {
                 RangePhase::Start => {
+                    if !self.offload_done && cx.cluster.options().offload.may_offload() {
+                        // Apply in-flight invalidations before the cache
+                        // consult and the placement decision below.
+                        cx.drain_coherence();
+                    }
                     let per_leaf = (layout.leaf_capacity() as f64
                         * cx.cluster.config().leaf_fill) as usize;
                     let wanted_leaves = self.count / per_leaf.max(1) + 1;
@@ -794,8 +1091,42 @@ impl RangeSM {
                             return Ok(Step::Pending(token));
                         }
                     }
+                    if !self.offload_done {
+                        let max_leaves = (wanted_leaves + 2).min(64) as u8;
+                        let max_entries = self.count.min(u32::MAX as usize) as u32;
+                        if let Some(req) = offload_range_request(
+                            cx,
+                            self.start_key,
+                            max_entries.max(1),
+                            max_leaves,
+                        ) {
+                            self.offload_done = true;
+                            self.phase = RangePhase::Offload(OffloadSM::new(req));
+                            continue;
+                        }
+                    }
                     self.phase = RangePhase::SeekStart;
                 }
+                RangePhase::Offload(sm) => match sm.step(cx, completion.take())? {
+                    Step::Pending(token) => return Ok(Step::Pending(token)),
+                    Step::Done(OffloadOutcome::Range(reply)) => {
+                        cx.cluster.offload_counters(cx.cs_id).record_win();
+                        // Every returned leaf passed the tombstone floor;
+                        // adopt the scan frontier exactly as if the chain
+                        // walk had covered those leaves itself.
+                        for info in &reply.leaves {
+                            self.visited.insert(info.addr.pack());
+                        }
+                        self.results.extend(reply.entries.iter().copied());
+                        self.last_sibling = reply.next;
+                        self.last_seen = true;
+                        self.phase = RangePhase::SeekStart;
+                    }
+                    Step::Done(_) => {
+                        cx.cluster.offload_counters(cx.cs_id).record_loss();
+                        self.phase = RangePhase::SeekStart;
+                    }
+                },
                 RangePhase::Batch { addrs } => {
                     let c = completion.take().expect("batch completion expected");
                     let bufs = c.result.into_read_batch();
@@ -973,6 +1304,10 @@ enum WritePhase {
     /// start a traversal).
     Restart,
     Locate(TraverseSM),
+    /// A server-side traversal RPC is locating the commit leaf.  Only the
+    /// lock-free location phase offloads — the lock critical section always
+    /// runs client-side under the usual HOCL rules.
+    Offload(OffloadSM),
     Commit {
         addr: GlobalAddress,
         source: LeafSource,
@@ -990,6 +1325,9 @@ pub(crate) struct InsertSM {
     value: u64,
     restarts_left: u32,
     pending: Option<(GlobalAddress, LeafSource)>,
+    /// One-shot: a write offloads its location at most once (see
+    /// [`LookupSM`]).
+    offload_done: bool,
     phase: WritePhase,
 }
 
@@ -1000,6 +1338,7 @@ impl InsertSM {
             value,
             restarts_left: cx.cluster.config().max_restarts,
             pending: None,
+            offload_done: false,
             phase: WritePhase::Restart,
         }
     }
@@ -1029,11 +1368,25 @@ impl InsertSM {
                         continue;
                     }
                     let mut cx = client.op_cx();
+                    if !self.offload_done && cx.cluster.options().offload.may_offload() {
+                        // Apply in-flight invalidations before the cache
+                        // consult and the placement decision below.
+                        cx.drain_coherence();
+                    }
                     match locate_start(&mut cx, meta, self.key) {
                         LocateStart::Cached(addr, source) => {
                             self.phase = WritePhase::Commit { addr, source };
                         }
-                        LocateStart::Traverse(sm) => self.phase = WritePhase::Locate(sm),
+                        LocateStart::Traverse(sm) => {
+                            if !self.offload_done {
+                                if let Some(req) = offload_traverse_request(&mut cx, self.key) {
+                                    self.offload_done = true;
+                                    self.phase = WritePhase::Offload(OffloadSM::new(req));
+                                    continue;
+                                }
+                            }
+                            self.phase = WritePhase::Locate(sm);
+                        }
                     }
                 }
                 WritePhase::Locate(sm) => {
@@ -1047,6 +1400,29 @@ impl InsertSM {
                                 LeafSource::Traversal
                             };
                             self.phase = WritePhase::Commit { addr, source };
+                        }
+                    }
+                }
+                WritePhase::Offload(sm) => {
+                    let mut cx = client.op_cx();
+                    match sm.step(&mut cx, completion.take())? {
+                        Step::Pending(token) => return Ok(Step::Pending(token)),
+                        Step::Done(OffloadOutcome::Leaf(reply)) => {
+                            cx.cluster.offload_counters(cx.cs_id).record_win();
+                            if reply.chase_sibling {
+                                self.pending =
+                                    reply.leaf.sibling.map(|s| (s, LeafSource::Sibling));
+                                self.phase = WritePhase::Restart;
+                            } else {
+                                self.phase = WritePhase::Commit {
+                                    addr: reply.leaf.addr,
+                                    source: LeafSource::Traversal,
+                                };
+                            }
+                        }
+                        Step::Done(_) => {
+                            cx.cluster.offload_counters(cx.cs_id).record_loss();
+                            self.phase = WritePhase::Restart;
                         }
                     }
                 }
@@ -1091,6 +1467,9 @@ pub(crate) struct DeleteSM {
     found: bool,
     restarts_left: u32,
     pending: Option<(GlobalAddress, LeafSource)>,
+    /// One-shot: a write offloads its location at most once (see
+    /// [`LookupSM`]).
+    offload_done: bool,
     phase: WritePhase,
 }
 
@@ -1101,6 +1480,7 @@ impl DeleteSM {
             found: false,
             restarts_left: cx.cluster.config().max_restarts,
             pending: None,
+            offload_done: false,
             phase: WritePhase::Restart,
         }
     }
@@ -1130,11 +1510,25 @@ impl DeleteSM {
                         continue;
                     }
                     let mut cx = client.op_cx();
+                    if !self.offload_done && cx.cluster.options().offload.may_offload() {
+                        // Apply in-flight invalidations before the cache
+                        // consult and the placement decision below.
+                        cx.drain_coherence();
+                    }
                     match locate_start(&mut cx, meta, self.key) {
                         LocateStart::Cached(addr, source) => {
                             self.phase = WritePhase::Commit { addr, source };
                         }
-                        LocateStart::Traverse(sm) => self.phase = WritePhase::Locate(sm),
+                        LocateStart::Traverse(sm) => {
+                            if !self.offload_done {
+                                if let Some(req) = offload_traverse_request(&mut cx, self.key) {
+                                    self.offload_done = true;
+                                    self.phase = WritePhase::Offload(OffloadSM::new(req));
+                                    continue;
+                                }
+                            }
+                            self.phase = WritePhase::Locate(sm);
+                        }
                     }
                 }
                 WritePhase::Locate(sm) => {
@@ -1148,6 +1542,29 @@ impl DeleteSM {
                                 LeafSource::Traversal
                             };
                             self.phase = WritePhase::Commit { addr, source };
+                        }
+                    }
+                }
+                WritePhase::Offload(sm) => {
+                    let mut cx = client.op_cx();
+                    match sm.step(&mut cx, completion.take())? {
+                        Step::Pending(token) => return Ok(Step::Pending(token)),
+                        Step::Done(OffloadOutcome::Leaf(reply)) => {
+                            cx.cluster.offload_counters(cx.cs_id).record_win();
+                            if reply.chase_sibling {
+                                self.pending =
+                                    reply.leaf.sibling.map(|s| (s, LeafSource::Sibling));
+                                self.phase = WritePhase::Restart;
+                            } else {
+                                self.phase = WritePhase::Commit {
+                                    addr: reply.leaf.addr,
+                                    source: LeafSource::Traversal,
+                                };
+                            }
+                        }
+                        Step::Done(_) => {
+                            cx.cluster.offload_counters(cx.cs_id).record_loss();
+                            self.phase = WritePhase::Restart;
                         }
                     }
                 }

@@ -20,6 +20,8 @@ pub struct OpStats {
     pub writes: u64,
     /// Atomic verbs issued.
     pub atomics: u64,
+    /// Typed RPCs issued (server-side traversal offload).
+    pub rpcs: u64,
     /// Payload bytes written to memory servers.
     pub bytes_written: u64,
     /// Payload bytes read from memory servers.
@@ -46,6 +48,7 @@ impl OpStats {
             reads: d.reads,
             writes: d.writes,
             atomics: d.atomics,
+            rpcs: d.rpcs,
             bytes_written: d.bytes_written,
             bytes_read: d.bytes_read,
             lock_retries: 0,
@@ -78,7 +81,7 @@ mod tests {
             reads: 12,
             writes: 8,
             atomics: 3,
-            rpcs: 0,
+            rpcs: 2,
             round_trips: 21,
             bytes_written: 190,
             bytes_read: 1_900,
@@ -89,6 +92,7 @@ mod tests {
         assert_eq!(s.reads, 2);
         assert_eq!(s.writes, 3);
         assert_eq!(s.atomics, 1);
+        assert_eq!(s.rpcs, 2);
         assert_eq!(s.round_trips, 4);
         assert_eq!(s.bytes_written, 90);
         assert_eq!(s.bytes_read, 1_000);

@@ -23,7 +23,10 @@
 //!   events instead of panics,
 //! * [`CoherenceGauges`] — observability for the fabric-delivered cache
 //!   coherence channel: messages posted/applied, apply lag in virtual ns,
-//!   and stale hits served during the window.
+//!   and stale hits served during the window,
+//! * [`OffloadGauges`] — observability for adaptive server-side traversal
+//!   offload: placement decisions, win/loss outcomes, interpreter declines,
+//!   and the read-latency EWMA the policy thresholds against.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -33,6 +36,7 @@ pub mod coherence;
 pub mod counts;
 pub mod epoch;
 pub mod latency;
+pub mod offload;
 pub mod overlap;
 pub mod space;
 pub mod summary;
@@ -42,6 +46,7 @@ pub use coherence::{CoherenceCounters, CoherenceGauges};
 pub use counts::{CountHistogram, SizeHistogram};
 pub use epoch::EpochGauges;
 pub use latency::LatencyHistogram;
+pub use offload::{OffloadCounters, OffloadGauges};
 pub use overlap::OverlapGauges;
 pub use space::{SpaceCounters, SpaceSnapshot};
 pub use summary::{RunSummary, ThreadReport, ThroughputAggregator};

@@ -1,0 +1,244 @@
+//! Server-side traversal-offload gauges.
+//!
+//! The adaptive placement policy ([FlexKV/Outback-style index offloading)
+//! decides per operation whether a cache-miss traversal runs as a chain of
+//! one-sided reads (client-side) or as one typed RPC the memory server's
+//! bounded interpreter executes (server-side).  These counters make that
+//! decision loop observable:
+//!
+//! * **decisions / offloaded / local** — how often each arm was taken,
+//! * **wins / losses** — offloaded ops that saved at least one dependent
+//!   round trip vs ones the server declined or the client had to redo,
+//! * **declined** — interpreter give-ups (torn image, freed node, fence
+//!   miss, budget) that fell back to the local path,
+//! * **stale_rejects** — server replies the client's tombstone admission
+//!   floor rejected (the leaf image predated a known free/recycle),
+//! * **ewma_read_ns** — the client-side dependent-read latency estimate the
+//!   adaptive policy thresholds against,
+//! * **ewma_rpc_ns** — the observed round-trip latency of offloaded RPCs;
+//!   unlike the modeled cost it includes queueing at the memory server's
+//!   wimpy core, which is what makes the adaptive policy back off when
+//!   every client piles onto the same home server.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters behind [`OffloadGauges`]; one per compute server,
+/// owned by the cluster and bumped by the ops state machines.
+#[derive(Debug, Default)]
+pub struct OffloadCounters {
+    ewma_read_ns: AtomicU64,
+    ewma_rpc_ns: AtomicU64,
+    decisions: AtomicU64,
+    offloaded: AtomicU64,
+    local: AtomicU64,
+    wins: AtomicU64,
+    losses: AtomicU64,
+    declined: AtomicU64,
+    stale_rejects: AtomicU64,
+}
+
+impl OffloadCounters {
+    /// Feed one completed dependent read's service time into the EWMA the
+    /// adaptive policy thresholds against (α = 1/8).
+    pub fn observe_read_ns(&self, ns: u64) {
+        let cur = self.ewma_read_ns.load(Ordering::Relaxed);
+        let next = if cur == 0 { ns } else { cur - cur / 8 + ns / 8 };
+        self.ewma_read_ns.store(next, Ordering::Relaxed);
+    }
+
+    /// Current dependent-read latency estimate in nanoseconds (0 until the
+    /// first read is observed).
+    pub fn ewma_read_ns(&self) -> u64 {
+        self.ewma_read_ns.load(Ordering::Relaxed)
+    }
+
+    /// Feed one completed offload RPC's round-trip time into the EWMA
+    /// (α = 1/8).  This is the *observed* cost of the server-side arm —
+    /// service queueing included — where the config-derived estimate only
+    /// models an unloaded server.
+    pub fn observe_rpc_ns(&self, ns: u64) {
+        let cur = self.ewma_rpc_ns.load(Ordering::Relaxed);
+        let next = if cur == 0 { ns } else { cur - cur / 8 + ns / 8 };
+        self.ewma_rpc_ns.store(next, Ordering::Relaxed);
+    }
+
+    /// Current offload-RPC latency estimate in nanoseconds (0 until the
+    /// first RPC completes).
+    pub fn ewma_rpc_ns(&self) -> u64 {
+        self.ewma_rpc_ns.load(Ordering::Relaxed)
+    }
+
+    /// Record one placement decision and which arm it took.
+    pub fn record_decision(&self, offloaded: bool) {
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+        if offloaded {
+            self.offloaded.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.local.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record an offloaded op whose reply resolved the traversal (saved the
+    /// dependent read chain).
+    pub fn record_win(&self) {
+        self.wins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an offloaded op that still had to fall back to the local path
+    /// (the RPC was pure overhead).
+    pub fn record_loss(&self) {
+        self.losses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a server-side decline (torn image, freed node, fence miss, or
+    /// exhausted budget).
+    pub fn record_declined(&self) {
+        self.declined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a server reply rejected by the client's tombstone admission
+    /// floor (the returned node image predated a known free/recycle).
+    pub fn record_stale_reject(&self) {
+        self.stale_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-old-data snapshot of the current counter values.
+    pub fn snapshot(&self) -> OffloadGauges {
+        OffloadGauges {
+            decisions: self.decisions.load(Ordering::Relaxed),
+            offloaded: self.offloaded.load(Ordering::Relaxed),
+            local: self.local.load(Ordering::Relaxed),
+            wins: self.wins.load(Ordering::Relaxed),
+            losses: self.losses.load(Ordering::Relaxed),
+            declined: self.declined.load(Ordering::Relaxed),
+            stale_rejects: self.stale_rejects.load(Ordering::Relaxed),
+            ewma_read_ns: self.ewma_read_ns.load(Ordering::Relaxed),
+            ewma_rpc_ns: self.ewma_rpc_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-old-data snapshot of one (or a merged set of) compute servers'
+/// offload counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct OffloadGauges {
+    /// Placement decisions taken at cache-miss (and, under `Always`,
+    /// cache-hit) boundaries.
+    pub decisions: u64,
+    /// Decisions that posted a server-side RPC.
+    pub offloaded: u64,
+    /// Decisions that stayed on the client-side one-sided path.
+    pub local: u64,
+    /// Offloaded ops whose reply resolved the traversal.
+    pub wins: u64,
+    /// Offloaded ops that fell back to the local path anyway.
+    pub losses: u64,
+    /// Server-side interpreter declines.
+    pub declined: u64,
+    /// Replies rejected by the tombstone admission floor.
+    pub stale_rejects: u64,
+    /// Dependent-read latency EWMA (ns); max across merged servers.
+    pub ewma_read_ns: u64,
+    /// Offload-RPC round-trip latency EWMA (ns), queueing included; max
+    /// across merged servers.
+    pub ewma_rpc_ns: u64,
+}
+
+impl OffloadGauges {
+    /// Fraction of decisions that offloaded (0.0 when none were taken).
+    pub fn offload_ratio(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.offloaded as f64 / self.decisions as f64
+        }
+    }
+
+    /// Fraction of offloaded ops that won (0.0 when none offloaded).
+    pub fn win_ratio(&self) -> f64 {
+        if self.offloaded == 0 {
+            0.0
+        } else {
+            self.wins as f64 / self.offloaded as f64
+        }
+    }
+
+    /// Merge another server's gauges into this one (sums counters, keeps the
+    /// larger EWMA).
+    pub fn merge(&mut self, other: &OffloadGauges) {
+        self.decisions += other.decisions;
+        self.offloaded += other.offloaded;
+        self.local += other.local;
+        self.wins += other.wins;
+        self.losses += other.losses;
+        self.declined += other.declined;
+        self.stale_rejects += other.stale_rejects;
+        self.ewma_read_ns = self.ewma_read_ns.max(other.ewma_read_ns);
+        self.ewma_rpc_ns = self.ewma_rpc_ns.max(other.ewma_rpc_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges_toward_observations() {
+        let c = OffloadCounters::default();
+        assert_eq!(c.ewma_read_ns(), 0);
+        c.observe_read_ns(1_000);
+        assert_eq!(c.ewma_read_ns(), 1_000, "first sample seeds the EWMA");
+        for _ in 0..64 {
+            c.observe_read_ns(9_000);
+        }
+        let v = c.ewma_read_ns();
+        assert!(v > 8_000 && v <= 9_000, "EWMA converged to {v}");
+        // The RPC EWMA is independent of the read EWMA.
+        assert_eq!(c.ewma_rpc_ns(), 0);
+        c.observe_rpc_ns(4_000);
+        assert_eq!(c.ewma_rpc_ns(), 4_000, "first sample seeds the EWMA");
+        assert!(c.ewma_read_ns() == v, "read EWMA untouched by RPC samples");
+    }
+
+    #[test]
+    fn counters_snapshot_and_ratios() {
+        let c = OffloadCounters::default();
+        c.record_decision(true);
+        c.record_decision(true);
+        c.record_decision(false);
+        c.record_win();
+        c.record_loss();
+        c.record_declined();
+        c.record_stale_reject();
+        let g = c.snapshot();
+        assert_eq!(g.decisions, 3);
+        assert_eq!(g.offloaded, 2);
+        assert_eq!(g.local, 1);
+        assert!((g.offload_ratio() - 2.0 / 3.0).abs() < 1e-9);
+        assert!((g.win_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_ewma() {
+        let a = OffloadCounters::default();
+        a.record_decision(true);
+        a.observe_read_ns(500);
+        let b = OffloadCounters::default();
+        b.record_decision(false);
+        b.observe_read_ns(2_000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.decisions, 2);
+        assert_eq!(m.offloaded, 1);
+        assert_eq!(m.local, 1);
+        assert_eq!(m.ewma_read_ns, 2_000);
+    }
+
+    #[test]
+    fn empty_gauges_have_zero_ratios() {
+        let g = OffloadGauges::default();
+        assert_eq!(g.offload_ratio(), 0.0);
+        assert_eq!(g.win_ratio(), 0.0);
+    }
+}

@@ -34,6 +34,7 @@ use crate::client::{ClientCtx, WriteCmd};
 use crate::coherence::CoherenceHub;
 use crate::config::FabricConfig;
 use crate::metrics::FabricMetrics;
+use crate::rpc::{RpcHandler, RpcWork};
 use crate::server::MemServerSim;
 use crate::{SimError, SimResult};
 use std::fmt;
@@ -131,12 +132,17 @@ pub trait FabricChannel: Send + 'static {
     ) -> SimResult<(VerbWindow, (bool, u64))>;
 
     /// The fabric cost of one two-sided RPC to memory server `ms` (the
-    /// request handling itself happens synchronously in the caller).
+    /// request handling itself happens synchronously in the caller — see
+    /// [`crate::RpcHandler`]).  `work` is the server-side compute the
+    /// interpreter reported; the simulator charges
+    /// [`FabricConfig::rpc_cost_ns`] for it on the server's inbound port,
+    /// the threaded backend pays real elapsed time instead.
     fn rpc(
         &mut self,
         ms: u16,
         request_bytes: usize,
         response_bytes: usize,
+        work: RpcWork,
     ) -> SimResult<VerbWindow>;
 
     /// The send-side cost of one one-way coherence message of `wire_bytes`.
@@ -209,6 +215,22 @@ pub trait FabricBackend: fmt::Debug + Send + Sync + 'static {
 
     /// Look up a memory server.
     fn server(&self, ms: u16) -> SimResult<&Arc<MemServerSim>>;
+
+    /// All memory servers, in id order.  The RPC interpreter receives this
+    /// slice: node pointers round-robin across servers, so an offloaded
+    /// traversal started on one server follows children onto its siblings'
+    /// regions (modeling a memory-side compute pool).
+    fn servers(&self) -> &[Arc<MemServerSim>];
+
+    /// Register the server-side RPC interpreter (see [`crate::RpcHandler`]).
+    /// The index crate installs its bounded traversal interpreter here at
+    /// cluster bootstrap; without one, typed RPCs answer
+    /// [`crate::RpcResponse::Declined`] with
+    /// [`crate::RpcDecline::NoHandler`].
+    fn set_rpc_handler(&self, handler: Arc<dyn RpcHandler>);
+
+    /// The registered RPC interpreter, if any.
+    fn rpc_handler(&self) -> Option<Arc<dyn RpcHandler>>;
 
     /// Number of memory servers.
     fn memory_servers(&self) -> usize {

@@ -40,6 +40,7 @@ use crate::channel::{FabricBackend, FabricChannel, VerbWindow};
 use crate::clock::Participant;
 use crate::coherence::CoherenceMsg;
 use crate::fabric::Fabric;
+use crate::rpc::{RpcDecline, RpcRequest, RpcResponse, RpcWork};
 use crate::{SimError, SimResult};
 use std::collections::HashMap;
 use std::fmt;
@@ -208,6 +209,9 @@ pub struct OpVerbStats {
     pub bytes_read: u64,
     /// Payload bytes written by this op's verbs.
     pub bytes_written: u64,
+    /// Two-sided RPCs posted while this op was current (offloaded traversal
+    /// steps and control RPCs alike).
+    pub rpcs: u64,
 }
 
 impl OpVerbStats {
@@ -290,8 +294,9 @@ pub enum VerbResult {
     Cas(CasResult),
     /// Previous value returned by a `post_faa`.
     Faa(u64),
-    /// A two-sided RPC round trip.
-    Rpc,
+    /// A two-sided RPC round trip carrying the server's typed response
+    /// (control RPCs complete as [`RpcResponse::Ack`]).
+    Rpc(RpcResponse),
 }
 
 impl VerbResult {
@@ -316,6 +321,17 @@ impl VerbResult {
         match self {
             VerbResult::ReadBatch(bufs) => bufs,
             other => panic!("expected a read-batch completion, got {other:?}"),
+        }
+    }
+
+    /// Unwrap an RPC completion's typed response.
+    ///
+    /// # Panics
+    /// Panics when the completion is not a [`VerbResult::Rpc`].
+    pub fn into_rpc(self) -> RpcResponse {
+        match self {
+            VerbResult::Rpc(resp) => resp,
+            other => panic!("expected an RPC completion, got {other:?}"),
         }
     }
 }
@@ -593,14 +609,17 @@ impl FabricChannel for SimChannel {
         ms: u16,
         request_bytes: usize,
         response_bytes: usize,
+        work: RpcWork,
     ) -> SimResult<VerbWindow> {
         let server = Arc::clone(self.fabric.server(ms)?);
         let cfg = self.fabric.config().clone();
         let posted_at = self.participant.now();
         let arrival = self.request_path(request_bytes);
+        // The wimpy core's service time scales with the index work the
+        // interpreter performed: base dispatch + per-level + per-entry.
         let served = server.inbound.serve(
             arrival,
-            cfg.nic_service_ns(request_bytes.max(response_bytes)) + cfg.rpc_service_ns,
+            cfg.nic_service_ns(request_bytes.max(response_bytes)) + cfg.rpc_cost_ns(work),
         );
         let completed_at = served + self.half_rtt();
         Ok(VerbWindow {
@@ -1054,10 +1073,17 @@ impl<C: FabricChannel> ClientCtx<C> {
         }
     }
 
-    fn account_rpc(&mut self) {
+    fn account_rpc(&mut self, request_bytes: u64, response_bytes: u64) {
         self.stats.rpcs.fetch_add(1, Ordering::Relaxed);
         let m = self.chan.backend().metrics();
         m.rpcs.fetch_add(1, Ordering::Relaxed);
+        // Fold the RPC into the tagged per-op attribution: the request is
+        // written to the wire, the response read back, and the op's RPC count
+        // keeps offloaded round trips visible at pipeline depth > 1.
+        self.attribute_bytes(response_bytes, request_bytes);
+        if let Some(op) = self.current_op {
+            self.op_stats.entry(op).or_default().rpcs += 1;
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1248,9 +1274,11 @@ impl<C: FabricChannel> ClientCtx<C> {
         request_bytes: usize,
         response_bytes: usize,
     ) -> SimResult<PendingVerb> {
-        let window = self.chan.rpc(ms, request_bytes, response_bytes)?;
-        self.account_rpc();
-        Ok(self.enqueue(window, VerbResult::Rpc))
+        let window = self
+            .chan
+            .rpc(ms, request_bytes, response_bytes, RpcWork::NONE)?;
+        self.account_rpc(request_bytes as u64, response_bytes as u64);
+        Ok(self.enqueue(window, VerbResult::Rpc(RpcResponse::Ack)))
     }
 
     /// Blocking two-sided RPC round trip (post + poll).
@@ -1263,6 +1291,45 @@ impl<C: FabricChannel> ClientCtx<C> {
         let token = self.post_rpc(ms, request_bytes, response_bytes)?;
         self.poll_token(token);
         Ok(())
+    }
+
+    /// Post a typed index RPC (offloaded traversal / leaf search / leaf
+    /// range, see [`RpcRequest`]) to the request's home memory server.
+    ///
+    /// The backend's registered [`RpcHandler`](crate::RpcHandler) interprets
+    /// the request synchronously against the shared memory-server state —
+    /// under the same word-atomic access rules as one-sided verbs — and the
+    /// fabric charge scales with the work it reports
+    /// ([`crate::FabricConfig::rpc_cost_ns`]).  The completion carries the
+    /// typed [`RpcResponse`] and is op-tagged like every other verb, so
+    /// offloaded steps pipeline and attribute exactly like one-sided reads.
+    /// Without a registered handler the RPC completes as
+    /// [`RpcResponse::Declined`] with [`RpcDecline::NoHandler`] at flat cost.
+    pub fn post_index_rpc(&mut self, req: &RpcRequest) -> SimResult<PendingVerb> {
+        let backend = Arc::clone(self.chan.backend());
+        let ms = req.home_ms();
+        backend.server(ms)?;
+        let response = match backend.rpc_handler() {
+            Some(handler) => handler.handle(backend.servers(), ms, req),
+            None => RpcResponse::Declined {
+                reason: RpcDecline::NoHandler,
+                work: RpcWork::NONE,
+            },
+        };
+        let request_bytes = req.wire_bytes();
+        let response_bytes = response.wire_bytes();
+        let window = self
+            .chan
+            .rpc(ms, request_bytes, response_bytes, response.work())?;
+        self.account_rpc(request_bytes as u64, response_bytes as u64);
+        Ok(self.enqueue(window, VerbResult::Rpc(response)))
+    }
+
+    /// Blocking typed index RPC (post + poll); see
+    /// [`ClientCtx::post_index_rpc`].
+    pub fn index_rpc(&mut self, req: &RpcRequest) -> SimResult<RpcResponse> {
+        let token = self.post_index_rpc(req)?;
+        Ok(self.poll_token(token).result.into_rpc())
     }
 }
 
@@ -1437,10 +1504,98 @@ mod tests {
         let fabric = test_fabric();
         let mut client = fabric.client(0);
         let t0 = client.now();
+        // A control RPC reports no index work, so it pays exactly the flat
+        // dispatch cost on top of the round trip.
         client.rpc_round_trip(0, 64, 64).unwrap();
         let rpc_elapsed = client.now() - t0;
         assert!(rpc_elapsed >= fabric.config().base_rtt_ns + fabric.config().rpc_service_ns);
+        assert!(
+            rpc_elapsed < fabric.config().base_rtt_ns + fabric.config().rpc_cost_ns(RpcWork {
+                levels_stepped: 4,
+                entries_scanned: 0,
+            })
+        );
         assert_eq!(client.stats().rpcs, 1);
+    }
+
+    /// Stub interpreter: answers every request as declined after pretending
+    /// to step a fixed number of levels.
+    #[derive(Debug)]
+    struct FixedWorkHandler(u32);
+
+    impl crate::rpc::RpcHandler for FixedWorkHandler {
+        fn handle(
+            &self,
+            servers: &[Arc<crate::server::MemServerSim>],
+            home_ms: u16,
+            _req: &RpcRequest,
+        ) -> RpcResponse {
+            assert!(!servers.is_empty());
+            assert!((home_ms as usize) < servers.len());
+            RpcResponse::Declined {
+                reason: RpcDecline::BudgetExhausted,
+                work: RpcWork {
+                    levels_stepped: self.0,
+                    entries_scanned: 0,
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn index_rpc_cost_scales_with_reported_server_work() {
+        let fabric = test_fabric();
+        let req = RpcRequest::LeafSearch {
+            leaf_addr: GlobalAddress::host(0, 4096),
+            key: 7,
+        };
+
+        let mut client = fabric.client(0);
+        // No handler registered: declined at flat cost.
+        let t0 = client.now();
+        let resp = client.index_rpc(&req).unwrap();
+        assert_eq!(
+            resp,
+            RpcResponse::Declined {
+                reason: RpcDecline::NoHandler,
+                work: RpcWork::NONE,
+            }
+        );
+        let flat = client.now() - t0;
+
+        fabric.set_rpc_handler(Arc::new(FixedWorkHandler(6)));
+        let t1 = client.now();
+        let resp = client.index_rpc(&req).unwrap();
+        assert!(matches!(resp, RpcResponse::Declined { work, .. } if work.levels_stepped == 6));
+        let worked = client.now() - t1;
+        // Six stepped levels must charge visibly more than the flat decline.
+        assert!(
+            worked >= flat + 6 * fabric.config().rpc_step_ns,
+            "worked={worked} flat={flat}"
+        );
+        assert_eq!(client.stats().rpcs, 2);
+    }
+
+    #[test]
+    fn index_rpc_completions_are_op_tagged() {
+        let fabric = test_fabric();
+        fabric.set_rpc_handler(Arc::new(FixedWorkHandler(2)));
+        let mut client = fabric.client(0);
+        client.set_current_op(Some(41));
+        let req = RpcRequest::LeafSearch {
+            leaf_addr: GlobalAddress::host(0, 0),
+            key: 1,
+        };
+        let token = client.post_index_rpc(&req).unwrap();
+        assert_eq!(token.op(), Some(41));
+        let completion = client.poll_token(token);
+        assert!(matches!(completion.result, VerbResult::Rpc(_)));
+        let ops = client.take_op_stats(41);
+        assert_eq!(ops.rpcs, 1);
+        assert_eq!(ops.round_trips, 1);
+        assert_eq!(ops.bytes_written, req.wire_bytes() as u64);
+        assert!(ops.bytes_read >= 16);
+        assert!(ops.verb_ns > 0);
     }
 
     #[test]

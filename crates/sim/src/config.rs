@@ -45,9 +45,17 @@ pub struct FabricConfig {
     pub atomic_buckets: usize,
     /// Client-side software/PCIe overhead charged per posted verb.
     pub cs_post_overhead_ns: u64,
-    /// Extra processing charged for a two-sided RPC served by a memory server's
-    /// wimpy management core (connection setup, chunk allocation).
+    /// Base processing charged for a two-sided RPC served by a memory server's
+    /// wimpy management core: dispatch, request decode, response encode.
+    /// Server-side *index work* is charged on top — see
+    /// [`FabricConfig::rpc_cost_ns`].
     pub rpc_service_ns: u64,
+    /// Server CPU time per tree level stepped by an offloaded traversal RPC
+    /// (fetch + decode + route one node on the wimpy core).
+    pub rpc_step_ns: u64,
+    /// Server CPU time per leaf/internal entry scanned by an offloaded
+    /// search or range RPC.
+    pub rpc_scan_ns_per_entry: u64,
     /// Virtual time charged for scanning one byte of a fetched node in client
     /// CPU (used by the index layer to charge unsorted-leaf scans and sorts).
     pub cpu_ps_per_byte: u64,
@@ -68,6 +76,8 @@ impl Default for FabricConfig {
             atomic_buckets: 4096,
             cs_post_overhead_ns: 80,
             rpc_service_ns: 2_500,
+            rpc_step_ns: 600,
+            rpc_scan_ns_per_entry: 4,
             cpu_ps_per_byte: 250,
         }
     }
@@ -99,6 +109,16 @@ impl FabricConfig {
     /// Client CPU time to scan / process `bytes` of fetched data.
     pub fn cpu_scan_ns(&self, bytes: usize) -> u64 {
         (bytes as u64 * self.cpu_ps_per_byte) / 1000
+    }
+
+    /// Serialized service time of a two-sided RPC on the memory server's
+    /// wimpy core: the base dispatch cost plus the work the interpreter
+    /// reports — per level stepped and per entry scanned.  A control RPC
+    /// ([`crate::RpcWork::NONE`]) pays exactly the flat `rpc_service_ns`.
+    pub fn rpc_cost_ns(&self, work: crate::RpcWork) -> u64 {
+        self.rpc_service_ns
+            + self.rpc_step_ns * work.levels_stepped as u64
+            + self.rpc_scan_ns_per_entry * work.entries_scanned as u64
     }
 
     /// Validate internal consistency; returns a description of the first
@@ -146,6 +166,20 @@ mod tests {
         assert_eq!(cfg.nic_service_ns(16), cfg.nic_op_gap_ns);
         // Large payloads are dominated by bandwidth.
         assert!(cfg.nic_service_ns(4096) > cfg.nic_op_gap_ns * 10);
+    }
+
+    #[test]
+    fn rpc_cost_scales_with_server_side_work() {
+        let cfg = FabricConfig::default();
+        assert_eq!(cfg.rpc_cost_ns(crate::RpcWork::NONE), cfg.rpc_service_ns);
+        let deep = crate::RpcWork {
+            levels_stepped: 4,
+            entries_scanned: 32,
+        };
+        assert_eq!(
+            cfg.rpc_cost_ns(deep),
+            cfg.rpc_service_ns + 4 * cfg.rpc_step_ns + 32 * cfg.rpc_scan_ns_per_entry
+        );
     }
 
     #[test]

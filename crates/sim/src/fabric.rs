@@ -8,6 +8,7 @@ use crate::coherence::CoherenceHub;
 use crate::config::FabricConfig;
 use crate::metrics::FabricMetrics;
 use crate::nic::NicPort;
+use crate::rpc::{RpcHandler, RpcHandlerSlot};
 use crate::server::MemServerSim;
 use crate::{SimError, SimResult};
 use std::sync::Arc;
@@ -23,6 +24,7 @@ pub struct Fabric {
     cs_ports: Vec<Arc<NicPort>>,
     coherence: CoherenceHub,
     metrics: FabricMetrics,
+    rpc_handler: RpcHandlerSlot,
 }
 
 impl Fabric {
@@ -50,6 +52,7 @@ impl Fabric {
             cs_ports,
             coherence,
             metrics: FabricMetrics::default(),
+            rpc_handler: RpcHandlerSlot::new(),
         })
     }
 
@@ -190,6 +193,18 @@ impl FabricBackend for Fabric {
 
     fn server(&self, ms: u16) -> SimResult<&Arc<MemServerSim>> {
         Fabric::server(self, ms)
+    }
+
+    fn servers(&self) -> &[Arc<MemServerSim>] {
+        &self.servers
+    }
+
+    fn set_rpc_handler(&self, handler: Arc<dyn RpcHandler>) {
+        self.rpc_handler.set(handler);
+    }
+
+    fn rpc_handler(&self) -> Option<Arc<dyn RpcHandler>> {
+        self.rpc_handler.get()
     }
 
     fn memory_servers(&self) -> usize {

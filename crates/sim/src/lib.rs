@@ -45,6 +45,7 @@ pub mod fabric;
 pub mod metrics;
 pub mod nic;
 pub mod region;
+pub mod rpc;
 pub mod server;
 pub mod threaded;
 
@@ -60,6 +61,10 @@ pub use config::FabricConfig;
 pub use fabric::Fabric;
 pub use metrics::FabricMetrics;
 pub use region::Region;
+pub use rpc::{
+    RpcDecline, RpcHandler, RpcHandlerSlot, RpcLeafReply, RpcLevel1Image, RpcNodeInfo,
+    RpcRangeReply, RpcRequest, RpcResponse, RpcWork,
+};
 pub use server::MemServerSim;
 pub use threaded::{ThreadedChannel, ThreadedFabric};
 

@@ -36,6 +36,7 @@ use crate::client::WriteCmd;
 use crate::coherence::CoherenceHub;
 use crate::config::FabricConfig;
 use crate::metrics::FabricMetrics;
+use crate::rpc::{RpcHandler, RpcHandlerSlot, RpcWork};
 use crate::server::MemServerSim;
 use crate::{SimError, SimResult};
 use std::sync::Arc;
@@ -50,6 +51,7 @@ pub struct ThreadedFabric {
     servers: Vec<Arc<MemServerSim>>,
     coherence: CoherenceHub,
     metrics: FabricMetrics,
+    rpc_handler: RpcHandlerSlot,
 }
 
 impl ThreadedFabric {
@@ -72,6 +74,7 @@ impl ThreadedFabric {
             servers,
             coherence,
             metrics: FabricMetrics::default(),
+            rpc_handler: RpcHandlerSlot::new(),
         })
     }
 
@@ -115,6 +118,18 @@ impl FabricBackend for ThreadedFabric {
         self.servers
             .get(ms as usize)
             .ok_or(SimError::NoSuchServer { ms })
+    }
+
+    fn servers(&self) -> &[Arc<MemServerSim>] {
+        &self.servers
+    }
+
+    fn set_rpc_handler(&self, handler: Arc<dyn RpcHandler>) {
+        self.rpc_handler.set(handler);
+    }
+
+    fn rpc_handler(&self) -> Option<Arc<dyn RpcHandler>> {
+        self.rpc_handler.get()
     }
 
     fn now(&self) -> u64 {
@@ -325,9 +340,13 @@ impl FabricChannel for ThreadedChannel {
         ms: u16,
         _request_bytes: usize,
         _response_bytes: usize,
+        _work: RpcWork,
     ) -> SimResult<VerbWindow> {
         // Validate the target exists; the request handling itself happens
-        // synchronously in the caller on both backends.
+        // synchronously in the caller on both backends, so by the time this
+        // is called the interpreter's real execution time has already
+        // elapsed — the window just brackets it with real timestamps.  The
+        // modeled per-level/per-entry charge is a simulator concern.
         self.fabric.server(ms)?;
         let posted_at = self.fabric.real_now();
         Ok(VerbWindow {

@@ -21,14 +21,14 @@ pub use sherman_workload;
 /// Convenience prelude for examples and integration tests.
 pub mod prelude {
     pub use sherman::{
-        Cluster, ClusterConfig, LeafFormat, LockStrategy, NodeCensus, OpOutput, OpStats,
-        PipelineOp, PipelineReport, PipelinedResult, ReclaimScheme, ShapeAudit, TreeClient,
-        TreeConfig, TreeError, TreeOptions,
+        Cluster, ClusterConfig, LeafFormat, LockStrategy, NodeCensus, OffloadPolicy, OpOutput,
+        OpStats, PipelineOp, PipelineReport, PipelinedResult, ReclaimScheme, ShapeAudit,
+        TreeClient, TreeConfig, TreeError, TreeOptions,
     };
     pub use sherman_memserver::{AllocError, EpochRegistry, ReaderHandle};
     pub use sherman_metrics::{
-        BackpressureSnapshot, CoherenceGauges, EpochGauges, LatencyHistogram, OverlapGauges,
-        RunSummary, ThreadReport, ThroughputAggregator,
+        BackpressureSnapshot, CoherenceGauges, EpochGauges, LatencyHistogram, OffloadGauges,
+        OverlapGauges, RunSummary, ThreadReport, ThroughputAggregator,
     };
     pub use sherman_sim::{FabricConfig, OpVerbStats, TraceEvent};
     pub use sherman_workload::{

@@ -23,11 +23,19 @@ struct TreeFingerprint {
     contents: Vec<(u64, u64)>,
 }
 
-fn run_workload_on<B: FabricBackend>(seed: u64) -> TreeFingerprint {
-    let cluster = Cluster::<B>::new_on(ClusterConfig::paper_scaled(2, 2), TreeOptions::sherman());
+fn run_workload_on<B: FabricBackend>(seed: u64, policy: OffloadPolicy) -> (TreeFingerprint, OffloadGauges) {
+    let cluster = Cluster::<B>::new_on(
+        ClusterConfig::paper_scaled(2, 2),
+        TreeOptions::sherman().with_offload(policy),
+    );
     cluster
         .bulkload((0..2_000u64).map(|k| (k * 2, k)))
         .expect("bulkload");
+    // Drop the bulkload-warmed routes: cache-missed descents are where the
+    // placement policy acts, so start the measured run without any.
+    for cs in 0..2 {
+        cluster.cache(cs).clear();
+    }
 
     let spec = WorkloadSpec {
         key_space: 8_192,
@@ -86,20 +94,21 @@ fn run_workload_on<B: FabricBackend>(seed: u64) -> TreeFingerprint {
             None => break,
         }
     }
-    TreeFingerprint {
+    let fingerprint = TreeFingerprint {
         census,
         leaf_merges: cluster.space_stats().leaf_merges,
         retired: cluster.reclaim_stats().retired,
         contents,
-    }
+    };
+    (fingerprint, cluster.offload_stats())
 }
 
 /// Same seeded single-client workload, identical final tree on both backends.
 #[test]
 fn seeded_workload_matches_across_backends() {
     for seed in [7u64, 0xC0FFEE] {
-        let sim = run_workload_on::<Fabric>(seed);
-        let threaded = run_workload_on::<ThreadedFabric>(seed);
+        let (sim, _) = run_workload_on::<Fabric>(seed, OffloadPolicy::Never);
+        let (threaded, _) = run_workload_on::<ThreadedFabric>(seed, OffloadPolicy::Never);
         assert!(sim.leaf_merges > 0, "workload too small to merge leaves");
         assert_eq!(
             sim, threaded,
@@ -108,20 +117,53 @@ fn seeded_workload_matches_across_backends() {
     }
 }
 
+/// Server-side traversal offload is a placement decision, not a semantic
+/// one: the same seeded workload converges to the same final tree under
+/// every policy, and each policy agrees across backends.  (Gauges are
+/// deliberately outside the fingerprint — adaptive decision counts depend
+/// on observed latency, which legitimately differs between virtual and
+/// real time.)
+#[test]
+fn offload_policies_match_across_backends() {
+    let (baseline, _) = run_workload_on::<Fabric>(11, OffloadPolicy::Never);
+    for policy in [OffloadPolicy::Always, OffloadPolicy::Adaptive] {
+        let (sim, sim_gauges) = run_workload_on::<Fabric>(11, policy);
+        let (threaded, threaded_gauges) = run_workload_on::<ThreadedFabric>(11, policy);
+        assert_eq!(
+            sim, threaded,
+            "{policy:?}: backends diverged in final tree state"
+        );
+        assert_eq!(
+            sim, baseline,
+            "{policy:?}: placement policy changed the final tree"
+        );
+        assert!(
+            sim_gauges.decisions > 0 && threaded_gauges.decisions > 0,
+            "{policy:?}: workload never reached a placement decision"
+        );
+        if policy == OffloadPolicy::Always {
+            assert!(
+                sim_gauges.offloaded > 0 && threaded_gauges.offloaded > 0,
+                "Always must post RPCs on a cold cache"
+            );
+        }
+    }
+}
+
 /// The simulator itself is deterministic run-to-run (the oracle the
 /// threaded comparison leans on).
 #[test]
 fn simulator_runs_are_reproducible() {
-    let a = run_workload_on::<Fabric>(42);
-    let b = run_workload_on::<Fabric>(42);
-    assert_eq!(a, b);
+    let a = run_workload_on::<Fabric>(42, OffloadPolicy::Never);
+    let b = run_workload_on::<Fabric>(42, OffloadPolicy::Never);
+    assert_eq!(a.0, b.0);
 }
 
 /// Sanity: god-mode reads agree with client reads on the threaded backend
 /// after a quiesced run (the census walks god reads; the sweep walks verbs).
 #[test]
 fn threaded_census_is_internally_consistent() {
-    let fp = run_workload_on::<ThreadedFabric>(3);
+    let (fp, _) = run_workload_on::<ThreadedFabric>(3, OffloadPolicy::Never);
     assert!(fp.census.leaves > 0 && fp.census.internals > 0);
     assert!(
         fp.contents.windows(2).all(|w| w[0].0 < w[1].0),
